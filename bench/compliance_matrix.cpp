@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates the section 5 experimental comparison: the whole
+ * validation suite executed under every implementation profile,
+ * reporting per-profile agreement with the expected behaviour.
+ *
+ * The shape to reproduce (sections 5.1-5.3): the reference
+ * (Cerberus-style) profile passes its suite; the concrete hardware
+ * profiles are "mostly compatible", diverging exactly on the
+ * categories the paper discusses — ghost state vs deterministic tag
+ * clearing, temporal safety, strict ISO arithmetic, provenance
+ * checks, and optimisation effects.
+ */
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/suite.h"
+
+int
+main()
+{
+    using namespace cherisem::driver;
+    std::vector<SuiteTest> tests = loadSuite(defaultSuiteDir());
+    printf("Section 5: per-implementation compliance over %zu suite "
+           "tests\n\n",
+           tests.size());
+    printf("%-20s %8s %8s %10s  %s\n", "profile", "match", "diverge",
+           "frontend", "top divergence categories");
+
+    for (const Profile &p : allProfiles()) {
+        int match = 0;
+        int diverge = 0;
+        int fe = 0;
+        std::map<std::string, int> diverging_cats;
+        for (const SuiteTest &t : tests) {
+            RunResult r = runSource(t.source, p, t.name + ".c");
+            if (r.frontendError) {
+                ++fe;
+                continue;
+            }
+            // A profile "matches" when it satisfies the expectation
+            // recorded for it (its own tag if present, else the
+            // reference expectation).
+            const std::string &expect = t.expectationFor(p.name);
+            if (!expect.empty() &&
+                outcomeMatches(r.outcome, expect)) {
+                ++match;
+            } else {
+                ++diverge;
+                ++diverging_cats[t.category];
+            }
+        }
+        // Top three diverging categories.
+        std::string tops;
+        for (int k = 0; k < 3; ++k) {
+            std::string best;
+            int best_n = 0;
+            for (const auto &[cat, n] : diverging_cats) {
+                if (n > best_n) {
+                    best = cat;
+                    best_n = n;
+                }
+            }
+            if (best_n == 0)
+                break;
+            diverging_cats.erase(best);
+            if (!tops.empty())
+                tops += "; ";
+            tops += best.substr(0, 34) + "(" +
+                std::to_string(best_n) + ")";
+        }
+        printf("%-20s %8d %8d %10d  %s\n", p.name.c_str(), match,
+               diverge, fe, tops.c_str());
+    }
+
+    printf("\nNote: divergences against the *reference* expectation "
+           "are the cross-\nimplementation differences the paper "
+           "reports (ghost state vs hardware\ntag clearing, temporal "
+           "safety, strict ISO arithmetic, optimisation\neffects); "
+           "tests carrying a per-profile expectation count as "
+           "matches\nwhen the profile exhibits exactly the divergence "
+           "the paper predicts.\n");
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Differential fuzzing harness: the "test oracle" use of the
+ * executable semantics the paper proposes (section 7: "it could be
+ * used as a test oracle for more aggressive compiler testing, letting
+ * one use randomly generated tests without manually curating their
+ * intended results").
+ *
+ * A small generator produces random *well-defined* CHERI C programs
+ * (bounded arithmetic, in-bounds array traffic, pointer round trips);
+ * each program runs under every implementation profile and the
+ * observable behaviour (exit code + output) must agree with the
+ * reference semantics — because for UB-free programs, all conforming
+ * implementations coincide.
+ *
+ *   differential_fuzz [iterations] [seed]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "driver/interpreter.h"
+
+namespace {
+
+using namespace cherisem::driver;
+
+/** Generates random UB-free MiniC programs. */
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(uint64_t seed) : rng_(seed) {}
+
+    std::string
+    generate()
+    {
+        std::string body;
+        int n_vars = 2 + static_cast<int>(rng_() % 4);
+        for (int i = 0; i < n_vars; ++i) {
+            body += "    int v" + std::to_string(i) + " = " +
+                std::to_string(rng_() % 100) + ";\n";
+        }
+        body += "    int a[8];\n"
+                "    for (int i = 0; i < 8; i++) a[i] = i * " +
+            std::to_string(1 + rng_() % 9) + ";\n";
+
+        int n_stmts = 4 + static_cast<int>(rng_() % 8);
+        for (int i = 0; i < n_stmts; ++i)
+            body += statement(n_vars);
+
+        body += "    int acc = 0;\n"
+                "    for (int i = 0; i < 8; i++) acc += a[i];\n";
+        for (int i = 0; i < n_vars; ++i)
+            body += "    acc += v" + std::to_string(i) + ";\n";
+        body += "    return acc & 0x7f;\n";
+        return "#include <stdint.h>\nint main(void) {\n" + body +
+            "}\n";
+    }
+
+  private:
+    std::string
+    var(int n_vars)
+    {
+        return "v" + std::to_string(rng_() % n_vars);
+    }
+
+    std::string
+    statement(int n_vars)
+    {
+        switch (rng_() % 6) {
+          case 0: // bounded arithmetic (no overflow: operands < 2^14)
+            return "    " + var(n_vars) + " = (" + var(n_vars) +
+                " & 0x3fff) " + pickOp() + " (" + var(n_vars) +
+                " & 0xfff);\n";
+          case 1: { // in-bounds array write
+            std::string idx =
+                "(" + var(n_vars) + " & 7)"; // always 0..7
+            return "    a[" + idx + "] = " + var(n_vars) + " & 0xff;\n";
+          }
+          case 2: { // pointer walk within bounds
+            return "    { int *p = &a[" +
+                std::to_string(rng_() % 8) + "]; " + var(n_vars) +
+                " += *p; }\n";
+          }
+          case 3: { // uintptr_t round trip (always in bounds)
+            return "    { uintptr_t u = (uintptr_t)&a[" +
+                std::to_string(rng_() % 8) +
+                "]; int *q = (int*)u; " + var(n_vars) +
+                " ^= *q & 0xff; }\n";
+          }
+          case 4: // conditional
+            return "    if (" + var(n_vars) + " > " +
+                std::to_string(rng_() % 50) + ") " + var(n_vars) +
+                " -= 1; else " + var(n_vars) + " += 1;\n";
+          case 5: { // bounded loop
+            return "    for (int k = 0; k < " +
+                std::to_string(1 + rng_() % 5) + "; k++) " +
+                var(n_vars) + " = (" + var(n_vars) + " * 3 + k) & "
+                "0xffff;\n";
+          }
+        }
+        return "";
+    }
+
+    std::string
+    pickOp()
+    {
+        switch (rng_() % 5) {
+          case 0: return "+";
+          case 1: return "-";
+          case 2: return "*";
+          case 3: return "|";
+          default: return "^";
+        }
+    }
+
+    std::mt19937_64 rng_;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int iterations = argc > 1 ? std::atoi(argv[1]) : 200;
+    uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                             : 20240427;
+    ProgramGenerator gen(seed);
+
+    printf("Differential fuzzing: %d random UB-free programs under "
+           "%zu profiles\n",
+           iterations, allProfiles().size());
+
+    int disagreements = 0;
+    int reference_failures = 0;
+    for (int i = 0; i < iterations; ++i) {
+        std::string src = gen.generate();
+        RunResult ref = runSource(src, referenceProfile());
+        if (ref.frontendError ||
+            ref.outcome.kind !=
+                cherisem::corelang::Outcome::Kind::Exit) {
+            // The generator is supposed to emit UB-free programs; a
+            // reference failure means a generator (or semantics) bug.
+            ++reference_failures;
+            printf("REFERENCE FAILURE (iteration %d): %s\n", i,
+                   ref.summary().c_str());
+            continue;
+        }
+        for (const Profile &p : allProfiles()) {
+            RunResult r = runSource(src, p);
+            bool agree = !r.frontendError &&
+                r.outcome.kind ==
+                    cherisem::corelang::Outcome::Kind::Exit &&
+                r.outcome.exitCode == ref.outcome.exitCode &&
+                r.outcome.output == ref.outcome.output;
+            if (!agree) {
+                ++disagreements;
+                printf("DISAGREEMENT (iteration %d, profile %s): "
+                       "reference %s vs %s\n",
+                       i, p.name.c_str(), ref.summary().c_str(),
+                       r.summary().c_str());
+            }
+        }
+    }
+
+    printf("\n%d programs x %zu profiles: %d disagreements, %d "
+           "reference failures\n",
+           iterations, allProfiles().size(), disagreements,
+           reference_failures);
+    printf("(UB-free programs must behave identically under every "
+           "conforming\nimplementation — any disagreement is a "
+           "semantics bug.)\n");
+    return (disagreements || reference_failures) ? 1 : 0;
+}

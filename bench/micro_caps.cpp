@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Micro-benchmarks of the capability substrate: bounds
+ * encode/decode, representability checks, serialization.
+ *
+ * The paper's evaluation is qualitative; these benchmarks
+ * characterise the cost of the executable semantics' primitives
+ * (useful when using it as a test oracle for compiler fuzzing,
+ * section 7).
+ */
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "cap/cc64.h"
+#include "cap/cc128.h"
+
+namespace {
+
+using namespace cherisem;
+using namespace cherisem::cap;
+
+std::vector<std::pair<uint64_t, uint64_t>>
+randomRegions(size_t n, uint64_t max_len)
+{
+    std::mt19937_64 rng(1234);
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t base = rng() & 0xffffffffffffull;
+        uint64_t len = (rng() % max_len) + 1;
+        out.emplace_back(base, len);
+    }
+    return out;
+}
+
+void
+BM_CC128_EncodeSmall(benchmark::State &state)
+{
+    auto regions = randomRegions(1024, 4000);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[base, len] = regions[i++ & 1023];
+        benchmark::DoNotOptimize(
+            CC128::encode(base, uint128(base) + len));
+    }
+}
+BENCHMARK(BM_CC128_EncodeSmall);
+
+void
+BM_CC128_EncodeLarge(benchmark::State &state)
+{
+    auto regions = randomRegions(1024, uint64_t(1) << 32);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[base, len] = regions[i++ & 1023];
+        benchmark::DoNotOptimize(
+            CC128::encode(base, uint128(base) + len));
+    }
+}
+BENCHMARK(BM_CC128_EncodeLarge);
+
+void
+BM_CC128_Decode(benchmark::State &state)
+{
+    auto regions = randomRegions(1024, uint64_t(1) << 28);
+    std::vector<std::pair<BoundsFields, uint64_t>> encoded;
+    for (const auto &[base, len] : regions) {
+        encoded.emplace_back(
+            CC128::encode(base, uint128(base) + len).fields, base);
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[f, addr] = encoded[i++ & 1023];
+        benchmark::DoNotOptimize(CC128::decode(f, addr));
+    }
+}
+BENCHMARK(BM_CC128_Decode);
+
+void
+BM_CC128_Representability(benchmark::State &state)
+{
+    auto enc = CC128::encode(0x10000, 0x10000 + 8192);
+    uint64_t addr = 0x10000;
+    for (auto _ : state) {
+        addr = (addr + 997) & 0x3ffff;
+        benchmark::DoNotOptimize(
+            CC128::isRepresentable(enc.fields, enc.bounds, addr));
+    }
+}
+BENCHMARK(BM_CC128_Representability);
+
+void
+BM_CC128_RepresentableLength(benchmark::State &state)
+{
+    uint64_t len = 1;
+    for (auto _ : state) {
+        len = len * 3 + 1;
+        if (len > (uint64_t(1) << 40))
+            len = 1;
+        benchmark::DoNotOptimize(CC128::representableLength(len));
+    }
+}
+BENCHMARK(BM_CC128_RepresentableLength);
+
+void
+BM_CC64_Encode(benchmark::State &state)
+{
+    std::mt19937_64 rng(7);
+    std::vector<std::pair<uint32_t, uint32_t>> regions(1024);
+    for (auto &r : regions) {
+        r.first = static_cast<uint32_t>(rng());
+        r.second = static_cast<uint32_t>(rng() % 500) + 1;
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[base, len] = regions[i++ & 1023];
+        benchmark::DoNotOptimize(
+            CC64::encode(base, uint128(base) + len));
+    }
+}
+BENCHMARK(BM_CC64_Encode);
+
+void
+BM_Capability_Serialize(benchmark::State &state)
+{
+    Capability c = Capability::make(morello(), 0x10000, 0x14000,
+                                    PermSet::data());
+    uint8_t buf[16];
+    for (auto _ : state) {
+        morello().toBytes(c, buf);
+        benchmark::DoNotOptimize(morello().fromBytes(buf, true));
+    }
+}
+BENCHMARK(BM_Capability_Serialize);
+
+void
+BM_Capability_SetAddressGhost(benchmark::State &state)
+{
+    Capability c = Capability::make(morello(), 0x10000, 0x14000,
+                                    PermSet::data());
+    uint64_t a = 0x10000;
+    for (auto _ : state) {
+        a = 0x10000 + ((a + 13) & 0x3fff);
+        benchmark::DoNotOptimize(c.withAddressGhost(a));
+    }
+}
+BENCHMARK(BM_Capability_SetAddressGhost);
+
+} // namespace
+
+BENCHMARK_MAIN();

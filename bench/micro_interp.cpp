@@ -1,0 +1,145 @@
+/**
+ * @file
+ * End-to-end interpreter benchmarks: whole-pipeline cost of running
+ * small CHERI C programs under the reference and hardware profiles,
+ * including the optimisation-pass ablation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "driver/interpreter.h"
+
+namespace {
+
+using namespace cherisem::driver;
+
+const char *ARITH_LOOP = R"(
+int main(void) {
+    int acc = 0;
+    for (int i = 0; i < 1000; i++) acc += i;
+    return acc & 0xff;
+}
+)";
+
+const char *POINTER_CHASE = R"(
+struct node { int value; struct node *next; };
+int main(void) {
+    struct node nodes[32];
+    for (int i = 0; i < 31; i++) {
+        nodes[i].value = i;
+        nodes[i].next = &nodes[i + 1];
+    }
+    nodes[31].value = 31;
+    nodes[31].next = 0;
+    int sum = 0;
+    for (int r = 0; r < 20; r++)
+        for (struct node *n = &nodes[0]; n; n = n->next)
+            sum += n->value;
+    return sum & 0xff;
+}
+)";
+
+const char *INTPTR_HEAVY = R"(
+#include <stdint.h>
+int main(void) {
+    int a[64];
+    uintptr_t base = (uintptr_t)a;
+    for (int i = 0; i < 64; i++) {
+        int *p = (int*)(base + i * sizeof(int));
+        *p = i;
+    }
+    int sum = 0;
+    for (int i = 0; i < 64; i++) sum += a[i];
+    return sum & 0xff;
+}
+)";
+
+const char *MALLOC_CHURN = R"(
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+    int total = 0;
+    for (int r = 0; r < 50; r++) {
+        char *p = malloc(64);
+        memset(p, r, 64);
+        total += p[13];
+        free(p);
+    }
+    return total & 0xff;
+}
+)";
+
+void
+runBench(benchmark::State &state, const char *src,
+         const std::string &profile)
+{
+    const Profile *p = findProfile(profile);
+    for (auto _ : state) {
+        RunResult r = runSource(src, *p);
+        if (r.frontendError ||
+            r.outcome.kind != cherisem::corelang::Outcome::Kind::Exit) {
+            state.SkipWithError("program did not run to exit");
+            return;
+        }
+        benchmark::DoNotOptimize(r.outcome.exitCode);
+    }
+}
+
+void
+BM_Interp_ArithLoop_Reference(benchmark::State &state)
+{
+    runBench(state, ARITH_LOOP, "cerberus");
+}
+BENCHMARK(BM_Interp_ArithLoop_Reference);
+
+void
+BM_Interp_ArithLoop_Hardware(benchmark::State &state)
+{
+    runBench(state, ARITH_LOOP, "clang-morello-O0");
+}
+BENCHMARK(BM_Interp_ArithLoop_Hardware);
+
+void
+BM_Interp_PointerChase_Reference(benchmark::State &state)
+{
+    runBench(state, POINTER_CHASE, "cerberus");
+}
+BENCHMARK(BM_Interp_PointerChase_Reference);
+
+void
+BM_Interp_PointerChase_Hardware(benchmark::State &state)
+{
+    runBench(state, POINTER_CHASE, "clang-morello-O0");
+}
+BENCHMARK(BM_Interp_PointerChase_Hardware);
+
+void
+BM_Interp_IntptrHeavy_Reference(benchmark::State &state)
+{
+    runBench(state, INTPTR_HEAVY, "cerberus");
+}
+BENCHMARK(BM_Interp_IntptrHeavy_Reference);
+
+void
+BM_Interp_IntptrHeavy_Cheriot(benchmark::State &state)
+{
+    runBench(state, INTPTR_HEAVY, "cerberus-cheriot");
+}
+BENCHMARK(BM_Interp_IntptrHeavy_Cheriot);
+
+void
+BM_Interp_MallocChurn_Reference(benchmark::State &state)
+{
+    runBench(state, MALLOC_CHURN, "cerberus");
+}
+BENCHMARK(BM_Interp_MallocChurn_Reference);
+
+void
+BM_Interp_MallocChurn_Optimized(benchmark::State &state)
+{
+    runBench(state, MALLOC_CHURN, "clang-morello-O2");
+}
+BENCHMARK(BM_Interp_MallocChurn_Optimized);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The cherisem command-line driver: run a CHERI C source file under
+ * any implementation profile (the "test oracle" use of the
+ * executable semantics, section 7).
+ *
+ *   cherisem_run file.c [--profile NAME] [--all] [--trace]
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/interpreter.h"
+
+using namespace cherisem::driver;
+
+namespace {
+
+int
+runOne(const std::string &src, const Profile &p,
+       const std::string &file, bool verbose)
+{
+    RunResult r = runSource(src, p, file);
+    printf("[%s] %s\n", p.name.c_str(), r.summary().c_str());
+    if (!r.outcome.output.empty()) {
+        printf("%s", r.outcome.output.c_str());
+        if (r.outcome.output.back() != '\n')
+            printf("\n");
+    }
+    if (verbose) {
+        printf("  steps=%llu loads=%llu stores=%llu allocs=%llu "
+               "ghost-invalidations=%llu\n",
+               (unsigned long long)r.outcome.steps,
+               (unsigned long long)r.outcome.memStats.loads,
+               (unsigned long long)r.outcome.memStats.stores,
+               (unsigned long long)r.outcome.memStats.allocations,
+               (unsigned long long)
+                   r.outcome.memStats.ghostTagInvalidations);
+    }
+    if (r.frontendError)
+        return 2;
+    return r.outcome.kind == cherisem::corelang::Outcome::Kind::Exit
+               ? r.outcome.exitCode
+               : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string file;
+    std::string profile = "cerberus";
+    bool all = false;
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--profile") && i + 1 < argc) {
+            profile = argv[++i];
+        } else if (!std::strcmp(argv[i], "--all")) {
+            all = true;
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            verbose = true;
+        } else if (!std::strcmp(argv[i], "--list")) {
+            for (const Profile &p : allProfiles())
+                printf("%-20s %s\n", p.name.c_str(),
+                       p.description.c_str());
+            return 0;
+        } else {
+            file = argv[i];
+        }
+    }
+    if (file.empty()) {
+        fprintf(stderr,
+                "usage: cherisem_run file.c [--profile NAME] [--all] "
+                "[--trace] [--list]\n");
+        return 2;
+    }
+    std::ifstream in(file);
+    if (!in) {
+        fprintf(stderr, "cannot open %s\n", file.c_str());
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    if (all) {
+        int rc = 0;
+        for (const Profile &p : allProfiles())
+            rc = runOne(ss.str(), p, file, verbose);
+        return rc;
+    }
+    const Profile *p = findProfile(profile);
+    if (!p) {
+        fprintf(stderr, "unknown profile %s (try --list)\n",
+                profile.c_str());
+        return 2;
+    }
+    return runOne(ss.str(), *p, file, verbose);
+}

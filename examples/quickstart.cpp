@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: run a CHERI C program through the executable
+ * semantics, catch the UB it contains, then fix it and run again.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "driver/interpreter.h"
+
+using namespace cherisem;
+
+int
+main()
+{
+    // The buggy program from section 3.1 of the paper: a one-past
+    // write through a stack pointer.
+    const char *buggy = R"(
+void f(int *p, int i) {
+    int *q = p + i;
+    *q = 42;
+}
+int main(void) {
+    int x=0, y=0;
+    f(&x, 1);
+    return y;
+}
+)";
+
+    const driver::Profile &ref = driver::referenceProfile();
+    driver::RunResult r = driver::runSource(buggy, ref);
+    printf("buggy program under '%s':\n  %s\n", ref.name.c_str(),
+           r.summary().c_str());
+    if (r.outcome.kind == corelang::Outcome::Kind::Undefined)
+        printf("  detail: %s\n", r.outcome.failure.str().c_str());
+
+    // The fixed version stays in bounds.
+    const char *fixed = R"(
+void f(int *p, int i) {
+    int *q = p + i;
+    *q = 42;
+}
+int main(void) {
+    int xy[2] = {0, 0};
+    f(&xy[0], 1);
+    return xy[1];
+}
+)";
+    r = driver::runSource(fixed, ref);
+    printf("fixed program:\n  %s (42 expected)\n",
+           r.summary().c_str());
+
+    // The same program under a concrete hardware profile.
+    const driver::Profile *hw = driver::findProfile("clang-morello-O0");
+    r = driver::runSource(buggy, *hw);
+    printf("buggy program under '%s':\n  %s\n", hw->name.c_str(),
+           r.summary().c_str());
+    return 0;
+}

@@ -1,0 +1,50 @@
+#include "cap/cap_format.h"
+
+#include "support/format.h"
+
+namespace cherisem::cap {
+
+std::string
+formatCap(const Capability &c, FormatStyle style)
+{
+    std::string out = hexStr(c.address());
+    bool bounds_known =
+        style == FormatStyle::Concrete || !c.ghost().boundsUnspec;
+    if (bounds_known) {
+        out += " [" + c.perms().shortStr() + "," + hexStr(c.base()) +
+            "-" + hexStr(c.top()) + "]";
+    } else {
+        out += " [?-?]";
+    }
+    if (c.isSentry())
+        out += " (sentry)";
+    else if (c.isSealed())
+        out += " (sealed:" + decStr(uint128(c.otype())) + ")";
+    if (style == FormatStyle::Abstract) {
+        if (c.ghost().tagUnspec)
+            out += " (tag?)";
+        else if (!c.tag())
+            out += " (notag)";
+    } else if (!c.tag()) {
+        out += " (invalid)";
+    }
+    return out;
+}
+
+std::string
+formatFields(const Capability &c)
+{
+    const BoundsFields &f = c.fields();
+    std::string out;
+    out += "arch=" + std::string(c.arch().name());
+    out += " tag=" + std::string(c.tag() ? "1" : "0");
+    out += " perms=" + hexStr(c.perms().bits());
+    out += " otype=" + hexStr(c.otype());
+    out += " ie=" + std::string(f.ie ? "1" : "0");
+    out += " bottom=" + hexStr(f.bottom);
+    out += " top=" + hexStr(f.top);
+    out += " address=" + hexStr(c.address());
+    return out;
+}
+
+} // namespace cherisem::cap

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Capability pretty-printing in the style of the paper's Appendix A.
+ *
+ * Two styles:
+ *  - Abstract (the Cerberus reference semantics): ghost-unspecified
+ *    bounds print as "[?-?]" and a cleared/unspecified tag as
+ *    "(notag)", e.g.  "0x7fffe6dc [?-?] (notag)".
+ *  - Concrete (hardware implementations): bounds always print; an
+ *    untagged capability gets the "(invalid)" suffix, e.g.
+ *    "0xffdfff08 [rwRW,0xffdfff08-0xffdfff10] (invalid)".
+ */
+#ifndef CHERISEM_CAP_CAP_FORMAT_H
+#define CHERISEM_CAP_CAP_FORMAT_H
+
+#include <string>
+
+#include "cap/capability.h"
+
+namespace cherisem::cap {
+
+enum class FormatStyle
+{
+    /** Abstract-machine view (ghost state visible). */
+    Abstract,
+    /** Hardware view (tag valid/invalid only). */
+    Concrete,
+};
+
+/** Render @p c like the paper's capprint helper. */
+std::string formatCap(const Capability &c, FormatStyle style);
+
+/** Render the raw bit-fields (used by `appendix_a --layout` to show
+ *  the Fig. 1 layout of a capability). */
+std::string formatFields(const Capability &c);
+
+} // namespace cherisem::cap
+
+#endif // CHERISEM_CAP_CAP_FORMAT_H

@@ -1,0 +1,157 @@
+#include "cap/capability.h"
+
+namespace cherisem::cap {
+
+Capability
+Capability::null(const CapArch &arch)
+{
+    Capability c(arch);
+    c.tag_ = false;
+    c.address_ = 0;
+    c.perms_ = PermSet();
+    EncodeResult enc = arch.encodeBounds(0, arch.addrSpaceTop());
+    c.fields_ = enc.fields;
+    c.bounds_ = enc.bounds;
+    return c;
+}
+
+Capability
+Capability::make(const CapArch &arch, uint64_t base, uint128 top,
+                 PermSet perms)
+{
+    Capability c(arch);
+    EncodeResult enc = arch.encodeBounds(base, top);
+    c.fields_ = enc.fields;
+    c.bounds_ = enc.bounds;
+    c.address_ = base;
+    c.perms_ = perms & arch.allPerms();
+    c.tag_ = true;
+    return c;
+}
+
+Capability
+Capability::withAddress(uint64_t a) const
+{
+    Capability c = *this;
+    a &= arch_->addrMask();
+    if (a == address_)
+        return c; // No modification: sealed caps stay intact.
+    c.address_ = a;
+    if (isSealed() && tag_) {
+        // Modifying a sealed capability clears the tag.
+        c.tag_ = false;
+        return c;
+    }
+    if (!arch_->isRepresentable(fields_, bounds_, a)) {
+        // Hardware behaviour (section 3.2): address as expected, tag
+        // cleared, bounds re-derived from the unchanged fields.
+        c.tag_ = false;
+        c.bounds_ = arch_->decode(fields_, a);
+    }
+    return c;
+}
+
+Capability
+Capability::withAddressGhost(uint64_t a) const
+{
+    Capability c = *this;
+    a &= arch_->addrMask();
+    if (a == address_)
+        return c;
+    c.address_ = a;
+    if (isSealed() && tag_) {
+        c.tag_ = false;
+        return c;
+    }
+    if (ghost_.boundsUnspec) {
+        // Once the abstract machine has seen non-representability the
+        // ghost bit is sticky (section 3.3: optimisations may
+        // eliminate the excursion, so neither tag nor bounds may be
+        // relied on again); only the address stays authoritative.
+        return c;
+    }
+    if (!arch_->isRepresentable(fields_, bounds_, a)) {
+        c.tag_ = false;
+        c.ghost_.boundsUnspec = true;
+    }
+    return c;
+}
+
+Capability
+Capability::withBounds(uint64_t base, uint128 top) const
+{
+    Capability c = *this;
+    EncodeResult enc = arch_->encodeBounds(base, top);
+    c.fields_ = enc.fields;
+    c.bounds_ = enc.bounds;
+    c.address_ = base;
+    // Monotonicity: requesting bounds outside the current ones (or
+    // narrowing a sealed/untagged capability) yields an untagged
+    // result.
+    bool grows = !(bounds_.base <= enc.bounds.base &&
+                   enc.bounds.top <= bounds_.top);
+    if (!tag_ || isSealed() || grows || !inBounds(address_, 0))
+        c.tag_ = false;
+    return c;
+}
+
+Capability
+Capability::withPerms(PermSet p) const
+{
+    Capability c = *this;
+    c.perms_ = perms_ & p;
+    if (isSealed() && tag_)
+        c.tag_ = false;
+    return c;
+}
+
+Capability
+Capability::withTagCleared() const
+{
+    Capability c = *this;
+    c.tag_ = false;
+    return c;
+}
+
+Capability
+Capability::withTag(bool t) const
+{
+    Capability c = *this;
+    c.tag_ = t;
+    return c;
+}
+
+Capability
+Capability::withGhost(GhostState g) const
+{
+    Capability c = *this;
+    c.ghost_ = g;
+    return c;
+}
+
+Capability
+Capability::sealed(uint64_t otype) const
+{
+    Capability c = *this;
+    c.otype_ = otype & ((uint64_t(1) << arch_->otypeBits()) - 1);
+    if (isSealed())
+        c.tag_ = false; // Re-sealing a sealed capability is invalid.
+    return c;
+}
+
+Capability
+Capability::unsealed() const
+{
+    Capability c = *this;
+    c.otype_ = OTYPE_UNSEALED;
+    return c;
+}
+
+bool
+Capability::equalExact(const Capability &o) const
+{
+    return arch_ == o.arch_ && tag_ == o.tag_ && address_ == o.address_ &&
+        perms_ == o.perms_ && otype_ == o.otype_ && fields_ == o.fields_;
+}
+
+} // namespace cherisem::cap

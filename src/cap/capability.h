@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The abstract capability value and the architecture interface.
+ *
+ * Mirrors the paper's "abstract capabilities" Coq module type
+ * (section 4.1): an opaque capability with address, bounds,
+ * permissions, object type, tag — plus the two-bit per-value *ghost
+ * state* the semantics uses for representability excursions
+ * (section 3.3) and representation-byte writes (section 3.5).
+ *
+ * CapArch is the implementation-defined part (section 3.10): bounds
+ * compression, capability size, in-memory layout.  Two concrete
+ * architectures are provided: Morello (cc128.h) and a CHERIoT-style
+ * 32-bit core (cc64.h).
+ */
+#ifndef CHERISEM_CAP_CAPABILITY_H
+#define CHERISEM_CAP_CAPABILITY_H
+
+#include <cstdint>
+
+#include "cap/compression.h"
+#include "cap/permissions.h"
+
+namespace cherisem::cap {
+
+/**
+ * Per-capability-value ghost state (section 4.3): the first bit says
+ * the tag is unspecified (its representation was modified directly);
+ * the second says address/bounds are unspecified (abstract-machine
+ * arithmetic made it non-representable).
+ */
+struct GhostState
+{
+    bool tagUnspec = false;
+    bool boundsUnspec = false;
+
+    bool any() const { return tagUnspec || boundsUnspec; }
+    bool operator==(const GhostState &) const = default;
+};
+
+/// @name Reserved object types.
+/// @{
+/** Unsealed (ordinary) capability. */
+inline constexpr uint64_t OTYPE_UNSEALED = 0;
+/** Sealed entry ("sentry"): used for function pointers. */
+inline constexpr uint64_t OTYPE_SENTRY = 1;
+/** First object type available for explicit sealing. */
+inline constexpr uint64_t OTYPE_FIRST_USER = 4;
+/// @}
+
+class Capability;
+
+/**
+ * An architecture's implementation-defined capability behaviour.
+ *
+ * Pure interface (the paper's Coq "module type"); the memory model and
+ * interpreter only ever see this, which is what makes the semantics
+ * portable across CHERI architectures (section 3.10).
+ */
+class CapArch
+{
+  public:
+    virtual ~CapArch() = default;
+
+    virtual const char *name() const = 0;
+    /** Capability size in bytes (also the tag granule). */
+    virtual unsigned capSize() const = 0;
+    virtual unsigned addrBits() const = 0;
+
+    virtual Bounds decode(const BoundsFields &f, uint64_t addr) const = 0;
+    virtual EncodeResult encodeBounds(uint64_t base,
+                                      uint128 top) const = 0;
+    virtual bool isRepresentable(const BoundsFields &f,
+                                 const Bounds &current,
+                                 uint64_t new_addr) const = 0;
+    virtual uint64_t representableLength(uint64_t len) const = 0;
+    virtual uint64_t representableAlignmentMask(uint64_t len) const = 0;
+
+    /** Permissions this architecture implements. */
+    virtual PermSet allPerms() const = 0;
+    virtual unsigned otypeBits() const = 0;
+
+    /** Serialize @p c (minus the out-of-band tag) into capSize()
+     *  bytes, little-endian, Fig.-1-style layout. */
+    virtual void toBytes(const Capability &c, uint8_t *out) const = 0;
+    /** Rebuild a capability from its representation bytes; the tag
+     *  comes from the out-of-band metadata. */
+    virtual Capability fromBytes(const uint8_t *bytes,
+                                 bool tag) const = 0;
+
+    /** One past the largest address. */
+    uint128 addrSpaceTop() const { return uint128(1) << addrBits(); }
+    uint64_t
+    addrMask() const
+    {
+        return addrBits() >= 64 ? ~uint64_t(0)
+                                : ((uint64_t(1) << addrBits()) - 1);
+    }
+};
+
+/** The Morello-style 64-bit architecture singleton. */
+const CapArch &morello();
+/** The CHERIoT-style 32-bit architecture singleton. */
+const CapArch &cheriot();
+
+/**
+ * A capability value.
+ *
+ * Immutable in the hardware sense: all mutators return a new value,
+ * and bounds-growing or sealed-modifying operations clear the tag
+ * rather than fault (matching the "clear tag to protect integrity"
+ * behaviour of section 2.1).
+ */
+class Capability
+{
+  public:
+    /** The NULL capability: untagged, zero address, full-span bounds,
+     *  no permissions. */
+    static Capability null(const CapArch &arch);
+
+    /**
+     * Forge a fresh tagged capability for an allocation (what the
+     * compiler/allocator/linker does, section 3).  Bounds round
+     * outward when not exactly representable.
+     */
+    static Capability make(const CapArch &arch, uint64_t base,
+                           uint128 top, PermSet perms);
+
+    const CapArch &arch() const { return *arch_; }
+    bool tag() const { return tag_; }
+    uint64_t address() const { return address_; }
+    uint128 base() const { return bounds_.base; }
+    /** Exclusive upper bound (may be 2^addrBits). */
+    uint128 top() const { return bounds_.top; }
+    uint128 length() const { return bounds_.length(); }
+    const Bounds &bounds() const { return bounds_; }
+    const BoundsFields &fields() const { return fields_; }
+    PermSet perms() const { return perms_; }
+    uint64_t otype() const { return otype_; }
+    bool isSealed() const { return otype_ != OTYPE_UNSEALED; }
+    bool isSentry() const { return otype_ == OTYPE_SENTRY; }
+    const GhostState &ghost() const { return ghost_; }
+
+    bool
+    inBounds(uint64_t addr, uint64_t size) const
+    {
+        return bounds_.contains(addr, size);
+    }
+    bool canLoad() const { return perms_.has(Perm::Load); }
+    bool canStore() const { return perms_.has(Perm::Store); }
+    bool canLoadCap() const { return perms_.has(Perm::LoadCap); }
+    bool canStoreCap() const { return perms_.has(Perm::StoreCap); }
+
+    /**
+     * Hardware address update (capability arithmetic): the address
+     * becomes @p a; if the result is not representable, bounds are
+     * re-derived and the tag is cleared (section 3.2).  Sealed
+     * capabilities also lose their tag on modification.
+     */
+    Capability withAddress(uint64_t a) const;
+
+    /**
+     * Abstract-machine (u)intptr_t arithmetic (section 3.3 choice
+     * (3)/(c)): the address value is always preserved; going outside
+     * the representable region clears the tag and marks the bounds
+     * unspecified in ghost state rather than re-deriving them.
+     */
+    Capability withAddressGhost(uint64_t a) const;
+
+    /** Narrow bounds (cheri_bounds_set).  Requested bounds exceeding
+     *  the current ones, or a sealed source, clear the tag. */
+    Capability withBounds(uint64_t base, uint128 top) const;
+
+    /** Intersect permissions (cheri_perms_and). */
+    Capability withPerms(PermSet p) const;
+
+    Capability withTagCleared() const;
+    Capability withTag(bool t) const;
+    Capability withGhost(GhostState g) const;
+
+    /** Seal as a sentry or with an explicit object type. */
+    Capability sealed(uint64_t otype) const;
+    /** Remove the seal (authority checks happen in the caller). */
+    Capability unsealed() const;
+
+    /** Full-field comparison backing cheri_is_equal_exact
+     *  (section 3.6); ghost state is *not* compared — callers must
+     *  consult it to decide whether the answer is even specified. */
+    bool equalExact(const Capability &o) const;
+
+    bool operator==(const Capability &o) const { return equalExact(o); }
+
+  private:
+    explicit Capability(const CapArch &arch) : arch_(&arch) {}
+
+    const CapArch *arch_;
+    bool tag_ = false;
+    uint64_t address_ = 0;
+    PermSet perms_;
+    uint64_t otype_ = OTYPE_UNSEALED;
+    BoundsFields fields_;
+    Bounds bounds_;
+    GhostState ghost_;
+
+    friend class MorelloArch;
+    friend class CheriotArch;
+};
+
+} // namespace cherisem::cap
+
+#endif // CHERISEM_CAP_CAPABILITY_H

@@ -1,0 +1,75 @@
+#include "cap/cc128.h"
+
+#include <cstring>
+
+namespace cherisem::cap {
+
+namespace {
+
+// High-word bit positions (Fig.-1-inspired layout):
+//   [13:0]  bottom (14)      [25:14] top (12)      [26] IE
+//   [41:27] otype (15)       [59:42] perms (18)    [63:60] reserved
+constexpr unsigned BOTTOM_SHIFT = 0;
+constexpr unsigned TOP_SHIFT = 14;
+constexpr unsigned IE_SHIFT = 26;
+constexpr unsigned OTYPE_SHIFT = 27;
+constexpr unsigned PERMS_SHIFT = 42;
+
+uint64_t
+loadLE64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+void
+storeLE64(uint8_t *p, uint64_t v)
+{
+    std::memcpy(p, &v, 8);
+}
+
+} // namespace
+
+void
+MorelloArch::toBytes(const Capability &c, uint8_t *out) const
+{
+    storeLE64(out, c.address());
+    uint64_t hi = 0;
+    hi |= (uint64_t(c.fields().bottom) & 0x3fff) << BOTTOM_SHIFT;
+    hi |= (uint64_t(c.fields().top) & 0xfff) << TOP_SHIFT;
+    hi |= (c.fields().ie ? uint64_t(1) : 0) << IE_SHIFT;
+    hi |= (c.otype() & 0x7fff) << OTYPE_SHIFT;
+    hi |= (uint64_t(c.perms().bits()) & 0x3ffff) << PERMS_SHIFT;
+    storeLE64(out + 8, hi);
+}
+
+Capability
+MorelloArch::fromBytes(const uint8_t *bytes, bool tag) const
+{
+    uint64_t addr = loadLE64(bytes);
+    uint64_t hi = loadLE64(bytes + 8);
+    BoundsFields f;
+    f.bottom = static_cast<uint32_t>((hi >> BOTTOM_SHIFT) & 0x3fff);
+    f.top = static_cast<uint32_t>((hi >> TOP_SHIFT) & 0xfff);
+    f.ie = ((hi >> IE_SHIFT) & 1) != 0;
+
+    Capability c(*this);
+    c.address_ = addr;
+    c.fields_ = f;
+    c.bounds_ = decode(f, addr);
+    c.otype_ = (hi >> OTYPE_SHIFT) & 0x7fff;
+    c.perms_ = PermSet(static_cast<uint32_t>((hi >> PERMS_SHIFT) &
+                                             0x3ffff));
+    c.tag_ = tag;
+    return c;
+}
+
+const CapArch &
+morello()
+{
+    static MorelloArch arch;
+    return arch;
+}
+
+} // namespace cherisem::cap

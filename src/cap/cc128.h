@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Morello-style 128+1-bit capability architecture (section 2.1).
+ *
+ * 64-bit addresses, 14-bit mantissa CHERI-Concentrate compression,
+ * 15-bit object types, 18 permission bits.  The in-memory layout is
+ * modelled on Fig. 1: address in the low 64 bits; bounds, otype and
+ * permissions packed into the high 64 bits.
+ */
+#ifndef CHERISEM_CAP_CC128_H
+#define CHERISEM_CAP_CC128_H
+
+#include "cap/capability.h"
+
+namespace cherisem::cap {
+
+/** Concrete CapArch for Morello; use the morello() singleton. */
+class MorelloArch : public CapArch
+{
+  public:
+    const char *name() const override { return "morello"; }
+    unsigned capSize() const override { return 16; }
+    unsigned addrBits() const override { return 64; }
+
+    Bounds
+    decode(const BoundsFields &f, uint64_t addr) const override
+    {
+        return CC128::decode(f, addr);
+    }
+    EncodeResult
+    encodeBounds(uint64_t base, uint128 top) const override
+    {
+        return CC128::encode(base, top);
+    }
+    bool
+    isRepresentable(const BoundsFields &f, const Bounds &current,
+                    uint64_t new_addr) const override
+    {
+        return CC128::isRepresentable(f, current, new_addr);
+    }
+    uint64_t
+    representableLength(uint64_t len) const override
+    {
+        return CC128::representableLength(len);
+    }
+    uint64_t
+    representableAlignmentMask(uint64_t len) const override
+    {
+        return CC128::representableAlignmentMask(len);
+    }
+
+    PermSet allPerms() const override { return PermSet::all(); }
+    unsigned otypeBits() const override { return 15; }
+
+    void toBytes(const Capability &c, uint8_t *out) const override;
+    Capability fromBytes(const uint8_t *bytes, bool tag) const override;
+};
+
+} // namespace cherisem::cap
+
+#endif // CHERISEM_CAP_CC128_H

@@ -1,0 +1,102 @@
+#include "cap/cc64.h"
+
+#include <cstring>
+
+namespace cherisem::cap {
+
+namespace {
+
+// High-word (32-bit) layout:
+//   [10:0] bottom (11)   [19:11] top (9)   [20] IE
+//   [23:21] otype (3)    [31:24] compressed perms (8)
+constexpr unsigned BOTTOM_SHIFT = 0;
+constexpr unsigned TOP_SHIFT = 11;
+constexpr unsigned IE_SHIFT = 20;
+constexpr unsigned OTYPE_SHIFT = 21;
+constexpr unsigned PERMS_SHIFT = 24;
+
+// The common basic permission set (section 3.10) in compression order.
+constexpr Perm COMPRESSED_PERMS[8] = {
+    Perm::Load,    Perm::Store, Perm::LoadCap, Perm::StoreCap,
+    Perm::Execute, Perm::Seal,  Perm::Unseal,  Perm::Global,
+};
+
+uint8_t
+compressPerms(PermSet p)
+{
+    uint8_t out = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        if (p.has(COMPRESSED_PERMS[i]))
+            out |= uint8_t(1) << i;
+    }
+    return out;
+}
+
+PermSet
+expandPerms(uint8_t bits)
+{
+    PermSet p;
+    for (unsigned i = 0; i < 8; ++i) {
+        if (bits & (uint8_t(1) << i))
+            p = p.with(COMPRESSED_PERMS[i]);
+    }
+    return p;
+}
+
+uint32_t
+loadLE32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+void
+storeLE32(uint8_t *p, uint32_t v)
+{
+    std::memcpy(p, &v, 4);
+}
+
+} // namespace
+
+void
+CheriotArch::toBytes(const Capability &c, uint8_t *out) const
+{
+    storeLE32(out, static_cast<uint32_t>(c.address()));
+    uint32_t hi = 0;
+    hi |= (c.fields().bottom & 0x7ffu) << BOTTOM_SHIFT;
+    hi |= (c.fields().top & 0x1ffu) << TOP_SHIFT;
+    hi |= (c.fields().ie ? 1u : 0u) << IE_SHIFT;
+    hi |= (static_cast<uint32_t>(c.otype()) & 7u) << OTYPE_SHIFT;
+    hi |= uint32_t(compressPerms(c.perms())) << PERMS_SHIFT;
+    storeLE32(out + 4, hi);
+}
+
+Capability
+CheriotArch::fromBytes(const uint8_t *bytes, bool tag) const
+{
+    uint32_t addr = loadLE32(bytes);
+    uint32_t hi = loadLE32(bytes + 4);
+    BoundsFields f;
+    f.bottom = (hi >> BOTTOM_SHIFT) & 0x7ffu;
+    f.top = (hi >> TOP_SHIFT) & 0x1ffu;
+    f.ie = ((hi >> IE_SHIFT) & 1u) != 0;
+
+    Capability c(*this);
+    c.address_ = addr;
+    c.fields_ = f;
+    c.bounds_ = decode(f, addr);
+    c.otype_ = (hi >> OTYPE_SHIFT) & 7u;
+    c.perms_ = expandPerms(static_cast<uint8_t>(hi >> PERMS_SHIFT));
+    c.tag_ = tag;
+    return c;
+}
+
+const CapArch &
+cheriot()
+{
+    static CheriotArch arch;
+    return arch;
+}
+
+} // namespace cherisem::cap

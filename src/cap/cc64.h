@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CHERIoT-style 64+1-bit capability architecture (section 3.10).
+ *
+ * 32-bit addresses, 11-bit mantissa — byte-granular bounds for any
+ * object up to 511 bytes, like CHERIoT's encoding, and a compressed
+ * 8-bit permission format covering the common basic set.
+ */
+#ifndef CHERISEM_CAP_CC64_H
+#define CHERISEM_CAP_CC64_H
+
+#include "cap/capability.h"
+
+namespace cherisem::cap {
+
+/** Concrete CapArch for the embedded 32-bit core; use cheriot(). */
+class CheriotArch : public CapArch
+{
+  public:
+    const char *name() const override { return "cheriot"; }
+    unsigned capSize() const override { return 8; }
+    unsigned addrBits() const override { return 32; }
+
+    Bounds
+    decode(const BoundsFields &f, uint64_t addr) const override
+    {
+        return CC64::decode(f, static_cast<uint32_t>(addr));
+    }
+    EncodeResult
+    encodeBounds(uint64_t base, uint128 top) const override
+    {
+        return CC64::encode(static_cast<uint32_t>(base), top);
+    }
+    bool
+    isRepresentable(const BoundsFields &f, const Bounds &current,
+                    uint64_t new_addr) const override
+    {
+        return CC64::isRepresentable(f, current,
+                                     static_cast<uint32_t>(new_addr));
+    }
+    uint64_t
+    representableLength(uint64_t len) const override
+    {
+        if (len >= (uint64_t(1) << 32))
+            return 0;
+        return CC64::representableLength(len);
+    }
+    uint64_t
+    representableAlignmentMask(uint64_t len) const override
+    {
+        return CC64::representableAlignmentMask(len);
+    }
+
+    PermSet allPerms() const override { return PermSet::basic(); }
+    unsigned otypeBits() const override { return 3; }
+
+    void toBytes(const Capability &c, uint8_t *out) const override;
+    Capability fromBytes(const uint8_t *bytes, bool tag) const override;
+};
+
+} // namespace cherisem::cap
+
+#endif // CHERISEM_CAP_CC64_H

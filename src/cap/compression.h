@@ -1,0 +1,288 @@
+/**
+ * @file
+ * CHERI-Concentrate-style capability bounds compression.
+ *
+ * Capabilities encode 2*AddrBits of bounds into far fewer bits by
+ * storing a shared exponent E and two mantissas B (bottom) and T (top),
+ * reconstructing the full bounds relative to the capability's address
+ * (Woodruff et al., "CHERI Concentrate", IEEE ToC 2019; Morello
+ * supplement section 2.5.1).  The paper relies on three consequences
+ * of this scheme (sections 2.1, 3.2, 3.3):
+ *
+ *  - small regions are exact, large regions are rounded outward;
+ *  - only some (address, bounds) combinations are *representable*:
+ *    moving the address too far out of bounds changes the decoded
+ *    bounds, so the hardware clears the tag instead;
+ *  - a slack region below/above the bounds remains representable, so
+ *    common transiently-out-of-bounds idioms keep working.
+ *
+ * This is a clean-room implementation of the scheme's structure (it is
+ * validated by its own round-trip/monotonicity property tests, not by
+ * bit-equivalence with the Arm ASL model — see DESIGN.md).
+ *
+ * Field layout, mirroring CC: the stored "bottom" has MW bits and the
+ * stored "top" has MW-2 bits (the top two bits of T are derived).
+ * When the internal-exponent flag IE is set, the low three bits of
+ * each store the 6-bit exponent and bounds granularity becomes
+ * 2^(E+3).
+ */
+#ifndef CHERISEM_CAP_COMPRESSION_H
+#define CHERISEM_CAP_COMPRESSION_H
+
+#include <cstdint>
+
+#include "support/format.h"
+
+namespace cherisem::cap {
+
+/** Raw encoded bounds fields as stored in a capability. */
+struct BoundsFields
+{
+    /** Internal exponent flag. */
+    bool ie = false;
+    /** Stored bottom field (MW bits; low 3 hold E[2:0] when ie). */
+    uint32_t bottom = 0;
+    /** Stored top field (MW-2 bits; low 3 hold E[5:3] when ie). */
+    uint32_t top = 0;
+
+    bool operator==(const BoundsFields &) const = default;
+};
+
+/** Decoded bounds: [base, top), with top possibly 2^AddrBits. */
+struct Bounds
+{
+    uint128 base = 0;
+    uint128 top = 0;
+
+    uint128 length() const { return top - base; }
+    bool contains(uint128 addr, uint128 size) const
+    {
+        return base <= addr && addr + size <= top;
+    }
+    bool operator==(const Bounds &) const = default;
+};
+
+/** Result of encoding requested bounds: fields plus exactness. */
+struct EncodeResult
+{
+    BoundsFields fields;
+    /** Actual (possibly rounded-outward) bounds the fields decode to. */
+    Bounds bounds;
+    /** True when bounds == the requested bounds. */
+    bool exact = false;
+};
+
+/**
+ * The compression scheme, parameterised by address width and mantissa
+ * width.  MW=14/AddrBits=64 models Morello/CHERI-RISC-V ("CC128");
+ * MW=11/AddrBits=32 models a CHERIoT-style embedded encoding with
+ * byte-granular bounds for objects up to 511 bytes ("CC64").
+ */
+template <unsigned AddrBits, unsigned MW>
+class Compression
+{
+    static_assert(MW >= 8 && MW < AddrBits, "mantissa must fit address");
+
+  public:
+    /** Exponent at/above which the capability spans the whole address
+     *  space. */
+    static constexpr unsigned eFull = AddrBits - MW + 2;
+    /** 2^AddrBits: the exclusive upper bound of the address space. */
+    static constexpr uint128 addrSpaceTop = uint128(1) << AddrBits;
+    /** Largest length exactly representable with E=0 (IE clear). */
+    static constexpr uint64_t maxExactLength = (1u << (MW - 2)) - 1;
+
+    /** Decode stored fields relative to @p addr. */
+    static Bounds decode(const BoundsFields &f, uint64_t addr);
+
+    /**
+     * Encode the requested bounds, rounding outward when the length /
+     * alignment combination is not exactly representable.
+     */
+    static EncodeResult encode(uint64_t req_base, uint128 req_top);
+
+    /**
+     * Would changing the address to @p new_addr preserve the decoded
+     * bounds @p current (the architectural representability check)?
+     */
+    static bool
+    isRepresentable(const BoundsFields &f, const Bounds &current,
+                    uint64_t new_addr)
+    {
+        return decode(f, new_addr) == current;
+    }
+
+    /** CRRL: the length of the smallest representable region that can
+     *  hold @p len bytes. */
+    static uint64_t representableLength(uint64_t len);
+
+    /** CRAM: alignment mask required for a region of @p len bytes to
+     *  be exactly representable. */
+    static uint64_t representableAlignmentMask(uint64_t len);
+
+  private:
+    static constexpr uint32_t mask(unsigned bits)
+    {
+        return (bits >= 32) ? 0xffffffffu : ((1u << bits) - 1);
+    }
+};
+
+template <unsigned AddrBits, unsigned MW>
+Bounds
+Compression<AddrBits, MW>::decode(const BoundsFields &f, uint64_t addr)
+{
+    unsigned E;
+    uint32_t B;
+    uint32_t t_low;
+    unsigned lmsb;
+    if (f.ie) {
+        E = ((f.top & 7) << 3) | (f.bottom & 7);
+        B = f.bottom & mask(MW) & ~7u;
+        t_low = f.top & mask(MW - 2) & ~7u;
+        lmsb = 1;
+    } else {
+        E = 0;
+        B = f.bottom & mask(MW);
+        t_low = f.top & mask(MW - 2);
+        lmsb = 0;
+    }
+
+    if (E >= eFull)
+        return Bounds{0, addrSpaceTop};
+
+    // Derive the top two bits of T from B, a carry, and the length MSB.
+    uint32_t carry = (t_low < (B & mask(MW - 2))) ? 1 : 0;
+    uint32_t t_hi = ((B >> (MW - 2)) + carry + lmsb) & 3;
+    uint32_t T = (t_hi << (MW - 2)) | t_low;
+
+    uint64_t a_mid = (addr >> E) & mask(MW);
+    uint64_t a_top = (E + MW >= 64) ? 0 : (addr >> (E + MW));
+
+    // Representable-region base: one eighth of the encodable space
+    // below B, giving the out-of-bounds slack of section 3.2.
+    uint32_t R = (B - (1u << (MW - 2))) & mask(MW);
+    auto corr = [&](uint32_t x) -> int {
+        bool xr = x < R;
+        bool ar = a_mid < R;
+        if (xr == ar)
+            return 0;
+        return xr ? 1 : -1;
+    };
+
+    int128 seg = int128(1) << (E + MW);
+    int128 base =
+        (int128(a_top) + corr(B)) * seg + (int128(B) << E);
+    int128 top =
+        (int128(a_top) + corr(T)) * seg + (int128(T) << E);
+
+    if (base < 0)
+        base = 0;
+    if (base > int128(addrSpaceTop))
+        base = int128(addrSpaceTop);
+    if (top < 0)
+        top = 0;
+    if (top > int128(addrSpaceTop))
+        top = int128(addrSpaceTop);
+    if (top < base)
+        top = base;
+    return Bounds{uint128(base), uint128(top)};
+}
+
+template <unsigned AddrBits, unsigned MW>
+EncodeResult
+Compression<AddrBits, MW>::encode(uint64_t req_base, uint128 req_top)
+{
+    if (req_top > addrSpaceTop)
+        req_top = addrSpaceTop;
+    if (req_top < req_base)
+        req_top = req_base;
+    uint128 len = req_top - req_base;
+    Bounds want{req_base, req_top};
+
+    if (len <= maxExactLength) {
+        BoundsFields f;
+        f.ie = false;
+        f.bottom = static_cast<uint32_t>(req_base) & mask(MW);
+        f.top = static_cast<uint32_t>(req_top) & mask(MW - 2);
+        Bounds got = decode(f, req_base);
+        if (got == want)
+            return EncodeResult{f, got, true};
+        // Falls through to the internal-exponent path (cannot happen
+        // for in-range requests, but stay total).
+    }
+
+    // Smallest exponent for which the length mantissa's MSB lands on
+    // the derived bit.
+    unsigned msb = 0;
+    for (uint128 v = len; v > 1; v >>= 1)
+        ++msb;
+    unsigned e0 = (msb > MW - 2) ? (msb - (MW - 2)) : 0;
+
+    for (unsigned E = e0; E < eFull; ++E) {
+        uint128 g = uint128(1) << (E + 3);
+        uint64_t b2 = req_base & ~uint64_t(g - 1);
+        uint128 t2 = (req_top + g - 1) & ~(g - 1);
+        if (t2 > addrSpaceTop)
+            continue; // Needs a bigger exponent (or full span).
+        BoundsFields f;
+        f.ie = true;
+        f.bottom = (static_cast<uint32_t>(b2 >> E) & mask(MW) & ~7u) |
+            (E & 7u);
+        f.top = (static_cast<uint32_t>(t2 >> E) & mask(MW - 2) & ~7u) |
+            ((E >> 3) & 7u);
+        Bounds got = decode(f, b2);
+        if (got.base == b2 && got.top == t2) {
+            return EncodeResult{
+                f, got, got.base == req_base && got.top == req_top};
+        }
+    }
+
+    // Full address space fallback.
+    BoundsFields f;
+    f.ie = true;
+    f.bottom = eFull & 7u;
+    f.top = (eFull >> 3) & 7u;
+    Bounds got = decode(f, req_base);
+    return EncodeResult{f, got, got == want};
+}
+
+template <unsigned AddrBits, unsigned MW>
+uint64_t
+Compression<AddrBits, MW>::representableAlignmentMask(uint64_t len)
+{
+    if (len <= maxExactLength)
+        return ~uint64_t(0);
+    unsigned msb = 0;
+    for (uint64_t v = len; v > 1; v >>= 1)
+        ++msb;
+    unsigned e = msb - (MW - 2);
+    uint128 g = uint128(1) << (e + 3);
+    uint128 rounded = (uint128(len) + g - 1) & ~(g - 1);
+    // Rounding to granularity may push the mantissa past its window.
+    if ((rounded >> e) >= (uint128(1) << (MW - 1))) {
+        ++e;
+        g <<= 1;
+    }
+    if (e + 3 >= 64)
+        return 0;
+    return ~(static_cast<uint64_t>(g) - 1);
+}
+
+template <unsigned AddrBits, unsigned MW>
+uint64_t
+Compression<AddrBits, MW>::representableLength(uint64_t len)
+{
+    uint64_t m = representableAlignmentMask(len);
+    if (m == 0)
+        return 0; // Length exceeds what any single region can hold.
+    return (len + ~m) & m;
+}
+
+/** Morello / 64-bit CHERI-RISC-V style compression. */
+using CC128 = Compression<64, 14>;
+/** CHERIoT-style 32-bit compression (exact bounds up to 511 bytes). */
+using CC64 = Compression<32, 11>;
+
+} // namespace cherisem::cap
+
+#endif // CHERISEM_CAP_COMPRESSION_H

@@ -1,0 +1,62 @@
+#include "cap/permissions.h"
+
+namespace cherisem::cap {
+
+PermSet
+PermSet::basic()
+{
+    return PermSet()
+        .with(Perm::Load)
+        .with(Perm::Store)
+        .with(Perm::LoadCap)
+        .with(Perm::StoreCap)
+        .with(Perm::Execute)
+        .with(Perm::Seal)
+        .with(Perm::Unseal)
+        .with(Perm::Global);
+}
+
+PermSet
+PermSet::data()
+{
+    return PermSet()
+        .with(Perm::Load)
+        .with(Perm::Store)
+        .with(Perm::LoadCap)
+        .with(Perm::StoreCap)
+        .with(Perm::StoreLocal)
+        .with(Perm::MutableLoad)
+        .with(Perm::Global);
+}
+
+PermSet
+PermSet::readOnlyData()
+{
+    return data().without(Perm::Store).without(Perm::StoreCap)
+        .without(Perm::StoreLocal);
+}
+
+PermSet
+PermSet::code()
+{
+    return PermSet()
+        .with(Perm::Load)
+        .with(Perm::Execute)
+        .with(Perm::Global)
+        .with(Perm::Executive);
+}
+
+std::string
+PermSet::shortStr() const
+{
+    std::string s;
+    s += has(Perm::Load) ? 'r' : '-';
+    s += has(Perm::Store) ? 'w' : '-';
+    s += has(Perm::LoadCap) ? 'R' : '-';
+    s += has(Perm::StoreCap) ? 'W' : '-';
+    if (has(Perm::Execute))
+        s += 'x';
+    return s;
+}
+
+} // namespace cherisem::cap

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Capability permission sets.
+ *
+ * The permission list varies between CHERI architectures (section
+ * 3.10), but a common basic set is always present.  We model the
+ * Morello-style superset; each architecture reports which bits it
+ * actually implements via CapArch::allPerms().
+ */
+#ifndef CHERISEM_CAP_PERMISSIONS_H
+#define CHERISEM_CAP_PERMISSIONS_H
+
+#include <cstdint>
+#include <string>
+
+namespace cherisem::cap {
+
+/** Individual permission bits (Morello-style naming). */
+enum class Perm : uint32_t
+{
+    Global          = 1u << 0,
+    Executive       = 1u << 1,
+    User0           = 1u << 2,
+    User1           = 1u << 3,
+    User2           = 1u << 4,
+    User3           = 1u << 5,
+    MutableLoad     = 1u << 6,
+    CompartmentId   = 1u << 7,
+    BranchSealedPair = 1u << 8,
+    System          = 1u << 9,
+    Unseal          = 1u << 10,
+    Seal            = 1u << 11,
+    StoreLocal      = 1u << 12,
+    StoreCap        = 1u << 13,
+    LoadCap         = 1u << 14,
+    Execute         = 1u << 15,
+    Store           = 1u << 16,
+    Load            = 1u << 17,
+};
+
+/** A set of permissions; capability operations may clear but never set
+ *  bits (monotonicity). */
+class PermSet
+{
+  public:
+    constexpr PermSet() = default;
+    constexpr explicit PermSet(uint32_t bits) : bits_(bits) {}
+
+    constexpr bool has(Perm p) const
+    {
+        return (bits_ & static_cast<uint32_t>(p)) != 0;
+    }
+    constexpr PermSet with(Perm p) const
+    {
+        return PermSet(bits_ | static_cast<uint32_t>(p));
+    }
+    constexpr PermSet without(Perm p) const
+    {
+        return PermSet(bits_ & ~static_cast<uint32_t>(p));
+    }
+    /** Intersection: the only way to combine perms (monotone). */
+    constexpr PermSet operator&(PermSet o) const
+    {
+        return PermSet(bits_ & o.bits_);
+    }
+    constexpr uint32_t bits() const { return bits_; }
+    constexpr bool operator==(const PermSet &) const = default;
+
+    /** All bits of the modelled superset. */
+    static constexpr PermSet all() { return PermSet(0x3ffff); }
+    /** The cross-architecture basic set (section 3.10). */
+    static PermSet basic();
+    /** Read/write data+cap perms used for ordinary allocations. */
+    static PermSet data();
+    /** Data perms without Store/StoreCap (const objects, section 3.9). */
+    static PermSet readOnlyData();
+    /** Perms for function-pointer (sentry) capabilities. */
+    static PermSet code();
+
+    /**
+     * Short render in the style of the paper's Appendix A: "rwRW" plus
+     * 'x' when executable (r=Load, w=Store, R=LoadCap, W=StoreCap).
+     */
+    std::string shortStr() const;
+
+  private:
+    uint32_t bits_ = 0;
+};
+
+} // namespace cherisem::cap
+
+#endif // CHERISEM_CAP_PERMISSIONS_H

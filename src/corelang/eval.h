@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The evaluator: executes a type-annotated MiniC program against the
+ * CHERI C memory object model.
+ *
+ * This is the dynamic half of the executable semantics (section 4 of
+ * the paper): expression evaluation, the statement machine, frames
+ * with object lifetimes, the builtin/intrinsic implementations, and
+ * undefined-behaviour propagation.  Everything memory-shaped is
+ * delegated to mem::MemoryModel.
+ */
+#ifndef CHERISEM_CORELANG_EVAL_H
+#define CHERISEM_CORELANG_EVAL_H
+
+#include <cstdint>
+#include <string>
+
+#include "cap/cap_format.h"
+#include "mem/memory_model.h"
+#include "sema/sema.h"
+
+namespace cherisem::corelang {
+
+/** Options controlling a single abstract-machine run. */
+struct EvalOptions
+{
+    mem::MemoryModel::Config memConfig;
+    /** Capability printing style for %p / print_cap. */
+    cap::FormatStyle capFormat = cap::FormatStyle::Abstract;
+    /** Prefix printed capabilities with their PNVI provenance (the
+     *  Cerberus output style of Appendix A). */
+    bool printProvenance = true;
+    /** Abort runaway programs after this many evaluation steps. */
+    uint64_t maxSteps = 20'000'000;
+};
+
+/** The observable result of a run. */
+struct Outcome
+{
+    enum class Kind
+    {
+        Exit,        ///< main returned / exit() called
+        Undefined,   ///< undefined behaviour detected
+        AssertFail,  ///< assert() fired (or abort())
+        Error,       ///< semantic/internal error (not UB)
+    };
+
+    Kind kind = Kind::Exit;
+    int exitCode = 0;
+    mem::Failure failure;     ///< for Undefined / Error
+    std::string message;      ///< for AssertFail / Error
+    std::string output;       ///< everything printf/print_cap wrote
+    mem::MemStats memStats;
+    uint64_t steps = 0;
+
+    bool isUb(mem::Ub ub) const
+    {
+        return kind == Kind::Undefined && failure.ub == ub;
+    }
+    /** One-line summary for harness output. */
+    std::string summary() const;
+};
+
+/** Execute @p prog from main(). */
+Outcome evaluate(const sema::Program &prog, const EvalOptions &opts);
+
+} // namespace cherisem::corelang
+
+#endif // CHERISEM_CORELANG_EVAL_H

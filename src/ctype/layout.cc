@@ -1,0 +1,160 @@
+#include "ctype/layout.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cherisem::ctype {
+
+namespace {
+
+uint64_t
+alignUp(uint64_t v, uint64_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+} // namespace
+
+unsigned
+LayoutEngine::intByteWidth(IntKind k) const
+{
+    switch (k) {
+      case IntKind::Bool:
+      case IntKind::Char:
+      case IntKind::SChar:
+      case IntKind::UChar:
+        return 1;
+      case IntKind::Short:
+      case IntKind::UShort:
+        return 2;
+      case IntKind::Int:
+      case IntKind::UInt:
+        return 4;
+      case IntKind::Long:
+      case IntKind::ULong:
+      case IntKind::LongLong:
+      case IntKind::ULongLong:
+        return 8;
+      case IntKind::Ptraddr:
+        return machine_.addrBytes;
+      case IntKind::Intptr:
+      case IntKind::Uintptr:
+        // Capability representation (section 3.3): the full cap.
+        return machine_.capSize;
+    }
+    return 4;
+}
+
+unsigned
+LayoutEngine::intValueBytes(IntKind k) const
+{
+    if (k == IntKind::Intptr || k == IntKind::Uintptr)
+        return machine_.addrBytes;
+    return intByteWidth(k);
+}
+
+__int128
+LayoutEngine::intMin(IntKind k) const
+{
+    if (!isSignedIntKind(k))
+        return 0;
+    unsigned bits = intValueBytes(k) * 8;
+    return -(static_cast<__int128>(1) << (bits - 1));
+}
+
+__int128
+LayoutEngine::intMax(IntKind k) const
+{
+    unsigned bits = intValueBytes(k) * 8;
+    if (isSignedIntKind(k))
+        return (static_cast<__int128>(1) << (bits - 1)) - 1;
+    if (k == IntKind::Bool)
+        return 1;
+    return (static_cast<__int128>(1) << bits) - 1;
+}
+
+uint64_t
+LayoutEngine::sizeOf(const TypeRef &t) const
+{
+    assert(t);
+    switch (t->kind) {
+      case Type::Kind::Void:
+        return 1; // GNU-style: sizeof(void) == 1 for pointer arith.
+      case Type::Kind::Integer:
+        return intByteWidth(t->intKind);
+      case Type::Kind::Floating:
+        return t->floatKind == FloatKind::Float ? 4 : 8;
+      case Type::Kind::Pointer:
+        return machine_.capSize;
+      case Type::Kind::Array:
+        return sizeOf(t->element) * t->arraySize;
+      case Type::Kind::Function:
+        return 1;
+      case Type::Kind::StructOrUnion: {
+        const TagDef &def = tags_->get(t->tag);
+        assert(def.complete && "sizeof incomplete struct/union");
+        uint64_t size = 0;
+        unsigned align = 1;
+        for (const Member &m : def.members) {
+            uint64_t msize = sizeOf(m.type);
+            unsigned malign = alignOf(m.type);
+            align = std::max(align, malign);
+            if (def.isUnion) {
+                size = std::max(size, msize);
+            } else {
+                size = alignUp(size, malign) + msize;
+            }
+        }
+        if (size == 0)
+            size = 1;
+        return alignUp(size, align);
+      }
+    }
+    return 1;
+}
+
+unsigned
+LayoutEngine::alignOf(const TypeRef &t) const
+{
+    assert(t);
+    switch (t->kind) {
+      case Type::Kind::Void:
+        return 1;
+      case Type::Kind::Integer:
+        return intByteWidth(t->intKind);
+      case Type::Kind::Floating:
+        return t->floatKind == FloatKind::Float ? 4 : 8;
+      case Type::Kind::Pointer:
+        return machine_.capSize;
+      case Type::Kind::Array:
+        return alignOf(t->element);
+      case Type::Kind::Function:
+        return 1;
+      case Type::Kind::StructOrUnion: {
+        const TagDef &def = tags_->get(t->tag);
+        unsigned align = 1;
+        for (const Member &m : def.members)
+            align = std::max(align, alignOf(m.type));
+        return align;
+      }
+    }
+    return 1;
+}
+
+FieldLoc
+LayoutEngine::fieldOf(TagId tag, const std::string &member) const
+{
+    const TagDef &def = tags_->get(tag);
+    uint64_t offset = 0;
+    for (const Member &m : def.members) {
+        if (!def.isUnion)
+            offset = alignUp(offset, alignOf(m.type));
+        if (m.name == member)
+            return FieldLoc{def.isUnion ? 0 : offset, m.type, true};
+        if (!def.isUnion)
+            offset += sizeOf(m.type);
+    }
+    return FieldLoc{};
+}
+
+} // namespace cherisem::ctype

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Architecture-dependent type layout (sizes, alignment, offsets).
+ *
+ * Pointer representation size equals the architecture's capability
+ * size (16 bytes on Morello, 8 on CHERIoT-style 32-bit cores), while
+ * the *value range* of (u)intptr_t is the address width — the split
+ * the paper's integer_value = Z (+) (B x Cap) representation relies on.
+ */
+#ifndef CHERISEM_CTYPE_LAYOUT_H
+#define CHERISEM_CTYPE_LAYOUT_H
+
+#include <cstdint>
+
+#include "ctype/ctype.h"
+
+namespace cherisem::ctype {
+
+/** The layout-relevant parameters of a target architecture. */
+struct MachineLayout
+{
+    /** Size of one capability in bytes (16 Morello, 8 CHERIoT). */
+    unsigned capSize = 16;
+    /** Address width in bytes (8 / 4). */
+    unsigned addrBytes = 8;
+
+    unsigned addrBits() const { return addrBytes * 8; }
+};
+
+/** Offset+type of a member inside a struct/union. */
+struct FieldLoc
+{
+    uint64_t offset = 0;
+    TypeRef type;
+    bool found = false;
+};
+
+/**
+ * Computes sizeof/alignof/offsetof for MiniC types on a given machine.
+ *
+ * Standard C struct layout: members at aligned offsets, struct aligned
+ * to max member alignment, unions sized to max member (padded).
+ */
+class LayoutEngine
+{
+  public:
+    LayoutEngine(MachineLayout machine, const TagTable *tags)
+        : machine_(machine), tags_(tags)
+    {}
+
+    uint64_t sizeOf(const TypeRef &t) const;
+    unsigned alignOf(const TypeRef &t) const;
+    /** Byte width of an integer kind's value representation. Note that
+     *  for (u)intptr_t this is the capability size, not addrBytes. */
+    unsigned intByteWidth(IntKind k) const;
+    /** Width in bytes of the numeric range of an integer kind (for
+     *  (u)intptr_t: the address width). */
+    unsigned intValueBytes(IntKind k) const;
+    /** Minimum / maximum representable value of an integer kind. */
+    __int128 intMin(IntKind k) const;
+    __int128 intMax(IntKind k) const;
+    /** Locate @p member in struct/union @p tag (search is flat). */
+    FieldLoc fieldOf(TagId tag, const std::string &member) const;
+
+    const MachineLayout &machine() const { return machine_; }
+    const TagTable *tags() const { return tags_; }
+
+  private:
+    MachineLayout machine_;
+    const TagTable *tags_;
+};
+
+} // namespace cherisem::ctype
+
+#endif // CHERISEM_CTYPE_LAYOUT_H

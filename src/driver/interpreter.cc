@@ -1,0 +1,42 @@
+#include "driver/interpreter.h"
+
+#include "frontend/parser.h"
+#include "sema/sema.h"
+
+namespace cherisem::driver {
+
+std::string
+RunResult::summary() const
+{
+    if (frontendError)
+        return "frontend-error " + frontendMessage;
+    return outcome.summary();
+}
+
+RunResult
+runSource(const std::string &source, const Profile &profile,
+          const std::string &filename)
+{
+    RunResult result;
+    try {
+        frontend::TranslationUnit unit =
+            frontend::parse(source, filename);
+        ctype::MachineLayout machine{
+            profile.memConfig.arch->capSize(),
+            profile.memConfig.arch->addrBits() / 8};
+        sema::Program prog =
+            sema::analyze(std::move(unit), machine);
+        result.optStats = corelang::optimize(prog, profile.optims);
+        result.outcome =
+            corelang::evaluate(prog, profile.evalOptions());
+    } catch (const frontend::FrontendError &e) {
+        result.frontendError = true;
+        result.frontendMessage = e.str();
+    } catch (const sema::SemaError &e) {
+        result.frontendError = true;
+        result.frontendMessage = e.str();
+    }
+    return result;
+}
+
+} // namespace cherisem::driver

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The top-level facade: source in, Outcome out.
+ *
+ * This is the library's quickstart entry point — everything the
+ * examples and the test/bench harnesses use:
+ *
+ *     auto result = driver::runSource(src, driver::referenceProfile());
+ *     if (result.outcome.kind == corelang::Outcome::Kind::Undefined)
+ *         ... result.outcome.failure ...
+ */
+#ifndef CHERISEM_DRIVER_INTERPRETER_H
+#define CHERISEM_DRIVER_INTERPRETER_H
+
+#include <string>
+
+#include "corelang/optimize.h"
+#include "driver/profiles.h"
+
+namespace cherisem::driver {
+
+struct RunResult
+{
+    /** True when the program failed to lex/parse/typecheck. */
+    bool frontendError = false;
+    std::string frontendMessage;
+    corelang::Outcome outcome;
+    corelang::OptimizeStats optStats;
+
+    /** "exit 0" / "ub UB_CHERI_..." / "frontend-error ...". */
+    std::string summary() const;
+};
+
+/** Parse, analyse, (optionally) optimise, and run @p source under
+ *  @p profile. */
+RunResult runSource(const std::string &source, const Profile &profile,
+                    const std::string &filename = "<input>");
+
+} // namespace cherisem::driver
+
+#endif // CHERISEM_DRIVER_INTERPRETER_H

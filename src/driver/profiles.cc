@@ -1,0 +1,159 @@
+#include "driver/profiles.h"
+
+#include "cap/cc64.h"
+#include "cap/cc128.h"
+
+namespace cherisem::driver {
+
+namespace {
+
+Profile
+makeCerberus()
+{
+    Profile p;
+    p.name = "cerberus";
+    p.description =
+        "reference executable semantics (ghost state, PNVI-ae-udi)";
+    p.memConfig.arch = &cap::morello();
+    p.memConfig.ghostState = true;
+    p.memConfig.checkProvenance = true;
+    p.memConfig.readUninitIsUb = true;
+    p.memConfig.strictPtrArith = true;
+    // Appendix A shows Cerberus stack addresses around 0xffffe6dc.
+    p.memConfig.globalBase = 0x00010000;
+    p.memConfig.heapBase = 0x01000000;
+    p.memConfig.stackBase = 0xffffe700;
+    p.memConfig.codeBase = 0x00001000;
+    p.capFormat = cap::FormatStyle::Abstract;
+    p.printProvenance = true;
+    return p;
+}
+
+Profile
+makeHardware(const std::string &name, const std::string &desc,
+             uint64_t stack, uint64_t heap, uint64_t globals,
+             bool optimized)
+{
+    Profile p;
+    p.name = name;
+    p.description = desc;
+    p.memConfig.arch = &cap::morello();
+    p.memConfig.ghostState = false;
+    p.memConfig.checkProvenance = false;
+    p.memConfig.readUninitIsUb = false;
+    // Hardware checks happen at access time; out-of-bounds pointer
+    // *construction* only clears tags via representability.
+    p.memConfig.strictPtrArith = false;
+    p.memConfig.stackBase = stack;
+    p.memConfig.heapBase = heap;
+    p.memConfig.globalBase = globals;
+    p.memConfig.codeBase = 0x0000000000100000ull;
+    p.capFormat = cap::FormatStyle::Concrete;
+    p.printProvenance = false;
+    if (optimized) {
+        p.optims.foldTransientArith = true;
+        p.optims.elideIdentityWrites = true;
+        p.optims.loopsToMemcpy = true;
+    }
+    return p;
+}
+
+Profile
+makeCheriot()
+{
+    Profile p = makeCerberus();
+    p.name = "cerberus-cheriot";
+    p.description =
+        "reference semantics over the CHERIoT-style 64-bit "
+        "capability format";
+    p.memConfig.arch = &cap::cheriot();
+    p.memConfig.globalBase = 0x00010000;
+    p.memConfig.heapBase = 0x00100000;
+    p.memConfig.stackBase = 0x7ffff000;
+    p.memConfig.codeBase = 0x00001000;
+    return p;
+}
+
+std::vector<Profile>
+makeAll()
+{
+    std::vector<Profile> out;
+    out.push_back(makeCerberus());
+    // Address ranges echo the Appendix A output: Morello stacks near
+    // 0xfffffff7ffxx, CHERI-RISC-V near 0x3fffdfffxx, GCC below 2^31.
+    out.push_back(makeHardware(
+        "clang-morello-O0", "concrete Morello semantics, unoptimised",
+        0xfffffff7ff70ull, 0x0000004000000000ull,
+        0x0000000000200000ull, false));
+    out.push_back(makeHardware(
+        "clang-morello-O2",
+        "concrete Morello semantics with optimisation passes",
+        0xfffffff7ff30ull, 0x0000004000000000ull,
+        0x0000000000200000ull, true));
+    out.push_back(makeHardware(
+        "clang-riscv-O0",
+        "concrete CHERI-RISC-V semantics, unoptimised",
+        0x0000003fffdfff80ull, 0x0000002000000000ull,
+        0x0000000000200000ull, false));
+    out.push_back(makeHardware(
+        "clang-riscv-O2",
+        "concrete CHERI-RISC-V semantics with optimisation passes",
+        0x0000003fffdfff00ull, 0x0000002000000000ull,
+        0x0000000000200000ull, true));
+    out.push_back(makeHardware(
+        "gcc-morello-O0",
+        "concrete semantics with GCC's low-address allocator",
+        0x000000007fffffd0ull, 0x0000000001000000ull,
+        0x0000000000200000ull, false));
+    out.push_back(makeHardware(
+        "gcc-morello-O2",
+        "GCC low-address allocator with optimisation passes",
+        0x000000007fffff90ull, 0x0000000001000000ull,
+        0x0000000000200000ull, true));
+    out.push_back(makeCheriot());
+    // Extension profiles (sections 3.8, 5.4, 7).
+    Profile sub = makeHardware(
+        "clang-morello-subobject-safe",
+        "Morello with opt-in sub-object bounds narrowing",
+        0xfffffff7ffb0ull, 0x0000004000000000ull,
+        0x0000000000200000ull, false);
+    sub.memConfig.subobjectBounds = true;
+    out.push_back(sub);
+    Profile tmp = makeHardware(
+        "cheriot-temporal",
+        "CHERIoT-style core with revocation on free (temporal "
+        "safety)",
+        0x7ffff000ull, 0x00100000ull, 0x00010000ull, false);
+    tmp.memConfig.arch = &cap::cheriot();
+    tmp.memConfig.codeBase = 0x1000;
+    tmp.memConfig.revokeOnFree = true;
+    out.push_back(tmp);
+    return out;
+}
+
+} // namespace
+
+const std::vector<Profile> &
+allProfiles()
+{
+    static std::vector<Profile> profiles = makeAll();
+    return profiles;
+}
+
+const Profile *
+findProfile(const std::string &name)
+{
+    for (const Profile &p : allProfiles()) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+const Profile &
+referenceProfile()
+{
+    return allProfiles().front();
+}
+
+} // namespace cherisem::driver

@@ -1,0 +1,175 @@
+#include "driver/suite.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifndef CHERISEM_SOURCE_DIR
+#define CHERISEM_SOURCE_DIR "."
+#endif
+
+namespace cherisem::driver {
+
+namespace fs = std::filesystem;
+
+const std::string &
+SuiteTest::expectationFor(const std::string &profile) const
+{
+    auto it = expectations.find(profile);
+    if (it != expectations.end())
+        return it->second;
+    static const std::string empty;
+    auto d = expectations.find("");
+    return d != expectations.end() ? d->second : empty;
+}
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+SuiteTest
+parseSuiteTest(const std::string &path, const std::string &source)
+{
+    SuiteTest t;
+    t.path = path;
+    t.name = fs::path(path).stem().string();
+    t.source = source;
+
+    std::istringstream in(source);
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t pos = line.find("// @");
+        if (pos == std::string::npos)
+            continue;
+        std::string rest = line.substr(pos + 4);
+        if (rest.rfind("CATEGORY:", 0) == 0) {
+            t.category = trim(rest.substr(9));
+        } else if (rest.rfind("EXPECT[", 0) == 0) {
+            size_t close = rest.find(']');
+            if (close == std::string::npos)
+                continue;
+            std::string profile = rest.substr(7, close - 7);
+            size_t colon = rest.find(':', close);
+            if (colon == std::string::npos)
+                continue;
+            t.expectations[profile] = trim(rest.substr(colon + 1));
+        } else if (rest.rfind("EXPECT:", 0) == 0) {
+            t.expectations[""] = trim(rest.substr(7));
+        } else if (rest.rfind("OUTPUT:", 0) == 0) {
+            std::string out = rest.substr(7);
+            if (!out.empty() && out[0] == ' ')
+                out.erase(0, 1);
+            t.expectedOutput.push_back(out);
+        }
+    }
+    return t;
+}
+
+std::vector<SuiteTest>
+loadSuite(const std::string &dir)
+{
+    std::vector<SuiteTest> out;
+    if (!fs::exists(dir))
+        return out;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".c") {
+            files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path &p : files) {
+        std::ifstream f(p);
+        std::stringstream ss;
+        ss << f.rdbuf();
+        out.push_back(parseSuiteTest(p.string(), ss.str()));
+    }
+    return out;
+}
+
+std::string
+defaultSuiteDir()
+{
+    return std::string(CHERISEM_SOURCE_DIR) + "/tests/suite";
+}
+
+bool
+outcomeMatches(const corelang::Outcome &outcome,
+               const std::string &expectation)
+{
+    using Kind = corelang::Outcome::Kind;
+    std::istringstream in(expectation);
+    std::string head;
+    in >> head;
+    if (head == "exit") {
+        int code = 0;
+        in >> code;
+        return outcome.kind == Kind::Exit && outcome.exitCode == code;
+    }
+    if (head == "ub") {
+        if (outcome.kind != Kind::Undefined)
+            return false;
+        std::string name;
+        in >> name;
+        return name.empty() || name == mem::ubName(outcome.failure.ub);
+    }
+    if (head == "assert-fail")
+        return outcome.kind == Kind::AssertFail;
+    if (head == "error")
+        return outcome.kind == Kind::Error;
+    return false;
+}
+
+std::string
+checkTest(const SuiteTest &test, const Profile &profile)
+{
+    const std::string &expect = test.expectationFor(profile.name);
+    if (expect.empty())
+        return "no expectation for test " + test.name;
+    RunResult r = runSource(test.source, profile, test.name + ".c");
+    if (r.frontendError)
+        return test.name + ": " + r.frontendMessage;
+    if (!outcomeMatches(r.outcome, expect)) {
+        return test.name + " [" + profile.name + "]: expected '" +
+            expect + "', got '" + r.outcome.summary() + "'" +
+            (r.outcome.kind == corelang::Outcome::Kind::Error
+                 ? " (" + r.outcome.message + ")"
+                 : "");
+    }
+    // Exact output matching only against the reference profile.
+    if (!test.expectedOutput.empty() &&
+        profile.name == referenceProfile().name) {
+        std::istringstream got(r.outcome.output);
+        std::string line;
+        size_t i = 0;
+        while (std::getline(got, line)) {
+            if (i >= test.expectedOutput.size()) {
+                return test.name + ": more output than expected: '" +
+                    line + "'";
+            }
+            if (line != test.expectedOutput[i]) {
+                return test.name + ": output line " +
+                    std::to_string(i + 1) + " mismatch:\n  expected: " +
+                    test.expectedOutput[i] + "\n  got:      " + line;
+            }
+            ++i;
+        }
+        if (i != test.expectedOutput.size())
+            return test.name + ": missing output lines";
+    }
+    return "";
+}
+
+} // namespace cherisem::driver

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The annotated test corpus - the paper Table 1 suite.
+ *
+ * Each file in tests/suite carries structured comments:
+ *
+ *     // @CATEGORY: Arithmetic operations on (u)intptr_t values
+ *     // @EXPECT: ub UB_CHERI_BoundsViolation
+ *     // @EXPECT[clang-morello-O0]: exit 0
+ *     // @OUTPUT: cap (@2, 0xffffe6dc [rwRW...])
+ *
+ * @EXPECT without a profile tag is the reference (cerberus)
+ * expectation and the default for every other profile unless
+ * overridden.  @OUTPUT lines, when present, must match the reference
+ * run's output exactly, line by line.
+ */
+#ifndef CHERISEM_DRIVER_SUITE_H
+#define CHERISEM_DRIVER_SUITE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/interpreter.h"
+
+namespace cherisem::driver {
+
+struct SuiteTest
+{
+    std::string name;     ///< file stem
+    std::string path;
+    std::string category; ///< Table 1 category
+    std::string source;
+    /** profile name ("" = default/reference) -> expectation. */
+    std::map<std::string, std::string> expectations;
+    std::vector<std::string> expectedOutput;
+
+    /** Expectation applying to @p profile. */
+    const std::string &expectationFor(const std::string &profile) const;
+};
+
+/** Parse one test file's annotations. */
+SuiteTest parseSuiteTest(const std::string &path,
+                         const std::string &source);
+
+/** Load every .c file under @p dir (sorted by name). */
+std::vector<SuiteTest> loadSuite(const std::string &dir);
+
+/** The source-tree suite directory baked in at configure time. */
+std::string defaultSuiteDir();
+
+/** Does @p outcome satisfy @p expectation?
+ *  Grammar: "exit N" | "ub [NAME]" | "assert-fail" | "error". */
+bool outcomeMatches(const corelang::Outcome &outcome,
+                    const std::string &expectation);
+
+/** Run @p test under @p profile and check expectation (+ output for
+ *  the reference profile).  Returns an empty string on success or a
+ *  human-readable mismatch description. */
+std::string checkTest(const SuiteTest &test, const Profile &profile);
+
+} // namespace cherisem::driver
+
+#endif // CHERISEM_DRIVER_SUITE_H

@@ -1,0 +1,3 @@
+// ast.h is header-only; this file anchors the translation unit so the
+// build system has a .cc per module.
+#include "frontend/ast.h"

@@ -1,0 +1,484 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <set>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace cherisem::frontend {
+
+namespace {
+
+const std::unordered_map<std::string, Tok> KEYWORDS = {
+    {"void", Tok::KwVoid},       {"char", Tok::KwChar},
+    {"short", Tok::KwShort},     {"int", Tok::KwInt},
+    {"long", Tok::KwLong},       {"signed", Tok::KwSigned},
+    {"unsigned", Tok::KwUnsigned}, {"float", Tok::KwFloat},
+    {"double", Tok::KwDouble},   {"_Bool", Tok::KwBool},
+    {"bool", Tok::KwBool},       {"struct", Tok::KwStruct},
+    {"union", Tok::KwUnion},     {"enum", Tok::KwEnum},
+    {"typedef", Tok::KwTypedef}, {"const", Tok::KwConst},
+    {"volatile", Tok::KwVolatile}, {"static", Tok::KwStatic},
+    {"extern", Tok::KwExtern},   {"return", Tok::KwReturn},
+    {"if", Tok::KwIf},           {"else", Tok::KwElse},
+    {"while", Tok::KwWhile},     {"do", Tok::KwDo},
+    {"for", Tok::KwFor},         {"break", Tok::KwBreak},
+    {"continue", Tok::KwContinue}, {"sizeof", Tok::KwSizeof},
+    {"_Alignof", Tok::KwAlignof}, {"alignof", Tok::KwAlignof},
+    {"switch", Tok::KwSwitch},   {"case", Tok::KwCase},
+    {"default", Tok::KwDefault},
+};
+
+/** Predefined object-like macros (the tests' limits.h / stdint.h /
+ *  stddef.h subset). */
+const std::unordered_map<std::string, std::string> PREDEFINED = {
+    {"NULL", "((void*)0)"},
+    {"true", "1"},
+    {"false", "0"},
+    {"CHAR_BIT", "8"},
+    {"SCHAR_MAX", "127"},
+    {"SCHAR_MIN", "(-128)"},
+    {"UCHAR_MAX", "255"},
+    {"SHRT_MAX", "32767"},
+    {"SHRT_MIN", "(-32767-1)"},
+    {"USHRT_MAX", "65535"},
+    {"INT_MAX", "2147483647"},
+    {"INT_MIN", "(-2147483647-1)"},
+    {"UINT_MAX", "4294967295U"},
+    {"LONG_MAX", "9223372036854775807L"},
+    {"LONG_MIN", "(-9223372036854775807L-1)"},
+    {"ULONG_MAX", "18446744073709551615UL"},
+    {"LLONG_MAX", "9223372036854775807L"},
+    {"LLONG_MIN", "(-9223372036854775807L-1)"},
+    {"ULLONG_MAX", "18446744073709551615UL"},
+    {"SIZE_MAX", "18446744073709551615UL"},
+    {"UINTPTR_MAX", "18446744073709551615UL"},
+    {"INTPTR_MAX", "9223372036854775807L"},
+    {"INTPTR_MIN", "(-9223372036854775807L-1)"},
+    {"PTRDIFF_MAX", "9223372036854775807L"},
+    {"EXIT_SUCCESS", "0"},
+    {"EXIT_FAILURE", "1"},
+};
+
+class Lexer
+{
+  public:
+    Lexer(const std::string &src, const std::string &file)
+        : src_(src), file_(file)
+    {
+        for (const auto &[k, v] : PREDEFINED)
+            macros_[k] = v;
+    }
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        for (;;) {
+            Token t = next();
+            if (t.kind == Tok::Ident) {
+                auto it = macros_.find(t.text);
+                if (it != macros_.end() &&
+                    expanding_.count(t.text) == 0) {
+                    // Object-like macro expansion: lex the body and
+                    // splice the tokens in (no recursion guard needed
+                    // beyond self-reference).
+                    expanding_.insert(t.text);
+                    Lexer sub(it->second, file_);
+                    sub.macros_ = macros_;
+                    sub.expanding_ = expanding_;
+                    std::vector<Token> body = sub.run();
+                    expanding_.erase(t.text);
+                    for (Token &bt : body) {
+                        if (bt.kind == Tok::End)
+                            break;
+                        bt.loc = t.loc;
+                        out.push_back(std::move(bt));
+                    }
+                    continue;
+                }
+            }
+            bool done = t.kind == Tok::End;
+            out.push_back(std::move(t));
+            if (done)
+                return out;
+        }
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        throw FrontendError{loc(), msg};
+    }
+
+    SourceLoc loc() const { return SourceLoc{file_, line_, col_}; }
+
+    char peek(size_t off = 0) const
+    {
+        return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    bool
+    match(char c)
+    {
+        if (peek() == c) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        for (;;) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (peek() && peek() != '\n')
+                    advance();
+            } else if (c == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                while (peek() && !(peek() == '*' && peek(1) == '/'))
+                    advance();
+                if (!peek())
+                    fail("unterminated comment");
+                advance();
+                advance();
+            } else if (c == '#') {
+                handleDirective();
+            } else {
+                return;
+            }
+        }
+    }
+
+    void
+    handleDirective()
+    {
+        advance(); // '#'
+        std::string word;
+        while (std::isalpha(static_cast<unsigned char>(peek())))
+            word += advance();
+        if (word == "define") {
+            while (peek() == ' ' || peek() == '\t')
+                advance();
+            std::string name;
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_') {
+                name += advance();
+            }
+            if (peek() == '(') {
+                // Function-like macros are out of scope; skip the
+                // whole line (the builtins cover assert/offsetof).
+                while (peek() && peek() != '\n')
+                    advance();
+                return;
+            }
+            std::string body;
+            while (peek() && peek() != '\n') {
+                if (peek() == '\\' && peek(1) == '\n') {
+                    advance();
+                    advance();
+                    continue;
+                }
+                body += advance();
+            }
+            if (!name.empty())
+                macros_[name] = body;
+        } else {
+            // #include and anything else: skip the line.
+            while (peek() && peek() != '\n')
+                advance();
+        }
+    }
+
+    Token
+    next()
+    {
+        skipWhitespaceAndComments();
+        Token t;
+        t.loc = loc();
+        if (pos_ >= src_.size()) {
+            t.kind = Tok::End;
+            return t;
+        }
+        char c = peek();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return ident(t);
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            return number(t);
+        }
+        if (c == '"')
+            return stringLit(t);
+        if (c == '\'')
+            return charLit(t);
+        return punct(t);
+    }
+
+    Token &
+    ident(Token &t)
+    {
+        std::string s;
+        while (std::isalnum(static_cast<unsigned char>(peek())) ||
+               peek() == '_') {
+            s += advance();
+        }
+        auto it = KEYWORDS.find(s);
+        if (it != KEYWORDS.end()) {
+            t.kind = it->second;
+        } else {
+            t.kind = Tok::Ident;
+            t.text = std::move(s);
+        }
+        return t;
+    }
+
+    Token &
+    number(Token &t)
+    {
+        std::string s;
+        bool is_float = false;
+        bool is_hex = false;
+        if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+            is_hex = true;
+            s += advance();
+            s += advance();
+            while (std::isxdigit(static_cast<unsigned char>(peek())))
+                s += advance();
+        } else {
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                s += advance();
+            if (peek() == '.') {
+                is_float = true;
+                s += advance();
+                while (std::isdigit(static_cast<unsigned char>(peek())))
+                    s += advance();
+            }
+            if (peek() == 'e' || peek() == 'E') {
+                is_float = true;
+                s += advance();
+                if (peek() == '+' || peek() == '-')
+                    s += advance();
+                while (std::isdigit(static_cast<unsigned char>(peek())))
+                    s += advance();
+            }
+        }
+        if (is_float) {
+            t.kind = Tok::FloatLit;
+            t.floatValue = std::strtod(s.c_str(), nullptr);
+            if (peek() == 'f' || peek() == 'F')
+                advance();
+            return t;
+        }
+        // Suffixes.
+        for (;;) {
+            char sc = peek();
+            if (sc == 'u' || sc == 'U') {
+                t.litUnsigned = true;
+                advance();
+            } else if (sc == 'l' || sc == 'L') {
+                t.litLong = true;
+                advance();
+                if (peek() == 'l' || peek() == 'L')
+                    advance();
+            } else {
+                break;
+            }
+        }
+        t.kind = Tok::IntLit;
+        t.intValue = std::strtoull(s.c_str(), nullptr, is_hex ? 16 : 10);
+        // Octal.
+        if (!is_hex && s.size() > 1 && s[0] == '0')
+            t.intValue = std::strtoull(s.c_str(), nullptr, 8);
+        return t;
+    }
+
+    int
+    escape()
+    {
+        char c = advance();
+        switch (c) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+          case 'a': return '\a';
+          case 'b': return '\b';
+          case 'f': return '\f';
+          case 'v': return '\v';
+          case 'x': {
+            int v = 0;
+            while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+                char h = advance();
+                v = v * 16 +
+                    (std::isdigit(static_cast<unsigned char>(h))
+                         ? h - '0'
+                         : (std::tolower(h) - 'a' + 10));
+            }
+            return v;
+          }
+          default:
+            fail(std::string("unknown escape \\") + c);
+        }
+    }
+
+    Token &
+    stringLit(Token &t)
+    {
+        advance(); // '"'
+        std::string s;
+        while (peek() && peek() != '"') {
+            char c = advance();
+            if (c == '\\')
+                s += static_cast<char>(escape());
+            else
+                s += c;
+        }
+        if (!match('"'))
+            fail("unterminated string literal");
+        t.kind = Tok::StringLit;
+        t.text = std::move(s);
+        return t;
+    }
+
+    Token &
+    charLit(Token &t)
+    {
+        advance(); // '\''
+        int v;
+        char c = advance();
+        if (c == '\\')
+            v = escape();
+        else
+            v = static_cast<unsigned char>(c);
+        if (!match('\''))
+            fail("unterminated character literal");
+        t.kind = Tok::CharLit;
+        t.intValue = static_cast<uint64_t>(v);
+        return t;
+    }
+
+    Token &
+    punct(Token &t)
+    {
+        char c = advance();
+        switch (c) {
+          case '(': t.kind = Tok::LParen; return t;
+          case ')': t.kind = Tok::RParen; return t;
+          case '{': t.kind = Tok::LBrace; return t;
+          case '}': t.kind = Tok::RBrace; return t;
+          case '[': t.kind = Tok::LBracket; return t;
+          case ']': t.kind = Tok::RBracket; return t;
+          case ';': t.kind = Tok::Semi; return t;
+          case ',': t.kind = Tok::Comma; return t;
+          case '?': t.kind = Tok::Question; return t;
+          case ':': t.kind = Tok::Colon; return t;
+          case '~': t.kind = Tok::Tilde; return t;
+          case '.':
+            if (peek() == '.' && peek(1) == '.') {
+                advance();
+                advance();
+                t.kind = Tok::Ellipsis;
+            } else {
+                t.kind = Tok::Dot;
+            }
+            return t;
+          case '+':
+            t.kind = match('+') ? Tok::PlusPlus
+                : match('=')    ? Tok::PlusAssign
+                                : Tok::Plus;
+            return t;
+          case '-':
+            t.kind = match('-') ? Tok::MinusMinus
+                : match('=')    ? Tok::MinusAssign
+                : match('>')    ? Tok::Arrow
+                                : Tok::Minus;
+            return t;
+          case '*':
+            t.kind = match('=') ? Tok::StarAssign : Tok::Star;
+            return t;
+          case '/':
+            t.kind = match('=') ? Tok::SlashAssign : Tok::Slash;
+            return t;
+          case '%':
+            t.kind = match('=') ? Tok::PercentAssign : Tok::Percent;
+            return t;
+          case '&':
+            t.kind = match('&') ? Tok::AmpAmp
+                : match('=')    ? Tok::AmpAssign
+                                : Tok::Amp;
+            return t;
+          case '|':
+            t.kind = match('|') ? Tok::PipePipe
+                : match('=')    ? Tok::PipeAssign
+                                : Tok::Pipe;
+            return t;
+          case '^':
+            t.kind = match('=') ? Tok::CaretAssign : Tok::Caret;
+            return t;
+          case '!':
+            t.kind = match('=') ? Tok::NotEq : Tok::Bang;
+            return t;
+          case '<':
+            if (match('<')) {
+                t.kind = match('=') ? Tok::ShlAssign : Tok::Shl;
+            } else {
+                t.kind = match('=') ? Tok::Le : Tok::Lt;
+            }
+            return t;
+          case '>':
+            if (match('>')) {
+                t.kind = match('=') ? Tok::ShrAssign : Tok::Shr;
+            } else {
+                t.kind = match('=') ? Tok::Ge : Tok::Gt;
+            }
+            return t;
+          case '=':
+            t.kind = match('=') ? Tok::EqEq : Tok::Assign;
+            return t;
+          default:
+            fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    const std::string &src_;
+    std::string file_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t col_ = 1;
+    std::map<std::string, std::string> macros_;
+    std::set<std::string> expanding_;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source, const std::string &filename)
+{
+    Lexer lx(source, filename);
+    return lx.run();
+}
+
+} // namespace cherisem::frontend

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Lexer for MiniC, with a miniature preprocessor.
+ *
+ * Preprocessing support is intentionally small: `#include` lines are
+ * skipped (the standard-library subset the test corpus needs is built
+ * in), object-like `#define` macros are substituted, and the constants
+ * the paper's examples use (UINT_MAX, INT_MAX, NULL, ...) are
+ * predefined.
+ */
+#ifndef CHERISEM_FRONTEND_LEXER_H
+#define CHERISEM_FRONTEND_LEXER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace cherisem::frontend {
+
+/** A frontend error (lex or parse). */
+struct FrontendError
+{
+    SourceLoc loc;
+    std::string message;
+
+    std::string str() const { return loc.str() + ": " + message; }
+};
+
+/**
+ * Tokenize @p source.  Throws FrontendError on malformed input.
+ */
+std::vector<Token> lex(const std::string &source,
+                       const std::string &filename);
+
+} // namespace cherisem::frontend
+
+#endif // CHERISEM_FRONTEND_LEXER_H

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC.
+ */
+#ifndef CHERISEM_FRONTEND_PARSER_H
+#define CHERISEM_FRONTEND_PARSER_H
+
+#include <string>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace cherisem::frontend {
+
+/**
+ * Parse @p source into a TranslationUnit.  Throws FrontendError on
+ * syntax errors.  Built-in typedefs (size_t, (u)intptr_t, ptraddr_t,
+ * the stdint fixed-width names) are predefined.
+ */
+TranslationUnit parse(const std::string &source,
+                      const std::string &filename);
+
+} // namespace cherisem::frontend
+
+#endif // CHERISEM_FRONTEND_PARSER_H

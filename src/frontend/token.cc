@@ -1,0 +1,96 @@
+#include "frontend/token.h"
+
+namespace cherisem::frontend {
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End: return "<eof>";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::FloatLit: return "float literal";
+      case Tok::CharLit: return "character literal";
+      case Tok::StringLit: return "string literal";
+      case Tok::KwVoid: return "void";
+      case Tok::KwChar: return "char";
+      case Tok::KwShort: return "short";
+      case Tok::KwInt: return "int";
+      case Tok::KwLong: return "long";
+      case Tok::KwSigned: return "signed";
+      case Tok::KwUnsigned: return "unsigned";
+      case Tok::KwFloat: return "float";
+      case Tok::KwDouble: return "double";
+      case Tok::KwBool: return "_Bool";
+      case Tok::KwStruct: return "struct";
+      case Tok::KwUnion: return "union";
+      case Tok::KwEnum: return "enum";
+      case Tok::KwTypedef: return "typedef";
+      case Tok::KwConst: return "const";
+      case Tok::KwVolatile: return "volatile";
+      case Tok::KwStatic: return "static";
+      case Tok::KwExtern: return "extern";
+      case Tok::KwReturn: return "return";
+      case Tok::KwIf: return "if";
+      case Tok::KwElse: return "else";
+      case Tok::KwWhile: return "while";
+      case Tok::KwDo: return "do";
+      case Tok::KwFor: return "for";
+      case Tok::KwBreak: return "break";
+      case Tok::KwContinue: return "continue";
+      case Tok::KwSizeof: return "sizeof";
+      case Tok::KwAlignof: return "_Alignof";
+      case Tok::KwSwitch: return "switch";
+      case Tok::KwCase: return "case";
+      case Tok::KwDefault: return "default";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::LBrace: return "{";
+      case Tok::RBrace: return "}";
+      case Tok::LBracket: return "[";
+      case Tok::RBracket: return "]";
+      case Tok::Semi: return ";";
+      case Tok::Comma: return ",";
+      case Tok::Dot: return ".";
+      case Tok::Arrow: return "->";
+      case Tok::Ellipsis: return "...";
+      case Tok::Question: return "?";
+      case Tok::Colon: return ":";
+      case Tok::Plus: return "+";
+      case Tok::Minus: return "-";
+      case Tok::Star: return "*";
+      case Tok::Slash: return "/";
+      case Tok::Percent: return "%";
+      case Tok::PlusPlus: return "++";
+      case Tok::MinusMinus: return "--";
+      case Tok::Amp: return "&";
+      case Tok::Pipe: return "|";
+      case Tok::Caret: return "^";
+      case Tok::Tilde: return "~";
+      case Tok::Bang: return "!";
+      case Tok::AmpAmp: return "&&";
+      case Tok::PipePipe: return "||";
+      case Tok::Shl: return "<<";
+      case Tok::Shr: return ">>";
+      case Tok::Lt: return "<";
+      case Tok::Gt: return ">";
+      case Tok::Le: return "<=";
+      case Tok::Ge: return ">=";
+      case Tok::EqEq: return "==";
+      case Tok::NotEq: return "!=";
+      case Tok::Assign: return "=";
+      case Tok::PlusAssign: return "+=";
+      case Tok::MinusAssign: return "-=";
+      case Tok::StarAssign: return "*=";
+      case Tok::SlashAssign: return "/=";
+      case Tok::PercentAssign: return "%=";
+      case Tok::AmpAssign: return "&=";
+      case Tok::PipeAssign: return "|=";
+      case Tok::CaretAssign: return "^=";
+      case Tok::ShlAssign: return "<<=";
+      case Tok::ShrAssign: return ">>=";
+    }
+    return "<token?>";
+}
+
+} // namespace cherisem::frontend

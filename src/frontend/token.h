@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tokens for the MiniC (CHERI C subset) frontend.
+ */
+#ifndef CHERISEM_FRONTEND_TOKEN_H
+#define CHERISEM_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_loc.h"
+
+namespace cherisem::frontend {
+
+enum class Tok
+{
+    End,
+    Ident,
+    IntLit,
+    FloatLit,
+    CharLit,
+    StringLit,
+
+    // Keywords.
+    KwVoid, KwChar, KwShort, KwInt, KwLong, KwSigned, KwUnsigned,
+    KwFloat, KwDouble, KwBool, KwStruct, KwUnion, KwEnum, KwTypedef,
+    KwConst, KwVolatile, KwStatic, KwExtern, KwReturn, KwIf, KwElse,
+    KwWhile, KwDo, KwFor, KwBreak, KwContinue, KwSizeof, KwAlignof,
+    KwSwitch, KwCase, KwDefault,
+
+    // Punctuation.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma, Dot, Arrow, Ellipsis, Question, Colon,
+    Plus, Minus, Star, Slash, Percent,
+    PlusPlus, MinusMinus,
+    Amp, Pipe, Caret, Tilde, Bang,
+    AmpAmp, PipePipe,
+    Shl, Shr,
+    Lt, Gt, Le, Ge, EqEq, NotEq,
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+    PercentAssign, AmpAssign, PipeAssign, CaretAssign, ShlAssign,
+    ShrAssign,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    SourceLoc loc;
+    /** Identifier / string-literal spelling. */
+    std::string text;
+    /** Integer / char literal value. */
+    uint64_t intValue = 0;
+    double floatValue = 0;
+    /** Literal suffix info: unsigned / long. */
+    bool litUnsigned = false;
+    bool litLong = false;
+
+    bool is(Tok k) const { return kind == k; }
+};
+
+/** Spelling of a token kind for diagnostics. */
+const char *tokName(Tok t);
+
+} // namespace cherisem::frontend
+
+#endif // CHERISEM_FRONTEND_TOKEN_H

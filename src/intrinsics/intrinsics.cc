@@ -1,0 +1,222 @@
+#include "intrinsics/intrinsics.h"
+
+#include <unordered_map>
+
+namespace cherisem::intrinsics {
+
+using ctype::IntKind;
+using ctype::intType;
+using ctype::pointerTo;
+using ctype::TypeRef;
+using ctype::voidType;
+
+namespace {
+
+TypeRef
+sizeT()
+{
+    return intType(IntKind::ULong);
+}
+
+TypeRef
+voidPtr()
+{
+    return pointerTo(voidType());
+}
+
+std::unordered_map<std::string, BuiltinSig>
+makeTable()
+{
+    using TS = TypeSpec;
+    std::unordered_map<std::string, BuiltinSig> t;
+    auto add = [&](const std::string &name, Builtin id, TypeSpec ret,
+                   std::vector<TypeSpec> params, bool variadic = false) {
+        t[name] = BuiltinSig{id, std::move(ret), std::move(params),
+                             variadic};
+    };
+
+    // --- libc subset ---
+    add("malloc", Builtin::Malloc, TS::f(voidPtr()), {TS::f(sizeT())});
+    add("calloc", Builtin::Calloc, TS::f(voidPtr()),
+        {TS::f(sizeT()), TS::f(sizeT())});
+    add("free", Builtin::Free, TS::f(voidType()), {TS::p()});
+    add("realloc", Builtin::Realloc, TS::f(voidPtr()),
+        {TS::p(), TS::f(sizeT())});
+    add("memcpy", Builtin::Memcpy, TS::f(voidPtr()),
+        {TS::p(), TS::p(), TS::f(sizeT())});
+    add("memmove", Builtin::Memmove, TS::f(voidPtr()),
+        {TS::p(), TS::p(), TS::f(sizeT())});
+    add("memset", Builtin::Memset, TS::f(voidPtr()),
+        {TS::p(), TS::f(intType(IntKind::Int)), TS::f(sizeT())});
+    add("memcmp", Builtin::Memcmp, TS::f(intType(IntKind::Int)),
+        {TS::p(), TS::p(), TS::f(sizeT())});
+    add("strlen", Builtin::Strlen, TS::f(sizeT()),
+        {TS::f(pointerTo(intType(IntKind::Char)))});
+    add("printf", Builtin::Printf, TS::f(intType(IntKind::Int)),
+        {TS::f(pointerTo(ctype::withConst(intType(IntKind::Char),
+                                          true)))},
+        /*variadic=*/true);
+    add("fprintf", Builtin::Fprintf, TS::f(intType(IntKind::Int)),
+        {TS::p(),
+         TS::f(pointerTo(ctype::withConst(intType(IntKind::Char),
+                                          true)))},
+        /*variadic=*/true);
+    add("assert", Builtin::Assert, TS::f(voidType()), {TS::i()});
+    add("abort", Builtin::Abort, TS::f(voidType()), {});
+    add("exit", Builtin::Exit, TS::f(voidType()),
+        {TS::f(intType(IntKind::Int))});
+    add("print_cap", Builtin::PrintCap, TS::f(voidType()),
+        {TS::f(pointerTo(ctype::withConst(intType(IntKind::Char),
+                                          true))),
+         TS::c()});
+
+    // --- CHERI intrinsics (polymorphic over capability types) ---
+    TypeRef addr = intType(IntKind::Ptraddr);
+    TypeRef szt = sizeT();
+    TypeRef boolean = intType(IntKind::Bool);
+    add("cheri_address_get", Builtin::CheriAddressGet, TS::f(addr),
+        {TS::c()});
+    add("cheri_address_set", Builtin::CheriAddressSet, TS::c(),
+        {TS::c(), TS::f(addr)});
+    add("cheri_base_get", Builtin::CheriBaseGet, TS::f(addr),
+        {TS::c()});
+    add("cheri_length_get", Builtin::CheriLengthGet, TS::f(szt),
+        {TS::c()});
+    add("cheri_offset_get", Builtin::CheriOffsetGet, TS::f(szt),
+        {TS::c()});
+    add("cheri_offset_set", Builtin::CheriOffsetSet, TS::c(),
+        {TS::c(), TS::f(szt)});
+    add("cheri_perms_get", Builtin::CheriPermsGet, TS::f(szt),
+        {TS::c()});
+    add("cheri_perms_and", Builtin::CheriPermsAnd, TS::c(),
+        {TS::c(), TS::f(szt)});
+    add("cheri_tag_get", Builtin::CheriTagGet, TS::f(boolean),
+        {TS::c()});
+    add("cheri_tag_clear", Builtin::CheriTagClear, TS::c(), {TS::c()});
+    add("cheri_is_valid", Builtin::CheriIsValid, TS::f(boolean),
+        {TS::c()});
+    add("cheri_bounds_set", Builtin::CheriBoundsSet, TS::c(),
+        {TS::c(), TS::f(szt)});
+    add("cheri_bounds_set_exact", Builtin::CheriBoundsSetExact,
+        TS::c(), {TS::c(), TS::f(szt)});
+    add("cheri_is_equal_exact", Builtin::CheriIsEqualExact,
+        TS::f(boolean), {TS::c(0), TS::c(1)});
+    add("cheri_representable_length",
+        Builtin::CheriRepresentableLength, TS::f(szt), {TS::f(szt)});
+    add("cheri_representable_alignment_mask",
+        Builtin::CheriRepresentableAlignmentMask, TS::f(szt),
+        {TS::f(szt)});
+    add("cheri_type_get", Builtin::CheriTypeGet,
+        TS::f(intType(IntKind::Long)), {TS::c()});
+    add("cheri_is_sealed", Builtin::CheriIsSealed, TS::f(boolean),
+        {TS::c()});
+    add("cheri_seal", Builtin::CheriSeal, TS::c(0),
+        {TS::c(0), TS::c(1)});
+    add("cheri_unseal", Builtin::CheriUnseal, TS::c(0),
+        {TS::c(0), TS::c(1)});
+    add("cheri_sentry_create", Builtin::CheriSentryCreate, TS::c(),
+        {TS::c()});
+    add("cheri_ghost_state_get", Builtin::CheriGhostStateGet,
+        TS::f(intType(IntKind::Int)), {TS::c()});
+    add("cheri_ddc_get", Builtin::CheriDdcGet, TS::f(voidPtr()), {});
+    return t;
+}
+
+const std::unordered_map<std::string, BuiltinSig> &
+table()
+{
+    static auto t = makeTable();
+    return t;
+}
+
+} // namespace
+
+std::optional<BuiltinSig>
+lookupBuiltin(const std::string &name)
+{
+    auto it = table().find(name);
+    if (it == table().end())
+        return std::nullopt;
+    return it->second;
+}
+
+const char *
+builtinName(Builtin b)
+{
+    for (const auto &[name, sig] : table()) {
+        if (sig.id == b)
+            return name.c_str();
+    }
+    return "<builtin?>";
+}
+
+Result<ResolvedSig, std::string>
+resolveBuiltin(const BuiltinSig &sig,
+               const std::vector<ctype::TypeRef> &arg_types,
+               const ctype::MachineLayout &machine)
+{
+    (void)machine;
+    if (arg_types.size() < sig.params.size() ||
+        (!sig.variadic && arg_types.size() > sig.params.size())) {
+        return std::string("wrong number of arguments");
+    }
+    // Unify capability-type variables.
+    std::vector<TypeRef> capvars(4);
+    for (size_t i = 0; i < sig.params.size(); ++i) {
+        const TypeSpec &ps = sig.params[i];
+        const TypeRef &at = arg_types[i];
+        if (ps.kind == TypeSpec::Kind::CapVar) {
+            TypeRef t = at;
+            // Arrays decay; plain integers are *not* capability
+            // carrying — the intrinsic's type derivation rejects
+            // them (Cerberus behaves the same).
+            if (t->isArray())
+                t = ctype::pointerTo(t->element);
+            if (!t->isCapCarrying()) {
+                return std::string("argument ") +
+                    std::to_string(i + 1) +
+                    " must have a capability-carrying type, got " +
+                    ctype::typeStr(t);
+            }
+            if (capvars[ps.var] &&
+                !ctype::sameType(capvars[ps.var], t)) {
+                // Distinct-capability-type variables use different
+                // indices; same index must unify.
+                return std::string("capability type mismatch");
+            }
+            capvars[ps.var] = t;
+        }
+    }
+
+    ResolvedSig out;
+    out.variadic = sig.variadic;
+    auto concrete = [&](const TypeSpec &ts,
+                        const TypeRef &arg) -> TypeRef {
+        switch (ts.kind) {
+          case TypeSpec::Kind::Fixed:
+            return ts.fixed;
+          case TypeSpec::Kind::CapVar:
+            return capvars[ts.var];
+          case TypeSpec::Kind::AnyPtr: {
+            TypeRef t = arg;
+            if (t && t->isArray())
+                t = ctype::pointerTo(t->element);
+            if (t && t->isPointer())
+                return t;
+            return pointerTo(voidType());
+          }
+          case TypeSpec::Kind::AnyInt:
+            return arg && arg->isInteger() ? arg
+                                           : intType(IntKind::Int);
+        }
+        return intType(IntKind::Int);
+    };
+    for (size_t i = 0; i < sig.params.size(); ++i)
+        out.params.push_back(concrete(sig.params[i], arg_types[i]));
+    out.ret = concrete(sig.ret, nullptr);
+    if (!out.ret)
+        return std::string("unresolved return type");
+    return out;
+}
+
+} // namespace cherisem::intrinsics

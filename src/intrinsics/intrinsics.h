@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Built-in functions: the CHERI C intrinsics and the libc subset.
+ *
+ * Many CHERI intrinsics are polymorphic in the capability-carrying
+ * type they accept (a pointer type or (u)intptr_t), and their return
+ * type can depend on it.  This does not fit the C type system, so —
+ * like Cerberus (section 4.5 of the paper) — we resolve intrinsic
+ * signatures through a small type-derivation DSL: parameters/results
+ * are either fixed types or capability-type variables unified against
+ * the call's argument types.
+ */
+#ifndef CHERISEM_INTRINSICS_INTRINSICS_H
+#define CHERISEM_INTRINSICS_INTRINSICS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctype/layout.h"
+#include "support/result.h"
+
+namespace cherisem::intrinsics {
+
+/** Every built-in function the interpreter provides. */
+enum class Builtin
+{
+    // libc subset.
+    Malloc,
+    Calloc,
+    Free,
+    Realloc,
+    Memcpy,
+    Memmove,
+    Memset,
+    Memcmp,
+    Strlen,
+    Printf,
+    Fprintf,
+    Assert,
+    Abort,
+    Exit,
+    // Test-harness helper modelling the paper's capprint.h: prints
+    // "label <capability>" in the active profile's format.
+    PrintCap,
+
+    // CHERI intrinsics (cheriintrin.h subset).
+    CheriAddressGet,
+    CheriAddressSet,
+    CheriBaseGet,
+    CheriLengthGet,
+    CheriOffsetGet,
+    CheriOffsetSet,
+    CheriPermsGet,
+    CheriPermsAnd,
+    CheriTagGet,
+    CheriTagClear,
+    CheriIsValid,
+    CheriBoundsSet,
+    CheriBoundsSetExact,
+    CheriIsEqualExact,
+    CheriRepresentableLength,
+    CheriRepresentableAlignmentMask,
+    CheriTypeGet,
+    CheriIsSealed,
+    CheriSeal,
+    CheriUnseal,
+    CheriSentryCreate,
+    CheriGhostStateGet, // introspection helper for the test suite
+    /** The Default Data Capability (section 2.1): a root capability
+     *  spanning the whole address space with all permissions, used by
+     *  tests that need sealing authority. */
+    CheriDdcGet,
+};
+
+/**
+ * One parameter/result slot in an intrinsic's signature: a fixed type
+ * or a capability-type variable (identified by index; equal indices
+ * unify to the same type).
+ */
+struct TypeSpec
+{
+    enum class Kind
+    {
+        Fixed,   ///< exactly this type (after usual conversions)
+        CapVar,  ///< any capability-carrying type (ptr / (u)intptr_t)
+        AnyPtr,  ///< any pointer type (void* compatible)
+        AnyInt,  ///< any integer type
+    };
+
+    Kind kind = Kind::Fixed;
+    ctype::TypeRef fixed;
+    int var = 0;
+
+    static TypeSpec f(ctype::TypeRef t) { return {Kind::Fixed, t, 0}; }
+    static TypeSpec c(int v = 0) { return {Kind::CapVar, nullptr, v}; }
+    static TypeSpec p() { return {Kind::AnyPtr, nullptr, 0}; }
+    static TypeSpec i() { return {Kind::AnyInt, nullptr, 0}; }
+};
+
+/** A builtin's (possibly polymorphic) signature. */
+struct BuiltinSig
+{
+    Builtin id;
+    TypeSpec ret;
+    std::vector<TypeSpec> params;
+    bool variadic = false;
+};
+
+/** A signature resolved against concrete argument types. */
+struct ResolvedSig
+{
+    ctype::TypeRef ret;
+    std::vector<ctype::TypeRef> params;
+    bool variadic = false;
+};
+
+/** Look up a builtin by source name ("malloc", "cheri_tag_get", ...). */
+std::optional<BuiltinSig> lookupBuiltin(const std::string &name);
+
+/** Name of a builtin (diagnostics). */
+const char *builtinName(Builtin b);
+
+/**
+ * The type-derivation step: unify @p sig against @p arg_types.
+ * Returns the concrete signature, or an error message.
+ */
+Result<ResolvedSig, std::string>
+resolveBuiltin(const BuiltinSig &sig,
+               const std::vector<ctype::TypeRef> &arg_types,
+               const cherisem::ctype::MachineLayout &machine);
+
+} // namespace cherisem::intrinsics
+
+#endif // CHERISEM_INTRINSICS_INTRINSICS_H

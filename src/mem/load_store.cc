@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Typed load/store (the paper's load rule, section 4.3), the
+ * abst()/repr() value<->representation functions, and the
+ * capability-preserving bulk operations (section 3.5).
+ */
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "mem/memory_model.h"
+#include "support/format.h"
+
+namespace cherisem::mem {
+
+using cap::Capability;
+using ctype::IntKind;
+using ctype::Type;
+using ctype::TypeRef;
+
+// ---------------------------------------------------------------------
+// Capability metadata helpers.
+// ---------------------------------------------------------------------
+
+void
+MemoryModel::writeCapability(uint64_t addr, const Capability &c,
+                             const Provenance &prov)
+{
+    unsigned n = arch().capSize();
+    std::vector<uint8_t> repr(n);
+    arch().toBytes(c, repr.data());
+    for (unsigned i = 0; i < n; ++i) {
+        bytes_[addr + i] = AbsByte{prov, repr[i], i};
+    }
+    assert(addr % n == 0);
+    capMeta_[addr] = CapMeta{c.tag(), c.ghost()};
+}
+
+void
+MemoryModel::invalidateCapMeta(uint64_t addr, uint64_t n)
+{
+    unsigned cs = arch().capSize();
+    uint64_t first = addr / cs * cs;
+    for (uint64_t slot = first; slot < addr + n; slot += cs) {
+        auto it = capMeta_.find(slot);
+        if (it == capMeta_.end())
+            continue;
+        CapMeta &m = it->second;
+        if (!m.tag && !m.ghost.tagUnspec)
+            continue;
+        if (config_.ghostState) {
+            // Section 3.5: a non-capability write marks previously
+            // set tags *unspecified* in ghost state (so optimisations
+            // that remove the write stay sound).
+            m.ghost.tagUnspec = true;
+            ++stats_.ghostTagInvalidations;
+        } else {
+            // Hardware view: the tag is deterministically cleared.
+            m.tag = false;
+            m.ghost = cap::GhostState{};
+            ++stats_.hardTagInvalidations;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// repr(): value -> representation.
+// ---------------------------------------------------------------------
+
+MemResult<Unit>
+MemoryModel::reprValue(SourceLoc loc, uint64_t addr, const TypeRef &ty,
+                       const MemValue &v)
+{
+    uint64_t n = layout_.sizeOf(ty);
+
+    if (v.isUnspec()) {
+        for (uint64_t i = 0; i < n; ++i)
+            bytes_[addr + i] = AbsByte{};
+        invalidateCapMeta(addr, n);
+        return Unit{};
+    }
+
+    switch (ty->kind) {
+      case Type::Kind::Integer: {
+        if (!v.isInteger())
+            return Failure::internal("repr: integer expected", loc);
+        const IntegerValue &iv = v.asInteger();
+        if (ty->isCapInteger()) {
+            if (!iv.isCap())
+                return Failure::internal("repr: capability integer "
+                                         "without capability", loc);
+            if (addr % arch().capSize() != 0) {
+                // Can only happen with alignment checks off: the
+                // representation is stored, the tag cannot be.
+                std::vector<uint8_t> repr(n);
+                arch().toBytes(*iv.cap, repr.data());
+                for (uint64_t i = 0; i < n; ++i) {
+                    bytes_[addr + i] =
+                        AbsByte{iv.prov, repr[i],
+                                static_cast<uint32_t>(i)};
+                }
+                invalidateCapMeta(addr, n);
+                return Unit{};
+            }
+            writeCapability(addr, *iv.cap, iv.prov);
+            return Unit{};
+        }
+        uint128 raw = static_cast<uint128>(iv.value());
+        if (n == 1 && iv.byteCopy && iv.byteCopy->value &&
+            *iv.byteCopy->value == static_cast<uint8_t>(raw)) {
+            // Byte-wise copy of (possibly) capability representation
+            // bytes: write the original abstract byte back verbatim,
+            // preserving provenance and pointer index so a later
+            // pointer-typed load can recognise the copy (PNVI /
+            // section 3.5).
+            bytes_[addr] = *iv.byteCopy;
+            invalidateCapMeta(addr, 1);
+            return Unit{};
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+            bytes_[addr + i] = AbsByte{
+                Provenance::empty(),
+                static_cast<uint8_t>(raw >> (8 * i)), std::nullopt};
+        }
+        invalidateCapMeta(addr, n);
+        return Unit{};
+      }
+
+      case Type::Kind::Floating: {
+        if (!v.isFloating())
+            return Failure::internal("repr: float expected", loc);
+        double d = v.asFloating().value;
+        uint8_t buf[8];
+        uint64_t m = n;
+        if (ty->floatKind == ctype::FloatKind::Float) {
+            float f = static_cast<float>(d);
+            std::memcpy(buf, &f, 4);
+        } else {
+            std::memcpy(buf, &d, 8);
+        }
+        for (uint64_t i = 0; i < m; ++i) {
+            bytes_[addr + i] =
+                AbsByte{Provenance::empty(), buf[i], std::nullopt};
+        }
+        invalidateCapMeta(addr, n);
+        return Unit{};
+      }
+
+      case Type::Kind::Pointer: {
+        if (!v.isPointer())
+            return Failure::internal("repr: pointer expected", loc);
+        const PointerValue &pv = v.asPointer();
+        assert(pv.cap.has_value());
+        if (addr % arch().capSize() != 0) {
+            std::vector<uint8_t> repr(n);
+            arch().toBytes(*pv.cap, repr.data());
+            for (uint64_t i = 0; i < n; ++i) {
+                bytes_[addr + i] = AbsByte{pv.prov, repr[i],
+                                           static_cast<uint32_t>(i)};
+            }
+            invalidateCapMeta(addr, n);
+            return Unit{};
+        }
+        writeCapability(addr, *pv.cap, pv.prov);
+        return Unit{};
+      }
+
+      case Type::Kind::Array: {
+        const auto *av = std::get_if<ArrayValue>(&v.v);
+        if (!av)
+            return Failure::internal("repr: array expected", loc);
+        uint64_t esize = layout_.sizeOf(ty->element);
+        for (uint64_t i = 0; i < ty->arraySize; ++i) {
+            if (i < av->elems.size()) {
+                CHERISEM_TRYV(reprValue(loc, addr + i * esize,
+                                        ty->element, av->elems[i]));
+            } else {
+                CHERISEM_TRYV(reprValue(loc, addr + i * esize,
+                                        ty->element, MemValue()));
+            }
+        }
+        return Unit{};
+      }
+
+      case Type::Kind::StructOrUnion: {
+        const ctype::TagDef &def = layout_.tags()->get(ty->tag);
+        if (def.isUnion) {
+            const auto *uv = std::get_if<UnionValue>(&v.v);
+            if (!uv)
+                return Failure::internal("repr: union expected", loc);
+            for (uint64_t i = 0; i < n && i < uv->bytes.size(); ++i)
+                bytes_[addr + i] = uv->bytes[i];
+            invalidateCapMeta(addr, n);
+            // Re-deposit capability metadata for aligned slots.
+            for (const auto &[off, meta] : uv->metas) {
+                if ((addr + off) % arch().capSize() == 0)
+                    capMeta_[addr + off] = meta;
+            }
+            return Unit{};
+        }
+        const auto *sv = std::get_if<StructValue>(&v.v);
+        if (!sv)
+            return Failure::internal("repr: struct expected", loc);
+        for (const auto &[name, mv] : sv->members) {
+            ctype::FieldLoc fl = layout_.fieldOf(ty->tag, name);
+            if (!fl.found)
+                return Failure::internal("repr: no member " + name,
+                                         loc);
+            CHERISEM_TRYV(reprValue(loc, addr + fl.offset, fl.type,
+                                    mv));
+        }
+        return Unit{};
+      }
+
+      default:
+        return Failure::internal("repr: cannot represent type", loc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// abst(): representation -> value.
+// ---------------------------------------------------------------------
+
+MemResult<MemValue>
+MemoryModel::abstValue(SourceLoc loc, uint64_t addr, const TypeRef &ty)
+{
+    uint64_t n = layout_.sizeOf(ty);
+
+    auto read_bytes =
+        [&](uint64_t a, uint64_t count,
+            std::vector<AbsByte> &out) -> bool {
+        out.resize(count);
+        bool all_present = true;
+        for (uint64_t i = 0; i < count; ++i) {
+            auto it = bytes_.find(a + i);
+            if (it == bytes_.end()) {
+                out[i] = AbsByte{};
+                all_present = false;
+            } else {
+                out[i] = it->second;
+                if (!it->second.value)
+                    all_present = false;
+            }
+        }
+        if (!all_present && !config_.readUninitIsUb) {
+            // Hardware view: memory always holds *some* byte; model
+            // it as zero so concrete profiles read deterministically.
+            for (AbsByte &b : out) {
+                if (!b.value)
+                    b.value = 0;
+            }
+            return true;
+        }
+        return all_present;
+    };
+
+    switch (ty->kind) {
+      case Type::Kind::Integer: {
+        std::vector<AbsByte> bs;
+        bool present = read_bytes(addr, n, bs);
+        if (!present) {
+            if (config_.readUninitIsUb) {
+                return Failure::undefined(Ub::ReadUninitialized, loc,
+                                          "at " + hexStr(addr));
+            }
+            return MemValue(UnspecValue{ty});
+        }
+
+        if (ty->isCapInteger()) {
+            std::vector<uint8_t> raw(n);
+            Provenance prov = bs[0].prov;
+            bool prov_ok = true;
+            for (uint64_t i = 0; i < n; ++i) {
+                raw[i] = *bs[i].value;
+                if (!(bs[i].prov == prov) || !bs[i].index ||
+                    *bs[i].index != i) {
+                    prov_ok = false;
+                }
+            }
+            CapMeta meta = peekCapMeta(addr);
+            bool aligned = addr % arch().capSize() == 0;
+            cap::GhostState ghost =
+                aligned ? meta.ghost : cap::GhostState{};
+            if (config_.ghostState && prov_ok && !prov.isEmpty() &&
+                aligned && capMeta_.find(addr) == capMeta_.end()) {
+                // The bytes are a verbatim copy of some capability's
+                // representation made with non-capability stores: an
+                // optimiser may turn that copy into a tag-preserving
+                // one (section 3.5), so the tag is unspecified.
+                ghost.tagUnspec = true;
+            }
+            Capability c = arch().fromBytes(
+                raw.data(), aligned && meta.tag);
+            c = c.withGhost(ghost);
+            return MemValue(IntegerValue::ofCap(
+                ty->intKind, c,
+                prov_ok ? prov : Provenance::empty()));
+        }
+
+        // The load rule's expose step (2f): reading pointer bytes at
+        // a non-pointer integer type taints/exposes their
+        // allocations.
+        if (config_.checkProvenance) {
+            for (const AbsByte &b : bs)
+                exposeByteProvenance(b);
+        }
+
+        uint128 raw = 0;
+        for (uint64_t i = 0; i < n; ++i)
+            raw |= uint128(*bs[i].value) << (8 * i);
+        __int128 num = static_cast<__int128>(raw);
+        unsigned bits = static_cast<unsigned>(n) * 8;
+        if (ctype::isSignedIntKind(ty->intKind) && bits < 128 &&
+            ((raw >> (bits - 1)) & 1)) {
+            num -= static_cast<__int128>(uint128(1) << bits);
+        }
+        if (ty->intKind == IntKind::Bool && raw > 1) {
+            // The ISO trap-representation UB the paper lists
+            // (UB012): _Bool has trap representations.
+            return Failure::undefined(
+                Ub::LvalueReadTrapRepresentation, loc);
+        }
+        IntegerValue out = IntegerValue::ofNum(ty->intKind, num);
+        if (n == 1)
+            out.byteCopy = bs[0];
+        return MemValue(out);
+      }
+
+      case Type::Kind::Floating: {
+        std::vector<AbsByte> bs;
+        if (!read_bytes(addr, n, bs)) {
+            if (config_.readUninitIsUb) {
+                return Failure::undefined(Ub::ReadUninitialized, loc,
+                                          "at " + hexStr(addr));
+            }
+            return MemValue(UnspecValue{ty});
+        }
+        uint8_t buf[8] = {};
+        for (uint64_t i = 0; i < n && i < 8; ++i)
+            buf[i] = *bs[i].value;
+        FloatingValue fv;
+        fv.kind = ty->floatKind;
+        if (ty->floatKind == ctype::FloatKind::Float) {
+            float f;
+            std::memcpy(&f, buf, 4);
+            fv.value = f;
+        } else {
+            std::memcpy(&fv.value, buf, 8);
+        }
+        return MemValue(fv);
+      }
+
+      case Type::Kind::Pointer: {
+        std::vector<AbsByte> bs;
+        if (!read_bytes(addr, n, bs)) {
+            if (config_.readUninitIsUb) {
+                return Failure::undefined(Ub::ReadUninitialized, loc,
+                                          "at " + hexStr(addr));
+            }
+            return MemValue(UnspecValue{ty});
+        }
+        std::vector<uint8_t> raw(n);
+        Provenance prov = bs[0].prov;
+        bool prov_ok = true;
+        for (uint64_t i = 0; i < n; ++i) {
+            raw[i] = *bs[i].value;
+            if (!(bs[i].prov == prov) || !bs[i].index ||
+                *bs[i].index != i) {
+                prov_ok = false;
+            }
+        }
+        CapMeta meta = peekCapMeta(addr);
+        bool aligned = addr % arch().capSize() == 0;
+        cap::GhostState ghost =
+            aligned ? meta.ghost : cap::GhostState{};
+        if (config_.ghostState && prov_ok && !prov.isEmpty() &&
+            aligned && capMeta_.find(addr) == capMeta_.end()) {
+            // See the capability-integer case above (section 3.5).
+            ghost.tagUnspec = true;
+        }
+        if (!prov_ok)
+            prov = Provenance::empty();
+        Capability c =
+            arch().fromBytes(raw.data(), aligned && meta.tag);
+        c = c.withGhost(ghost);
+
+        if (!c.tag() && !c.ghost().any() && c.address() == 0 &&
+            prov.isEmpty()) {
+            return MemValue(PointerValue::null(arch()));
+        }
+        if (auto func = functionAt(c.address());
+            func && c.isSentry()) {
+            return MemValue(PointerValue::function(*func, c));
+        }
+        return MemValue(PointerValue::object(prov, c));
+      }
+
+      case Type::Kind::Array: {
+        ArrayValue av;
+        av.element = ty->element;
+        uint64_t esize = layout_.sizeOf(ty->element);
+        av.elems.reserve(ty->arraySize);
+        for (uint64_t i = 0; i < ty->arraySize; ++i) {
+            CHERISEM_TRY(ev,
+                         abstValue(loc, addr + i * esize, ty->element));
+            av.elems.push_back(std::move(ev));
+        }
+        return MemValue(std::move(av));
+      }
+
+      case Type::Kind::StructOrUnion: {
+        const ctype::TagDef &def = layout_.tags()->get(ty->tag);
+        if (def.isUnion) {
+            UnionValue uv;
+            uv.tag = ty->tag;
+            std::vector<AbsByte> bs;
+            read_bytes(addr, n, bs);
+            uv.bytes = std::move(bs);
+            unsigned cs = arch().capSize();
+            for (uint64_t off = 0; off + cs <= n; off += cs) {
+                if ((addr + off) % cs == 0) {
+                    auto it = capMeta_.find(addr + off);
+                    if (it != capMeta_.end())
+                        uv.metas.emplace_back(off, it->second);
+                }
+            }
+            return MemValue(std::move(uv));
+        }
+        StructValue sv;
+        sv.tag = ty->tag;
+        for (const ctype::Member &m : def.members) {
+            ctype::FieldLoc fl = layout_.fieldOf(ty->tag, m.name);
+            CHERISEM_TRY(mv, abstValue(loc, addr + fl.offset, fl.type));
+            sv.members.emplace_back(m.name, std::move(mv));
+        }
+        return MemValue(std::move(sv));
+      }
+
+      default:
+        return Failure::internal("abst: cannot load type", loc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed load/store.
+// ---------------------------------------------------------------------
+
+MemResult<MemValue>
+MemoryModel::load(SourceLoc loc, const TypeRef &ty, const PointerValue &p)
+{
+    uint64_t n = layout_.sizeOf(ty);
+    unsigned align = ty->isScalar() ? layout_.alignOf(ty) : 1;
+    CHERISEM_TRYV(accessCheck(loc, p, n, align, /*want_store=*/false));
+    ++stats_.loads;
+    return abstValue(loc, p.address(), ty);
+}
+
+MemResult<Unit>
+MemoryModel::store(SourceLoc loc, const TypeRef &ty,
+                   const PointerValue &p, const MemValue &v,
+                   bool initializing)
+{
+    uint64_t n = layout_.sizeOf(ty);
+    unsigned align = ty->isScalar() ? layout_.alignOf(ty) : 1;
+    CHERISEM_TRYV(accessCheck(loc, p, n, align, /*want_store=*/true,
+                              initializing));
+    ++stats_.stores;
+    return reprValue(loc, p.address(), ty, v);
+}
+
+// ---------------------------------------------------------------------
+// Bulk operations.
+// ---------------------------------------------------------------------
+
+MemResult<Unit>
+MemoryModel::memcpyOp(SourceLoc loc, const PointerValue &dst,
+                      const PointerValue &src, uint64_t n)
+{
+    if (n == 0)
+        return Unit{};
+    CHERISEM_TRYV(accessCheck(loc, src, n, 1, false));
+    CHERISEM_TRYV(accessCheck(loc, dst, n, 1, true));
+    uint64_t s = src.address();
+    uint64_t d = dst.address();
+    if ((s < d && s + n > d) || (d < s && d + n > s) || s == d) {
+        if (s == d)
+            return Unit{}; // Degenerate self-copy: nothing to do.
+        return Failure::undefined(Ub::MemcpyOverlap, loc);
+    }
+
+    // Copy the abstract bytes verbatim (provenance and pointer
+    // indices travel with them).
+    std::vector<AbsByte> tmp(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        auto it = bytes_.find(s + i);
+        tmp[i] = (it == bytes_.end()) ? AbsByte{} : it->second;
+    }
+    for (uint64_t i = 0; i < n; ++i)
+        bytes_[d + i] = tmp[i];
+
+    // Capability metadata: a destination slot receives the source
+    // slot's tag/ghost only if it is fully covered by the copy and
+    // the copy is capability-aligned; any partially covered slot is
+    // invalidated like a representation write (section 3.5).
+    unsigned cs = arch().capSize();
+    uint64_t first = d / cs * cs;
+    for (uint64_t slot = first; slot < d + n; slot += cs) {
+        bool fully = slot >= d && slot + cs <= d + n;
+        bool aligned_pair = ((slot - d + s) % cs) == 0;
+        if (fully && aligned_pair) {
+            auto it = capMeta_.find(slot - d + s);
+            if (it != capMeta_.end())
+                capMeta_[slot] = it->second;
+            else
+                capMeta_.erase(slot);
+        } else {
+            uint64_t lo = std::max(slot, d);
+            uint64_t hi = std::min(slot + cs, d + n);
+            if (lo < hi)
+                invalidateCapMeta(lo, hi - lo);
+        }
+    }
+    return Unit{};
+}
+
+MemResult<IntegerValue>
+MemoryModel::memcmpOp(SourceLoc loc, const PointerValue &a,
+                      const PointerValue &b, uint64_t n)
+{
+    CHERISEM_TRYV(accessCheck(loc, a, n, 1, false));
+    CHERISEM_TRYV(accessCheck(loc, b, n, 1, false));
+    for (uint64_t i = 0; i < n; ++i) {
+        auto ia = bytes_.find(a.address() + i);
+        auto ib = bytes_.find(b.address() + i);
+        bool ua = ia == bytes_.end() || !ia->second.value;
+        bool ub_ = ib == bytes_.end() || !ib->second.value;
+        if (ua || ub_) {
+            if (config_.readUninitIsUb) {
+                return Failure::undefined(Ub::ReadUninitialized, loc,
+                                          "memcmp of uninitialized "
+                                          "bytes");
+            }
+            continue; // Hardware view: garbage compares as equal-ish.
+        }
+        uint8_t x = *ia->second.value;
+        uint8_t y = *ib->second.value;
+        if (x != y) {
+            return IntegerValue::ofNum(IntKind::Int,
+                                       x < y ? -1 : 1);
+        }
+    }
+    return IntegerValue::ofNum(IntKind::Int, 0);
+}
+
+MemResult<Unit>
+MemoryModel::memsetOp(SourceLoc loc, const PointerValue &dst,
+                      uint8_t byte, uint64_t n, bool initializing)
+{
+    if (n == 0)
+        return Unit{};
+    CHERISEM_TRYV(accessCheck(loc, dst, n, 1, true, initializing));
+    uint64_t d = dst.address();
+    for (uint64_t i = 0; i < n; ++i)
+        bytes_[d + i] = AbsByte{Provenance::empty(), byte, std::nullopt};
+    invalidateCapMeta(d, n);
+    return Unit{};
+}
+
+} // namespace cherisem::mem

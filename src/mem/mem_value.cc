@@ -1,0 +1,70 @@
+#include "mem/mem_value.h"
+
+#include "cap/cap_format.h"
+#include "support/format.h"
+
+namespace cherisem::mem {
+
+std::string
+memValueStr(const MemValue &v)
+{
+    struct Visitor
+    {
+        std::string operator()(const UnspecValue &) const
+        {
+            return "<unspecified>";
+        }
+        std::string operator()(const IntegerValue &iv) const
+        {
+            if (iv.isCap()) {
+                return "(" + iv.prov.str() + ", " +
+                    cap::formatCap(*iv.cap,
+                                   cap::FormatStyle::Abstract) + ")";
+            }
+            return decStr(iv.num);
+        }
+        std::string operator()(const FloatingValue &fv) const
+        {
+            return std::to_string(fv.value);
+        }
+        std::string operator()(const PointerValue &pv) const
+        {
+            if (pv.isNull())
+                return "NULL";
+            std::string body =
+                cap::formatCap(*pv.cap, cap::FormatStyle::Abstract);
+            if (pv.isFunc())
+                return "(funptr, " + body + ")";
+            return "(" + pv.prov.str() + ", " + body + ")";
+        }
+        std::string operator()(const ArrayValue &av) const
+        {
+            std::string out = "[";
+            for (size_t i = 0; i < av.elems.size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += memValueStr(av.elems[i]);
+            }
+            return out + "]";
+        }
+        std::string operator()(const StructValue &sv) const
+        {
+            std::string out = "{";
+            for (size_t i = 0; i < sv.members.size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += "." + sv.members[i].first + "=" +
+                    memValueStr(sv.members[i].second);
+            }
+            return out + "}";
+        }
+        std::string operator()(const UnionValue &uv) const
+        {
+            return "<union:" + std::to_string(uv.bytes.size()) +
+                " bytes>";
+        }
+    };
+    return std::visit(Visitor{}, v.v);
+}
+
+} // namespace cherisem::mem

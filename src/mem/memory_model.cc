@@ -1,0 +1,722 @@
+#include "mem/memory_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/format.h"
+
+namespace cherisem::mem {
+
+using cap::Capability;
+using cap::Perm;
+using cap::PermSet;
+using ctype::TypeRef;
+
+MemoryModel::MemoryModel(Config config)
+    : config_(std::move(config)),
+      layout_(ctype::MachineLayout{config_.arch->capSize(),
+                                   config_.arch->addrBits() / 8},
+              &emptyTags_),
+      globalPtr_(config_.globalBase),
+      heapPtr_(config_.heapBase),
+      stackPtr_(config_.stackBase),
+      codePtr_(config_.codeBase)
+{
+}
+
+void
+MemoryModel::setTagTable(const ctype::TagTable *tags)
+{
+    layout_ = ctype::LayoutEngine(layout_.machine(),
+                                  tags ? tags : &emptyTags_);
+}
+
+uint64_t
+MemoryModel::alignUp(uint64_t v, uint64_t a) const
+{
+    return (v + a - 1) / a * a;
+}
+
+// ---------------------------------------------------------------------
+// Allocation.
+// ---------------------------------------------------------------------
+
+MemResult<PointerValue>
+MemoryModel::allocate(const std::string &prefix, uint64_t size,
+                      unsigned align, AllocKind kind, bool read_only,
+                      bool is_static, const TypeRef &ty)
+{
+    (void)ty;
+    const cap::CapArch &a = arch();
+    // Representability padding (section 3.2, last paragraph): the
+    // allocator aligns and pads so the allocation's capability has
+    // exact, non-overlapping bounds.
+    uint64_t cap_len = std::max<uint64_t>(size, 1);
+    uint64_t repr_len = a.representableLength(cap_len);
+    uint64_t repr_mask = a.representableAlignmentMask(cap_len);
+    uint64_t eff_align = std::max<uint64_t>(align, 1);
+    if (repr_mask != ~uint64_t(0))
+        eff_align = std::max<uint64_t>(eff_align, ~repr_mask + 1);
+
+    uint64_t base = 0;
+    switch (kind) {
+      case AllocKind::Object:
+        if (is_static) {
+            base = alignUp(globalPtr_, eff_align);
+            globalPtr_ = base + repr_len;
+        } else {
+            // Stack grows down.
+            uint64_t next = stackPtr_ - repr_len;
+            next &= ~(eff_align - 1);
+            stackPtr_ = next;
+            base = next;
+        }
+        break;
+      case AllocKind::Region: {
+        // First-fit reuse from the free list, so that freed-and-
+        // reallocated heap addresses can coincide (section 3.11).
+        for (auto it = heapFree_.begin(); it != heapFree_.end(); ++it) {
+            uint64_t fbase = alignUp(it->first, eff_align);
+            if (fbase + repr_len <= it->first + it->second) {
+                base = fbase;
+                // Keep any tail for later reuse; drop the head slack.
+                uint64_t tail_base = base + repr_len;
+                uint64_t tail_size =
+                    it->first + it->second - tail_base;
+                heapFree_.erase(it);
+                if (tail_size >= 16)
+                    heapFree_.emplace_back(tail_base, tail_size);
+                break;
+            }
+        }
+        if (base == 0) {
+            base = alignUp(heapPtr_, eff_align);
+            heapPtr_ = base + repr_len;
+        }
+        break;
+      }
+      case AllocKind::Code:
+        base = alignUp(codePtr_, std::max<uint64_t>(eff_align, 16));
+        codePtr_ = base + std::max<uint64_t>(repr_len, 16);
+        break;
+    }
+
+    AllocId id = nextAlloc_++;
+    Allocation alloc;
+    alloc.base = base;
+    alloc.size = size;
+    alloc.align = static_cast<unsigned>(eff_align);
+    alloc.kind = kind;
+    alloc.prefix = prefix;
+    alloc.readOnly = read_only;
+    allocations_[id] = alloc;
+    ++stats_.allocations;
+
+    PermSet perms =
+        read_only ? PermSet::readOnlyData() : PermSet::data();
+    if (kind == AllocKind::Code)
+        perms = PermSet::code();
+    Capability c = Capability::make(a, base, uint128(base) + size,
+                                    perms);
+    return PointerValue::object(Provenance::alloc(id), c);
+}
+
+MemResult<PointerValue>
+MemoryModel::allocateObject(const std::string &prefix, const TypeRef &ty,
+                            bool read_only, bool is_static)
+{
+    uint64_t size = layout_.sizeOf(ty);
+    unsigned align = layout_.alignOf(ty);
+    return allocate(prefix, size, align, AllocKind::Object, read_only,
+                    is_static, ty);
+}
+
+MemResult<PointerValue>
+MemoryModel::allocateRegion(const std::string &prefix, uint64_t size,
+                            unsigned align)
+{
+    return allocate(prefix, size,
+                    std::max(align, arch().capSize()),
+                    AllocKind::Region, false, false, nullptr);
+}
+
+MemResult<Unit>
+MemoryModel::kill(SourceLoc loc, bool dyn, const PointerValue &p)
+{
+    if (p.isNull()) {
+        if (dyn)
+            return Unit{}; // free(NULL) is a no-op.
+        return Failure::internal("kill of null pointer", loc);
+    }
+    if (!p.isObject())
+        return Failure::undefined(Ub::FreeInvalidPointer, loc,
+                                  "not an object pointer");
+
+    std::optional<AllocId> id = peekProvenance(p.prov);
+    if (!id) {
+        // No provenance: with PNVI checks this free is UB; hardware
+        // allocators would typically abort too.
+        return Failure::undefined(Ub::FreeInvalidPointer, loc,
+                                  "pointer has no provenance");
+    }
+    auto it = allocations_.find(*id);
+    assert(it != allocations_.end());
+    Allocation &alloc = it->second;
+    if (!alloc.alive) {
+        return Failure::undefined(dyn ? Ub::DoubleFree
+                                      : Ub::AccessDeadAllocation,
+                                  loc, alloc.prefix);
+    }
+    if (dyn) {
+        if (alloc.kind != AllocKind::Region)
+            return Failure::undefined(Ub::FreeInvalidPointer, loc,
+                                      "not a heap allocation");
+        if (p.address() != alloc.base)
+            return Failure::undefined(Ub::FreeInvalidPointer, loc,
+                                      "not the start of the "
+                                      "allocation");
+        if (p.cap && !p.cap->tag())
+            return Failure::undefined(Ub::CheriInvalidCap, loc,
+                                      "free via untagged capability");
+        heapFree_.emplace_back(alloc.base,
+                               std::max<uint64_t>(alloc.size, 1));
+        if (config_.revokeOnFree)
+            revokeRegion(alloc.base, alloc.size);
+    }
+    alloc.alive = false;
+    ++stats_.kills;
+    return Unit{};
+}
+
+MemResult<PointerValue>
+MemoryModel::reallocRegion(SourceLoc loc, const PointerValue &p,
+                           uint64_t new_size)
+{
+    if (p.isNull())
+        return allocateRegion("realloc", new_size, arch().capSize());
+
+    std::optional<AllocId> id = peekProvenance(p.prov);
+    if (!id)
+        return Failure::undefined(Ub::FreeInvalidPointer, loc,
+                                  "realloc of unprovenanced pointer");
+    auto it = allocations_.find(*id);
+    assert(it != allocations_.end());
+    if (!it->second.alive)
+        return Failure::undefined(Ub::DoubleFree, loc, "realloc");
+    uint64_t old_size = it->second.size;
+
+    CHERISEM_TRY(np, allocateRegion("realloc", new_size,
+                                    arch().capSize()));
+    uint64_t n = std::min(old_size, new_size);
+    if (n > 0)
+        CHERISEM_TRYV(memcpyOp(loc, np, p, n));
+    CHERISEM_TRYV(kill(loc, true, p));
+    return np;
+}
+
+void
+MemoryModel::revokeRegion(uint64_t base, uint64_t size)
+{
+    // CHERIoT-style revocation sweep: clear the tag of every stored
+    // capability whose bounds overlap the freed region, so stale
+    // pointers fault deterministically on their next load+use.
+    unsigned cs = arch().capSize();
+    for (auto &[slot, meta] : capMeta_) {
+        if (!meta.tag)
+            continue;
+        std::vector<uint8_t> raw(cs);
+        bool complete = true;
+        for (unsigned i = 0; i < cs; ++i) {
+            auto it = bytes_.find(slot + i);
+            if (it == bytes_.end() || !it->second.value) {
+                complete = false;
+                break;
+            }
+            raw[i] = *it->second.value;
+        }
+        if (!complete)
+            continue;
+        Capability c = arch().fromBytes(raw.data(), true);
+        if (c.base() < uint128(base) + size &&
+            c.top() > uint128(base)) {
+            meta.tag = false;
+            ++stats_.hardTagInvalidations;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Provenance machinery (PNVI-ae-udi).
+// ---------------------------------------------------------------------
+
+void
+MemoryModel::exposeAllocation(AllocId id)
+{
+    auto it = allocations_.find(id);
+    if (it != allocations_.end())
+        it->second.exposed = true;
+}
+
+void
+MemoryModel::exposeByteProvenance(const AbsByte &b)
+{
+    if (b.prov.isAlloc()) {
+        exposeAllocation(b.prov.id);
+    } else if (b.prov.isIota()) {
+        auto [first, second] = iotas_.candidates(b.prov.id);
+        exposeAllocation(first);
+        if (second)
+            exposeAllocation(*second);
+    }
+}
+
+Provenance
+MemoryModel::attachProvenance(uint64_t a)
+{
+    // PNVI-ae-udi: an int-to-pointer cast picks up the provenance of
+    // an *exposed*, live allocation whose footprint (including
+    // one-past) contains the address.  Two matches (the one-past /
+    // first-byte boundary) produce a symbolic iota.
+    AllocId found[2];
+    int nfound = 0;
+    for (const auto &[id, alloc] : allocations_) {
+        if (!alloc.alive || !alloc.exposed)
+            continue;
+        if (alloc.containsForArith(a)) {
+            if (nfound < 2)
+                found[nfound] = id;
+            ++nfound;
+        }
+    }
+    if (nfound == 1)
+        return Provenance::alloc(found[0]);
+    if (nfound == 2) {
+        ++stats_.iotasCreated;
+        return Provenance::iota(iotas_.create(found[0], found[1]));
+    }
+    return Provenance::empty();
+}
+
+std::optional<AllocId>
+MemoryModel::peekProvenance(const Provenance &p) const
+{
+    if (p.isAlloc())
+        return p.id;
+    if (p.isIota() && iotas_.isResolved(p.id))
+        return iotas_.candidates(p.id).first;
+    return std::nullopt;
+}
+
+MemResult<MemoryModel::AccessInfo>
+MemoryModel::resolveForAccess(SourceLoc loc, const Provenance &prov,
+                              uint64_t addr, uint64_t n)
+{
+    AccessInfo info;
+    if (!config_.checkProvenance) {
+        // Hardware view: no abstract provenance; capability checks
+        // were already done.  Still try to find the allocation for
+        // diagnostics without failing.
+        for (const auto &[id, alloc] : allocations_) {
+            if (alloc.alive && alloc.containsFootprint(addr, n)) {
+                info.alloc = id;
+                info.haveAlloc = true;
+                break;
+            }
+        }
+        return info;
+    }
+
+    AllocId id;
+    if (prov.isEmpty()) {
+        return Failure::undefined(Ub::AccessEmptyProvenance, loc,
+                                  "address " + hexStr(addr));
+    } else if (prov.isAlloc()) {
+        id = prov.id;
+    } else {
+        // Iota: the access disambiguates (udi).
+        auto [first, second] = iotas_.candidates(prov.id);
+        if (!second) {
+            id = first;
+        } else {
+            const Allocation &a1 = allocations_.at(first);
+            const Allocation &a2 = allocations_.at(*second);
+            bool in1 = a1.alive && a1.containsFootprint(addr, n);
+            bool in2 = a2.alive && a2.containsFootprint(addr, n);
+            if (in1 == in2) {
+                return Failure::undefined(
+                    Ub::AccessOutOfBounds, loc,
+                    "ambiguous or failed iota resolution");
+            }
+            id = in1 ? first : *second;
+            iotas_.resolve(prov.id, id);
+        }
+    }
+
+    auto it = allocations_.find(id);
+    if (it == allocations_.end())
+        return Failure::internal("unknown allocation", loc);
+    const Allocation &alloc = it->second;
+    if (!alloc.alive) {
+        return Failure::undefined(Ub::AccessDeadAllocation, loc,
+                                  alloc.prefix);
+    }
+    if (!alloc.containsFootprint(addr, n)) {
+        return Failure::undefined(
+            Ub::AccessOutOfBounds, loc,
+            alloc.prefix + ": " + hexStr(addr) + "+" +
+                std::to_string(n) + " outside [" + hexStr(alloc.base) +
+                "," + hexStr(alloc.base + alloc.size) + ")");
+    }
+    info.alloc = id;
+    info.haveAlloc = true;
+    return info;
+}
+
+MemResult<MemoryModel::AccessInfo>
+MemoryModel::accessCheck(SourceLoc loc, const PointerValue &p,
+                         uint64_t n, unsigned align_req, bool want_store,
+                         bool initializing)
+{
+    // Order follows the paper's load rule (section 4.3): null check,
+    // then the capability bounds_check (ghost tag known, tag set,
+    // permission, bounds), then the PNVI allocation checks.
+    if (p.isNull())
+        return Failure::undefined(Ub::NullPointerDeref, loc);
+    if (p.isFunc())
+        return Failure::undefined(Ub::AccessOutOfBounds, loc,
+                                  "data access via function pointer");
+    assert(p.cap.has_value());
+    const Capability &c = *p.cap;
+
+    if (c.ghost().tagUnspec || c.ghost().boundsUnspec) {
+        return Failure::undefined(Ub::CheriUndefinedTag, loc,
+                                  "capability ghost state is "
+                                  "unspecified");
+    }
+    if (!c.tag())
+        return Failure::undefined(Ub::CheriInvalidCap, loc);
+    if (c.isSealed())
+        return Failure::undefined(Ub::CheriSealViolation, loc);
+    if (want_store ? !c.canStore() : !c.canLoad()) {
+        return Failure::undefined(Ub::CheriInsufficientPermissions, loc,
+                                  want_store ? "missing Store"
+                                             : "missing Load");
+    }
+    if (!c.inBounds(c.address(), n)) {
+        return Failure::undefined(
+            Ub::CheriBoundsViolation, loc,
+            hexStr(c.address()) + "+" + std::to_string(n) +
+                " outside [" + hexStr(c.base()) + "," +
+                hexStr(c.top()) + ")");
+    }
+    if (config_.checkAlignment && align_req > 1 &&
+        (c.address() % align_req) != 0) {
+        return Failure::undefined(Ub::MisalignedAccess, loc,
+                                  hexStr(c.address()) + " % " +
+                                      std::to_string(align_req));
+    }
+
+    CHERISEM_TRY(info,
+                 resolveForAccess(loc, p.prov, c.address(), n));
+    if (want_store && !initializing && info.haveAlloc &&
+        allocations_.at(info.alloc).readOnly) {
+        return Failure::undefined(Ub::ModifyingConstObject, loc,
+                                  allocations_.at(info.alloc).prefix);
+    }
+    return info;
+}
+
+// ---------------------------------------------------------------------
+// Pointer operations.
+// ---------------------------------------------------------------------
+
+MemResult<PointerValue>
+MemoryModel::arrayShift(SourceLoc loc, const PointerValue &p,
+                        const TypeRef &elem, __int128 idx)
+{
+    if (p.isFunc())
+        return Failure::undefined(Ub::OutOfBoundsPtrArith, loc,
+                                  "arithmetic on function pointer");
+    uint64_t esize = layout_.sizeOf(elem);
+    __int128 delta = idx * static_cast<__int128>(esize);
+
+    if (p.isNull()) {
+        if (delta == 0)
+            return p;
+        return Failure::undefined(Ub::OutOfBoundsPtrArith, loc,
+                                  "arithmetic on null pointer");
+    }
+
+    const Capability &c = *p.cap;
+    uint64_t new_addr =
+        static_cast<uint64_t>(static_cast<__int128>(c.address()) +
+                              delta);
+
+    // The strict ISO rule (section 3.2, option (a)): the result must
+    // stay within [base, one-past] of the provenance allocation.
+    if (config_.strictPtrArith && config_.checkProvenance) {
+        std::optional<AllocId> id = peekProvenance(p.prov);
+        if (id) {
+            const Allocation &alloc = allocations_.at(*id);
+            if (!alloc.containsForArith(new_addr)) {
+                return Failure::undefined(
+                    Ub::OutOfBoundsPtrArith, loc,
+                    alloc.prefix + ": " + hexStr(new_addr) +
+                        " outside [" + hexStr(alloc.base) + "," +
+                        hexStr(alloc.base + alloc.size) + "]");
+            }
+        }
+    }
+
+    // Hardware address update (may clear the tag on
+    // non-representability).
+    Capability nc = c.withAddress(new_addr);
+    PointerValue out = p;
+    out.cap = nc;
+    return out;
+}
+
+MemResult<PointerValue>
+MemoryModel::memberShift(SourceLoc loc, const PointerValue &p,
+                         ctype::TagId tag, const std::string &member)
+{
+    ctype::FieldLoc fl = layout_.fieldOf(tag, member);
+    if (!fl.found)
+        return Failure::internal("no such member: " + member, loc);
+    if (p.isNull()) {
+        // offsetof-style computation on null: produce a null-derived
+        // pointer at the offset (used by the offsetof builtin).
+        PointerValue out = p;
+        out.kind = PointerValue::Kind::Object;
+        out.cap = p.cap->withAddress(fl.offset);
+        return out;
+    }
+    PointerValue out = p;
+    uint64_t member_addr = p.cap->address() + fl.offset;
+    if (config_.subobjectBounds && p.cap->tag() &&
+        !p.cap->isSealed()) {
+        // Opt-in stricter mode (section 3.8): narrow the capability
+        // to exactly the member's footprint.
+        uint64_t msize = layout_.sizeOf(fl.type);
+        out.cap = p.cap->withAddress(member_addr)
+                      .withBounds(member_addr,
+                                  uint128(member_addr) + msize);
+        return out;
+    }
+    out.cap = p.cap->withAddress(member_addr);
+    return out;
+}
+
+MemResult<bool>
+MemoryModel::ptrEq(const PointerValue &a, const PointerValue &b)
+{
+    // Section 3.6, option (3): equality of address fields only.
+    return a.address() == b.address();
+}
+
+MemResult<bool>
+MemoryModel::ptrRelational(SourceLoc loc, RelOp op,
+                           const PointerValue &a, const PointerValue &b)
+{
+    if (config_.checkProvenance) {
+        std::optional<AllocId> ia = peekProvenance(a.prov);
+        std::optional<AllocId> ib = peekProvenance(b.prov);
+        if (!a.isNull() && !b.isNull() && (!ia || !ib || *ia != *ib)) {
+            return Failure::undefined(Ub::RelationalDifferentObjects,
+                                      loc);
+        }
+    }
+    uint64_t x = a.address();
+    uint64_t y = b.address();
+    switch (op) {
+      case RelOp::Lt: return x < y;
+      case RelOp::Gt: return x > y;
+      case RelOp::Le: return x <= y;
+      case RelOp::Ge: return x >= y;
+    }
+    return false;
+}
+
+MemResult<IntegerValue>
+MemoryModel::ptrDiff(SourceLoc loc, const TypeRef &elem,
+                     const PointerValue &a, const PointerValue &b)
+{
+    if (config_.checkProvenance) {
+        std::optional<AllocId> ia = peekProvenance(a.prov);
+        std::optional<AllocId> ib = peekProvenance(b.prov);
+        if (!ia || !ib || *ia != *ib)
+            return Failure::undefined(Ub::PtrDiffDifferentObjects, loc);
+    }
+    __int128 diff = static_cast<__int128>(a.address()) -
+        static_cast<__int128>(b.address());
+    uint64_t esize = layout_.sizeOf(elem);
+    return IntegerValue::ofNum(ctype::IntKind::Long,
+                               diff / static_cast<__int128>(esize));
+}
+
+bool
+MemoryModel::validForDeref(const PointerValue &p, uint64_t size) const
+{
+    if (!p.isObject() || !p.cap)
+        return false;
+    const Capability &c = *p.cap;
+    return c.tag() && !c.ghost().any() && !c.isSealed() &&
+        c.inBounds(c.address(), size);
+}
+
+// ---------------------------------------------------------------------
+// Pointer/integer conversions.
+// ---------------------------------------------------------------------
+
+MemResult<IntegerValue>
+MemoryModel::intFromPtr(SourceLoc loc, ctype::IntKind dst,
+                        const PointerValue &p)
+{
+    (void)loc;
+    // PNVI-ae: the cast exposes the allocation's address.
+    if (config_.checkProvenance) {
+        if (p.prov.isAlloc()) {
+            exposeAllocation(p.prov.id);
+        } else if (p.prov.isIota()) {
+            auto [first, second] = iotas_.candidates(p.prov.id);
+            exposeAllocation(first);
+            if (second)
+                exposeAllocation(*second);
+        }
+    }
+
+    if (dst == ctype::IntKind::Intptr || dst == ctype::IntKind::Uintptr) {
+        // The whole capability is the integer value (section 3.3).
+        return IntegerValue::ofCap(dst, *p.cap, p.prov);
+    }
+
+    // Narrowing to a plain integer: the address value, truncated to
+    // the destination's width (implementation-defined, not UB).
+    uint64_t a = p.address();
+    unsigned bits = layout_.intValueBytes(dst) * 8;
+    __int128 v = a;
+    if (bits < 128) {
+        uint128 mask = (uint128(1) << bits) - 1;
+        v = static_cast<__int128>(uint128(a) & mask);
+        if (ctype::isSignedIntKind(dst) &&
+            (uint128(v) >> (bits - 1)) != 0) {
+            v -= static_cast<__int128>(uint128(1) << bits);
+        }
+    }
+    return IntegerValue::ofNum(dst, v);
+}
+
+MemResult<PointerValue>
+MemoryModel::ptrFromInt(SourceLoc loc, const IntegerValue &iv)
+{
+    (void)loc;
+    const cap::CapArch &a = arch();
+    if (iv.isCap()) {
+        // (u)intptr_t -> pointer: a capability no-op (sections 3.3,
+        // 3.4); ghost state travels with the value.
+        const Capability &c = *iv.cap;
+        if (!c.tag() && !c.ghost().any() && c.address() == 0 &&
+            iv.prov.isEmpty()) {
+            return PointerValue::null(a);
+        }
+        if (auto func = functionAt(c.address());
+            func && c.isSentry()) {
+            return PointerValue::function(*func, c);
+        }
+        return PointerValue::object(iv.prov, c);
+    }
+
+    uint64_t addr = static_cast<uint64_t>(iv.num) & a.addrMask();
+    if (addr == 0)
+        return PointerValue::null(a);
+    // A pure integer can never materialise a valid capability: the
+    // result is a null-derived, untagged capability.  PNVI-ae-udi
+    // still attaches abstract provenance from exposed allocations.
+    Capability c = Capability::null(a).withAddress(addr);
+    Provenance prov = config_.checkProvenance ? attachProvenance(addr)
+                                              : Provenance::empty();
+    return PointerValue::object(prov, c);
+}
+
+// ---------------------------------------------------------------------
+// Function pointers.
+// ---------------------------------------------------------------------
+
+PointerValue
+MemoryModel::makeFunctionPointer(uint32_t func_id,
+                                 const std::string &name)
+{
+    for (const auto &[addr, id] : functionsByAddr_) {
+        if (id == func_id) {
+            auto it = std::find_if(
+                allocations_.begin(), allocations_.end(),
+                [&](const auto &kv) {
+                    return kv.second.kind == AllocKind::Code &&
+                        kv.second.base == addr;
+                });
+            assert(it != allocations_.end());
+            Capability c = Capability::make(
+                arch(), addr, uint128(addr) + it->second.size,
+                PermSet::code());
+            return PointerValue::function(
+                func_id, c.sealed(cap::OTYPE_SENTRY));
+        }
+    }
+    MemResult<PointerValue> p =
+        allocate(name, 16, 16, AllocKind::Code, true, true, nullptr);
+    assert(p.ok());
+    uint64_t addr = p.value().address();
+    functionsByAddr_[addr] = func_id;
+    Capability c = p.value().cap->sealed(cap::OTYPE_SENTRY);
+    return PointerValue::function(func_id, c);
+}
+
+std::optional<uint32_t>
+MemoryModel::functionAt(uint64_t addr) const
+{
+    auto it = functionsByAddr_.find(addr);
+    if (it == functionsByAddr_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+// ---------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------
+
+const Allocation *
+MemoryModel::findAllocation(AllocId id) const
+{
+    auto it = allocations_.find(id);
+    return it == allocations_.end() ? nullptr : &it->second;
+}
+
+std::optional<uint8_t>
+MemoryModel::peekByte(uint64_t addr) const
+{
+    auto it = bytes_.find(addr);
+    if (it == bytes_.end())
+        return std::nullopt;
+    return it->second.value;
+}
+
+CapMeta
+MemoryModel::peekCapMeta(uint64_t addr) const
+{
+    uint64_t slot = addr / arch().capSize() * arch().capSize();
+    auto it = capMeta_.find(slot);
+    return it == capMeta_.end() ? CapMeta{} : it->second;
+}
+
+size_t
+MemoryModel::liveAllocationCount() const
+{
+    size_t n = 0;
+    for (const auto &[id, alloc] : allocations_) {
+        if (alloc.alive)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace cherisem::mem

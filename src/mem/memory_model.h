@@ -1,0 +1,332 @@
+/**
+ * @file
+ * The CHERI C memory object model (section 4.3 of the paper).
+ *
+ * State, mirroring the Coq development:
+ *
+ *     mem_state  =  A x S x M          M = B x C
+ *     A : AllocId -> Allocation        (footprints, liveness, exposure)
+ *     S : iota table                   (PNVI-ae-udi symbolic provenance)
+ *     B : Addr -> AbsByte              (provenance, byte, pointer index)
+ *     C : Addr -> bool x ghost_state   (per-capability-slot tag + 2-bit
+ *                                       ghost state)
+ *
+ * All operations run in the Result-based error monad; undefined
+ * behaviour is reported as a Failure rather than executed.
+ *
+ * The Config block captures the axes on which the concrete CHERI C
+ * implementations compared in section 5 differ from the abstract
+ * reference semantics: whether ghost state exists (vs deterministic
+ * hardware tag clearing), whether PNVI provenance/liveness is checked
+ * (hardware without revocation does not trap temporal violations), and
+ * the allocator's address layout (which determines the Appendix A
+ * non-representability behaviour).
+ */
+#ifndef CHERISEM_MEM_MEMORY_MODEL_H
+#define CHERISEM_MEM_MEMORY_MODEL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cap/capability.h"
+#include "ctype/layout.h"
+#include "mem/mem_value.h"
+#include "mem/provenance.h"
+#include "mem/ub.h"
+
+namespace cherisem::mem {
+
+/** Kinds of allocation, for diagnostics and free() checking. */
+enum class AllocKind { Object, Region, Code };
+
+/** One entry of the A map. */
+struct Allocation
+{
+    uint64_t base = 0;
+    uint64_t size = 0;
+    unsigned align = 1;
+    AllocKind kind = AllocKind::Object;
+    /** Variable name / "malloc" — diagnostic prefix. */
+    std::string prefix;
+    bool alive = true;
+    /** PNVI-ae: address has been exposed by a pointer-to-int cast. */
+    bool exposed = false;
+    /** Object created at a const-qualified type (section 3.9). */
+    bool readOnly = false;
+
+    bool
+    containsFootprint(uint64_t a, uint64_t n) const
+    {
+        return base <= a && a + n <= base + size;
+    }
+    /** Within [base, base+size] including the one-past address. */
+    bool
+    containsForArith(uint64_t a) const
+    {
+        return base <= a && a <= base + size;
+    }
+};
+
+/** Relational operators on pointers. */
+enum class RelOp { Lt, Gt, Le, Ge };
+
+/** Counters the micro-benchmarks report. */
+struct MemStats
+{
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t allocations = 0;
+    uint64_t kills = 0;
+    uint64_t ghostTagInvalidations = 0;
+    uint64_t hardTagInvalidations = 0;
+    uint64_t iotasCreated = 0;
+};
+
+/**
+ * The memory object model.  One instance per abstract-machine run.
+ */
+class MemoryModel
+{
+  public:
+    struct Config
+    {
+        const cap::CapArch *arch = &cap::morello();
+        /** Abstract ghost state (reference semantics) vs deterministic
+         *  hardware tag clearing. */
+        bool ghostState = true;
+        /** PNVI provenance + liveness checks (the reference abstract
+         *  machine); hardware profiles run with this off and rely on
+         *  capability checks only (section 3.11). */
+        bool checkProvenance = true;
+        /** Flag reads of uninitialized memory (paper load rule 2g). */
+        bool readUninitIsUb = true;
+        /** Enforce the strict ISO one-past rule for pointer
+         *  arithmetic (section 3.2 option (a)). */
+        bool strictPtrArith = true;
+        /** Check natural alignment on scalar access. */
+        bool checkAlignment = true;
+        /** Narrow capabilities to sub-object bounds on member access
+         *  (the stricter opt-in mode of section 3.8; off by default,
+         *  matching CHERI C). */
+        bool subobjectBounds = false;
+        /** CHERIoT-style temporal safety (sections 5.4, 7): free()
+         *  sweeps memory and invalidates stored capabilities that
+         *  point into the freed region. */
+        bool revokeOnFree = false;
+
+        // Address-space layout (drives the Appendix A differences).
+        uint64_t globalBase = 0x0000000000010000ull;
+        uint64_t heapBase = 0x0000000001000000ull;
+        uint64_t stackBase = 0x00000000ffffe700ull; // grows down
+        uint64_t codeBase = 0x0000000000001000ull;
+    };
+
+    explicit MemoryModel(Config config);
+
+    const Config &config() const { return config_; }
+    const cap::CapArch &arch() const { return *config_.arch; }
+    const ctype::LayoutEngine &layout() const { return layout_; }
+    void setTagTable(const ctype::TagTable *tags);
+    const MemStats &stats() const { return stats_; }
+
+    /// @name Allocation (create/kill), Cerberus interface.
+    /// @{
+    /** Create an object allocation (variable); returns a pointer with
+     *  fresh provenance and a capability spanning exactly (or, for
+     *  large objects, the representable rounding of) its footprint. */
+    MemResult<PointerValue> allocateObject(const std::string &prefix,
+                                           const ctype::TypeRef &ty,
+                                           bool read_only,
+                                           bool is_static);
+    /** Create a region allocation (malloc). */
+    MemResult<PointerValue> allocateRegion(const std::string &prefix,
+                                           uint64_t size,
+                                           unsigned align);
+    /** End an allocation's lifetime. @p dyn distinguishes free() from
+     *  scope exit, with the corresponding extra checks. */
+    MemResult<Unit> kill(SourceLoc loc, bool dyn,
+                         const PointerValue &p);
+    MemResult<PointerValue> reallocRegion(SourceLoc loc,
+                                          const PointerValue &p,
+                                          uint64_t new_size);
+    /// @}
+
+    /// @name Typed access.
+    /// @{
+    MemResult<MemValue> load(SourceLoc loc, const ctype::TypeRef &ty,
+                             const PointerValue &p);
+    /** @p initializing bypasses the read-only-object check (the
+     *  defining store of a const object / string literal). */
+    MemResult<Unit> store(SourceLoc loc, const ctype::TypeRef &ty,
+                          const PointerValue &p, const MemValue &v,
+                          bool initializing = false);
+    /// @}
+
+    /// @name Pointer operations.
+    /// @{
+    /** p + idx*sizeof(elem), with the strict ISO footprint check
+     *  (section 3.2) and hardware representability behaviour. */
+    MemResult<PointerValue> arrayShift(SourceLoc loc,
+                                       const PointerValue &p,
+                                       const ctype::TypeRef &elem,
+                                       __int128 idx);
+    /** &(p->member): offset within a struct/union. */
+    MemResult<PointerValue> memberShift(SourceLoc loc,
+                                        const PointerValue &p,
+                                        ctype::TagId tag,
+                                        const std::string &member);
+    /** Pointer equality: addresses only (section 3.6). */
+    MemResult<bool> ptrEq(const PointerValue &a, const PointerValue &b);
+    /** Relational comparison; requires same provenance. */
+    MemResult<bool> ptrRelational(SourceLoc loc, RelOp op,
+                                  const PointerValue &a,
+                                  const PointerValue &b);
+    /** Pointer subtraction; requires same provenance. */
+    MemResult<IntegerValue> ptrDiff(SourceLoc loc,
+                                    const ctype::TypeRef &elem,
+                                    const PointerValue &a,
+                                    const PointerValue &b);
+    /** Can @p p be dereferenced (for the tests' probe helper)? */
+    bool validForDeref(const PointerValue &p, uint64_t size) const;
+    /// @}
+
+    /// @name Pointer/integer conversions (sections 2.3, 3.3).
+    /// @{
+    /** Cast pointer to integer: exposes the allocation (PNVI-ae); to
+     *  (u)intptr_t the whole capability is preserved. */
+    MemResult<IntegerValue> intFromPtr(SourceLoc loc,
+                                       ctype::IntKind dst,
+                                       const PointerValue &p);
+    /** Cast integer to pointer: (u)intptr_t is a capability no-op;
+     *  pure integers attach provenance per PNVI-ae-udi and produce an
+     *  untagged (null-derived) capability. */
+    MemResult<PointerValue> ptrFromInt(SourceLoc loc,
+                                       const IntegerValue &iv);
+    /// @}
+
+    /// @name Bulk operations (capability-preserving, section 3.5).
+    /// @{
+    MemResult<Unit> memcpyOp(SourceLoc loc, const PointerValue &dst,
+                             const PointerValue &src, uint64_t n);
+    MemResult<IntegerValue> memcmpOp(SourceLoc loc,
+                                     const PointerValue &a,
+                                     const PointerValue &b, uint64_t n);
+    MemResult<Unit> memsetOp(SourceLoc loc, const PointerValue &dst,
+                             uint8_t byte, uint64_t n,
+                             bool initializing = false);
+    /// @}
+
+    /// @name Function pointers.
+    /// @{
+    /** Register function @p id; returns its sentry capability
+     *  pointer. */
+    PointerValue makeFunctionPointer(uint32_t func_id,
+                                     const std::string &name);
+    /** Which function lives at @p addr (for indirect calls)? */
+    std::optional<uint32_t> functionAt(uint64_t addr) const;
+    /// @}
+
+    /// @name Stack discipline (used by the evaluator's frames).
+    /// @{
+    uint64_t stackSave() const { return stackPtr_; }
+    void stackRestore(uint64_t sp) { stackPtr_ = sp; }
+    /// @}
+
+    /// @name Introspection (tests, intrinsics, formatting).
+    /// @{
+    const Allocation *findAllocation(AllocId id) const;
+    /** Resolve a (possibly iota) provenance to a concrete allocation
+     *  without collapsing it; empty optional when unresolvable. */
+    std::optional<AllocId> peekProvenance(const Provenance &p) const;
+    /** Raw byte read (no checks) — used by tests and formatting. */
+    std::optional<uint8_t> peekByte(uint64_t addr) const;
+    /** Raw capability-slot metadata (no checks). */
+    CapMeta peekCapMeta(uint64_t addr) const;
+    size_t liveAllocationCount() const;
+    /// @}
+
+  private:
+    /** Result of the access-path checks: the resolved allocation. */
+    struct AccessInfo
+    {
+        AllocId alloc = 0;
+        bool haveAlloc = false;
+    };
+
+    /** The paper's bounds_check + PNVI checks for an @p n byte access
+     *  at @p p; @p want_store selects the permission/readonly checks;
+     *  @p initializing skips the read-only-object check. */
+    MemResult<AccessInfo> accessCheck(SourceLoc loc,
+                                      const PointerValue &p, uint64_t n,
+                                      unsigned align_req,
+                                      bool want_store,
+                                      bool initializing = false);
+
+    /** Collapse/resolve provenance for an access footprint. */
+    MemResult<AccessInfo> resolveForAccess(SourceLoc loc,
+                                           const Provenance &prov,
+                                           uint64_t addr, uint64_t n);
+
+    /** PNVI-ae-udi attach: provenance for address @p a from exposed
+     *  live allocations (possibly an iota). */
+    Provenance attachProvenance(uint64_t a);
+
+    void exposeAllocation(AllocId id);
+    void exposeByteProvenance(const AbsByte &b);
+
+    /** Revocation sweep for revokeOnFree (CHERIoT-style). */
+    void revokeRegion(uint64_t base, uint64_t size);
+
+    /** Write a capability's bytes+metadata at (aligned) @p addr. */
+    void writeCapability(uint64_t addr, const Capability &c,
+                         const Provenance &prov);
+    /** Invalidate capability metadata overlapping [addr, addr+n):
+     *  ghost "tag unspecified" in the abstract semantics,
+     *  deterministic tag clear in hardware mode (section 3.5). */
+    void invalidateCapMeta(uint64_t addr, uint64_t n);
+
+    /** repr(): serialize @p v (of type @p ty) into bytes/metadata at
+     *  @p addr. */
+    MemResult<Unit> reprValue(SourceLoc loc, uint64_t addr,
+                              const ctype::TypeRef &ty,
+                              const MemValue &v);
+    /** abst(): reconstruct a value of @p ty from bytes at @p addr. */
+    MemResult<MemValue> abstValue(SourceLoc loc, uint64_t addr,
+                                  const ctype::TypeRef &ty);
+
+    MemResult<PointerValue> allocate(const std::string &prefix,
+                                     uint64_t size, unsigned align,
+                                     AllocKind kind, bool read_only,
+                                     bool is_static,
+                                     const ctype::TypeRef &ty);
+
+    uint64_t alignUp(uint64_t v, uint64_t a) const;
+
+    Config config_;
+    ctype::TagTable emptyTags_;
+    ctype::LayoutEngine layout_;
+
+    std::map<uint64_t, AbsByte> bytes_;          // B
+    std::map<uint64_t, CapMeta> capMeta_;        // C
+    std::map<AllocId, Allocation> allocations_;  // A
+    IotaTable iotas_;                            // S
+
+    AllocId nextAlloc_ = 1;
+    uint64_t globalPtr_;
+    uint64_t heapPtr_;
+    uint64_t stackPtr_;
+    uint64_t codePtr_;
+    /** Free list for heap reuse (enables use-after-free scenarios,
+     *  section 3.11). */
+    std::vector<std::pair<uint64_t, uint64_t>> heapFree_;
+
+    std::map<uint64_t, uint32_t> functionsByAddr_;
+
+    MemStats stats_;
+};
+
+} // namespace cherisem::mem
+
+#endif // CHERISEM_MEM_MEMORY_MODEL_H

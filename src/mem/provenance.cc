@@ -1,0 +1,57 @@
+#include "mem/provenance.h"
+
+#include <cassert>
+
+namespace cherisem::mem {
+
+std::string
+Provenance::str() const
+{
+    switch (kind) {
+      case Kind::Empty:
+        return "@empty";
+      case Kind::Alloc:
+        return "@" + std::to_string(id);
+      case Kind::Iota:
+        return "@iota" + std::to_string(id);
+    }
+    return "@?";
+}
+
+IotaId
+IotaTable::create(AllocId a, AllocId b)
+{
+    IotaId id = next_++;
+    entries_[id] = Entry{a, b};
+    return id;
+}
+
+std::pair<AllocId, std::optional<AllocId>>
+IotaTable::candidates(IotaId i) const
+{
+    auto it = entries_.find(i);
+    assert(it != entries_.end() && "unknown iota");
+    return {it->second.first, it->second.second};
+}
+
+void
+IotaTable::resolve(IotaId i, AllocId winner)
+{
+    auto it = entries_.find(i);
+    assert(it != entries_.end() && "unknown iota");
+    assert((it->second.first == winner ||
+            (it->second.second && *it->second.second == winner)) &&
+           "resolving iota to a non-candidate");
+    it->second.first = winner;
+    it->second.second.reset();
+}
+
+bool
+IotaTable::isResolved(IotaId i) const
+{
+    auto it = entries_.find(i);
+    assert(it != entries_.end() && "unknown iota");
+    return !it->second.second.has_value();
+}
+
+} // namespace cherisem::mem

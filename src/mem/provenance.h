@@ -1,0 +1,89 @@
+/**
+ * @file
+ * PNVI-ae-udi pointer provenance (sections 2.3, 3.11).
+ *
+ * A provenance is empty, a concrete allocation ID, or a symbolic
+ * "iota" — the user-disambiguation case of PNVI-ae-udi, created when
+ * an integer-to-pointer cast lands on the boundary between two exposed
+ * allocations and is resolved by the first use that disambiguates.
+ */
+#ifndef CHERISEM_MEM_PROVENANCE_H
+#define CHERISEM_MEM_PROVENANCE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace cherisem::mem {
+
+using AllocId = uint64_t;
+using IotaId = uint64_t;
+
+/** The provenance component of pointer (and (u)intptr_t) values. */
+struct Provenance
+{
+    enum class Kind { Empty, Alloc, Iota };
+
+    Kind kind = Kind::Empty;
+    uint64_t id = 0;
+
+    static Provenance empty() { return Provenance{}; }
+    static Provenance
+    alloc(AllocId a)
+    {
+        return Provenance{Kind::Alloc, a};
+    }
+    static Provenance
+    iota(IotaId i)
+    {
+        return Provenance{Kind::Iota, i};
+    }
+
+    bool isEmpty() const { return kind == Kind::Empty; }
+    bool isAlloc() const { return kind == Kind::Alloc; }
+    bool isIota() const { return kind == Kind::Iota; }
+
+    bool operator==(const Provenance &) const = default;
+
+    /** "@empty", "@42", or "@iota7" (paper Appendix A style). */
+    std::string str() const;
+};
+
+/**
+ * The symbolic-provenance table (the "S" component of the memory
+ * state together with exposure flags, section 4.3).
+ *
+ * Each iota is either unresolved with two candidate allocations, or
+ * collapsed to a single allocation by a disambiguating use.
+ */
+class IotaTable
+{
+  public:
+    /** Create an unresolved iota ranging over two allocations. */
+    IotaId create(AllocId a, AllocId b);
+
+    /** Candidates: one entry when resolved, two otherwise. */
+    std::pair<AllocId, std::optional<AllocId>> candidates(IotaId i) const;
+
+    /** Collapse @p i to @p winner (idempotent). */
+    void resolve(IotaId i, AllocId winner);
+
+    bool isResolved(IotaId i) const;
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        AllocId first;
+        std::optional<AllocId> second; // nullopt once resolved
+    };
+    std::unordered_map<IotaId, Entry> entries_;
+    IotaId next_ = 0;
+};
+
+} // namespace cherisem::mem
+
+#endif // CHERISEM_MEM_PROVENANCE_H

@@ -1,0 +1,130 @@
+#include "mem/ub.h"
+
+namespace cherisem::mem {
+
+const char *
+ubName(Ub ub)
+{
+    switch (ub) {
+      case Ub::CheriInvalidCap: return "UB_CHERI_InvalidCap";
+      case Ub::CheriUndefinedTag: return "UB_CHERI_UndefinedTag";
+      case Ub::CheriInsufficientPermissions:
+        return "UB_CHERI_InsufficientPermissions";
+      case Ub::CheriBoundsViolation: return "UB_CHERI_BoundsViolation";
+      case Ub::CheriSealViolation: return "UB_CHERI_SealViolation";
+      case Ub::LvalueReadTrapRepresentation:
+        return "UB012_lvalue_read_trap_representation";
+      case Ub::NullPointerDeref: return "UB_null_pointer_dereference";
+      case Ub::AccessEmptyProvenance:
+        return "UB_access_empty_provenance";
+      case Ub::AccessOutOfBounds: return "UB_access_out_of_bounds";
+      case Ub::AccessDeadAllocation: return "UB_access_dead_allocation";
+      case Ub::MisalignedAccess: return "UB_misaligned_access";
+      case Ub::ReadUninitialized: return "UB_read_uninitialized";
+      case Ub::ModifyingConstObject: return "UB_modifying_const_object";
+      case Ub::OutOfBoundsPtrArith:
+        return "UB_out_of_bounds_pointer_arithmetic";
+      case Ub::PtrDiffDifferentObjects:
+        return "UB_ptrdiff_different_objects";
+      case Ub::RelationalDifferentObjects:
+        return "UB_relational_different_objects";
+      case Ub::FreeInvalidPointer: return "UB_free_invalid_pointer";
+      case Ub::DoubleFree: return "UB_double_free";
+      case Ub::SignedOverflow: return "UB_signed_integer_overflow";
+      case Ub::DivisionByZero: return "UB_division_by_zero";
+      case Ub::ShiftOutOfRange: return "UB_shift_out_of_range";
+      case Ub::UseOfIndeterminateValue:
+        return "UB_use_of_indeterminate_value";
+      case Ub::CallTypeMismatch: return "UB_call_type_mismatch";
+      case Ub::MemcpyOverlap: return "UB_memcpy_overlap";
+    }
+    return "UB_unknown";
+}
+
+const char *
+ubDescription(Ub ub)
+{
+    switch (ub) {
+      case Ub::CheriInvalidCap:
+        return "dereferencing a pointer with the capability tag "
+               "cleared";
+      case Ub::CheriUndefinedTag:
+        return "dereferencing a pointer whose capability tag is "
+               "unspecified in ghost state";
+      case Ub::CheriInsufficientPermissions:
+        return "memory access via a capability lacking the required "
+               "permission";
+      case Ub::CheriBoundsViolation:
+        return "dereferencing an out-of-bounds pointer";
+      case Ub::CheriSealViolation:
+        return "memory access via a sealed capability";
+      case Ub::LvalueReadTrapRepresentation:
+        return "lvalue read of a trap representation";
+      case Ub::NullPointerDeref:
+        return "dereferencing the null pointer";
+      case Ub::AccessEmptyProvenance:
+        return "access via a pointer with empty provenance";
+      case Ub::AccessOutOfBounds:
+        return "access outside the allocation footprint";
+      case Ub::AccessDeadAllocation:
+        return "access to an allocation after its lifetime ended";
+      case Ub::MisalignedAccess:
+        return "misaligned memory access";
+      case Ub::ReadUninitialized:
+        return "reading uninitialized memory";
+      case Ub::ModifyingConstObject:
+        return "modifying an object defined with a const-qualified "
+               "type";
+      case Ub::OutOfBoundsPtrArith:
+        return "pointer arithmetic beyond one past the end of the "
+               "object";
+      case Ub::PtrDiffDifferentObjects:
+        return "subtracting pointers to different objects";
+      case Ub::RelationalDifferentObjects:
+        return "relational comparison of pointers to different "
+               "objects";
+      case Ub::FreeInvalidPointer:
+        return "free() of a pointer not returned by an allocation "
+               "function";
+      case Ub::DoubleFree:
+        return "free() of an already-freed pointer";
+      case Ub::SignedOverflow:
+        return "signed integer overflow";
+      case Ub::DivisionByZero:
+        return "division by zero";
+      case Ub::ShiftOutOfRange:
+        return "shift amount negative or >= width";
+      case Ub::UseOfIndeterminateValue:
+        return "use of an indeterminate value";
+      case Ub::CallTypeMismatch:
+        return "function called through incompatible type";
+      case Ub::MemcpyOverlap:
+        return "memcpy between overlapping regions";
+    }
+    return "unknown undefined behaviour";
+}
+
+std::string
+Failure::str() const
+{
+    std::string out;
+    switch (kind) {
+      case Kind::Undefined:
+        out = std::string("undefined behaviour: ") + ubName(ub) +
+            " (" + ubDescription(ub) + ")";
+        break;
+      case Kind::Constraint:
+        out = "constraint violation";
+        break;
+      case Kind::Internal:
+        out = "internal error";
+        break;
+    }
+    if (!message.empty())
+        out += ": " + message;
+    if (loc.isKnown())
+        out += " at " + loc.str();
+    return out;
+}
+
+} // namespace cherisem::mem

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The undefined-behaviour taxonomy of the CHERI C semantics.
+ *
+ * Section 4.2 of the paper adds four CHERI-specific undefined
+ * behaviours to the Cerberus/ISO set, plus the ISO trap-representation
+ * UB; the rest are the ISO/PNVI-ae-udi undefined behaviours the
+ * executable semantics detects.
+ */
+#ifndef CHERISEM_MEM_UB_H
+#define CHERISEM_MEM_UB_H
+
+#include <string>
+
+#include "support/result.h"
+#include "support/source_loc.h"
+
+namespace cherisem::mem {
+
+/** Every undefined behaviour the semantics can flag. */
+enum class Ub
+{
+    // --- CHERI-specific (section 4.2) ---
+    /** Dereference via a capability whose tag is cleared. */
+    CheriInvalidCap,
+    /** Dereference via a capability whose tag is *unspecified* in
+     *  ghost state (its representation was modified, section 3.5, or
+     *  it went non-representable, section 3.3). */
+    CheriUndefinedTag,
+    /** Access without the required permission bit. */
+    CheriInsufficientPermissions,
+    /** Access outside the capability's bounds. */
+    CheriBoundsViolation,
+    /** Dereference via a sealed capability. */
+    CheriSealViolation,
+    /** UB012: decoding a stored trap representation. */
+    LvalueReadTrapRepresentation,
+
+    // --- ISO C / PNVI-ae-udi memory UBs ---
+    NullPointerDeref,
+    /** Access via a pointer with empty provenance. */
+    AccessEmptyProvenance,
+    /** Access outside the footprint of the provenance allocation. */
+    AccessOutOfBounds,
+    /** Access to an allocation whose lifetime has ended. */
+    AccessDeadAllocation,
+    MisalignedAccess,
+    ReadUninitialized,
+    ModifyingConstObject,
+    /** Pointer arithmetic leaving [base, one-past] (section 3.2,
+     *  option (a): the strict ISO rule is kept for CHERI C). */
+    OutOfBoundsPtrArith,
+    /** Subtraction of pointers into different allocations. */
+    PtrDiffDifferentObjects,
+    /** Relational comparison of pointers into different allocations. */
+    RelationalDifferentObjects,
+    FreeInvalidPointer,
+    DoubleFree,
+    SignedOverflow,
+    DivisionByZero,
+    ShiftOutOfRange,
+    /** Indeterminate (uninitialised/unspecified) value used where a
+     *  specified value is required. */
+    UseOfIndeterminateValue,
+    /** Called function's type does not match the call expression. */
+    CallTypeMismatch,
+    /** memcpy between overlapping regions. */
+    MemcpyOverlap,
+};
+
+/** Stable identifier, e.g. "UB_CHERI_InvalidCap". */
+const char *ubName(Ub ub);
+/** One-line human description. */
+const char *ubDescription(Ub ub);
+
+/**
+ * The error component of the memory monad: an undefined behaviour, a
+ * constraint violation (non-UB semantic error, e.g. unsupported
+ * construct), or an internal error.
+ */
+struct Failure
+{
+    enum class Kind { Undefined, Constraint, Internal };
+
+    Kind kind = Kind::Undefined;
+    Ub ub = Ub::CheriInvalidCap;
+    std::string message;
+    SourceLoc loc;
+
+    static Failure
+    undefined(Ub ub, SourceLoc loc, std::string msg = "")
+    {
+        return Failure{Kind::Undefined, ub, std::move(msg),
+                       std::move(loc)};
+    }
+    static Failure
+    constraint(std::string msg, SourceLoc loc = {})
+    {
+        return Failure{Kind::Constraint, Ub::CheriInvalidCap,
+                       std::move(msg), std::move(loc)};
+    }
+    static Failure
+    internal(std::string msg, SourceLoc loc = {})
+    {
+        return Failure{Kind::Internal, Ub::CheriInvalidCap,
+                       std::move(msg), std::move(loc)};
+    }
+
+    bool isUb() const { return kind == Kind::Undefined; }
+    std::string str() const;
+};
+
+template <typename T>
+using MemResult = Result<T, Failure>;
+
+} // namespace cherisem::mem
+
+#endif // CHERISEM_MEM_UB_H

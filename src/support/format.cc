@@ -1,0 +1,59 @@
+#include "support/format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace cherisem {
+
+std::string
+hexStr(uint128 v)
+{
+    static const char digits[] = "0123456789abcdef";
+    if (v == 0)
+        return "0x0";
+    std::string out;
+    while (v != 0) {
+        out.insert(out.begin(), digits[static_cast<unsigned>(v & 0xf)]);
+        v >>= 4;
+    }
+    return "0x" + out;
+}
+
+std::string
+decStr(uint128 v)
+{
+    if (v == 0)
+        return "0";
+    std::string out;
+    while (v != 0) {
+        out.insert(out.begin(), static_cast<char>('0' + (unsigned)(v % 10)));
+        v /= 10;
+    }
+    return out;
+}
+
+std::string
+decStr(int128 v)
+{
+    if (v < 0)
+        return "-" + decStr(static_cast<uint128>(-v));
+    return decStr(static_cast<uint128>(v));
+}
+
+std::string
+strPrintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::vector<char> buf(n + 1);
+    vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), n);
+}
+
+} // namespace cherisem

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A Result<T, E> error-propagation type.
+ *
+ * The Coq memory object model of the paper is written in a combined
+ * state+error monad ("memM", section 4.3).  In C++ we render the error
+ * component as Result and the state component as the MemoryModel object
+ * itself; the CHERISEM_TRY macro plays the role of monadic bind.
+ */
+#ifndef CHERISEM_SUPPORT_RESULT_H
+#define CHERISEM_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace cherisem {
+
+/** Unit type for Result<Unit, E> ("void" results). */
+struct Unit
+{
+    bool operator==(const Unit &) const = default;
+};
+
+/**
+ * Value-or-error sum type.
+ *
+ * A Result is truthy when it holds a value.  Errors propagate with
+ * CHERISEM_TRY; terminal consumers use value()/error().
+ */
+template <typename T, typename E>
+class Result
+{
+  public:
+    // Implicit construction from both alternatives keeps call sites
+    // readable: `return someT;` / `return someE;`.
+    Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+    Result(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+    bool ok() const { return data_.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    T &value() & { assert(ok()); return std::get<0>(data_); }
+    const T &value() const & { assert(ok()); return std::get<0>(data_); }
+    T &&value() && { assert(ok()); return std::get<0>(std::move(data_)); }
+
+    E &error() & { assert(!ok()); return std::get<1>(data_); }
+    const E &error() const & { assert(!ok()); return std::get<1>(data_); }
+    E &&error() && { assert(!ok()); return std::get<1>(std::move(data_)); }
+
+    /** Value, or @p dflt when this holds an error. */
+    T valueOr(T dflt) const { return ok() ? std::get<0>(data_) : dflt; }
+
+  private:
+    std::variant<T, E> data_;
+};
+
+} // namespace cherisem
+
+#define CHERISEM_CAT_(a, b) a##b
+#define CHERISEM_CAT(a, b) CHERISEM_CAT_(a, b)
+
+/**
+ * Monadic bind: evaluate @p expr (a Result), propagate its error out of
+ * the enclosing function, otherwise bind the value to @p var.
+ */
+#define CHERISEM_TRY(var, expr)                                           \
+    auto CHERISEM_CAT(_try_tmp_, __LINE__) = (expr);                      \
+    if (!CHERISEM_CAT(_try_tmp_, __LINE__))                               \
+        return std::move(CHERISEM_CAT(_try_tmp_, __LINE__)).error();      \
+    auto var = std::move(CHERISEM_CAT(_try_tmp_, __LINE__)).value()
+
+/** Bind variant for results whose value is discarded. */
+#define CHERISEM_TRYV(expr)                                               \
+    do {                                                                  \
+        auto _try_tmp_v = (expr);                                         \
+        if (!_try_tmp_v)                                                  \
+            return std::move(_try_tmp_v).error();                         \
+    } while (0)
+
+#endif // CHERISEM_SUPPORT_RESULT_H

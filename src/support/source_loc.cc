@@ -1,0 +1,18 @@
+#include "support/source_loc.h"
+
+namespace cherisem {
+
+std::string
+SourceLoc::str() const
+{
+    if (!isKnown())
+        return "<unknown>";
+    std::string out = file.empty() ? std::string("<input>") : file;
+    out += ':';
+    out += std::to_string(line);
+    out += ':';
+    out += std::to_string(column);
+    return out;
+}
+
+} // namespace cherisem

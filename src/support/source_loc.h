@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Source locations for diagnostics.
+ *
+ * Both the frontend (token positions) and the dynamic semantics (UB
+ * reports) refer back to positions in the interpreted program, so this
+ * lives at the bottom of the dependency stack.
+ */
+#ifndef CHERISEM_SUPPORT_SOURCE_LOC_H
+#define CHERISEM_SUPPORT_SOURCE_LOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace cherisem {
+
+/** A position in an interpreted source file (1-based line/column). */
+struct SourceLoc
+{
+    /** File name as given to the lexer; empty for synthetic nodes. */
+    std::string file;
+    /** 1-based line number; 0 means "unknown". */
+    uint32_t line = 0;
+    /** 1-based column number; 0 means "unknown". */
+    uint32_t column = 0;
+
+    bool isKnown() const { return line != 0; }
+
+    /** Render as "file:line:column" (or "<unknown>"). */
+    std::string str() const;
+
+    bool operator==(const SourceLoc &) const = default;
+};
+
+} // namespace cherisem
+
+#endif // CHERISEM_SUPPORT_SOURCE_LOC_H

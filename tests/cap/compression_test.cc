@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Property and unit tests for the CHERI-Concentrate-style bounds
+ * compression (sections 2.1, 3.2 of the paper).
+ *
+ * The key invariants:
+ *  - round trip: decode(encode(b, t), a) == (rounded) (b, t) for any
+ *    address a inside the bounds;
+ *  - soundness: rounding is always outward (result covers request);
+ *  - exactness: small regions (< 2^(MW-2)) are exact at byte
+ *    granularity;
+ *  - representability: every in-bounds address is representable, and
+ *    a slack region outside the bounds remains representable
+ *    (supporting the section 3.2 porting guarantees).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "cap/compression.h"
+
+namespace cherisem::cap {
+namespace {
+
+TEST(CC128, ZeroLengthExact)
+{
+    EncodeResult r = CC128::encode(0x1234, 0x1234);
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.bounds.base, 0x1234u);
+    EXPECT_EQ(r.bounds.top, 0x1234u);
+}
+
+TEST(CC128, SmallRegionExactAnyBase)
+{
+    for (uint64_t base :
+         {uint64_t(0), uint64_t(1), uint64_t(0xffffe6dc),
+          uint64_t(0x3fffdfff08), uint64_t(0xfffffff7ff68),
+          ~uint64_t(0xfff)}) {
+        for (uint64_t len : {1u, 2u, 7u, 8u, 64u, 511u, 4095u}) {
+            EncodeResult r = CC128::encode(base, uint128(base) + len);
+            EXPECT_TRUE(r.exact)
+                << "base=" << base << " len=" << len;
+            EXPECT_EQ(r.bounds.base, base);
+            EXPECT_EQ(r.bounds.top, uint128(base) + len);
+        }
+    }
+}
+
+TEST(CC128, LargeRegionCoversRequest)
+{
+    std::mt19937_64 rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t base = rng();
+        uint64_t len = rng() >> (rng() % 60);
+        uint128 top = uint128(base) + len;
+        if (top > CC128::addrSpaceTop)
+            continue;
+        EncodeResult r = CC128::encode(base, top);
+        // Outward rounding only.
+        EXPECT_LE(r.bounds.base, uint128(base));
+        EXPECT_GE(r.bounds.top, top);
+        // Rounding is bounded: granularity is at most len/256-ish,
+        // so the region never more than roughly doubles.
+        EXPECT_LE(r.bounds.length(), 2 * uint128(len) + 16);
+    }
+}
+
+TEST(CC128, DecodeRoundTripAtEveryInBoundsAddress)
+{
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t base = rng() & 0xffffffffffffull;
+        uint64_t len = (rng() & 0xffffff) + 1;
+        EncodeResult r = CC128::encode(base, uint128(base) + len);
+        // Sample addresses inside the decoded bounds.
+        for (int k = 0; k < 8; ++k) {
+            uint64_t a = static_cast<uint64_t>(
+                r.bounds.base +
+                (rng() % static_cast<uint64_t>(r.bounds.length())));
+            Bounds d = CC128::decode(r.fields, a);
+            EXPECT_EQ(d, r.bounds)
+                << "base=" << base << " len=" << len << " a=" << a;
+        }
+    }
+}
+
+TEST(CC128, InBoundsAlwaysRepresentable)
+{
+    std::mt19937_64 rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t base = rng() & 0xffffffffffull;
+        uint64_t len = (rng() & 0xfffff) + 1;
+        EncodeResult r = CC128::encode(base, uint128(base) + len);
+        uint64_t lo = static_cast<uint64_t>(r.bounds.base);
+        uint64_t hi = static_cast<uint64_t>(r.bounds.top - 1);
+        EXPECT_TRUE(CC128::isRepresentable(r.fields, r.bounds, lo));
+        EXPECT_TRUE(CC128::isRepresentable(r.fields, r.bounds, hi));
+        // One past the end must be representable (ISO iteration
+        // idiom, section 3.2).
+        EXPECT_TRUE(CC128::isRepresentable(
+            r.fields, r.bounds, static_cast<uint64_t>(r.bounds.top)));
+    }
+}
+
+TEST(CC128, SlackOutsideBoundsIsRepresentable)
+{
+    // Section 3.2 cites the guarantee of [45, section 4.3.5]: at least
+    // 1KiB below / 2KiB above for reasonably-sized objects are
+    // representable on 64-bit CHERI.  Our scheme's slack comes from
+    // the same 2^(MW-2) construction; check a moderate region.
+    EncodeResult r = CC128::encode(0x100000, 0x100000 + 8192);
+    ASSERT_TRUE(r.exact || r.bounds.length() >= 8192);
+    EXPECT_TRUE(CC128::isRepresentable(r.fields, r.bounds,
+                                       0x100000 - 1024));
+    EXPECT_TRUE(CC128::isRepresentable(r.fields, r.bounds,
+                                       0x100000 + 8192 + 2048));
+}
+
+TEST(CC128, FarOutOfBoundsNotRepresentable)
+{
+    EncodeResult r = CC128::encode(0x100000, 0x100000 + 4096);
+    // 100001 ints below/above (the section 3.2 example distance).
+    EXPECT_FALSE(CC128::isRepresentable(r.fields, r.bounds,
+                                        0x100000 + 4 * 100001));
+}
+
+TEST(CC128, SmallObjectTransientOobByIntsNotRepresentable)
+{
+    // The section 3.3 example: int x[2]; p + 100001*sizeof(int) must
+    // be non-representable so the ghost-state machinery engages.
+    uint64_t base = 0xffffe6dc;
+    EncodeResult r = CC128::encode(base, uint128(base) + 8);
+    ASSERT_TRUE(r.exact);
+    uint64_t wild = base + 100001 * 4;
+    EXPECT_FALSE(CC128::isRepresentable(r.fields, r.bounds, wild));
+}
+
+TEST(CC128, FullAddressSpace)
+{
+    EncodeResult r = CC128::encode(0, CC128::addrSpaceTop);
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.bounds.base, 0u);
+    EXPECT_EQ(r.bounds.top, CC128::addrSpaceTop);
+    // Any address representable.
+    EXPECT_TRUE(CC128::isRepresentable(r.fields, r.bounds, ~uint64_t(0)));
+    EXPECT_TRUE(CC128::isRepresentable(r.fields, r.bounds, 0));
+}
+
+TEST(CC128, RepresentableLengthMonotone)
+{
+    uint64_t prev = 0;
+    for (uint64_t len = 1; len < (uint64_t(1) << 40);
+         len = len * 3 + 1) {
+        uint64_t rl = CC128::representableLength(len);
+        EXPECT_GE(rl, len);
+        EXPECT_GE(rl, prev);
+        prev = rl;
+    }
+}
+
+TEST(CC128, RepresentableAlignmentMaskWorks)
+{
+    std::mt19937_64 rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t len = (rng() & 0xffffffffull) + 1;
+        uint64_t mask = CC128::representableAlignmentMask(len);
+        uint64_t rlen = CC128::representableLength(len);
+        uint64_t base = rng() & mask & 0xffffffffffffull;
+        EncodeResult r = CC128::encode(base, uint128(base) + rlen);
+        EXPECT_TRUE(r.exact)
+            << "len=" << len << " mask=" << mask << " base=" << base;
+    }
+}
+
+TEST(CC64, ExactUpTo511Bytes)
+{
+    // CHERIoT provides byte-granularity bounds for objects up to 511
+    // bytes (section 3.10).
+    std::mt19937_64 rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        uint32_t base = static_cast<uint32_t>(rng());
+        uint32_t len = static_cast<uint32_t>(rng() % 512);
+        if (uint64_t(base) + len > 0xffffffffull)
+            continue;
+        EncodeResult r = CC64::encode(base, uint128(base) + len);
+        EXPECT_TRUE(r.exact) << "base=" << base << " len=" << len;
+    }
+}
+
+TEST(CC64, LargeRegionCoversRequest)
+{
+    std::mt19937_64 rng(9);
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t base = static_cast<uint32_t>(rng());
+        uint32_t len = static_cast<uint32_t>(rng() >> (32 + rng() % 28));
+        uint128 top = uint128(base) + len;
+        if (top > CC64::addrSpaceTop)
+            continue;
+        EncodeResult r = CC64::encode(base, top);
+        EXPECT_LE(r.bounds.base, uint128(base));
+        EXPECT_GE(r.bounds.top, top);
+        EXPECT_LE(r.bounds.length(), 2 * uint128(len) + 16);
+    }
+}
+
+TEST(CC64, FullAddressSpace)
+{
+    EncodeResult r = CC64::encode(0, CC64::addrSpaceTop);
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.bounds.top, CC64::addrSpaceTop);
+}
+
+/** Parameterised sweep: every power-of-two length round-trips and is
+ *  exact when the base is suitably aligned. */
+class Pow2Lengths : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(Pow2Lengths, ExactWhenAligned)
+{
+    unsigned bit = GetParam();
+    uint64_t len = uint64_t(1) << bit;
+    uint64_t mask = CC128::representableAlignmentMask(len);
+    uint64_t base = uint64_t(0x5a5a5a5a5a5a5a5a) & mask &
+        ((uint64_t(1) << 48) - 1);
+    EncodeResult r = CC128::encode(base, uint128(base) + len);
+    EXPECT_TRUE(r.exact) << "bit=" << bit;
+    Bounds d = CC128::decode(r.fields, base);
+    EXPECT_EQ(d, r.bounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, Pow2Lengths,
+                         ::testing::Range(0u, 48u));
+
+} // namespace
+} // namespace cherisem::cap

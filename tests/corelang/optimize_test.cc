@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the optimisation passes (the compiler behaviours of
+ * sections 3.1/3.2/3.5 that the semantics must license).
+ */
+#include <gtest/gtest.h>
+
+#include "corelang/optimize.h"
+#include "frontend/parser.h"
+
+namespace cherisem::corelang {
+namespace {
+
+const ctype::MachineLayout MORELLO{16, 8};
+
+sema::Program
+prog(const std::string &src)
+{
+    return sema::analyze(frontend::parse(src, "t"), MORELLO);
+}
+
+TEST(Optimize, FoldsTransientPointerArith)
+{
+    sema::Program p = prog(R"(
+int main(void) {
+    int x[2];
+    int *q = (&x[0] + 100001) - 100000;
+    return q != 0;
+}
+)");
+    OptimizeOptions opts;
+    opts.foldTransientArith = true;
+    OptimizeStats st = optimize(p, opts);
+    EXPECT_EQ(st.foldedArith, 1u);
+}
+
+TEST(Optimize, FoldsUintptrChains)
+{
+    sema::Program p = prog(R"(
+#include <stdint.h>
+int main(void) {
+    int x[2];
+    uintptr_t i = (uintptr_t)&x[0];
+    uintptr_t k = (i + 100001 * sizeof(int)) - 100000 * sizeof(int);
+    return k != 0;
+}
+)");
+    OptimizeOptions opts;
+    opts.foldTransientArith = true;
+    EXPECT_EQ(optimize(p, opts).foldedArith, 1u);
+}
+
+TEST(Optimize, DoesNotFoldNonConstant)
+{
+    sema::Program p = prog(R"(
+int main(void) {
+    int x[8];
+    int n = 3;
+    int *q = (&x[0] + n) - 1;
+    return q != 0;
+}
+)");
+    OptimizeOptions opts;
+    opts.foldTransientArith = true;
+    EXPECT_EQ(optimize(p, opts).foldedArith, 0u);
+}
+
+TEST(Optimize, ElidesIdentityWrites)
+{
+    sema::Program p = prog(R"(
+int main(void) {
+    int x = 0;
+    int *px = &x;
+    unsigned char *q = (unsigned char *)&px;
+    q[0] = q[0];
+    x = x;
+    return 0;
+}
+)");
+    OptimizeOptions opts;
+    opts.elideIdentityWrites = true;
+    EXPECT_EQ(optimize(p, opts).elidedWrites, 2u);
+}
+
+TEST(Optimize, KeepsNonIdentityWrites)
+{
+    sema::Program p = prog(R"(
+int main(void) {
+    int a[2];
+    a[0] = a[1];
+    a[1] = a[1] + 0;
+    return 0;
+}
+)");
+    OptimizeOptions opts;
+    opts.elideIdentityWrites = true;
+    EXPECT_EQ(optimize(p, opts).elidedWrites, 0u);
+}
+
+TEST(Optimize, RewritesByteCopyLoop)
+{
+    sema::Program p = prog(R"(
+int main(void) {
+    int x = 0;
+    int *px0 = &x;
+    int *px1;
+    unsigned char *p0 = (unsigned char *)&px0;
+    unsigned char *p1 = (unsigned char *)&px1;
+    for (int i=0; i<sizeof(int*); i++)
+        p1[i] = p0[i];
+    return 0;
+}
+)");
+    OptimizeOptions opts;
+    opts.loopsToMemcpy = true;
+    EXPECT_EQ(optimize(p, opts).loopsRewritten, 1u);
+}
+
+TEST(Optimize, LeavesNonByteLoopsAlone)
+{
+    sema::Program p = prog(R"(
+int main(void) {
+    int a[4], b[4];
+    for (int i = 0; i < 4; i++) b[i] = a[i]; /* int elements */
+    return 0;
+}
+)");
+    OptimizeOptions opts;
+    opts.loopsToMemcpy = true;
+    EXPECT_EQ(optimize(p, opts).loopsRewritten, 0u);
+}
+
+TEST(Optimize, AllPassesDisabledByDefault)
+{
+    sema::Program p = prog(R"(
+int main(void) {
+    int x[2];
+    int *q = (&x[0] + 100001) - 100000;
+    unsigned char *b = (unsigned char *)&q;
+    b[0] = b[0];
+    return 0;
+}
+)");
+    OptimizeStats st = optimize(p, OptimizeOptions{});
+    EXPECT_EQ(st.foldedArith, 0u);
+    EXPECT_EQ(st.elidedWrites, 0u);
+    EXPECT_EQ(st.loopsRewritten, 0u);
+}
+
+} // namespace
+} // namespace cherisem::corelang

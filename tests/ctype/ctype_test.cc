@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the type representation and the architecture-
+ * dependent layout engine: the CHERI C sizing rules (pointer =
+ * capability size, (u)intptr_t value range = address width) and the
+ * section 3.7 integer conversion ranks.
+ */
+#include <gtest/gtest.h>
+
+#include "ctype/layout.h"
+
+namespace cherisem::ctype {
+namespace {
+
+const MachineLayout MORELLO{16, 8};
+const MachineLayout CHERIOT{8, 4};
+
+TEST(CType, RankOrdering)
+{
+    // Section 3.7: nothing outranks (u)intptr_t.
+    EXPECT_GT(intRank(IntKind::Intptr), intRank(IntKind::LongLong));
+    EXPECT_GT(intRank(IntKind::Uintptr), intRank(IntKind::ULongLong));
+    EXPECT_LT(intRank(IntKind::Bool), intRank(IntKind::Char));
+    EXPECT_LT(intRank(IntKind::Char), intRank(IntKind::Short));
+    EXPECT_LT(intRank(IntKind::Short), intRank(IntKind::Int));
+    EXPECT_LT(intRank(IntKind::Int), intRank(IntKind::Long));
+    EXPECT_LT(intRank(IntKind::Long), intRank(IntKind::LongLong));
+    EXPECT_EQ(intRank(IntKind::Intptr), intRank(IntKind::Uintptr));
+}
+
+TEST(CType, Signedness)
+{
+    EXPECT_TRUE(isSignedIntKind(IntKind::Intptr));
+    EXPECT_FALSE(isSignedIntKind(IntKind::Uintptr));
+    EXPECT_FALSE(isSignedIntKind(IntKind::Ptraddr));
+    EXPECT_TRUE(isSignedIntKind(IntKind::Char));
+    EXPECT_EQ(toUnsigned(IntKind::Intptr), IntKind::Uintptr);
+    EXPECT_EQ(toUnsigned(IntKind::Long), IntKind::ULong);
+    EXPECT_EQ(toUnsigned(IntKind::UInt), IntKind::UInt);
+}
+
+TEST(CType, CapCarryingPredicate)
+{
+    EXPECT_TRUE(intType(IntKind::Intptr)->isCapCarrying());
+    EXPECT_TRUE(intType(IntKind::Uintptr)->isCapCarrying());
+    EXPECT_TRUE(pointerTo(voidType())->isCapCarrying());
+    EXPECT_FALSE(intType(IntKind::Ptraddr)->isCapCarrying());
+    EXPECT_FALSE(intType(IntKind::ULongLong)->isCapCarrying());
+}
+
+TEST(CType, SameTypeStructural)
+{
+    TypeRef a = pointerTo(intType(IntKind::Int));
+    TypeRef b = pointerTo(intType(IntKind::Int));
+    EXPECT_TRUE(sameType(a, b));
+    EXPECT_FALSE(sameType(a, pointerTo(intType(IntKind::UInt))));
+    EXPECT_TRUE(sameType(withConst(a, true), a)); // modulo const
+    EXPECT_TRUE(sameType(arrayOf(a, 3), arrayOf(b, 3)));
+    EXPECT_FALSE(sameType(arrayOf(a, 3), arrayOf(b, 4)));
+    TypeRef f1 = functionType(voidType(), {a}, false);
+    TypeRef f2 = functionType(voidType(), {b}, false);
+    EXPECT_TRUE(sameType(f1, f2));
+    EXPECT_FALSE(
+        sameType(f1, functionType(voidType(), {a}, true)));
+}
+
+TEST(Layout, MorelloSizes)
+{
+    TagTable tags;
+    LayoutEngine le(MORELLO, &tags);
+    EXPECT_EQ(le.sizeOf(pointerTo(voidType())), 16u);
+    EXPECT_EQ(le.alignOf(pointerTo(voidType())), 16u);
+    EXPECT_EQ(le.sizeOf(intType(IntKind::Intptr)), 16u);
+    EXPECT_EQ(le.intValueBytes(IntKind::Intptr), 8u);
+    EXPECT_EQ(le.sizeOf(intType(IntKind::Ptraddr)), 8u);
+    EXPECT_EQ(le.sizeOf(intType(IntKind::Int)), 4u);
+    EXPECT_EQ(le.sizeOf(arrayOf(intType(IntKind::Int), 5)), 20u);
+}
+
+TEST(Layout, CheriotSizes)
+{
+    TagTable tags;
+    LayoutEngine le(CHERIOT, &tags);
+    EXPECT_EQ(le.sizeOf(pointerTo(voidType())), 8u);
+    EXPECT_EQ(le.sizeOf(intType(IntKind::Uintptr)), 8u);
+    EXPECT_EQ(le.intValueBytes(IntKind::Uintptr), 4u);
+    EXPECT_EQ(le.sizeOf(intType(IntKind::Ptraddr)), 4u);
+}
+
+TEST(Layout, IntRanges)
+{
+    TagTable tags;
+    LayoutEngine le(MORELLO, &tags);
+    EXPECT_EQ(le.intMax(IntKind::Int), 2147483647);
+    EXPECT_EQ(le.intMin(IntKind::Int), -2147483648ll);
+    EXPECT_EQ(le.intMax(IntKind::UChar), 255);
+    EXPECT_EQ(le.intMin(IntKind::UChar), 0);
+    EXPECT_EQ(le.intMax(IntKind::Bool), 1);
+    // intptr range follows the address width, not the cap size.
+    EXPECT_EQ(le.intMax(IntKind::Intptr),
+              static_cast<__int128>(0x7fffffffffffffffll));
+}
+
+TEST(Layout, StructPaddingAroundCaps)
+{
+    TagTable tags;
+    TagId tag = tags.declare("s", false);
+    tags.complete(tag, {{"c", intType(IntKind::Char)},
+                        {"p", pointerTo(voidType())},
+                        {"v", intType(IntKind::Int)}});
+    LayoutEngine le(MORELLO, &tags);
+    TypeRef s = structOrUnionType(tag);
+    EXPECT_EQ(le.alignOf(s), 16u);
+    EXPECT_EQ(le.fieldOf(tag, "c").offset, 0u);
+    EXPECT_EQ(le.fieldOf(tag, "p").offset, 16u);
+    EXPECT_EQ(le.fieldOf(tag, "v").offset, 32u);
+    EXPECT_EQ(le.sizeOf(s), 48u); // tail padded to 16
+}
+
+TEST(Layout, UnionSizing)
+{
+    TagTable tags;
+    TagId tag = tags.declare("u", true);
+    tags.complete(tag, {{"p", pointerTo(voidType())},
+                        {"u", intType(IntKind::Uintptr)},
+                        {"c", intType(IntKind::Char)}});
+    LayoutEngine le(MORELLO, &tags);
+    TypeRef u = structOrUnionType(tag);
+    EXPECT_EQ(le.sizeOf(u), 16u);
+    EXPECT_EQ(le.fieldOf(tag, "p").offset, 0u);
+    EXPECT_EQ(le.fieldOf(tag, "c").offset, 0u);
+}
+
+TEST(Layout, NestedStructs)
+{
+    TagTable tags;
+    TagId inner = tags.declare("inner", false);
+    tags.complete(inner, {{"a", intType(IntKind::Int)},
+                          {"b", intType(IntKind::Int)}});
+    TagId outer = tags.declare("outer", false);
+    tags.complete(outer, {{"c", intType(IntKind::Char)},
+                          {"in", structOrUnionType(inner)}});
+    LayoutEngine le(MORELLO, &tags);
+    EXPECT_EQ(le.sizeOf(structOrUnionType(inner)), 8u);
+    EXPECT_EQ(le.fieldOf(outer, "in").offset, 4u);
+    EXPECT_EQ(le.sizeOf(structOrUnionType(outer)), 12u);
+}
+
+TEST(Layout, FieldNotFound)
+{
+    TagTable tags;
+    TagId tag = tags.declare("s", false);
+    tags.complete(tag, {{"a", intType(IntKind::Int)}});
+    LayoutEngine le(MORELLO, &tags);
+    EXPECT_FALSE(le.fieldOf(tag, "missing").found);
+    EXPECT_TRUE(le.fieldOf(tag, "a").found);
+}
+
+TEST(CType, TypeStrRendering)
+{
+    EXPECT_EQ(typeStr(intType(IntKind::Int)), "int");
+    EXPECT_EQ(typeStr(intType(IntKind::Uintptr)), "uintptr_t");
+    EXPECT_EQ(typeStr(pointerTo(intType(IntKind::Char))), "char*");
+    EXPECT_EQ(typeStr(arrayOf(intType(IntKind::Int), 4)), "int[4]");
+    EXPECT_EQ(typeStr(withConst(intType(IntKind::Int), true)),
+              "const int");
+}
+
+} // namespace
+} // namespace cherisem::ctype

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the extension profiles beyond baseline CHERI C:
+ *  - opt-in sub-object bounds narrowing (section 3.8's stricter
+ *    Clang modes);
+ *  - CHERIoT-style temporal safety via revocation on free
+ *    (sections 5.4, 7).
+ */
+#include <gtest/gtest.h>
+
+#include "driver/interpreter.h"
+
+namespace cherisem::driver {
+namespace {
+
+using corelang::Outcome;
+
+Outcome
+runWith(const std::string &src, const std::string &profile)
+{
+    const Profile *p = findProfile(profile);
+    EXPECT_NE(p, nullptr) << profile;
+    RunResult r = runSource(src, *p);
+    EXPECT_FALSE(r.frontendError) << r.frontendMessage;
+    return r.outcome;
+}
+
+TEST(SubobjectBounds, MemberCapabilityIsNarrowed)
+{
+    Outcome o = runWith(R"(
+#include <cheriintrin.h>
+struct pair { int a; int b; };
+int main(void) {
+    struct pair s;
+    int *pa = &s.a;
+    return cheri_length_get(pa) == sizeof(int) ? 0 : 1;
+}
+)",
+                        "clang-morello-subobject-safe");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+    EXPECT_EQ(o.exitCode, 0);
+}
+
+TEST(SubobjectBounds, DefaultModeDoesNotNarrow)
+{
+    Outcome o = runWith(R"(
+#include <cheriintrin.h>
+struct pair { int a; int b; };
+int main(void) {
+    struct pair s;
+    int *pa = &s.a;
+    return cheri_length_get(pa) == sizeof(struct pair) ? 0 : 1;
+}
+)",
+                        "clang-morello-O0");
+    EXPECT_EQ(o.exitCode, 0) << o.summary();
+}
+
+TEST(SubobjectBounds, CrossMemberAccessFaults)
+{
+    // With narrowing on, walking from one member into the next is a
+    // capability bounds violation — exactly the compatibility risk
+    // section 3.8 cites for the container-of idiom.
+    Outcome o = runWith(R"(
+struct pair { int a; int b; };
+int main(void) {
+    struct pair s;
+    s.b = 7;
+    int *pa = &s.a;
+    return *(pa + 1);
+}
+)",
+                        "clang-morello-subobject-safe");
+    EXPECT_TRUE(o.isUb(mem::Ub::CheriBoundsViolation)) << o.summary();
+}
+
+TEST(SubobjectBounds, SameAccessWorksByDefault)
+{
+    Outcome o = runWith(R"(
+struct pair { int a; int b; };
+int main(void) {
+    struct pair s;
+    s.b = 7;
+    int *pa = &s.a;
+    return *(pa + 1);
+}
+)",
+                        "clang-morello-O0");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+    EXPECT_EQ(o.exitCode, 7);
+}
+
+TEST(Revocation, UseAfterFreeFaultsOnCheriotTemporal)
+{
+    // The same use-after-free that reads stale data on Morello
+    // hardware faults under revocation: the swept capability lost
+    // its tag (section 5.4: CHERIoT defines what we leave UB).
+    const char *src = R"(
+#include <stdlib.h>
+int main(void) {
+    int **box = malloc(sizeof(int*));
+    int *p = malloc(sizeof(int));
+    *p = 7;
+    *box = p;       /* stale cap lives in memory */
+    free(p);
+    int *stale = *box;
+    return *stale;
+}
+)";
+    Outcome hw = runWith(src, "clang-morello-O0");
+    EXPECT_EQ(hw.kind, Outcome::Kind::Exit) << hw.summary();
+    EXPECT_EQ(hw.exitCode, 7);
+
+    Outcome rt = runWith(src, "cheriot-temporal");
+    EXPECT_TRUE(rt.isUb(mem::Ub::CheriInvalidCap)) << rt.summary();
+}
+
+TEST(Revocation, UnrelatedCapabilitiesSurvive)
+{
+    Outcome o = runWith(R"(
+#include <stdlib.h>
+int main(void) {
+    int **box = malloc(sizeof(int*));
+    int keep = 5;
+    *box = &keep;       /* stack cap, unrelated to the free below */
+    char *junk = malloc(64);
+    free(junk);
+    int *p = *box;
+    return *p;
+}
+)",
+                        "cheriot-temporal");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+    EXPECT_EQ(o.exitCode, 5);
+}
+
+TEST(Revocation, FreedThenReallocatedIsSafe)
+{
+    // After revocation, the reused address cannot be reached through
+    // the old capability — the section 3.11 aliasing scenario is
+    // closed.
+    Outcome o = runWith(R"(
+#include <stdlib.h>
+int main(void) {
+    int **box = malloc(sizeof(int*));
+    int *old = malloc(sizeof(int));
+    *box = old;
+    free(old);
+    int *fresh = malloc(sizeof(int));
+    *fresh = 9;
+    int *stale = *box;
+    return *stale;
+}
+)",
+                        "cheriot-temporal");
+    EXPECT_TRUE(o.isUb(mem::Ub::CheriInvalidCap)) << o.summary();
+}
+
+TEST(Profiles, AllProfilesRunHealthyPrograms)
+{
+    const char *src = R"(
+int main(void) {
+    int a[4];
+    for (int i = 0; i < 4; i++) a[i] = i;
+    int sum = 0;
+    for (int i = 0; i < 4; i++) sum += a[i];
+    return sum;
+}
+)";
+    for (const Profile &p : allProfiles()) {
+        RunResult r = runSource(src, p);
+        EXPECT_FALSE(r.frontendError) << p.name;
+        EXPECT_EQ(r.outcome.kind, Outcome::Kind::Exit) << p.name;
+        EXPECT_EQ(r.outcome.exitCode, 6) << p.name;
+    }
+}
+
+TEST(Profiles, LookupAndMetadata)
+{
+    EXPECT_EQ(referenceProfile().name, "cerberus");
+    EXPECT_NE(findProfile("clang-morello-O0"), nullptr);
+    EXPECT_NE(findProfile("cheriot-temporal"), nullptr);
+    EXPECT_EQ(findProfile("no-such-profile"), nullptr);
+    EXPECT_GE(allProfiles().size(), 10u);
+    for (const Profile &p : allProfiles())
+        EXPECT_FALSE(p.description.empty()) << p.name;
+}
+
+} // namespace
+} // namespace cherisem::driver

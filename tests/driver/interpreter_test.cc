@@ -1,0 +1,473 @@
+/**
+ * @file
+ * End-to-end tests: the paper's example programs (sections 3.1-3.9)
+ * run through the full pipeline under the reference profile, and
+ * selected divergences under the hardware profiles.
+ */
+#include <gtest/gtest.h>
+
+#include "driver/interpreter.h"
+
+namespace cherisem::driver {
+namespace {
+
+using corelang::Outcome;
+
+Outcome
+runRef(const std::string &src)
+{
+    RunResult r = runSource(src, referenceProfile());
+    EXPECT_FALSE(r.frontendError) << r.frontendMessage;
+    return r.outcome;
+}
+
+Outcome
+runWith(const std::string &src, const std::string &profile)
+{
+    const Profile *p = findProfile(profile);
+    EXPECT_NE(p, nullptr);
+    RunResult r = runSource(src, *p);
+    EXPECT_FALSE(r.frontendError) << r.frontendMessage;
+    return r.outcome;
+}
+
+TEST(Interpreter, TrivialMain)
+{
+    Outcome o = runRef("int main(void) { return 42; }");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit);
+    EXPECT_EQ(o.exitCode, 42);
+}
+
+TEST(Interpreter, ArithmeticAndControlFlow)
+{
+    Outcome o = runRef(R"(
+int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+int main(void) {
+    int acc = 0;
+    for (int i = 0; i < 10; i++) acc += fib(i);
+    return acc; /* 88 */
+}
+)");
+    EXPECT_EQ(o.exitCode, 88);
+}
+
+TEST(Interpreter, Printf)
+{
+    Outcome o = runRef(R"(
+#include <stdio.h>
+int main(void) {
+    printf("hello %d %s %c %x\n", 7, "world", '!', 255);
+    return 0;
+}
+)");
+    EXPECT_EQ(o.output, "hello 7 world ! ff\n");
+}
+
+TEST(Interpreter, Section31OutOfBoundsWriteTraps)
+{
+    // The first example of section 3.1: one-past write.
+    Outcome o = runRef(R"(
+void f(int *p, int i) {
+    int *q = p + i;
+    *q = 42;
+}
+int main(void) {
+    int x=0, y=0;
+    f(&x, 1);
+    return y;
+}
+)");
+    EXPECT_TRUE(o.isUb(mem::Ub::CheriBoundsViolation)) << o.summary();
+}
+
+TEST(Interpreter, Section32TransientOobConstructionIsUb)
+{
+    // Section 3.2: constructing q = p + 100001 is already UB under
+    // the strict ISO rule (option (a)).
+    Outcome o = runRef(R"(
+int main(void) {
+    int x[2];
+    int *p = &x[0];
+    int *q = p + 100001;
+    q = q - 100000;
+    *q = 1;
+}
+)");
+    EXPECT_TRUE(o.isUb(mem::Ub::OutOfBoundsPtrArith)) << o.summary();
+}
+
+TEST(Interpreter, Section32HardwareClearsTagInstead)
+{
+    // On hardware there is no ISO check: the wild pointer is
+    // constructed, the capability becomes unrepresentable (tag
+    // cleared, bounds re-derived), and coming back does not restore
+    // the tag -> the access faults as an invalid capability.
+    Outcome o = runWith(R"(
+int main(void) {
+    int x[2];
+    int *p = &x[0];
+    int *q = p + 100001;
+    q = q - 100000;
+    *q = 1;
+}
+)",
+                        "clang-morello-O0");
+    EXPECT_TRUE(o.isUb(mem::Ub::CheriInvalidCap)) << o.summary();
+}
+
+TEST(Interpreter, Section32OptimizationFoldsTransientOob)
+{
+    // At -O2 the transient excursion is folded to p + 1 (legal), and
+    // the store to x[1] succeeds.
+    Outcome o = runWith(R"(
+int main(void) {
+    int x[2];
+    int *p = &x[0];
+    x[1] = 0;
+    int *q = (p + 100001) - 100000;
+    *q = 1;
+    return x[1];
+}
+)",
+                        "clang-morello-O2");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+    EXPECT_EQ(o.exitCode, 1);
+}
+
+TEST(Interpreter, Section33UintptrRoundTrip)
+{
+    // Section 3.3's example: transiently non-representable
+    // (u)intptr_t arithmetic stays defined, but the ghost state makes
+    // the final access UB.
+    Outcome o = runRef(R"(
+#include <stdint.h>
+void f(int a, int b) {
+    int x[2];
+    int *p = &x[0];
+    uintptr_t i = (uintptr_t)p;
+    uintptr_t j = i + a;
+    uintptr_t k = j - b;
+    int *q = (int*)k;
+    *q = 1;
+}
+int main(void) {
+    f(100001*sizeof(int), 100000*sizeof(int));
+}
+)");
+    EXPECT_TRUE(o.isUb(mem::Ub::CheriUndefinedTag)) << o.summary();
+}
+
+TEST(Interpreter, Section33InRangeUintptrArithmeticWorks)
+{
+    Outcome o = runRef(R"(
+#include <stdint.h>
+int main(void) {
+    int x[2];
+    x[1] = 7;
+    uintptr_t i = (uintptr_t)&x[0];
+    i += sizeof(int);
+    int *q = (int*)i;
+    return *q;
+}
+)");
+    EXPECT_EQ(o.exitCode, 7) << o.summary();
+}
+
+TEST(Interpreter, Section34UnionTypePunning)
+{
+    // The section 3.4 example verbatim.
+    Outcome o = runRef(R"(
+#include <stdint.h>
+#include <assert.h>
+union ptr {
+    int *ptr;
+    uintptr_t iptr;
+};
+int main(void) {
+    int arr[] = {42,43};
+    union ptr x;
+    x.ptr = arr;
+    x.iptr += sizeof(int);
+    assert (*x.ptr == 43);
+}
+)");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+    EXPECT_EQ(o.exitCode, 0);
+}
+
+TEST(Interpreter, Section35ByteWriteGhostsTag)
+{
+    // Section 3.5, first example: identity byte write over the
+    // representation makes the later dereference UB.
+    Outcome o = runRef(R"(
+int main(void) {
+    int x = 0;
+    int *px = &x;
+    unsigned char *p = (unsigned char *)&px;
+    p[0] = p[0];
+    *px = 1;
+    return x;
+}
+)");
+    EXPECT_TRUE(o.isUb(mem::Ub::CheriUndefinedTag)) << o.summary();
+}
+
+TEST(Interpreter, Section35OptimizerElidesIdentityWrite)
+{
+    // At -O2 dead-store elimination removes the byte write, so the
+    // program runs to completion: exactly the divergence the ghost
+    // state licenses.
+    Outcome o = runWith(R"(
+int main(void) {
+    int x = 0;
+    int *px = &x;
+    unsigned char *p = (unsigned char *)&px;
+    p[0] = p[0];
+    *px = 1;
+    return x;
+}
+)",
+                        "clang-morello-O2");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+    EXPECT_EQ(o.exitCode, 1);
+}
+
+TEST(Interpreter, Section35ByteCopyLoopLosesTag)
+{
+    // Section 3.5, second example, unoptimised: the byte-for-byte
+    // copy of a capability leaves the copy's tag unspecified.
+    Outcome o = runRef(R"(
+int main(void) {
+    int x = 0;
+    int *px0 = &x;
+    int *px1;
+    unsigned char *p0 = (unsigned char *)&px0;
+    unsigned char *p1 = (unsigned char *)&px1;
+    for (int i=0; i<sizeof(int*); i++)
+        p1[i] = p0[i];
+    *px1 = 1;
+    return x;
+}
+)");
+    EXPECT_TRUE(o.isUb(mem::Ub::CheriUndefinedTag)) << o.summary();
+}
+
+TEST(Interpreter, Section35LoopToMemcpyPreservesTag)
+{
+    // With GCC's tree-loop-distribute-patterns the loop becomes
+    // memcpy, which preserves capabilities -> the program succeeds.
+    Outcome o = runWith(R"(
+int main(void) {
+    int x = 0;
+    int *px0 = &x;
+    int *px1;
+    unsigned char *p0 = (unsigned char *)&px0;
+    unsigned char *p1 = (unsigned char *)&px1;
+    for (int i=0; i<sizeof(int*); i++)
+        p1[i] = p0[i];
+    *px1 = 1;
+    return x;
+}
+)",
+                        "gcc-morello-O2");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+    EXPECT_EQ(o.exitCode, 1);
+}
+
+TEST(Interpreter, Section36PointerEqualityIsAddressOnly)
+{
+    Outcome o = runRef(R"(
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    int x = 1;
+    int *p = &x;
+    int *q = (int*)(uintptr_t)&x;
+    /* equal addresses, potentially different metadata */
+    assert(p == q);
+    return 0;
+}
+)");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+}
+
+TEST(Interpreter, Section37DerivationFromLeftOperand)
+{
+    // Section 3.7: c0 = a + b derives from the left argument.
+    Outcome o = runRef(R"(
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    int x=0, y=0;
+    intptr_t a=(intptr_t)&x;
+    intptr_t b=(intptr_t)&y;
+    intptr_t c0 = a + b;
+    intptr_t c1 = b + a;
+    /* == compares addresses only: both sums are equal numbers */
+    assert(c0 == c1);
+    return 0;
+}
+)");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+}
+
+TEST(Interpreter, Section37ArrayShiftViaIntptr)
+{
+    // array_shift from section 3.7: the addition derives from ip
+    // (the non-converted operand) even though it is on the right.
+    Outcome o = runRef(R"(
+#include <stdint.h>
+int* array_shift(int *x, int n) {
+    intptr_t ip = (intptr_t)x;
+    intptr_t ip1 = sizeof(int)*n + ip;
+    int *p = (int*)ip1;
+    return p;
+}
+int main(void) {
+    int a[4];
+    a[2] = 9;
+    int *p = array_shift(a, 2);
+    return *p;
+}
+)");
+    EXPECT_EQ(o.exitCode, 9) << o.summary();
+}
+
+TEST(Interpreter, Section39ConstWriteFaults)
+{
+    Outcome o = runRef(R"(
+int main(void) {
+    const int c = 5;
+    int *p = (int*)&c;
+    *p = 6;
+    return c;
+}
+)");
+    EXPECT_TRUE(o.isUb(mem::Ub::CheriInsufficientPermissions))
+        << o.summary();
+}
+
+TEST(Interpreter, MallocFreeLifecycle)
+{
+    Outcome o = runRef(R"(
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(4 * sizeof(int));
+    for (int i = 0; i < 4; i++) p[i] = i * i;
+    int sum = 0;
+    for (int i = 0; i < 4; i++) sum += p[i];
+    free(p);
+    return sum; /* 14 */
+}
+)");
+    EXPECT_EQ(o.exitCode, 14) << o.summary();
+}
+
+TEST(Interpreter, UseAfterFreeDivergence)
+{
+    // Abstract semantics flags the temporal violation; hardware
+    // without revocation reads the stale (still tagged) capability
+    // fine (section 3.11).
+    const char *src = R"(
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    *p = 3;
+    free(p);
+    return *p;
+}
+)";
+    Outcome ref = runRef(src);
+    EXPECT_TRUE(ref.isUb(mem::Ub::AccessDeadAllocation))
+        << ref.summary();
+    Outcome hw = runWith(src, "clang-morello-O0");
+    EXPECT_EQ(hw.kind, Outcome::Kind::Exit) << hw.summary();
+    EXPECT_EQ(hw.exitCode, 3);
+}
+
+TEST(Interpreter, FunctionPointers)
+{
+    Outcome o = runRef(R"(
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int apply(int (*f)(int, int), int x, int y) { return f(x, y); }
+int main(void) {
+    int (*fp)(int, int) = add;
+    int r = apply(fp, 3, 4) + apply(mul, 3, 4);
+    return r; /* 19 */
+}
+)");
+    EXPECT_EQ(o.exitCode, 19) << o.summary();
+}
+
+TEST(Interpreter, StructsAndPointers)
+{
+    Outcome o = runRef(R"(
+#include <stddef.h>
+struct node { int value; struct node *next; };
+int main(void) {
+    struct node a, b;
+    a.value = 1; a.next = &b;
+    b.value = 2; b.next = 0;
+    int sum = 0;
+    for (struct node *n = &a; n; n = n->next) sum += n->value;
+    return sum + (int)offsetof(struct node, value);
+}
+)");
+    EXPECT_EQ(o.exitCode, 3) << o.summary();
+}
+
+TEST(Interpreter, IntrinsicsBasics)
+{
+    Outcome o = runRef(R"(
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x[4];
+    int *p = &x[0];
+    assert(cheri_tag_get(p));
+    assert(cheri_length_get(p) == 4 * sizeof(int));
+    assert(cheri_address_get(p) == cheri_base_get(p));
+    int *q = cheri_bounds_set(p, sizeof(int));
+    assert(cheri_length_get(q) == sizeof(int));
+    assert(cheri_tag_get(q));
+    int *r = cheri_tag_clear(p);
+    assert(!cheri_tag_get(r));
+    return 0;
+}
+)");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+    EXPECT_EQ(o.exitCode, 0);
+}
+
+TEST(Interpreter, AppendixABitwiseExample)
+{
+    // The Appendix A test: cap & INT_MAX truncates the address below
+    // the stack allocation -> non-representable in the abstract
+    // machine -> ghost "[?-?] (notag)".
+    Outcome o = runRef(R"(
+#include <stdint.h>
+#include <stdio.h>
+#include <limits.h>
+int main(void) {
+    int x[2]={42,43};
+    intptr_t ip = (intptr_t)&x;
+    print_cap("cap", (void*)ip);
+    intptr_t ip2 = ip & UINT_MAX;
+    print_cap("cap&uint", (void*)ip2);
+    intptr_t ip3 = ip & INT_MAX;
+    print_cap("cap&int", (void*)ip3);
+}
+)");
+    EXPECT_EQ(o.kind, Outcome::Kind::Exit) << o.summary();
+    // The first line shows a healthy capability; the cap&int line
+    // must show unspecified bounds and a cleared tag.
+    EXPECT_NE(o.output.find("cap ("), std::string::npos) << o.output;
+    EXPECT_NE(o.output.find("cap&int (@empty, "), std::string::npos)
+        << o.output;
+    EXPECT_NE(o.output.find("[?-?]"), std::string::npos) << o.output;
+    EXPECT_NE(o.output.find("(notag)"), std::string::npos) << o.output;
+}
+
+} // namespace
+} // namespace cherisem::driver

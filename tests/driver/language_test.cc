@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Language-breadth tests for the executable semantics: each test
+ * runs a complete MiniC program under the reference profile and
+ * checks its observable behaviour (exit code / output / UB).
+ */
+#include <gtest/gtest.h>
+
+#include "driver/interpreter.h"
+
+namespace cherisem::driver {
+namespace {
+
+using corelang::Outcome;
+
+int
+runExit(const std::string &src)
+{
+    RunResult r = runSource(src, referenceProfile());
+    EXPECT_FALSE(r.frontendError) << r.frontendMessage;
+    EXPECT_EQ(r.outcome.kind, Outcome::Kind::Exit)
+        << r.outcome.summary();
+    return r.outcome.exitCode;
+}
+
+std::string
+runOutput(const std::string &src)
+{
+    RunResult r = runSource(src, referenceProfile());
+    EXPECT_FALSE(r.frontendError) << r.frontendMessage;
+    EXPECT_EQ(r.outcome.kind, Outcome::Kind::Exit)
+        << r.outcome.summary();
+    return r.outcome.output;
+}
+
+TEST(Language, Recursion)
+{
+    EXPECT_EQ(runExit(R"(
+int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+int main(void) { return fact(5); }
+)"),
+              120);
+}
+
+TEST(Language, MutualRecursion)
+{
+    EXPECT_EQ(runExit(R"(
+int isOdd(int n);
+int isEven(int n) { return n == 0 ? 1 : isOdd(n - 1); }
+int isOdd(int n) { return n == 0 ? 0 : isEven(n - 1); }
+int main(void) { return isEven(10) * 10 + isOdd(7); }
+)"),
+              11);
+}
+
+TEST(Language, ShadowingAndScopes)
+{
+    EXPECT_EQ(runExit(R"(
+int x = 1;
+int main(void) {
+    int r = x;          /* global: 1 */
+    int x = 10;
+    r += x;             /* local: 10 */
+    {
+        int x = 100;
+        r += x;         /* inner: 100 */
+    }
+    r += x;             /* back to local: 10 */
+    return r;           /* 121 */
+}
+)"),
+              121);
+}
+
+TEST(Language, CompoundAssignOperators)
+{
+    EXPECT_EQ(runExit(R"(
+int main(void) {
+    int v = 7;
+    v += 3;   /* 10 */
+    v -= 2;   /* 8 */
+    v *= 5;   /* 40 */
+    v /= 3;   /* 13 */
+    v %= 8;   /* 5 */
+    v <<= 3;  /* 40 */
+    v >>= 1;  /* 20 */
+    v |= 3;   /* 23 */
+    v &= 29;  /* 21 */
+    v ^= 2;   /* 23 */
+    return v;
+}
+)"),
+              23);
+}
+
+TEST(Language, PrePostIncrement)
+{
+    EXPECT_EQ(runExit(R"(
+int main(void) {
+    int i = 5;
+    int a = i++;   /* a=5, i=6 */
+    int b = ++i;   /* b=7, i=7 */
+    int c = i--;   /* c=7, i=6 */
+    int d = --i;   /* d=5, i=5 */
+    return a + b + c + d + i; /* 29 */
+}
+)"),
+              29);
+}
+
+TEST(Language, PointerIncrementWalksArray)
+{
+    EXPECT_EQ(runExit(R"(
+int main(void) {
+    int a[5];
+    for (int i = 0; i < 5; i++) a[i] = i * i;
+    int *p = a;
+    int sum = 0;
+    for (int i = 0; i < 5; i++) sum += *p++;
+    return sum; /* 0+1+4+9+16 = 30 */
+}
+)"),
+              30);
+}
+
+TEST(Language, StructByValueCopy)
+{
+    EXPECT_EQ(runExit(R"(
+struct pair { int a; int b; };
+struct pair swap(struct pair p) {
+    struct pair q;
+    q.a = p.b;
+    q.b = p.a;
+    return q;
+}
+int main(void) {
+    struct pair p;
+    p.a = 3; p.b = 4;
+    struct pair q = swap(p);
+    return q.a * 10 + q.b; /* 43 */
+}
+)"),
+              43);
+}
+
+TEST(Language, StructAssignmentCopiesCaps)
+{
+    EXPECT_EQ(runExit(R"(
+struct holder { int *p; };
+int main(void) {
+    int x = 9;
+    struct holder a;
+    a.p = &x;
+    struct holder b;
+    b = a;
+    return *b.p;
+}
+)"),
+              9);
+}
+
+TEST(Language, UnionWholeCopyPreservesCap)
+{
+    EXPECT_EQ(runExit(R"(
+#include <stdint.h>
+union u { int *p; uintptr_t v; };
+int main(void) {
+    int x = 6;
+    union u a;
+    a.p = &x;
+    union u b = a;     /* representation copy, tag preserved */
+    return *b.p;
+}
+)"),
+              6);
+}
+
+TEST(Language, EnumsAndTypedefs)
+{
+    EXPECT_EQ(runExit(R"(
+typedef enum { OK = 0, WARN = 3, FAIL = 7 } status_t;
+typedef int (*handler_t)(int);
+int twice(int v) { return 2 * v; }
+int main(void) {
+    status_t s = WARN;
+    handler_t h = twice;
+    return h(s) + FAIL; /* 13 */
+}
+)"),
+              13);
+}
+
+TEST(Language, TernaryAndLogicalShortCircuit)
+{
+    EXPECT_EQ(runExit(R"(
+int side = 0;
+int bump(void) { side++; return 1; }
+int main(void) {
+    int a = 0 && bump();  /* bump not called */
+    int b = 1 || bump();  /* bump not called */
+    int c = 1 && bump();  /* called */
+    return side * 100 + a * 10 + b + c; /* 102 */
+}
+)"),
+              102);
+}
+
+TEST(Language, CommaOperatorAndForSteps)
+{
+    EXPECT_EQ(runExit(R"(
+int main(void) {
+    int i, j, acc = 0;
+    for (i = 0, j = 10; i < j; i++, j--) acc++;
+    return acc; /* 5 */
+}
+)"),
+              5);
+}
+
+TEST(Language, MultiDimensionalArrays)
+{
+    EXPECT_EQ(runExit(R"(
+int main(void) {
+    int m[3][4];
+    for (int r = 0; r < 3; r++)
+        for (int c = 0; c < 4; c++)
+            m[r][c] = r * 4 + c;
+    int sum = 0;
+    for (int r = 0; r < 3; r++)
+        for (int c = 0; c < 4; c++)
+            sum += m[r][c];
+    return sum; /* 66 */
+}
+)"),
+              66);
+}
+
+TEST(Language, StringWalk)
+{
+    EXPECT_EQ(runExit(R"(
+#include <string.h>
+int main(void) {
+    char s[] = "hello";
+    int vowels = 0;
+    for (unsigned i = 0; i < strlen(s); i++) {
+        char c = s[i];
+        if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u')
+            vowels++;
+    }
+    return vowels;
+}
+)"),
+              2);
+}
+
+TEST(Language, PrintfFormats)
+{
+    EXPECT_EQ(runOutput(R"(
+#include <stdio.h>
+int main(void) {
+    printf("%d|%u|%x|%c|%s|%%\n", -12, 34u, 0xabc, 'Z', "ok");
+    printf("%ld %lu %zu\n", -5l, 6ul, sizeof(int));
+    return 0;
+}
+)"),
+              "-12|34|abc|Z|ok|%\n-5 6 4\n");
+}
+
+TEST(Language, ExitBuiltin)
+{
+    RunResult r = runSource(R"(
+#include <stdlib.h>
+int main(void) {
+    exit(42);
+    return 0; /* unreachable */
+}
+)",
+                            referenceProfile());
+    EXPECT_EQ(r.outcome.kind, Outcome::Kind::Exit);
+    EXPECT_EQ(r.outcome.exitCode, 42);
+}
+
+TEST(Language, AssertFailureReported)
+{
+    RunResult r = runSource(
+        "#include <assert.h>\nint main(void) { assert(1 == 2); }",
+        referenceProfile());
+    EXPECT_EQ(r.outcome.kind, Outcome::Kind::AssertFail);
+}
+
+TEST(Language, AbortReported)
+{
+    RunResult r = runSource(
+        "#include <stdlib.h>\nint main(void) { abort(); }",
+        referenceProfile());
+    EXPECT_EQ(r.outcome.kind, Outcome::Kind::AssertFail);
+}
+
+TEST(Language, DivisionByZeroIsUb)
+{
+    RunResult r = runSource(
+        "int main(void) { int z = 0; return 5 / z; }",
+        referenceProfile());
+    EXPECT_TRUE(r.outcome.isUb(mem::Ub::DivisionByZero));
+}
+
+TEST(Language, SignedOverflowIsUb)
+{
+    RunResult r = runSource(R"(
+#include <limits.h>
+int main(void) { int x = INT_MAX; return x + 1; }
+)",
+                            referenceProfile());
+    EXPECT_TRUE(r.outcome.isUb(mem::Ub::SignedOverflow));
+}
+
+TEST(Language, UnsignedWraps)
+{
+    EXPECT_EQ(runExit(R"(
+int main(void) {
+    unsigned x = 0;
+    x = x - 1;           /* wraps to UINT_MAX */
+    return x == 4294967295u ? 0 : 1;
+}
+)"),
+              0);
+}
+
+TEST(Language, ShiftOutOfRangeIsUb)
+{
+    RunResult r = runSource(
+        "int main(void) { int x = 1; int s = 33; return x << s; }",
+        referenceProfile());
+    EXPECT_TRUE(r.outcome.isUb(mem::Ub::ShiftOutOfRange));
+}
+
+TEST(Language, InfiniteLoopHitsStepLimit)
+{
+    const Profile &ref = referenceProfile();
+    RunResult r = runSource("int main(void) { for(;;){} }", ref);
+    EXPECT_EQ(r.outcome.kind, Outcome::Kind::Error);
+}
+
+TEST(Language, DeepRecursionHitsDepthLimit)
+{
+    RunResult r = runSource(
+        "int f(int n) { return f(n + 1); }\n"
+        "int main(void) { return f(0); }",
+        referenceProfile());
+    EXPECT_EQ(r.outcome.kind, Outcome::Kind::Error);
+}
+
+TEST(Language, FloatArithmetic)
+{
+    EXPECT_EQ(runExit(R"(
+int main(void) {
+    double d = 1.5;
+    d = d * 4.0 + 0.25;  /* 6.25 */
+    float f = 0.5f;
+    return (int)(d + f); /* 6 */
+}
+)"),
+              6);
+}
+
+TEST(Language, CheriotProfileRunsPortableCode)
+{
+    const Profile *p = findProfile("cerberus-cheriot");
+    ASSERT_NE(p, nullptr);
+    RunResult r = runSource(R"(
+#include <stdint.h>
+int main(void) {
+    int a[4];
+    uintptr_t u = (uintptr_t)a;
+    u += 2 * sizeof(int);
+    int *q = (int*)u;
+    a[2] = 5;
+    return *q;
+}
+)",
+                            *p);
+    EXPECT_EQ(r.outcome.kind, Outcome::Kind::Exit)
+        << r.outcome.summary();
+    EXPECT_EQ(r.outcome.exitCode, 5);
+}
+
+TEST(Language, SwitchBasics)
+{
+    EXPECT_EQ(runExit(R"(
+int classify(int v) {
+    switch (v) {
+      case 0:
+        return 10;
+      case 1:
+      case 2:
+        return 20;
+      default:
+        return 30;
+    }
+}
+int main(void) {
+    return classify(0) + classify(1) + classify(2) + classify(9);
+}
+)"),
+              80);
+}
+
+TEST(Language, SwitchFallthroughAndBreak)
+{
+    EXPECT_EQ(runExit(R"(
+int main(void) {
+    int acc = 0;
+    switch (2) {
+      case 1:
+        acc += 1;
+      case 2:
+        acc += 10;   /* entry */
+      case 3:
+        acc += 100;  /* fallthrough */
+        break;
+      case 4:
+        acc += 1000; /* not reached */
+    }
+    return acc; /* 110 */
+}
+)"),
+              110);
+}
+
+TEST(Language, SwitchOnEnum)
+{
+    EXPECT_EQ(runExit(R"(
+enum kind { A, B, C };
+int main(void) {
+    enum kind k = B;
+    switch (k) {
+      case A: return 1;
+      case B: return 2;
+      case C: return 3;
+    }
+    return 0;
+}
+)"),
+              2);
+}
+
+TEST(Language, SwitchNoMatchNoDefault)
+{
+    EXPECT_EQ(runExit(R"(
+int main(void) {
+    switch (42) {
+      case 1: return 1;
+    }
+    return 7;
+}
+)"),
+              7);
+}
+
+TEST(Language, StaticLocalPersists)
+{
+    EXPECT_EQ(runExit(R"(
+int counter(void) {
+    static int n = 0;
+    n++;
+    return n;
+}
+int main(void) {
+    counter();
+    counter();
+    return counter(); /* 3 */
+}
+)"),
+              3);
+}
+
+TEST(Language, StaticLocalCapability)
+{
+    EXPECT_EQ(runExit(R"(
+int *stash(int *p) {
+    static int *saved = 0;
+    if (p) saved = p;
+    return saved;
+}
+int main(void) {
+    int x = 8;
+    stash(&x);
+    int *back = stash(0);
+    return *back;
+}
+)"),
+              8);
+}
+
+} // namespace
+} // namespace cherisem::driver

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the MiniC lexer and parser: token classes, the
+ * mini-preprocessor, declarator composition (function pointers,
+ * arrays of pointers), and statement/expression structure.
+ */
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+
+namespace cherisem::frontend {
+namespace {
+
+using ctype::IntKind;
+using ctype::Type;
+
+TEST(Lexer, BasicTokens)
+{
+    auto toks = lex("int x = 42; // comment\n/* block */ x += 0x1f;",
+                    "t");
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "x");
+    EXPECT_EQ(toks[2].kind, Tok::Assign);
+    EXPECT_EQ(toks[3].kind, Tok::IntLit);
+    EXPECT_EQ(toks[3].intValue, 42u);
+    EXPECT_EQ(toks[6].kind, Tok::PlusAssign);
+    EXPECT_EQ(toks[7].intValue, 0x1fu);
+}
+
+TEST(Lexer, LiteralsAndSuffixes)
+{
+    auto toks = lex("0 1U 2L 3UL '\\n' 'a' \"hi\\t\" 1.5 077", "t");
+    EXPECT_EQ(toks[0].intValue, 0u);
+    EXPECT_TRUE(toks[1].litUnsigned);
+    EXPECT_TRUE(toks[2].litLong);
+    EXPECT_TRUE(toks[3].litUnsigned);
+    EXPECT_TRUE(toks[3].litLong);
+    EXPECT_EQ(toks[4].intValue, uint64_t('\n'));
+    EXPECT_EQ(toks[5].intValue, uint64_t('a'));
+    EXPECT_EQ(toks[6].text, "hi\t");
+    EXPECT_DOUBLE_EQ(toks[7].floatValue, 1.5);
+    EXPECT_EQ(toks[8].intValue, 077u);
+}
+
+TEST(Lexer, PredefinedMacros)
+{
+    auto toks = lex("INT_MAX", "t");
+    ASSERT_GE(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::IntLit);
+    EXPECT_EQ(toks[0].intValue, 2147483647u);
+}
+
+TEST(Lexer, UserDefine)
+{
+    auto toks = lex("#define N 10\nint a[N];", "t");
+    bool saw_ten = false;
+    for (const Token &t : toks) {
+        if (t.kind == Tok::IntLit && t.intValue == 10)
+            saw_ten = true;
+    }
+    EXPECT_TRUE(saw_ten);
+}
+
+TEST(Lexer, IncludesSkipped)
+{
+    auto toks = lex("#include <stdio.h>\n#include \"x.h\"\nint x;",
+                    "t");
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+}
+
+TEST(Lexer, ErrorOnBadChar)
+{
+    EXPECT_THROW(lex("int $x;", "t"), FrontendError);
+}
+
+TEST(Parser, GlobalAndFunction)
+{
+    TranslationUnit tu = parse("int g = 1;\nint main(void) "
+                               "{ return g; }",
+                               "t");
+    ASSERT_EQ(tu.globals.size(), 1u);
+    EXPECT_EQ(tu.globals[0].name, "g");
+    EXPECT_TRUE(tu.globals[0].hasInit);
+    ASSERT_EQ(tu.functions.size(), 1u);
+    EXPECT_EQ(tu.functions[0].name, "main");
+    EXPECT_TRUE(tu.functions[0].body != nullptr);
+    EXPECT_TRUE(tu.functions[0].type->isFunction());
+}
+
+TEST(Parser, DeclaratorComposition)
+{
+    TranslationUnit tu = parse(R"(
+int *array_of_ptrs[3];
+int (*ptr_to_array)[3];
+int (*fnptr)(int, char*);
+int (*fnptr_array[2])(void);
+)",
+                               "t");
+    ASSERT_EQ(tu.globals.size(), 4u);
+
+    const auto &aop = tu.globals[0].type;
+    ASSERT_TRUE(aop->isArray());
+    EXPECT_TRUE(aop->element->isPointer());
+
+    const auto &pta = tu.globals[1].type;
+    ASSERT_TRUE(pta->isPointer());
+    EXPECT_TRUE(pta->pointee->isArray());
+    EXPECT_EQ(pta->pointee->arraySize, 3u);
+
+    const auto &fp = tu.globals[2].type;
+    ASSERT_TRUE(fp->isPointer());
+    ASSERT_TRUE(fp->pointee->isFunction());
+    EXPECT_EQ(fp->pointee->params.size(), 2u);
+    EXPECT_TRUE(fp->pointee->params[1]->isPointer());
+
+    const auto &fpa = tu.globals[3].type;
+    ASSERT_TRUE(fpa->isArray());
+    EXPECT_TRUE(fpa->element->isPointer());
+    EXPECT_TRUE(fpa->element->pointee->isFunction());
+}
+
+TEST(Parser, TypedefsAndBuiltinsResolve)
+{
+    TranslationUnit tu = parse(R"(
+typedef unsigned long word_t;
+typedef struct point { int x; int y; } point_t;
+word_t w;
+point_t p;
+uintptr_t u;
+ptraddr_t a;
+)",
+                               "t");
+    ASSERT_EQ(tu.globals.size(), 4u);
+    EXPECT_EQ(tu.globals[0].type->intKind, IntKind::ULong);
+    EXPECT_TRUE(tu.globals[1].type->isStructOrUnion());
+    EXPECT_EQ(tu.globals[2].type->intKind, IntKind::Uintptr);
+    EXPECT_EQ(tu.globals[3].type->intKind, IntKind::Ptraddr);
+}
+
+TEST(Parser, StructMembersRecorded)
+{
+    TranslationUnit tu = parse(
+        "struct node { int v; struct node *next; };\n"
+        "struct node n;",
+        "t");
+    ASSERT_EQ(tu.globals.size(), 1u);
+    const ctype::TagDef &def =
+        tu.tags.get(tu.globals[0].type->tag);
+    ASSERT_EQ(def.members.size(), 2u);
+    EXPECT_EQ(def.members[0].name, "v");
+    EXPECT_EQ(def.members[1].name, "next");
+    EXPECT_TRUE(def.members[1].type->isPointer());
+    // Recursive: the pointee is the same tag.
+    EXPECT_EQ(def.members[1].type->pointee->tag,
+              tu.globals[0].type->tag);
+}
+
+TEST(Parser, EnumConstants)
+{
+    TranslationUnit tu =
+        parse("enum color { RED, GREEN = 5, BLUE };\nint x;", "t");
+    EXPECT_EQ(tu.enumConstants.at("RED"), 0);
+    EXPECT_EQ(tu.enumConstants.at("GREEN"), 5);
+    EXPECT_EQ(tu.enumConstants.at("BLUE"), 6);
+}
+
+TEST(Parser, ExpressionPrecedence)
+{
+    TranslationUnit tu = parse(
+        "int f(void) { return 1 + 2 * 3 < 7 && 4 | 1; }", "t");
+    const Stmt &ret = *tu.functions[0].body->body[0];
+    ASSERT_EQ(ret.kind, Stmt::Kind::Return);
+    // Top node: &&
+    EXPECT_EQ(ret.expr->binop, BinOp::LogAnd);
+    // Left of &&: <
+    EXPECT_EQ(ret.expr->lhs->binop, BinOp::Lt);
+    // Left of <: +, whose rhs is *
+    EXPECT_EQ(ret.expr->lhs->lhs->binop, BinOp::Add);
+    EXPECT_EQ(ret.expr->lhs->lhs->rhs->binop, BinOp::Mul);
+    // Right of &&: |
+    EXPECT_EQ(ret.expr->rhs->binop, BinOp::BitOr);
+}
+
+TEST(Parser, CastVsParenExpr)
+{
+    TranslationUnit tu = parse(R"(
+int f(int x) {
+    int a = (int)x;
+    int b = (x) + 1;
+    int *p = (int*)(long)x;
+    return a + b + (p != 0);
+}
+)",
+                               "t");
+    const auto &body = tu.functions[0].body->body;
+    EXPECT_EQ(body[0]->decls[0].init.expr->kind, Expr::Kind::Cast);
+    EXPECT_EQ(body[1]->decls[0].init.expr->kind, Expr::Kind::Binary);
+    const Expr &pc = *body[2]->decls[0].init.expr;
+    EXPECT_EQ(pc.kind, Expr::Kind::Cast);
+    EXPECT_EQ(pc.lhs->kind, Expr::Kind::Cast);
+}
+
+TEST(Parser, SizeofForms)
+{
+    TranslationUnit tu = parse(R"(
+int f(void) {
+    int a[4];
+    return sizeof(int) + sizeof a + sizeof(a[0]);
+}
+)",
+                               "t");
+    const Expr &sum = *tu.functions[0].body->body[1]->expr;
+    EXPECT_EQ(sum.kind, Expr::Kind::Binary);
+    EXPECT_EQ(sum.lhs->lhs->kind, Expr::Kind::SizeofType);
+    EXPECT_EQ(sum.lhs->rhs->kind, Expr::Kind::SizeofExpr);
+    EXPECT_EQ(sum.rhs->kind, Expr::Kind::SizeofExpr);
+}
+
+TEST(Parser, ControlFlowStatements)
+{
+    TranslationUnit tu = parse(R"(
+int f(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        if (i == 3) continue;
+        acc += i;
+    }
+    while (acc > 100) acc -= 10;
+    do { acc++; } while (acc < 0);
+    return acc;
+}
+)",
+                               "t");
+    const auto &body = tu.functions[0].body->body;
+    EXPECT_EQ(body[1]->kind, Stmt::Kind::For);
+    EXPECT_EQ(body[2]->kind, Stmt::Kind::While);
+    EXPECT_EQ(body[3]->kind, Stmt::Kind::DoWhile);
+}
+
+TEST(Parser, InitializerLists)
+{
+    TranslationUnit tu = parse(
+        "int a[3] = {1, 2, 3};\n"
+        "struct p { int x; int y; };\n"
+        "struct p s = {4, 5};\n"
+        "int m[2][2] = {{1,2},{3,4}};",
+        "t");
+    EXPECT_TRUE(tu.globals[0].init.isList);
+    EXPECT_EQ(tu.globals[0].init.list.size(), 3u);
+    EXPECT_TRUE(tu.globals[1].init.isList);
+    EXPECT_TRUE(tu.globals[2].init.list[0].isList);
+}
+
+TEST(Parser, OffsetofSpecialForm)
+{
+    TranslationUnit tu = parse(
+        "struct s { int a; int b; };\n"
+        "int f(void) { return offsetof(struct s, b); }",
+        "t");
+    const Expr &e = *tu.functions[0].body->body[0]->expr;
+    EXPECT_EQ(e.kind, Expr::Kind::OffsetOf);
+    EXPECT_EQ(e.text, "b");
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parse("int f(void) { return 1 }", "t"),
+                 FrontendError);
+    EXPECT_THROW(parse("int = 3;", "t"), FrontendError);
+    EXPECT_THROW(parse("int f(void) { x + ; }", "t"),
+                 FrontendError);
+}
+
+TEST(Parser, PrototypesAndVariadic)
+{
+    TranslationUnit tu = parse(
+        "int callee(int a, ...);\n"
+        "void nop(void);\n"
+        "int main(void) { return 0; }",
+        "t");
+    ASSERT_EQ(tu.functions.size(), 3u);
+    EXPECT_TRUE(tu.functions[0].type->variadic);
+    EXPECT_EQ(tu.functions[0].body, nullptr);
+    EXPECT_EQ(tu.functions[1].type->params.size(), 0u);
+}
+
+} // namespace
+} // namespace cherisem::frontend

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the intrinsics registry and its type-derivation DSL
+ * (section 4.5): lookup, unification of capability-type variables,
+ * rejection of ill-typed calls.
+ */
+#include <gtest/gtest.h>
+
+#include "intrinsics/intrinsics.h"
+
+namespace cherisem::intrinsics {
+namespace {
+
+using ctype::IntKind;
+using ctype::intType;
+using ctype::pointerTo;
+using ctype::TypeRef;
+using ctype::voidType;
+
+const ctype::MachineLayout MORELLO{16, 8};
+
+TEST(Intrinsics, LookupKnownNames)
+{
+    EXPECT_TRUE(lookupBuiltin("malloc").has_value());
+    EXPECT_TRUE(lookupBuiltin("cheri_tag_get").has_value());
+    EXPECT_TRUE(lookupBuiltin("cheri_bounds_set").has_value());
+    EXPECT_TRUE(lookupBuiltin("cheri_is_equal_exact").has_value());
+    EXPECT_TRUE(lookupBuiltin("printf").has_value());
+    EXPECT_FALSE(lookupBuiltin("nonexistent_fn").has_value());
+}
+
+TEST(Intrinsics, PolymorphicReturnFollowsArgument)
+{
+    auto sig = lookupBuiltin("cheri_bounds_set");
+    ASSERT_TRUE(sig);
+    // With a pointer argument...
+    TypeRef ip = pointerTo(intType(IntKind::Int));
+    auto r1 = resolveBuiltin(*sig, {ip, intType(IntKind::ULong)},
+                             MORELLO);
+    ASSERT_TRUE(r1.ok()) << r1.error();
+    EXPECT_TRUE(ctype::sameType(r1.value().ret, ip));
+    // ...and with uintptr_t.
+    TypeRef up = intType(IntKind::Uintptr);
+    auto r2 = resolveBuiltin(*sig, {up, intType(IntKind::ULong)},
+                             MORELLO);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_TRUE(ctype::sameType(r2.value().ret, up));
+}
+
+TEST(Intrinsics, CapVarRejectsPlainInteger)
+{
+    auto sig = lookupBuiltin("cheri_tag_get");
+    ASSERT_TRUE(sig);
+    auto r = resolveBuiltin(*sig, {intType(IntKind::Int)}, MORELLO);
+    EXPECT_FALSE(r.ok());
+    auto r2 = resolveBuiltin(*sig, {intType(IntKind::Ptraddr)},
+                             MORELLO);
+    EXPECT_FALSE(r2.ok()) << "ptraddr_t carries no capability";
+}
+
+TEST(Intrinsics, DistinctCapVarsAllowMixedTypes)
+{
+    // cheri_is_equal_exact(C0, C1): a pointer and a uintptr_t can be
+    // compared (paper: "pointers or (u)intptr_t").
+    auto sig = lookupBuiltin("cheri_is_equal_exact");
+    ASSERT_TRUE(sig);
+    auto r = resolveBuiltin(
+        *sig,
+        {pointerTo(intType(IntKind::Int)), intType(IntKind::Uintptr)},
+        MORELLO);
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(r.value().ret->intKind, IntKind::Bool);
+}
+
+TEST(Intrinsics, SameCapVarUnifiesSeal)
+{
+    // cheri_seal(C0, C1) returns C0.
+    auto sig = lookupBuiltin("cheri_seal");
+    ASSERT_TRUE(sig);
+    TypeRef ip = pointerTo(intType(IntKind::Int));
+    TypeRef vp = pointerTo(voidType());
+    auto r = resolveBuiltin(*sig, {ip, vp}, MORELLO);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(ctype::sameType(r.value().ret, ip));
+}
+
+TEST(Intrinsics, ArraysDecayInCapVars)
+{
+    auto sig = lookupBuiltin("cheri_length_get");
+    ASSERT_TRUE(sig);
+    TypeRef arr = ctype::arrayOf(intType(IntKind::Int), 4);
+    auto r = resolveBuiltin(*sig, {arr}, MORELLO);
+    ASSERT_TRUE(r.ok()) << r.error();
+}
+
+TEST(Intrinsics, ArityChecked)
+{
+    auto sig = lookupBuiltin("cheri_address_set");
+    ASSERT_TRUE(sig);
+    auto r = resolveBuiltin(*sig, {pointerTo(voidType())}, MORELLO);
+    EXPECT_FALSE(r.ok());
+    auto r2 = resolveBuiltin(*sig,
+                             {pointerTo(voidType()),
+                              intType(IntKind::Ptraddr),
+                              intType(IntKind::Int)},
+                             MORELLO);
+    EXPECT_FALSE(r2.ok());
+}
+
+TEST(Intrinsics, VariadicPrintfAcceptsExtras)
+{
+    auto sig = lookupBuiltin("printf");
+    ASSERT_TRUE(sig);
+    auto r = resolveBuiltin(
+        *sig,
+        {pointerTo(intType(IntKind::Char)), intType(IntKind::Int),
+         pointerTo(voidType())},
+        MORELLO);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Intrinsics, FixedSignatureTypes)
+{
+    auto sig = lookupBuiltin("cheri_representable_length");
+    ASSERT_TRUE(sig);
+    auto r = resolveBuiltin(*sig, {intType(IntKind::ULong)}, MORELLO);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().ret->intKind, IntKind::ULong);
+
+    auto ag = lookupBuiltin("cheri_address_get");
+    ASSERT_TRUE(ag);
+    auto r2 = resolveBuiltin(*ag, {pointerTo(voidType())}, MORELLO);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2.value().ret->intKind, IntKind::Ptraddr);
+}
+
+} // namespace
+} // namespace cherisem::intrinsics

@@ -1,0 +1,14 @@
+// @CATEGORY: Checking capability alignment in the memory
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Pointer (capability) alignment equals the capability size.
+#include <assert.h>
+int main(void) {
+    assert(_Alignof(int*) == sizeof(int*));
+    assert(_Alignof(void*) == sizeof(void*));
+    return 0;
+}

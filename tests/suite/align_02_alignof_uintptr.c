@@ -1,0 +1,16 @@
+// @CATEGORY: Checking capability alignment in the memory
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// (u)intptr_t is capability-sized and capability-aligned (s3.3).
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    assert(sizeof(uintptr_t) == sizeof(void*));
+    assert(sizeof(intptr_t) == sizeof(void*));
+    assert(_Alignof(uintptr_t) == _Alignof(void*));
+    return 0;
+}

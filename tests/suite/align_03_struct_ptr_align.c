@@ -1,0 +1,17 @@
+// @CATEGORY: Checking capability alignment in the memory
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// A struct containing a pointer is padded to capability alignment.
+#include <stdint.h>
+#include <stddef.h>
+#include <assert.h>
+struct s { char c; int *p; };
+int main(void) {
+    assert(offsetof(struct s, p) == sizeof(int*));
+    assert(sizeof(struct s) == 2 * sizeof(int*));
+    return 0;
+}

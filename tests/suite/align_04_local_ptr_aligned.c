@@ -1,0 +1,16 @@
+// @CATEGORY: Checking capability alignment in the memory
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The allocator places pointer variables at cap-aligned addresses.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int *p;
+    int **pp = &p;
+    assert(cheri_address_get(pp) % sizeof(int*) == 0);
+    return 0;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Checking capability alignment in the memory
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// malloc() results are capability-aligned so they can hold pointers.
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    void *p = malloc(3);
+    assert(cheri_address_get(p) % sizeof(void*) == 0);
+    free(p);
+    return 0;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: Checking capability alignment in the memory
+// @EXPECT: ub UB_misaligned_access
+// @EXPECT[clang-morello-O0]: ub UB_misaligned_access
+// @EXPECT[clang-riscv-O2]: ub UB_misaligned_access
+// @EXPECT[gcc-morello-O2]: ub UB_misaligned_access
+// @EXPECT[cerberus-cheriot]: ub UB_misaligned_access
+// @EXPECT[cheriot-temporal]: ub UB_misaligned_access
+#include <stdint.h>
+int main(void) {
+    char buf[64];
+    int **slot = (int**)(buf + 1);
+    int *p = *slot;
+    return p != 0;
+}

@@ -1,0 +1,20 @@
+// @CATEGORY: Checking capability alignment in the memory
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Each element of a pointer array sits on its own tag granule.
+#include <cheriintrin.h>
+#include <assert.h>
+int a, b;
+int *arr[2];
+int main(void) {
+    arr[0] = &a;
+    arr[1] = &b;
+    assert(cheri_address_get(&arr[1]) - cheri_address_get(&arr[0])
+           == sizeof(int*));
+    assert(cheri_tag_get(arr[0]) && cheri_tag_get(arr[1]));
+    return 0;
+}

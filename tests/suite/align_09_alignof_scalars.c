@@ -1,0 +1,17 @@
+// @CATEGORY: Checking capability alignment in the memory
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Non-capability scalars keep their natural (smaller) alignment.
+#include <assert.h>
+int main(void) {
+    assert(_Alignof(char) == 1);
+    assert(_Alignof(short) == 2);
+    assert(_Alignof(int) == 4);
+    assert(_Alignof(long) == 8);
+    assert(_Alignof(int) < _Alignof(int*));
+    return 0;
+}

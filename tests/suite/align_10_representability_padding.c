@@ -1,0 +1,23 @@
+// @CATEGORY: Checking capability alignment in the memory
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Large allocations are padded/aligned by the allocator so their
+// capability is exactly representable (s3.2, last paragraph).
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    size_t len = 123456;
+    char *p = malloc(len);
+    assert(cheri_tag_get(p));
+    assert(cheri_length_get(p) >= len);
+    assert(cheri_length_get(p) == cheri_representable_length(len));
+    assert((cheri_address_get(p) &
+            ~cheri_representable_alignment_mask(len)) == 0);
+    free(p);
+    return 0;
+}

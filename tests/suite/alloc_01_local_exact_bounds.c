@@ -1,0 +1,16 @@
+// @CATEGORY: Memory allocator interface (locals, globals, and heap)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// &local spans exactly the local's footprint (s3.1).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    assert(cheri_length_get(&x) == sizeof(int));
+    assert(cheri_base_get(&x) == cheri_address_get(&x));
+    return 0;
+}

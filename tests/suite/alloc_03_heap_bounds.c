@@ -1,0 +1,18 @@
+// @CATEGORY: Memory allocator interface (locals, globals, and heap)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// malloc returns a tagged capability spanning >= the request.
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char *p = malloc(40);
+    assert(cheri_tag_get(p));
+    assert(cheri_length_get(p) >= 40);
+    free(p);
+    return 0;
+}

@@ -1,0 +1,20 @@
+// @CATEGORY: Memory allocator interface (locals, globals, and heap)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Distinct live allocations never overlap.
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char *a = malloc(16);
+    char *b = malloc(16);
+    assert(cheri_base_get(a) + cheri_length_get(a) <= cheri_base_get(b)
+        || cheri_base_get(b) + cheri_length_get(b) <= cheri_base_get(a));
+    free(a);
+    free(b);
+    return 0;
+}

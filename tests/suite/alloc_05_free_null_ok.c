@@ -1,0 +1,12 @@
+// @CATEGORY: Memory allocator interface (locals, globals, and heap)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdlib.h>
+int main(void) {
+    free(0);
+    return 0;
+}

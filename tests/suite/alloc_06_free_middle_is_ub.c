@@ -1,0 +1,14 @@
+// @CATEGORY: Memory allocator interface (locals, globals, and heap)
+// @EXPECT: ub UB_free_invalid_pointer
+// @EXPECT[clang-morello-O0]: ub UB_free_invalid_pointer
+// @EXPECT[clang-riscv-O2]: ub UB_free_invalid_pointer
+// @EXPECT[gcc-morello-O2]: ub UB_free_invalid_pointer
+// @EXPECT[cerberus-cheriot]: ub UB_free_invalid_pointer
+// @EXPECT[cheriot-temporal]: ub UB_free_invalid_pointer
+// free() of a pointer into the middle of an allocation.
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(16);
+    free(p + 4);
+    return 0;
+}

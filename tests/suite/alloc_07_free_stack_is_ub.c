@@ -1,0 +1,13 @@
+// @CATEGORY: Memory allocator interface (locals, globals, and heap)
+// @EXPECT: ub UB_free_invalid_pointer
+// @EXPECT[clang-morello-O0]: ub UB_free_invalid_pointer
+// @EXPECT[clang-riscv-O2]: ub UB_free_invalid_pointer
+// @EXPECT[gcc-morello-O2]: ub UB_free_invalid_pointer
+// @EXPECT[cerberus-cheriot]: ub UB_free_invalid_pointer
+// @EXPECT[cheriot-temporal]: ub UB_free_invalid_pointer
+#include <stdlib.h>
+int main(void) {
+    int x;
+    free(&x);
+    return 0;
+}

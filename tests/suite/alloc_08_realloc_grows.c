@@ -1,0 +1,20 @@
+// @CATEGORY: Memory allocator interface (locals, globals, and heap)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// realloc preserves contents and re-derives a fresh capability.
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int *p = malloc(2 * sizeof(int));
+    p[0] = 11; p[1] = 22;
+    int *q = realloc(p, 8 * sizeof(int));
+    assert(q[0] == 11 && q[1] == 22);
+    assert(cheri_length_get(q) >= 8 * sizeof(int));
+    free(q);
+    return 0;
+}

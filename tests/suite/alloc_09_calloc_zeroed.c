@@ -1,0 +1,16 @@
+// @CATEGORY: Memory allocator interface (locals, globals, and heap)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdlib.h>
+#include <assert.h>
+int main(void) {
+    int *p = calloc(4, sizeof(int));
+    for (int i = 0; i < 4; i++)
+        assert(p[i] == 0);
+    free(p);
+    return 0;
+}

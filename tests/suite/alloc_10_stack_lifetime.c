@@ -1,0 +1,19 @@
+// @CATEGORY: Memory allocator interface (locals, globals, and heap)
+// @EXPECT: ub UB_access_dead_allocation
+// @EXPECT[clang-morello-O0]: exit 5
+// @EXPECT[clang-riscv-O2]: exit 5
+// @EXPECT[gcc-morello-O2]: exit 5
+// @EXPECT[cerberus-cheriot]: ub UB_access_dead_allocation
+// @EXPECT[cheriot-temporal]: exit 5
+// A pointer to a dead stack frame: the abstract machine flags the
+// temporal violation; hardware without temporal safety happily reads
+// the stale (still tagged) stack slot (s3, objective 3).
+int *escape(void) {
+    int local = 5;
+    int *p = &local;
+    return p;
+}
+int main(void) {
+    int *p = escape();
+    return *p;
+}

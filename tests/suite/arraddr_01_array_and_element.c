@@ -1,0 +1,17 @@
+// @CATEGORY: Capabilities produced by taking addresses of arrays and their elements
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// &arr and &arr[0] have the same address and the same (whole-array)
+// bounds: sub-object narrowing is off by default (s3.8).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int arr[4];
+    assert(cheri_address_get(&arr[0]) == cheri_address_get(arr));
+    assert(cheri_length_get(&arr[0]) == 4 * sizeof(int));
+    return 0;
+}

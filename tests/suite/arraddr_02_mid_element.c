@@ -1,0 +1,19 @@
+// @CATEGORY: Capabilities produced by taking addresses of arrays and their elements
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// &arr[k] keeps whole-array bounds with the address moved (s3.8).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int arr[4];
+    int *p = &arr[2];
+    assert(cheri_address_get(p) ==
+           cheri_address_get(arr) + 2 * sizeof(int));
+    assert(cheri_base_get(p) == cheri_address_get(arr));
+    assert(cheri_tag_get(p));
+    return 0;
+}

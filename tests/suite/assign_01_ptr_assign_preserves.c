@@ -1,0 +1,19 @@
+// @CATEGORY: Assigning constants and values of capability-carrying types to capability-typed variables
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Assignment copies the whole capability (tag, bounds, perms).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 3;
+    int *p = &x;
+    int *q;
+    q = p;
+    assert(cheri_is_equal_exact(p, q));
+    assert(*q == 3);
+    return 0;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: Assigning constants and values of capability-carrying types to capability-typed variables
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Integer constants become null-derived (untagged) capabilities.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    uintptr_t u = 0x1234;
+    assert(!cheri_tag_get(u));
+    assert(cheri_address_get(u) == 0x1234);
+    assert(u == 0x1234);
+    return 0;
+}

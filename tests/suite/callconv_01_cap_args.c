@@ -1,0 +1,18 @@
+// @CATEGORY: Issues related to calling convention: passing arguments, variable argument functions, etc.
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Capabilities pass through calls (including variadic printf) intact.
+#include <stdio.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int deref(int *p, int unused, char c) { (void)unused; (void)c; return *p; }
+int main(void) {
+    int x = 9;
+    assert(deref(&x, 1, 'a') == 9);
+    printf("%d\n", deref(&x, 2, 'b'));
+    return 0;
+}

@@ -1,0 +1,20 @@
+// @CATEGORY: Implicit/explicit casts between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Pointer -> uintptr_t -> pointer is a capability no-op (s3.3).
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 4;
+    int *p = &x;
+    uintptr_t u = (uintptr_t)p;
+    int *q = (int*)u;
+    assert(cheri_is_equal_exact(p, q));
+    assert(*q == 4);
+    return 0;
+}

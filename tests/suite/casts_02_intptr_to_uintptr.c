@@ -1,0 +1,20 @@
+// @CATEGORY: Implicit/explicit casts between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Casting between intptr_t and uintptr_t keeps the capability.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 0;
+    intptr_t i = (intptr_t)&x;
+    uintptr_t u = (uintptr_t)i;
+    intptr_t j = (intptr_t)u;
+    assert(cheri_tag_get(j));
+    assert(cheri_address_get(j) == cheri_address_get(i));
+    return 0;
+}

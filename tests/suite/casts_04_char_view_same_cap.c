@@ -1,0 +1,19 @@
+// @CATEGORY: Implicit/explicit casts between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// A char* view of an object keeps the same capability (no sub-object
+// narrowing, s3.8).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 0x01020304;
+    unsigned char *c = (unsigned char *)&x;
+    assert(cheri_base_get(c) == cheri_base_get(&x));
+    assert(cheri_length_get(c) == cheri_length_get(&x));
+    assert(c[0] == 0x04);
+    return 0;
+}

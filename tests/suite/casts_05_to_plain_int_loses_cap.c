@@ -1,0 +1,20 @@
+// @CATEGORY: Implicit/explicit casts between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Casting a pointer to a plain integer type keeps only the address;
+// casting back cannot rematerialise the capability (s3.3).
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 0;
+    long l = (long)&x;
+    int *q = (int*)l;
+    assert(!cheri_tag_get(q));
+    assert((long)cheri_address_get(q) == l);
+    return 0;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: C const modifier and its effects on capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Capabilities for const objects lack Store permission (s3.9).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    const int c = 1;
+    size_t perms = cheri_perms_get(&c);
+    int x = 1;
+    size_t wperms = cheri_perms_get(&x);
+    assert(perms != wperms);
+    return 0;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: C const modifier and its effects on capabilities
+// @EXPECT: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InsufficientPermissions
+// Casting away const does not restore Store permission (s3.9).
+int main(void) {
+    const int c = 5;
+    int *p = (int*)&c;
+    *p = 6;
+    return c;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: C const modifier and its effects on capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// ISO allows casting a non-const object's pointer to const and back,
+// then modifying; the casts are capability no-ops (s3.9).
+int main(void) {
+    int x = 1;
+    const int *cp = (const int *)&x;
+    int *p = (int*)cp;
+    *p = 2;
+    return x == 2 ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: C const modifier and its effects on capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+const int table[3] = {10, 20, 30};
+int main(void) {
+    int sum = 0;
+    for (int i = 0; i < 3; i++) sum += table[i];
+    assert(sum == 60);
+    return 0;
+}

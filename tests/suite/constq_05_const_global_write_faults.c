@@ -1,0 +1,12 @@
+// @CATEGORY: C const modifier and its effects on capabilities
+// @EXPECT: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InsufficientPermissions
+const int g = 3;
+int main(void) {
+    *(int*)&g = 4;
+    return g;
+}

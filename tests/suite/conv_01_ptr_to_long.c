@@ -1,0 +1,16 @@
+// @CATEGORY: Conversion between pointer and integer types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Pointer -> long keeps the address value (implementation-defined).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    long l = (long)&x;
+    assert((unsigned long)l == cheri_address_get(&x));
+    return 0;
+}

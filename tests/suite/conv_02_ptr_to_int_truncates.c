@@ -1,0 +1,17 @@
+// @CATEGORY: Conversion between pointer and integer types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Pointer -> int truncates the address (impl-defined, not UB).
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int i = (int)&x;
+    assert((unsigned)i == (unsigned)cheri_address_get(&x));
+    return 0;
+}

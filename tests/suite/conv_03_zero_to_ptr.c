@@ -1,0 +1,11 @@
+// @CATEGORY: Conversion between pointer and integer types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+int main(void) {
+    int *p = (int*)0;
+    return p == 0 ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Conversion between pointer and integer types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char c = 42;
+    int *p = (int*)(long)c;
+    assert(!cheri_tag_get(p));
+    assert(cheri_address_get(p) == 42);
+    return 0;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Conversion between pointer and integer types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int main(void) {
+    int x;
+    _Bool b1 = &x != 0;
+    int *n = 0;
+    _Bool b0 = n != 0;
+    assert(b1 == 1 && b0 == 0);
+    return 0;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: Conversion between pointer and integer types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// uintptr_t -> size_t drops the capability, keeps the value.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    uintptr_t u = (uintptr_t)&x;
+    size_t s = (size_t)u;
+    assert(s == cheri_address_get(&x));
+    return 0;
+}

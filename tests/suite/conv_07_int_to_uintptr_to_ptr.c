@@ -1,0 +1,14 @@
+// @CATEGORY: Conversion between pointer and integer types
+// @EXPECT: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// int -> uintptr_t -> pointer: null-derived all the way (s3.3).
+#include <stdint.h>
+int main(void) {
+    uintptr_t u = (uintptr_t)400;
+    int *p = (int*)u;
+    return *p;
+}

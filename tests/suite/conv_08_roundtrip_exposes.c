@@ -1,0 +1,17 @@
+// @CATEGORY: Conversion between pointer and integer types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Even a cast to a narrow integer exposes the allocation (PNVI-ae).
+#include <stdint.h>
+int main(void) {
+    static int x = 3;
+    unsigned u = (unsigned)(long)&x;    /* exposes x */
+    (void)u;
+    long full = (long)&x;               /* full address */
+    int *p = (int*)full;
+    return p == &x ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Conversion between pointer and integer types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Address arithmetic through ptraddr_t matches pointer subtraction.
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    int a[6];
+    assert((ptraddr_t)&a[4] - (ptraddr_t)&a[1] ==
+           (size_t)((&a[4]) - (&a[1])) * sizeof(int));
+    return 0;
+}

@@ -1,0 +1,19 @@
+// @CATEGORY: Equality between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// s3.6 option (3): == compares just the address fields.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 0;
+    int *p = &x;
+    int *q = cheri_tag_clear(p); /* same address, no tag */
+    assert(p == q);
+    assert(!cheri_is_equal_exact(p, q));
+    return 0;
+}

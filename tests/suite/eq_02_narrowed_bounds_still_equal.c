@@ -1,0 +1,18 @@
+// @CATEGORY: Equality between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Different bounds, same address: equal under ==.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[4];
+    int *p = &a[0];
+    int *q = cheri_bounds_set(p, sizeof(int));
+    assert(p == q);
+    assert(!cheri_is_equal_exact(p, q));
+    return 0;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Equality between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int *p = &x;
+    int *q = cheri_perms_and(p, 0);
+    assert(p == q);
+    assert(!cheri_is_equal_exact(p, q));
+    return 0;
+}

@@ -1,0 +1,21 @@
+// @CATEGORY: Equality between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: ub UB_signed_integer_overflow
+// @EXPECT[cheriot-temporal]: ub UB_signed_integer_overflow
+// cheri_is_equal_exact distinguishes the s3.7 derivation results.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 0, y = 0;
+    intptr_t a = (intptr_t)&x;
+    intptr_t b = (intptr_t)&y;
+    intptr_t c0 = a + b; /* derived from a */
+    intptr_t c1 = b + a; /* derived from b */
+    assert(c0 == c1);
+    assert(!cheri_is_equal_exact(c0, c1));
+    return 0;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Equality between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int main(void) {
+    int *p = 0;
+    assert(p == 0);
+    int x;
+    p = &x;
+    assert(p != 0);
+    return 0;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Equality between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// == between pointers to different objects is defined (no UB),
+// unlike relational comparison.
+int main(void) {
+    int x, y;
+    int *p = &x;
+    int *q = &y;
+    return p == q ? 1 : 0;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Equality between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int f(void) { return 1; }
+int g(void) { return 2; }
+int main(void) {
+    int (*pf)(void) = f;
+    int (*pg)(void) = g;
+    assert(pf == f);
+    assert(pf != pg);
+    return 0;
+}

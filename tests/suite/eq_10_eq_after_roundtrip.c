@@ -1,0 +1,18 @@
+// @CATEGORY: Equality between capability-carrying types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// An untagged integer-derived alias compares equal by address (s3.6).
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int *p = &x;
+    ptraddr_t a = (ptraddr_t)p;
+    int *q = (int*)(long)a;
+    assert(p == q);
+    return 0;
+}

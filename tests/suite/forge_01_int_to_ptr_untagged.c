@@ -1,0 +1,15 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// A pointer forged from a plain integer never has a tag.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int *p = (int*)(long)0x1000;
+    assert(!cheri_tag_get(p));
+    return 0;
+}

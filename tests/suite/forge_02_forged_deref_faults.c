@@ -1,0 +1,11 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+int main(void) {
+    int *p = (int*)(long)0x1000;
+    return *p;
+}

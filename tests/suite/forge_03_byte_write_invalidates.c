@@ -1,0 +1,18 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: ub UB_CHERI_UndefinedTag
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Overwriting one representation byte invalidates the capability:
+// ghost-unspecified tag in the abstract machine, deterministically
+// cleared on hardware (s3.5).
+int main(void) {
+    int x = 0;
+    int *px = &x;
+    unsigned char *p = (unsigned char *)&px;
+    p[0] = p[0] + 1;
+    *px = 1;
+    return x;
+}

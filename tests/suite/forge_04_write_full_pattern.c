@@ -1,0 +1,17 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: ub
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Writing a crafted 16-byte pattern cannot conjure a valid cap.
+#include <stdint.h>
+int main(void) {
+    int x = 1;
+    int *px = &x;
+    unsigned char *bytes = (unsigned char *)&px;
+    for (unsigned i = 0; i < sizeof(int*); i++)
+        bytes[i] = 0xff;
+    return *px;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Leak an address as an integer, rebuild a pointer elsewhere: the
+// address is right, the authority is gone.
+#include <stdint.h>
+long leak(int *p) { return (long)p; }
+int main(void) {
+    int secret = 99;
+    long addr = leak(&secret);
+    int *p = (int*)addr;
+    return *p;
+}

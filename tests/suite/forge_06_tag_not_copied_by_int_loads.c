@@ -1,0 +1,20 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: ub
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+// Copying a capability via two long loads/stores strips the tag
+// (long is half a capability).
+#include <stdint.h>
+int main(void) {
+    int x = 5;
+    int *src = &x;
+    int *dst;
+    long *s = (long *)&src;
+    long *d = (long *)&dst;
+    d[0] = s[0];
+    d[1] = s[1];
+    return *dst;
+}

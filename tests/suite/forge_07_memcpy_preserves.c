@@ -1,0 +1,17 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// ...but memcpy (cap-aligned) is the sanctioned way to move
+// capabilities (s3.5).
+#include <string.h>
+int main(void) {
+    int x = 5;
+    int *src = &x;
+    int *dst;
+    memcpy(&dst, &src, sizeof(int*));
+    return *dst == 5 ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: ub UB_CHERI_UndefinedTag
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// A partial memcpy of a capability behaves like any representation
+// access: ghost state, not a valid tag (s3.5).
+#include <string.h>
+int main(void) {
+    int x = 5;
+    int *src = &x;
+    int *dst = &x;
+    memcpy(&dst, &src, sizeof(int*) / 2);
+    return *dst;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Monotonicity: no sequence of operations can widen bounds.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[8];
+    int *narrow = cheri_bounds_set(a, sizeof(int));
+    int *wide = cheri_bounds_set(narrow, 8 * sizeof(int));
+    assert(!cheri_tag_get(wide));
+    return 0;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    const int c = 1;
+    const int *p = &c;
+    /* perms_and can only intersect; const cap never gains Store */
+    const int *q = cheri_perms_and(p, ~(size_t)0);
+    assert(cheri_perms_get(q) == cheri_perms_get(p));
+    return 0;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Type punning an integer into a pointer via a union yields an
+// untagged capability: the union preserves representation, not
+// authority.
+#include <stdint.h>
+union pun { long l[2]; int *p; };
+int main(void) {
+    union pun u;
+    u.l[0] = 0x4000;
+    u.l[1] = 0;
+    return *u.p;
+}

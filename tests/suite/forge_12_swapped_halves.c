@@ -1,0 +1,24 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: ub
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_read_uninitialized
+// @EXPECT[cheriot-temporal]: ub UB_null_pointer_dereference
+// Reassembling a capability from its own halves in the wrong order
+// does not validate.
+#include <string.h>
+int main(void) {
+    int x = 3;
+    int *p = &x;
+    unsigned char buf[sizeof(int*)];
+    memcpy(buf, &p, sizeof(int*));
+    /* swap the two 8-byte halves */
+    unsigned char tmp[8];
+    memcpy(tmp, buf, 8);
+    memcpy(buf, buf + 8, 8);
+    memcpy(buf + 8, tmp, 8);
+    int *q;
+    memcpy(&q, buf, sizeof(int*));
+    return *q;
+}

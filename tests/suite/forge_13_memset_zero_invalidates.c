@@ -1,0 +1,16 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: ub
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// memset over a stored capability: later use is UB (though storing
+// and loading the zeroed bytes as data stays fine, s3.5).
+#include <string.h>
+int main(void) {
+    int x = 2;
+    int *p = &x;
+    memset(&p, 0xab, sizeof(int*));
+    return *p;
+}

@@ -1,0 +1,24 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The s3.5 rationale: memzero'ing a region that held caps and
+// re-using it for data must stay legal.
+#include <string.h>
+#include <stdlib.h>
+int main(void) {
+    void **region = malloc(2 * sizeof(void*));
+    int x;
+    region[0] = &x;
+    region[1] = &x;
+    memset(region, 0, 2 * sizeof(void*));
+    long *ints = (long *)region;
+    ints[0] = 42;
+    ints[1] = 43;
+    long r = ints[0] + ints[1];
+    free(region);
+    return r == 85 ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+// @CATEGORY: Unforgeability enforcement for capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Round-tripping a capability through memory preserves the tag; the
+// tag lives out of band (s2.1).
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 1;
+    int **box = malloc(sizeof(int*));
+    *box = &x;
+    int *back = *box;
+    assert(cheri_tag_get(back));
+    assert(cheri_is_equal_exact(back, &x));
+    free(box);
+    return 0;
+}

@@ -1,0 +1,12 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+int twice(int v) { return 2 * v; }
+int main(void) {
+    int (*f)(int) = twice;
+    return f(21) == 42 ? 0 : 1;
+}

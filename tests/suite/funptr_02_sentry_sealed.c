@@ -1,0 +1,17 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Function pointers are sealed entry capabilities (s2.1).
+#include <cheriintrin.h>
+#include <assert.h>
+int f(void) { return 0; }
+int main(void) {
+    int (*p)(void) = f;
+    assert(cheri_tag_get(p));
+    assert(cheri_is_sealed(p));
+    return 0;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: ub
+// @EXPECT[clang-morello-O0]: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[clang-riscv-O2]: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[gcc-morello-O2]: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[cerberus-cheriot]: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[cheriot-temporal]: ub UB_out_of_bounds_pointer_arithmetic
+// Reading data through a function pointer is UB (sealed / no Load
+// semantics at the data level).
+int f(void) { return 0; }
+int main(void) {
+    unsigned char *p = (unsigned char *)f;
+    return p[0];
+}

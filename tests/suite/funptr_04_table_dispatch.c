@@ -1,0 +1,18 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+int main(void) {
+    int (*ops[3])(int, int) = {add, sub, mul};
+    assert(ops[0](4, 2) == 6);
+    assert(ops[1](4, 2) == 2);
+    assert(ops[2](4, 2) == 8);
+    return 0;
+}

@@ -1,0 +1,12 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+int inc(int v) { return v + 1; }
+int apply3(int (*f)(int), int v) { return f(f(f(v))); }
+int main(void) {
+    return apply3(inc, 0) == 3 ? 0 : 1;
+}

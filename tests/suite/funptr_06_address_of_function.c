@@ -1,0 +1,15 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int f(void) { return 5; }
+int main(void) {
+    int (*p)(void) = &f;
+    int (*q)(void) = f;
+    assert(p == q);
+    return p() == 5 ? 0 : 1;
+}

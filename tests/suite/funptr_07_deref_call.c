@@ -1,0 +1,12 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+int f(void) { return 7; }
+int main(void) {
+    int (*p)(void) = f;
+    return (*p)() == 7 ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+struct vtable { int (*get)(void); };
+int f(void) { return 3; }
+int main(void) {
+    struct vtable v;
+    v.get = f;
+    return v.get() == 3 ? 0 : 1;
+}

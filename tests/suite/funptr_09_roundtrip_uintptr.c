@@ -1,0 +1,18 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Function pointers survive the (u)intptr_t round trip as sentries.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int f(void) { return 4; }
+int main(void) {
+    uintptr_t u = (uintptr_t)f;
+    int (*p)(void) = (int(*)(void))u;
+    assert(cheri_is_sealed(p));
+    return p() == 4 ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Pointers to functions
+// @EXPECT: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Calling through a forged (untagged) code address traps.
+#include <stdint.h>
+int f(void) { return 0; }
+int main(void) {
+    uintptr_t u = (uintptr_t)f;
+    long raw = (long)u;                 /* strips the capability */
+    int (*p)(void) = (int(*)(void))raw; /* untagged */
+    return p();
+}

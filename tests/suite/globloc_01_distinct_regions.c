@@ -1,0 +1,17 @@
+// @CATEGORY: Pointers to global vs local variables
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Globals and locals live in different regions; both are tagged.
+#include <cheriintrin.h>
+#include <assert.h>
+int g;
+int main(void) {
+    int l;
+    assert(cheri_tag_get(&g) && cheri_tag_get(&l));
+    assert(cheri_address_get(&g) != cheri_address_get(&l));
+    return 0;
+}

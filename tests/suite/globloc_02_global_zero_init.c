@@ -1,0 +1,16 @@
+// @CATEGORY: Pointers to global vs local variables
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Static storage is zero-initialized; pointers become null.
+#include <assert.h>
+int g;
+int *gp;
+int main(void) {
+    assert(g == 0);
+    assert(gp == 0);
+    return 0;
+}

@@ -1,0 +1,13 @@
+// @CATEGORY: Pointers to global vs local variables
+// @EXPECT: ub UB_read_uninitialized
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: ub UB_read_uninitialized
+// @EXPECT[cheriot-temporal]: exit 0
+// Reading an uninitialized local is flagged by the reference
+// semantics (load rule 2g); hardware reads whatever is there.
+int main(void) {
+    int l;
+    return l == 0 ? 0 : 1;
+}

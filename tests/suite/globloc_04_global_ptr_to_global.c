@@ -1,0 +1,16 @@
+// @CATEGORY: Pointers to global vs local variables
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int g = 6;
+int *gp = &g;
+int main(void) {
+    assert(*gp == 6);
+    *gp = 7;
+    assert(g == 7);
+    return 0;
+}

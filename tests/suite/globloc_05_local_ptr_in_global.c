@@ -1,0 +1,15 @@
+// @CATEGORY: Pointers to global vs local variables
+// @EXPECT: ub UB_access_dead_allocation
+// @EXPECT[clang-morello-O0]: exit 3
+// @EXPECT[clang-riscv-O2]: exit 3
+// @EXPECT[gcc-morello-O2]: exit 3
+// @EXPECT[cerberus-cheriot]: ub UB_access_dead_allocation
+// @EXPECT[cheriot-temporal]: exit 3
+// Storing &local into a global and using it after return: temporal
+// violation in the abstract machine, stale read on hardware.
+int *gp;
+void f(void) { int l = 3; gp = &l; }
+int main(void) {
+    f();
+    return *gp;
+}

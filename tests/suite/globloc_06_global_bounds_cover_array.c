@@ -1,0 +1,15 @@
+// @CATEGORY: Pointers to global vs local variables
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int garr[16];
+int main(void) {
+    assert(cheri_length_get(garr) == 16 * sizeof(int));
+    garr[15] = 1;
+    return 0;
+}

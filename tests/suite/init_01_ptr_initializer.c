@@ -1,0 +1,15 @@
+// @CATEGORY: Initialization of variables carrying capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 2;
+    int *p = &x;
+    assert(cheri_tag_get(p));
+    return *p == 2 ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: Initialization of variables carrying capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int a = 1, b = 2;
+int main(void) {
+    int *arr[] = {&a, &b, 0};
+    assert(*arr[0] == 1 && *arr[1] == 2 && arr[2] == 0);
+    return 0;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Initialization of variables carrying capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+struct pair { int *p; int v; };
+int g = 4;
+int main(void) {
+    struct pair s = {&g, 9};
+    assert(*s.p == 4 && s.v == 9);
+    return 0;
+}

@@ -1,0 +1,19 @@
+// @CATEGORY: Initialization of variables carrying capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Braced initialization zero-fills the remainder: pointer members
+// become null capabilities.
+#include <assert.h>
+struct s { int v; int *p; };
+int main(void) {
+    struct s s1 = {5};
+    assert(s1.v == 5);
+    assert(s1.p == 0);
+    int *arr[4] = {0};
+    for (int i = 0; i < 4; i++) assert(arr[i] == 0);
+    return 0;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// (u)intptr_t is represented by a full capability (s3.3).
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    assert(sizeof(intptr_t) == sizeof(void*));
+    assert(sizeof(uintptr_t) == sizeof(void*));
+    return 0;
+}

@@ -1,0 +1,20 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// No standard integer type outranks (u)intptr_t (s3.7): mixed
+// arithmetic converts *to* intptr_t, keeping the capability.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x[2];
+    intptr_t ip = (intptr_t)&x[0];
+    intptr_t r = ip + (unsigned long)4;  /* ULong converts to intptr */
+    assert(cheri_tag_get(r));
+    assert(cheri_address_get(r) == cheri_address_get(ip) + 4);
+    return 0;
+}

@@ -1,0 +1,23 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The s3.7 array_shift pattern: size_t * n + ip derives from ip.
+#include <stdint.h>
+#include <cheriintrin.h>
+int* array_shift(int *x, int n) {
+    intptr_t ip = (intptr_t)x;
+    intptr_t ip1 = sizeof(int)*n + ip;
+    int *p = (int*)ip1;
+    return p;
+}
+int main(void) {
+    int a[4];
+    a[3] = 1;
+    int *p = array_shift(a, 3);
+    if (!cheri_tag_get(p)) return 2;
+    return *p == 1 ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The truth value of a (u)intptr_t is its address value.
+#include <stdint.h>
+int main(void) {
+    int x;
+    uintptr_t u = (uintptr_t)&x;
+    uintptr_t z = 0;
+    if (!u) return 1;
+    if (z) return 2;
+    return 0;
+}

@@ -1,0 +1,21 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Storing a (u)intptr_t writes the capability and its tag (s4.3).
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 8;
+    uintptr_t u = (uintptr_t)&x;
+    uintptr_t v;
+    uintptr_t *slot = &v;
+    *slot = u;
+    assert(cheri_tag_get(*slot));
+    assert(*(int*)*slot == 8);
+    return 0;
+}

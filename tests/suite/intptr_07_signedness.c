@@ -1,0 +1,17 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// intptr_t is signed; uintptr_t unsigned (value range = address).
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    intptr_t i = -1;
+    assert(i < 0);
+    uintptr_t u = (uintptr_t)i;
+    assert(u > 0);
+    return 0;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    uintptr_t u = 41;
+    assert(u + 1 == 42);
+    assert(u < 42);
+    return 0;
+}

@@ -1,0 +1,20 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+struct holder { uintptr_t u; };
+int main(void) {
+    int x = 5;
+    struct holder h;
+    h.u = (uintptr_t)&x;
+    struct holder copy = h;
+    assert(cheri_tag_get(copy.u));
+    assert(*(int*)copy.u == 5);
+    return 0;
+}

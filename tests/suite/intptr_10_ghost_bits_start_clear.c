@@ -1,0 +1,16 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    uintptr_t u = (uintptr_t)&x;
+    assert(cheri_ghost_state_get(u) == 0);
+    return 0;
+}

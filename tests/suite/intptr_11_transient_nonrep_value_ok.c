@@ -1,0 +1,21 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// s3.3 option (3): going non-representable keeps the *value* defined.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x[2];
+    uintptr_t i = (uintptr_t)&x[0];
+    uintptr_t j = i + 100001u * sizeof(int);
+    assert(cheri_address_get(j) ==
+           cheri_address_get(i) + 100001u * sizeof(int));
+    uintptr_t k = j - 100000u * sizeof(int);
+    assert(cheri_address_get(k) == cheri_address_get(i) + sizeof(int));
+    return 0;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: ub UB_CHERI_UndefinedTag
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// ...but dereferencing after the excursion is UB (ghost state).
+#include <stdint.h>
+int main(void) {
+    int x[2];
+    uintptr_t i = (uintptr_t)&x[0];
+    uintptr_t j = i + 100001u * sizeof(int);
+    uintptr_t k = j - 100000u * sizeof(int);
+    int *q = (int*)k;
+    *q = 1;
+    return 0;
+}

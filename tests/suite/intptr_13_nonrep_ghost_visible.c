@@ -1,0 +1,15 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// The ghost "bounds unspecified" bit is observable via the
+// introspection extension (bit 1).
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x[2];
+    uintptr_t i = (uintptr_t)&x[0];
+    uintptr_t j = i + 100001u * sizeof(int);
+    assert(cheri_ghost_state_get(j) & 2);
+    return 0;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Loads and stores of ghost-marked values stay defined (otherwise
+// memcpy of such values would become UB, s3.3).
+#include <stdint.h>
+int main(void) {
+    int x[2];
+    uintptr_t i = (uintptr_t)&x[0];
+    uintptr_t j = i + 100001u * sizeof(int);
+    uintptr_t saved = j;
+    uintptr_t restored = saved;
+    return restored == j ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Using a (u)intptr_t as a hash-table index stays defined (the
+// s3.3 discussion of option (2) vs (3)).
+#include <stdint.h>
+int main(void) {
+    int x;
+    uintptr_t u = (uintptr_t)&x;
+    unsigned long bucket = (unsigned long)(u % 17);
+    return bucket < 17 ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// uintptr_t arithmetic wraps modulo 2^addr-width (unsigned).
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    uintptr_t u = 0;
+    u = u - 1;
+    assert(u == UINTPTR_MAX || u + 1 == 0);
+    return 0;
+}

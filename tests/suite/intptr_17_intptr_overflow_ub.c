@@ -1,0 +1,14 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: ub UB_signed_integer_overflow
+// @EXPECT[clang-morello-O0]: ub UB_signed_integer_overflow
+// @EXPECT[clang-riscv-O2]: ub UB_signed_integer_overflow
+// @EXPECT[gcc-morello-O2]: ub UB_signed_integer_overflow
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// intptr_t is signed: overflow is UB like any signed type.
+#include <stdint.h>
+int main(void) {
+    intptr_t i = INTPTR_MAX;
+    i = i + 1;
+    return i != 0;
+}

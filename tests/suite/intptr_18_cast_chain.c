@@ -1,0 +1,19 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 3;
+    void *v = &x;
+    uintptr_t u = (uintptr_t)v;
+    intptr_t i = (intptr_t)u;
+    int *p = (int*)i;
+    assert(cheri_tag_get(p));
+    return *p == 3 ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: Properties and definition of (u)intptr_t types
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdint.h>
+int f(int v) { return v + 1; }
+int main(void) {
+    uintptr_t u = (uintptr_t)&f;
+    int (*p)(int) = (int(*)(int))u;
+    return p(41) == 42 ? 0 : 1;
+}

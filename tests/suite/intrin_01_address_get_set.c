@@ -1,0 +1,18 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[4];
+    int *p = a;
+    int *q = cheri_address_set(p, cheri_address_get(p) + sizeof(int));
+    assert(cheri_address_get(q) == cheri_address_get(p) + sizeof(int));
+    assert(cheri_tag_get(q));
+    a[1] = 5;
+    return *q == 5 ? 0 : 1;
+}

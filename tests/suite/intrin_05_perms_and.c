@@ -1,0 +1,20 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// cheri_perms_and can only clear permissions.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int *p = &x;
+    int *q = cheri_perms_and(p, 0);
+    assert(cheri_perms_get(q) == 0);
+    assert(cheri_tag_get(q));
+    int *r = cheri_perms_and(q, ~(size_t)0);
+    assert(cheri_perms_get(r) == 0); /* cannot regain */
+    return 0;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int *p = cheri_tag_clear(&x);
+    assert(!cheri_tag_get(p));
+    assert(cheri_address_get(p) == cheri_address_get(&x));
+    return 0;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[4];
+    int *p = cheri_offset_set(a, 3 * sizeof(int));
+    assert(cheri_offset_get(p) == 3 * sizeof(int));
+    a[3] = 9;
+    return *p == 9 ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// CRRL/CRAM consistency (s3.2): aligning to the mask makes the
+// rounded length exactly representable.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    size_t lens[5] = {1, 4096, 65536, 1000000, 123456789};
+    for (int i = 0; i < 5; i++) {
+        size_t rl = cheri_representable_length(lens[i]);
+        assert(rl >= lens[i]);
+        size_t mask = cheri_representable_alignment_mask(lens[i]);
+        assert((rl & ~mask) == 0);
+    }
+    return 0;
+}

@@ -1,0 +1,13 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// Small regions are always byte-exact on 64-bit CHERI.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    for (size_t l = 0; l < 600; l++)
+        assert(cheri_representable_length(l) == l);
+    return 0;
+}

@@ -1,0 +1,20 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// Sealing round trip with an authority capability (s2.1).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 3;
+    int *p = &x;
+    void *auth = cheri_address_set(cheri_ddc_get(), 8); /* otype 8 */
+    int *sealedp = cheri_seal(p, auth);
+    assert(cheri_is_sealed(sealedp));
+    assert(cheri_type_get(sealedp) == 8);
+    int *unsealed = cheri_unseal(sealedp, auth);
+    assert(!cheri_is_sealed(unsealed));
+    assert(*unsealed == 3);
+    return 0;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: ub UB_CHERI_SealViolation
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_SealViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_SealViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_SealViolation
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_SealViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_SealViolation
+#include <cheriintrin.h>
+int main(void) {
+    int x = 3;
+    void *auth = cheri_address_set(cheri_ddc_get(), 9);
+    int *s = cheri_seal(&x, auth);
+    return *s;
+}

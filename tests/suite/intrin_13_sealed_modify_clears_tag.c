@@ -1,0 +1,18 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Sealed capabilities are immutable: modifying clears the tag (s2.1).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    void *auth = cheri_address_set(cheri_ddc_get(), 5);
+    int *s = cheri_seal(&x, auth);
+    int *t = cheri_address_set(s, cheri_address_get(s) + 4);
+    assert(!cheri_tag_get(t));
+    return 0;
+}

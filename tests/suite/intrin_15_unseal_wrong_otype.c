@@ -1,0 +1,20 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Unsealing with the wrong authority clears the tag rather than
+// unsealing.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    void *auth5 = cheri_address_set(cheri_ddc_get(), 5);
+    void *auth6 = cheri_address_set(cheri_ddc_get(), 6);
+    int *s = cheri_seal(&x, auth5);
+    int *u = cheri_unseal(s, auth6);
+    assert(!cheri_tag_get(u));
+    return 0;
+}

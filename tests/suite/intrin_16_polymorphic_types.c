@@ -1,0 +1,24 @@
+// @CATEGORY: Semantics of CHERI C intrinsic functions (e.g, permission manipulation)
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The intrinsics' type-derivation DSL (s4.5): the same intrinsic
+// accepts pointers and (u)intptr_t and returns the argument's type.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 1;
+    int *p = &x;
+    uintptr_t u = (uintptr_t)&x;
+    assert(cheri_address_get(p) == cheri_address_get(u));
+    int *p2 = cheri_bounds_set(p, sizeof(int));     /* C = int*      */
+    uintptr_t u2 = cheri_bounds_set(u, sizeof(int)); /* C = uintptr_t */
+    assert(cheri_length_get(p2) == cheri_length_get(u2));
+    assert(*p2 == 1);
+    assert(*(int*)u2 == 1);
+    return 0;
+}

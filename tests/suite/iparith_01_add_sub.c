@@ -1,0 +1,20 @@
+// @CATEGORY: Arithmetic operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[4];
+    uintptr_t u = (uintptr_t)&a[0];
+    u += 2 * sizeof(int);
+    u -= sizeof(int);
+    assert(cheri_tag_get(u));
+    int *p = (int*)u;
+    a[1] = 12;
+    return *p == 12 ? 0 : 1;
+}

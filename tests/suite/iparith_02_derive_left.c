@@ -1,0 +1,19 @@
+// @CATEGORY: Arithmetic operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[cerberus-cheriot]: ub UB_signed_integer_overflow
+// @EXPECT[cheriot-temporal]: ub UB_signed_integer_overflow
+// Two capability operands: derivation from the left (s3.7).
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 0, y = 0;
+    intptr_t a = (intptr_t)&x;
+    intptr_t b = (intptr_t)&y;
+    intptr_t c = a + b;
+    /* c carries x's bounds (possibly untagged due to
+       representability), never y's */
+    assert(cheri_base_get(c) == cheri_base_get(a) ||
+           cheri_ghost_state_get(c) != 0);
+    return 0;
+}

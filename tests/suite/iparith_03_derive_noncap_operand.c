@@ -1,0 +1,23 @@
+// @CATEGORY: Arithmetic operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Converted (non-capability) operands never win derivation (s3.7):
+// int + intptr derives from the intptr side regardless of position.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x[2];
+    intptr_t ip = (intptr_t)&x[0];
+    intptr_t l = 4 + ip;
+    intptr_t r = ip + 4;
+    assert(cheri_tag_get(l));
+    assert(cheri_tag_get(r));
+    assert(cheri_base_get(l) == cheri_base_get(ip));
+    assert(cheri_base_get(r) == cheri_base_get(ip));
+    return 0;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Arithmetic operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Multiplicative ops are defined on the address value.
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    uintptr_t u = 100;
+    assert(u * 3 == 300);
+    assert(u / 7 == 14);
+    assert(u % 7 == 2);
+    return 0;
+}

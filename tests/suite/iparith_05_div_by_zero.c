@@ -1,0 +1,14 @@
+// @CATEGORY: Arithmetic operations on (u)intptr_t values
+// @EXPECT: ub UB_division_by_zero
+// @EXPECT[clang-morello-O0]: ub UB_division_by_zero
+// @EXPECT[clang-riscv-O2]: ub UB_division_by_zero
+// @EXPECT[gcc-morello-O2]: ub UB_division_by_zero
+// @EXPECT[cerberus-cheriot]: ub UB_division_by_zero
+// @EXPECT[cheriot-temporal]: ub UB_division_by_zero
+#include <stdint.h>
+int main(void) {
+    int x;
+    uintptr_t u = (uintptr_t)&x;
+    uintptr_t z = 0;
+    return (int)(u / z);
+}

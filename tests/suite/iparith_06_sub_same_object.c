@@ -1,0 +1,18 @@
+// @CATEGORY: Arithmetic operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// intptr-intptr subtraction: plain address difference, no
+// provenance requirement (unlike pointer subtraction).
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    int a[8];
+    intptr_t lo = (intptr_t)&a[1];
+    intptr_t hi = (intptr_t)&a[6];
+    assert(hi - lo == 5 * (intptr_t)sizeof(int));
+    return 0;
+}

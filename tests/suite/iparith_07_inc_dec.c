@@ -1,0 +1,21 @@
+// @CATEGORY: Arithmetic operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char buf[4];
+    uintptr_t u = (uintptr_t)buf;
+    ptraddr_t before = cheri_address_get(u);
+    u++;
+    ++u;
+    u--;
+    assert(cheri_address_get(u) == before + 1);
+    assert(cheri_tag_get(u));
+    return 0;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Arithmetic operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stdint.h>
+int main(void) {
+    int a[3];
+    a[2] = 30;
+    uintptr_t u = (uintptr_t)a;
+    u += 2 * sizeof(int);
+    return *(int*)u == 30 ? 0 : 1;
+}

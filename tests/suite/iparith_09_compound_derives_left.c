@@ -1,0 +1,20 @@
+// @CATEGORY: Arithmetic operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Compound assignment derives from the stored (left) capability.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[4];
+    uintptr_t u = (uintptr_t)a;
+    ptraddr_t base = cheri_base_get(u);
+    u += sizeof(int);
+    assert(cheri_base_get(u) == base);
+    assert(cheri_tag_get(u));
+    return 0;
+}

@@ -1,0 +1,19 @@
+// @CATEGORY: Bitwise operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Alignment-style masking of low bits stays representable.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[8];
+    uintptr_t u = (uintptr_t)&a[1];
+    uintptr_t aligned = u & ~(uintptr_t)(sizeof(int*) - 1);
+    assert(cheri_address_get(aligned) % sizeof(int*) == 0);
+    assert(cheri_tag_get(aligned) || cheri_ghost_state_get(aligned));
+    return 0;
+}

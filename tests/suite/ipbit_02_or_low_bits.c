@@ -1,0 +1,22 @@
+// @CATEGORY: Bitwise operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Packing metadata into low bits and clearing it again (the s3.3
+// motivating idiom).
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    long v = 10;
+    long *box = &v;
+    uintptr_t u = (uintptr_t)box;
+    u |= 1;                 /* tag bit trick */
+    assert(u & 1);
+    u &= ~(uintptr_t)1;
+    long *p = (long*)u;
+    assert(*p == 10);
+    return 0;
+}

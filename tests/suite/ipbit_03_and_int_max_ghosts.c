@@ -1,0 +1,25 @@
+// @CATEGORY: Bitwise operations on (u)intptr_t values
+// @EXPECT: exit 0
+// @OUTPUT: cap (@1, 0xffffe6f8 [rwRW,0xffffe6f8-0xffffe700])
+// @OUTPUT: cap&uint (@1, 0xffffe6f8 [rwRW,0xffffe6f8-0xffffe700])
+// @OUTPUT: cap&int (@empty, 0x7fffe6f8 [?-?] (notag))
+// The Appendix A phenomenon, output-pinned: masking with INT_MAX
+// moves the address far below the bounds -> ghost state with empty
+// provenance; masking with UINT_MAX is harmless at this stack
+// address.
+#include <stdint.h>
+#include <limits.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x[2] = {42, 43};
+    intptr_t ip = (intptr_t)&x;
+    print_cap("cap", (void*)ip);
+    intptr_t ip2 = ip & UINT_MAX;
+    print_cap("cap&uint", (void*)ip2);
+    intptr_t ip3 = ip & INT_MAX;
+    print_cap("cap&int", (void*)ip3);
+    assert(cheri_ghost_state_get(ip3) & 2);
+    assert(!cheri_tag_get(ip3));
+    return 0;
+}

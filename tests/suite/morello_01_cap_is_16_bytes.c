@@ -1,0 +1,12 @@
+// @CATEGORY: Capabilities encoding for Arm Morello architecture
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// Morello capabilities are 128+1 bits (s2.1, Fig. 1).
+#include <assert.h>
+int main(void) {
+    assert(sizeof(void*) == 16);
+    assert(sizeof(long) == 8);
+    return 0;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Capabilities encoding for Arm Morello architecture
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// The low 64 bits of the representation are the address (Fig. 1).
+#include <string.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int *p = &x;
+    unsigned long low;
+    memcpy(&low, &p, sizeof(long));
+    assert(low == cheri_address_get(p));
+    return 0;
+}

@@ -1,0 +1,22 @@
+// @CATEGORY: Capabilities encoding for Arm Morello architecture
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+// Bounds/perms/otype live in the high 64 bits: two pointers to
+// the same object differing only in address differ only in the
+// low word.
+#include <string.h>
+#include <assert.h>
+int main(void) {
+    int a[4];
+    int *p = &a[0];
+    int *q = &a[1];
+    unsigned long ph, qh;
+    memcpy(&ph, (char*)&p + 8, 8);
+    memcpy(&qh, (char*)&q + 8, 8);
+    assert(ph == qh);
+    return 0;
+}

@@ -1,0 +1,19 @@
+// @CATEGORY: Capabilities encoding for Arm Morello architecture
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Small regions are described precisely (s2.1).
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    for (size_t n = 1; n <= 64; n++) {
+        char *p = malloc(n);
+        assert(cheri_length_get(p) == n);
+        free(p);
+    }
+    return 0;
+}

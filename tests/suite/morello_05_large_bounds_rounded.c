@@ -1,0 +1,18 @@
+// @CATEGORY: Capabilities encoding for Arm Morello architecture
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// For large regions only certain bounds are representable: the
+// compression rounds outward (s2.1, s3.2).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    size_t odd = (1u << 20) + 3;
+    size_t rl = cheri_representable_length(odd);
+    assert(rl >= odd);
+    assert(rl > odd || cheri_representable_alignment_mask(odd) == ~(size_t)0);
+    return 0;
+}

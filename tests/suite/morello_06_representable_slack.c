@@ -1,0 +1,20 @@
+// @CATEGORY: Capabilities encoding for Arm Morello architecture
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The encoding leaves representable slack around the bounds, so
+// moderate out-of-bounds addresses keep the tag through
+// cheri_address_set (s3.2, [45] 4.3.5).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char big[8192];
+    char *p = big;
+    /* one-past is always representable */
+    char *one_past = cheri_address_set(p, cheri_address_get(p) + 8192);
+    assert(cheri_ghost_state_get(one_past) == 0);
+    return 0;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: null pointers and NULL constant as capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int *p = 0;
+    assert(!cheri_tag_get(p));
+    assert(cheri_address_get(p) == 0);
+    return 0;
+}

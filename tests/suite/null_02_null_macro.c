@@ -1,0 +1,15 @@
+// @CATEGORY: null pointers and NULL constant as capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <stddef.h>
+#include <assert.h>
+int main(void) {
+    int *p = NULL;
+    assert(p == 0);
+    assert(!p);
+    return 0;
+}

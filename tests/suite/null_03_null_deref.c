@@ -1,0 +1,12 @@
+// @CATEGORY: null pointers and NULL constant as capabilities
+// @EXPECT: ub UB_null_pointer_dereference
+// @EXPECT[clang-riscv-O0]: ub UB_null_pointer_dereference
+// @EXPECT[clang-morello-O0]: ub UB_null_pointer_dereference
+// @EXPECT[clang-riscv-O2]: ub UB_null_pointer_dereference
+// @EXPECT[gcc-morello-O2]: ub UB_null_pointer_dereference
+// @EXPECT[cerberus-cheriot]: ub UB_null_pointer_dereference
+// @EXPECT[cheriot-temporal]: ub UB_null_pointer_dereference
+int main(void) {
+    int *p = 0;
+    return *p;
+}

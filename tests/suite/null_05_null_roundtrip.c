@@ -1,0 +1,20 @@
+// @CATEGORY: null pointers and NULL constant as capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// NULL survives the uintptr_t round trip as the null capability.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int *p = 0;
+    uintptr_t u = (uintptr_t)p;
+    assert(u == 0);
+    int *q = (int*)u;
+    assert(q == 0);
+    assert(!cheri_tag_get(q));
+    return 0;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: null pointers and NULL constant as capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The NULL capability: maximal bounds, no permissions, no tag.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    void *p = 0;
+    assert(cheri_perms_get(p) == 0);
+    assert(cheri_base_get(p) == 0);
+    return 0;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Operations offseting pointers as in taking an address of array element at an index
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int main(void) {
+    int a[8];
+    for (int i = 0; i < 8; i++) a[i] = i;
+    int *p = &a[3];
+    assert(*p == 3);
+    assert(*(p + 2) == 5);
+    assert(*(p - 1) == 2);
+    return 0;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Operations offseting pointers as in taking an address of array element at an index
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Decreasing loop from one-past-the-end (common C idiom, s3.2),
+// written to stay within [base, one-past].
+int main(void) {
+    int a[5];
+    int *end = &a[5];
+    int n = 0;
+    for (int *p = end; p != a; ) { --p; *p = 1; n++; }
+    return n == 5 ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: Operations offseting pointers as in taking an address of array element at an index
+// @EXPECT: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[cheriot-temporal]: exit 0
+// &a[6] of int a[5] is beyond one-past: UB under ISO/CHERI C option
+// (a); hardware merely constructs the (representable) pointer.
+int main(void) {
+    int a[5];
+    int *p = &a[6];
+    return p == 0;
+}

@@ -1,0 +1,22 @@
+// @CATEGORY: ISO-legal pointers one-past an object's footprint and their bounds
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// One-past construction and comparison are legal; the capability
+// keeps the object's bounds and its tag (always representable).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[4];
+    int *end = a + 4;
+    assert(cheri_tag_get(end));
+    assert(cheri_address_get(end) ==
+           cheri_base_get(a) + 4 * sizeof(int));
+    int n = 0;
+    for (int *p = a; p != end; p++) n++;
+    assert(n == 4);
+    return 0;
+}

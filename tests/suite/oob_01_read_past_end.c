@@ -1,0 +1,13 @@
+// @CATEGORY: Out-of-bounds memory-access handling
+// @EXPECT: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+int main(void) {
+    int a[2];
+    a[0] = 1; a[1] = 2;
+    int *p = a + 2; /* one-past: legal to form */
+    return *p;      /* ...but not to read */
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Out-of-bounds memory-access handling
+// @EXPECT: ub
+// Writing below the base: UB at construction (reference) or a
+// capability fault (hardware).
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+int main(void) {
+    int a[2];
+    int *p = a;
+    *(p - 1) = 7;
+    return 0;
+}

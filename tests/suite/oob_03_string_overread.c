@@ -1,0 +1,17 @@
+// @CATEGORY: Out-of-bounds memory-access handling
+// @EXPECT: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+// Classic overread: walking past a buffer's end faults at the
+// first out-of-bounds byte.
+int main(void) {
+    char buf[8];
+    for (int i = 0; i < 8; i++) buf[i] = 'a';
+    int sum = 0;
+    unsigned char *p = (unsigned char *)buf;
+    for (int i = 0; i < 9; i++) sum += p[i];
+    return sum;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: Out-of-bounds memory-access handling
+// @EXPECT: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+// Heap buffer overflow: deterministically mitigated (s1, s3).
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(16);
+    p[16] = 1;
+    return 0;
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Out-of-bounds memory-access handling
+// @EXPECT: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+// Bulk operations are bounds-checked against the capability too.
+#include <string.h>
+int main(void) {
+    char src[8];
+    char dst[4];
+    memset(src, 1, 8);
+    memcpy(dst, src, 8);
+    return 0;
+}

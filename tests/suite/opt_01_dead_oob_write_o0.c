@@ -1,0 +1,17 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+// The s3.1 program, unoptimised: the doomed write traps.
+void f(int *p, int i) {
+    int *q = p + i;
+    *q = 42;
+}
+int main(void) {
+    int x=0, y=0;
+    f(&x, 1);
+    return y;
+}

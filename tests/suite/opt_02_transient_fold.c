@@ -1,0 +1,19 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-morello-O2]: exit 1
+// @EXPECT[clang-riscv-O2]: exit 1
+// @EXPECT[gcc-morello-O2]: exit 1
+// @EXPECT[cerberus-cheriot]: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// s3.2: the same source is UB in the abstract machine, a tag fault
+// on O0 hardware, and *succeeds* at O2 where folding removes the
+// transient excursion.
+int main(void) {
+    int x[2];
+    x[1] = 0;
+    int *p = &x[0];
+    int *q = (p + 100001) - 100000;
+    *q = 1;
+    return x[1];
+}

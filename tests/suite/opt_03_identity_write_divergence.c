@@ -1,0 +1,17 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: ub UB_CHERI_UndefinedTag
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-morello-O2]: exit 1
+// @EXPECT[clang-riscv-O2]: exit 1
+// @EXPECT[gcc-morello-O2]: exit 1
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// s3.5 first example: ghost state licenses both behaviours.
+int main(void) {
+    int x = 0;
+    int *px = &x;
+    unsigned char *p = (unsigned char *)&px;
+    p[0] = p[0];
+    *px = 1;
+    return x;
+}

@@ -1,0 +1,21 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: ub UB_CHERI_UndefinedTag
+// @EXPECT[gcc-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: exit 1
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: exit 1
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// s3.5 second example: tree-loop-distribute-patterns turns the loop
+// into a tag-preserving memcpy.
+int main(void) {
+    int x = 0;
+    int *px0 = &x;
+    int *px1;
+    unsigned char *p0 = (unsigned char *)&px0;
+    unsigned char *p1 = (unsigned char *)&px1;
+    for (int i=0; i<sizeof(int*); i++)
+        p1[i] = p0[i];
+    *px1 = 1;
+    return x;
+}

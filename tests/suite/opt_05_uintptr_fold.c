@@ -1,0 +1,19 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: ub UB_CHERI_UndefinedTag
+// @EXPECT[clang-riscv-O2]: exit 1
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: exit 1
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// s3.3: (i+100001)-100000 folded to i+1 at O2 eliminates the
+// non-representability excursion, which option (c) permits.
+#include <stdint.h>
+int main(void) {
+    int x[2];
+    x[1] = 0;
+    uintptr_t i = (uintptr_t)&x[0];
+    uintptr_t k = (i + 100001 * sizeof(int)) - 100000 * sizeof(int);
+    int *q = (int*)k;
+    *q = 1;
+    return x[1];
+}

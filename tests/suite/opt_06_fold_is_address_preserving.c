@@ -1,0 +1,19 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O2]: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Optimisation never changes the *value* of in-range arithmetic.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[8];
+    uintptr_t u = (uintptr_t)a;
+    uintptr_t v = (u + 3 * sizeof(int)) - 2 * sizeof(int);
+    assert(cheri_address_get(v) == cheri_address_get(u) + sizeof(int));
+    return 0;
+}

@@ -1,0 +1,24 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O2]: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// s3.3 option (c): optimisations may remove but never introduce
+// non-representability — p + (100001 - 100000) stays healthy
+// everywhere.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x[2];
+    uintptr_t i = (uintptr_t)&x[0];
+    uintptr_t k = i + (100001 - 100000) * sizeof(int);
+    assert(cheri_ghost_state_get(k) == 0);
+    int *q = (int*)k;
+    x[1] = 3;
+    assert(*q == 3);
+    return 0;
+}

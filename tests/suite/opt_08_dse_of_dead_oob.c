@@ -1,0 +1,17 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+// An out-of-bounds write whose *value* is used cannot be elided:
+// all profiles trap.
+int main(void) {
+    int a[2];
+    a[0] = 1;
+    int *q = a + 2;
+    *q = a[0];
+    return a[0];
+}

@@ -1,0 +1,16 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[clang-morello-O2]: exit 0
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// The s3.1 lesson: a UB program has no guaranteed behaviour; this
+// one "works" at O2 and is UB in the abstract machine.
+int main(void) {
+    int x[2];
+    int *edge = (x + 100002) - 100002; /* transiently OOB by 2 */
+    *edge = 0;
+    return *edge;
+}

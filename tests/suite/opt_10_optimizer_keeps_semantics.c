@@ -1,0 +1,16 @@
+// @CATEGORY: Effects of compiler optimisations
+// @EXPECT: exit 55
+// @EXPECT[clang-morello-O2]: exit 55
+// @EXPECT[gcc-morello-O2]: exit 55
+// @EXPECT[clang-morello-O0]: exit 55
+// @EXPECT[clang-riscv-O2]: exit 55
+// @EXPECT[cerberus-cheriot]: exit 55
+// @EXPECT[cheriot-temporal]: exit 55
+// Well-defined programs behave identically at every level.
+int main(void) {
+    int sum = 0;
+    int a[10];
+    for (int i = 0; i < 10; i++) a[i] = i + 1;
+    for (int i = 0; i < 10; i++) sum += a[i];
+    return sum;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Capability permissions: setting and enforcement
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Ordinary allocations carry load+store (and cap load/store) perms.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    assert(cheri_perms_get(&x) != 0);
+    x = 1;
+    int v = x;
+    return v == 1 ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Capability permissions: setting and enforcement
+// @EXPECT: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InsufficientPermissions
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InsufficientPermissions
+// After clearing every permission, stores fault.
+#include <cheriintrin.h>
+int main(void) {
+    int x;
+    int *p = cheri_perms_and(&x, 0);
+    *p = 1;
+    return 0;
+}

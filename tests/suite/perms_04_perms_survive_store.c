@@ -1,0 +1,19 @@
+// @CATEGORY: Capability permissions: setting and enforcement
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Restricted permissions travel with the capability through memory.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 1;
+    int *restricted = cheri_perms_and(&x, 0);
+    int **box = &restricted;
+    int *back = *box;
+    assert(cheri_perms_get(back) == 0);
+    assert(cheri_tag_get(back));
+    return 0;
+}

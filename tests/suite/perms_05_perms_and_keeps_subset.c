@@ -1,0 +1,18 @@
+// @CATEGORY: Capability permissions: setting and enforcement
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    size_t before = cheri_perms_get(&x);
+    int *p = cheri_perms_and(&x, before);
+    assert(cheri_perms_get(p) == before);
+    int *q = cheri_perms_and(&x, 0);
+    assert((cheri_perms_get(q) & before) == 0);
+    return 0;
+}

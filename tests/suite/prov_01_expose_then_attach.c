@@ -1,0 +1,16 @@
+// @CATEGORY: pointer provenance tracking per [18]
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// PNVI-ae: a pointer-to-integer cast exposes the allocation, so an
+// integer-derived pointer to it gets provenance (though no tag).
+#include <stdint.h>
+int main(void) {
+    int x = 7;
+    ptraddr_t a = (ptraddr_t)&x;   /* exposes x */
+    int *p = (int*)(long)a;        /* attaches provenance, no tag */
+    return p == &x ? 0 : 1;
+}

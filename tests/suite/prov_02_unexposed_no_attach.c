@@ -1,0 +1,17 @@
+// @CATEGORY: pointer provenance tracking per [18]
+// @EXPECT: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Without exposure the attach finds nothing; the untagged pointer
+// faults on the capability check first.
+int main(void) {
+    int x = 7;
+    int *p = &x;
+    /* guess the address without ever casting &x to an integer */
+    int *q = (int*)(long)1;
+    (void)p;
+    return *q;
+}

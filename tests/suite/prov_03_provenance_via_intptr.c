@@ -1,0 +1,15 @@
+// @CATEGORY: pointer provenance tracking per [18]
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The (u)intptr_t round trip preserves provenance and authority.
+#include <stdint.h>
+int main(void) {
+    int x = 9;
+    uintptr_t u = (uintptr_t)&x;
+    int *q = (int*)u;
+    return *q == 9 ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+// @CATEGORY: pointer provenance tracking per [18]
+// @EXPECT: ub
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Access via an empty-provenance (and untagged) pointer is UB.
+int main(void) {
+    long guess = 0x123456;
+    int *p = (int*)guess;
+    return *p;
+}

@@ -1,0 +1,13 @@
+// @CATEGORY: pointer provenance tracking per [18]
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+int main(void) {
+    int a[10];
+    int *p = &a[2];
+    int *q = &a[7];
+    return (q - p) == 5 ? 0 : 1;
+}

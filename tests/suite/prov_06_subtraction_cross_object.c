@@ -1,0 +1,15 @@
+// @CATEGORY: pointer provenance tracking per [18]
+// @EXPECT: ub UB_ptrdiff_different_objects
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: ub UB_ptrdiff_different_objects
+// @EXPECT[cheriot-temporal]: exit 0
+// Pointer subtraction requires one provenance (s3.11 check 2); the
+// capability runtime cannot subsume this check — hardware computes
+// a number.
+int main(void) {
+    int x, y;
+    long d = &x - &y;
+    return d == 0;
+}

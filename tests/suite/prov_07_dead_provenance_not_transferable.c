@@ -1,0 +1,22 @@
+// @CATEGORY: pointer provenance tracking per [18]
+// @EXPECT: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// s3.11 scenario: provenance is temporally unique.  After free and
+// re-malloc at the same address, an integer-derived pointer gets the
+// *new* provenance but still no tag.
+#include <stdlib.h>
+#include <stdint.h>
+int main(void) {
+    char *p = malloc(32);
+    ptraddr_t a = (ptraddr_t)p;  /* expose old allocation */
+    free(p);
+    char *q = malloc(32);        /* same address (allocator reuse) */
+    ptraddr_t b = (ptraddr_t)q;  /* expose new allocation */
+    char *alias = (char*)(long)a;
+    alias[0] = 1;                /* untagged: capability check fires */
+    return a == b;
+}

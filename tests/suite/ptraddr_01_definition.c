@@ -1,0 +1,16 @@
+// @CATEGORY: New ptraddr_t type definition and usage
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// ptraddr_t is an address-wide plain integer (s3.10): no capability.
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    assert(sizeof(ptraddr_t) == 8);
+    assert(sizeof(ptraddr_t) < sizeof(uintptr_t));
+    int x;
+    ptraddr_t a = (ptraddr_t)&x;
+    assert(a != 0);
+    return 0;
+}

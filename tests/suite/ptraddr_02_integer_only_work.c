@@ -1,0 +1,19 @@
+// @CATEGORY: New ptraddr_t type definition and usage
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// s3.3: if one only needs the integer result, cast to ptraddr_t and
+// do conventional integer computation.
+#include <stdint.h>
+#include <assert.h>
+int main(void) {
+    int a[8];
+    ptraddr_t lo = (ptraddr_t)&a[0];
+    ptraddr_t hi = (ptraddr_t)&a[7];
+    assert(hi - lo == 7 * sizeof(int));
+    assert((lo % 2) == 0);
+    return 0;
+}

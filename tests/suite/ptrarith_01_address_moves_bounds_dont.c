@@ -1,0 +1,21 @@
+// @CATEGORY: Implementation of pointer arithmetic on capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Pointer arithmetic updates the capability's address; bounds and
+// permissions are unchanged (s3.1).
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int a[8];
+    int *p = a;
+    int *q = p + 5;
+    assert(cheri_address_get(q) == cheri_address_get(p) + 5 * sizeof(int));
+    assert(cheri_base_get(q) == cheri_base_get(p));
+    assert(cheri_length_get(q) == cheri_length_get(p));
+    assert(cheri_perms_get(q) == cheri_perms_get(p));
+    return 0;
+}

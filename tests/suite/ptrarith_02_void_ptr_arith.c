@@ -1,0 +1,17 @@
+// @CATEGORY: Implementation of pointer arithmetic on capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// GNU-style void* arithmetic steps by bytes.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char buf[16];
+    void *p = buf;
+    void *q = p + 3;
+    assert(cheri_address_get(q) == cheri_address_get(p) + 3);
+    return 0;
+}

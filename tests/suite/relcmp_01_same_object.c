@@ -1,0 +1,16 @@
+// @CATEGORY: Relational comparison operators (e.g. <,>,<= and >=) for capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int main(void) {
+    int a[4];
+    assert(&a[0] < &a[1]);
+    assert(&a[3] > &a[1]);
+    assert(&a[2] <= &a[2]);
+    assert(&a[2] >= &a[2]);
+    return 0;
+}

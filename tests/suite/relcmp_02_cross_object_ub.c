@@ -1,0 +1,13 @@
+// @CATEGORY: Relational comparison operators (e.g. <,>,<= and >=) for capabilities
+// @EXPECT: ub UB_relational_different_objects
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: ub UB_relational_different_objects
+// @EXPECT[cheriot-temporal]: exit 0
+// Relational comparison across objects: UB in ISO/PNVI; ordinary
+// address comparison on hardware (s3.11 check 2 is not subsumed).
+int main(void) {
+    int x, y;
+    return &x < &y ? 0 : 0;
+}

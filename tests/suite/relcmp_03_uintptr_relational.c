@@ -1,0 +1,15 @@
+// @CATEGORY: Relational comparison operators (e.g. <,>,<= and >=) for capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Comparing addresses across objects *is* legal via (u)intptr_t.
+#include <stdint.h>
+int main(void) {
+    int x, y;
+    uintptr_t ux = (uintptr_t)&x;
+    uintptr_t uy = (uintptr_t)&y;
+    return (ux < uy || uy < ux) ? 0 : 1;
+}

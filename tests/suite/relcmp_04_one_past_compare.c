@@ -1,0 +1,15 @@
+// @CATEGORY: Relational comparison operators (e.g. <,>,<= and >=) for capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+int main(void) {
+    int a[4];
+    int *p = a;
+    int *end = a + 4;
+    int n = 0;
+    while (p < end) { p++; n++; }
+    return n == 4 ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+// @CATEGORY: Tests related to accessing capabilities in-memory representation
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// Reading a capability's representation bytes is defined (the low 8
+// bytes are the address on Morello, Fig. 1).
+#include <string.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int *p = &x;
+    unsigned char bytes[sizeof(int*)];
+    memcpy(bytes, &p, sizeof(int*));
+    unsigned long addr = 0;
+    for (int i = 7; i >= 0; i--) addr = (addr << 8) | bytes[i];
+    assert(addr == cheri_address_get(p));
+    return 0;
+}

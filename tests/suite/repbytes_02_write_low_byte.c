@@ -1,0 +1,17 @@
+// @CATEGORY: Tests related to accessing capabilities in-memory representation
+// @EXPECT: ub UB_CHERI_UndefinedTag
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Modifying the address byte through the representation: the ghost
+// state poisons the capability (s3.5).
+int main(void) {
+    int a[2];
+    a[1] = 5;
+    int *p = &a[0];
+    unsigned char *rep = (unsigned char *)&p;
+    rep[0] = rep[0] + 4;  /* "p++" via representation */
+    return *p;
+}

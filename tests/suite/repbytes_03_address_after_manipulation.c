@@ -1,0 +1,21 @@
+// @CATEGORY: Tests related to accessing capabilities in-memory representation
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// s3.5 question (1): reading the address after representation
+// manipulation is implementation-defined, not UB.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int *px = &x;
+    unsigned char *rep = (unsigned char *)&px;
+    rep[0] = rep[0];
+    ptraddr_t a = cheri_address_get(px);
+    assert(a == cheri_address_get(&x));
+    return 0;
+}

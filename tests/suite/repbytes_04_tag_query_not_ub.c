@@ -1,0 +1,18 @@
+// @CATEGORY: Tests related to accessing capabilities in-memory representation
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// s3.5 question (2): cheri_tag_get after manipulation returns an
+// unspecified boolean — but querying is not UB.
+int main(void) {
+    int x;
+    int *px = &x;
+    unsigned char *rep = (unsigned char *)&px;
+    rep[0] = rep[0];
+    /* Either answer is allowed; the call itself must be defined. */
+    int t = cheri_tag_get(px);
+    return (t == 0 || t == 1) ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: Tests related to accessing capabilities in-memory representation
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// s3.6/s3.5: cheri_is_equal_exact involving a ghost-marked value
+// returns an unspecified (but defined) boolean.
+int main(void) {
+    int x;
+    int *p = &x;
+    int *q = &x;
+    unsigned char *rep = (unsigned char *)&q;
+    rep[0] = rep[0];
+    int e = cheri_is_equal_exact(p, q);
+    return (e == 0 || e == 1) ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Tests related to accessing capabilities in-memory representation
+// @EXPECT: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// The tag-unspecified ghost bit (bit 0) is set after a
+// representation write in the reference semantics.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int *px = &x;
+    unsigned char *rep = (unsigned char *)&px;
+    rep[0] = rep[0];
+    assert(cheri_ghost_state_get(px) & 1);
+    return 0;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: Tests related to accessing capabilities in-memory representation
+// @EXPECT: ub
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_InvalidCap
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Reading capability halves as long exposes representation but the
+// reassembled value has no tag.
+#include <stdint.h>
+int main(void) {
+    int x = 1;
+    int *p = &x;
+    long *halves = (long *)&p;
+    long lo = halves[0];
+    int *q = (int*)lo; /* address-only reconstruction */
+    return *q;
+}

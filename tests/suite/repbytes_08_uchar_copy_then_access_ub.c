@@ -1,0 +1,19 @@
+// @CATEGORY: Tests related to accessing capabilities in-memory representation
+// @EXPECT: ub UB_CHERI_UndefinedTag
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_InvalidCap
+// @EXPECT[clang-riscv-O2]: exit 1
+// @EXPECT[gcc-morello-O2]: exit 1
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_UndefinedTag
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// A hand-written byte copy of a capability: defined to copy, UB to
+// dereference the copy (unoptimised; cf. opt_04).
+#include <stdint.h>
+int main(void) {
+    int x = 1;
+    int *src = &x;
+    int *dst;
+    unsigned char *s = (unsigned char *)&src;
+    unsigned char *d = (unsigned char *)&dst;
+    for (unsigned i = 0; i < sizeof(int*); i++) d[i] = s[i];
+    return *dst;
+}

@@ -1,0 +1,20 @@
+// @CATEGORY: Tests related to accessing capabilities in-memory representation
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// memcmp over two equal capability representations: equal bytes
+// (the tag is out of band and not part of the representation).
+#include <string.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    int *p = &x;
+    int *q = cheri_tag_clear(&x);
+    assert(memcmp(&p, &q, sizeof(int*)) == 0);
+    assert(cheri_tag_get(p) != cheri_tag_get(q));
+    return 0;
+}

@@ -1,0 +1,19 @@
+// @CATEGORY: Issues related to potential non-representability of some combinations of capability fields
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// cheri_address_set far outside the representable region: address
+// preserved, tag lost (s3.2) — ghost bounds in the abstract machine.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x[2];
+    ptraddr_t far = cheri_address_get(x) + (1u << 30);
+    int *p = cheri_address_set(x, far);
+    assert(cheri_address_get(p) == far);
+    assert(!cheri_tag_get(p));
+    return 0;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Issues related to potential non-representability of some combinations of capability fields
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// In-bounds address changes are always representable.
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char buf[256];
+    char *p = cheri_address_set(buf, cheri_address_get(buf) + 128);
+    assert(cheri_tag_get(p));
+    assert(cheri_ghost_state_get(p) == 0);
+    return 0;
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Issues related to potential non-representability of some combinations of capability fields
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char buf[512];
+    char *p = cheri_bounds_set_exact(buf, 100);
+    assert(cheri_length_get(p) == 100);
+    return 0;
+}

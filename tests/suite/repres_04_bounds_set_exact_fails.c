@@ -1,0 +1,16 @@
+// @CATEGORY: Issues related to potential non-representability of some combinations of capability fields
+// @EXPECT: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+// A large unaligned length is not exactly representable: the exact
+// variant faults rather than rounding.
+#include <stdlib.h>
+#include <cheriintrin.h>
+int main(void) {
+    char *p = malloc(1 << 21);
+    char *q = cheri_bounds_set_exact(p, (1 << 20) + 1);
+    return q != 0;
+}

@@ -1,0 +1,19 @@
+// @CATEGORY: Issues related to potential non-representability of some combinations of capability fields
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    size_t prev = 0;
+    for (size_t len = 1; len < (1u << 24); len = len * 5 + 3) {
+        size_t rl = cheri_representable_length(len);
+        assert(rl >= len);
+        assert(rl >= prev);
+        prev = rl;
+    }
+    return 0;
+}

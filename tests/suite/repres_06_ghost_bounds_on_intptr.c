@@ -1,0 +1,18 @@
+// @CATEGORY: Issues related to potential non-representability of some combinations of capability fields
+// @EXPECT: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// The abstract machine's ghost "bounds unspecified" bit appears
+// exactly when (u)intptr_t arithmetic leaves the representable
+// region (s3.3 option (3)).
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x[2];
+    uintptr_t u = (uintptr_t)&x[0];
+    uintptr_t near = u + sizeof(int);        /* representable */
+    uintptr_t far = u + (1u << 28);          /* not */
+    assert(cheri_ghost_state_get(near) == 0);
+    assert(cheri_ghost_state_get(far) & 2);
+    return 0;
+}

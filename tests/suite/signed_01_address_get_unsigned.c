@@ -1,0 +1,18 @@
+// @CATEGORY: Handling of (un)signed integer types in casts, accessing capability fields, and intrinsics
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// ptraddr_t is unsigned: high-half addresses stay positive.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    ptraddr_t a = cheri_address_get(&x);
+    assert(a > 0);
+    assert((long)a != 0);
+    return 0;
+}

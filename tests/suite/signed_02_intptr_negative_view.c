@@ -1,0 +1,20 @@
+// @CATEGORY: Handling of (un)signed integer types in casts, accessing capability fields, and intrinsics
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The same high address is negative as intptr_t, positive as
+// uintptr_t; both carry the same capability.
+#include <stdint.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x;
+    intptr_t i = (intptr_t)&x;
+    uintptr_t u = (uintptr_t)&x;
+    assert(cheri_address_get(i) == cheri_address_get(u));
+    assert(i == (intptr_t)u);
+    return 0;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: Handling of (un)signed integer types in casts, accessing capability fields, and intrinsics
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <assert.h>
+int main(void) {
+    char c = (char)0xff;           /* -1 as signed char */
+    unsigned char u = (unsigned char)c;
+    assert(c == -1);
+    assert(u == 255);
+    int *p = (int*)(long)c;        /* sign-extends */
+    int *q = (int*)(unsigned long)u; /* zero-extends */
+    assert(p != q);
+    return 0;
+}

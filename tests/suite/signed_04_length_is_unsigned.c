@@ -1,0 +1,16 @@
+// @CATEGORY: Handling of (un)signed integer types in casts, accessing capability fields, and intrinsics
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char big[1024];
+    size_t l = cheri_length_get(big);
+    assert(l == 1024);
+    assert(l - 2048 > l); /* unsigned wrap, not negative */
+    return 0;
+}

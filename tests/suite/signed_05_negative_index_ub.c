@@ -1,0 +1,14 @@
+// @CATEGORY: Handling of (un)signed integer types in casts, accessing capability fields, and intrinsics
+// @EXPECT: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_out_of_bounds_pointer_arithmetic
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+// A negative signed index walks below the base.
+int main(void) {
+    int a[4];
+    int i = -1;
+    a[i] = 1;
+    return 0;
+}

@@ -1,0 +1,21 @@
+// @CATEGORY: Standard C library functions handling of capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// memcpy of a struct containing pointers preserves every tag (s3.5).
+#include <string.h>
+#include <cheriintrin.h>
+#include <assert.h>
+struct two { int *a; int *b; };
+int main(void) {
+    int x = 1, y = 2;
+    struct two s1, s2;
+    s1.a = &x; s1.b = &y;
+    memcpy(&s2, &s1, sizeof(struct two));
+    assert(cheri_tag_get(s2.a) && cheri_tag_get(s2.b));
+    assert(*s2.a + *s2.b == 3);
+    return 0;
+}

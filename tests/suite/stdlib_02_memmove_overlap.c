@@ -1,0 +1,21 @@
+// @CATEGORY: Standard C library functions handling of capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// memmove handles overlap and still preserves aligned capabilities.
+#include <string.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    int x = 5;
+    int *arr[4];
+    arr[0] = &x;
+    arr[1] = &x;
+    memmove(&arr[1], &arr[0], 2 * sizeof(int*));
+    assert(cheri_tag_get(arr[2]));
+    assert(*arr[2] == 5);
+    return 0;
+}

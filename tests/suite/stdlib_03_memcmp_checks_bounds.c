@@ -1,0 +1,13 @@
+// @CATEGORY: Standard C library functions handling of capabilities
+// @EXPECT: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-morello-O0]: ub UB_CHERI_BoundsViolation
+// @EXPECT[clang-riscv-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[gcc-morello-O2]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cerberus-cheriot]: ub UB_CHERI_BoundsViolation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_BoundsViolation
+#include <string.h>
+int main(void) {
+    char a[4] = {1,2,3,4};
+    char b[2] = {1,2};
+    return memcmp(a, b, 4);
+}

@@ -1,0 +1,15 @@
+// @CATEGORY: Standard C library functions handling of capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <string.h>
+#include <assert.h>
+int main(void) {
+    char s[] = "cheri";
+    assert(strlen(s) == 5);
+    assert(strlen("") == 0);
+    return 0;
+}

@@ -1,0 +1,17 @@
+// @CATEGORY: Standard C library functions handling of capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+#include <string.h>
+#include <assert.h>
+int main(void) {
+    int a[8];
+    memset(a, 0, sizeof(int) * 8);
+    for (int i = 0; i < 8; i++) assert(a[i] == 0);
+    memset(a, 0xff, sizeof(int) * 8);
+    assert(a[0] == -1);
+    return 0;
+}

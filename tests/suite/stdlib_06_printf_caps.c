@@ -1,0 +1,15 @@
+// @CATEGORY: Standard C library functions handling of capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// printf %p renders the full capability (the paper's capprint).
+#include <stdio.h>
+int main(void) {
+    int x;
+    printf("%p\n", (void*)&x);
+    printf("%d %u %x %c %s\n", -3, 7u, 0xbeef, 'q', "str");
+    return 0;
+}

@@ -1,0 +1,18 @@
+// @CATEGORY: Sub-objects bound enforcement via capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Default CHERI C does not narrow to sub-object bounds (s3.8):
+// &s.m spans the whole struct.
+#include <cheriintrin.h>
+#include <assert.h>
+struct pair { int a; int b; };
+int main(void) {
+    struct pair s;
+    int *pa = &s.a;
+    assert(cheri_length_get(pa) == sizeof(struct pair));
+    return 0;
+}

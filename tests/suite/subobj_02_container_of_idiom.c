@@ -1,0 +1,21 @@
+// @CATEGORY: Sub-objects bound enforcement via capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// The container-of idiom works because sub-object bounds are off.
+#include <stddef.h>
+#include <stdint.h>
+#include <assert.h>
+struct outer { int header; int payload; };
+int main(void) {
+    struct outer o;
+    o.header = 1; o.payload = 2;
+    int *pp = &o.payload;
+    struct outer *back = (struct outer *)
+        ((char *)pp - offsetof(struct outer, payload));
+    assert(back->header == 1);
+    return 0;
+}

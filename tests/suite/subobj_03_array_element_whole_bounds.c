@@ -1,0 +1,18 @@
+// @CATEGORY: Sub-objects bound enforcement via capabilities
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// @EXPECT[cheriot-temporal]: exit 0
+// Moving between elements via a single element's pointer is fine
+// under default (conservative) bounds.
+#include <assert.h>
+int main(void) {
+    int a[8];
+    for (int i = 0; i < 8; i++) a[i] = i;
+    int *p = &a[3];
+    assert(*(p + 4) == 7);
+    assert(*(p - 3) == 0);
+    return 0;
+}

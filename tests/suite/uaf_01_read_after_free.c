@@ -1,0 +1,16 @@
+// @CATEGORY: Accessing memory via capabilities after the region has been deallocated
+// @EXPECT: ub UB_access_dead_allocation
+// @EXPECT[clang-morello-O0]: exit 7
+// @EXPECT[clang-riscv-O2]: exit 7
+// @EXPECT[gcc-morello-O2]: exit 7
+// @EXPECT[cerberus-cheriot]: ub UB_access_dead_allocation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// Temporal safety: flagged by the abstract machine, silent on
+// hardware without revocation (s3, objective 3).
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    *p = 7;
+    free(p);
+    return *p;
+}

@@ -1,0 +1,14 @@
+// @CATEGORY: Accessing memory via capabilities after the region has been deallocated
+// @EXPECT: ub UB_access_dead_allocation
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: ub UB_access_dead_allocation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(8);
+    free(p);
+    p[0] = 1;
+    return 0;
+}

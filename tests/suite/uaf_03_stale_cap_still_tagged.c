@@ -1,0 +1,17 @@
+// @CATEGORY: Accessing memory via capabilities after the region has been deallocated
+// @EXPECT: exit 0
+// @EXPECT[clang-morello-O0]: exit 0
+// @EXPECT[clang-riscv-O2]: exit 0
+// @EXPECT[gcc-morello-O2]: exit 0
+// @EXPECT[cerberus-cheriot]: exit 0
+// The stale capability keeps its tag (no revocation): only *use*
+// is UB, holding it is fine (s3.11).
+#include <stdlib.h>
+#include <cheriintrin.h>
+#include <assert.h>
+int main(void) {
+    char *p = malloc(8);
+    free(p);
+    assert(cheri_tag_get(p));
+    return 0;
+}

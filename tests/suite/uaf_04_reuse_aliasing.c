@@ -1,0 +1,18 @@
+// @CATEGORY: Accessing memory via capabilities after the region has been deallocated
+// @EXPECT: ub UB_access_dead_allocation
+// @EXPECT[clang-morello-O0]: exit 9
+// @EXPECT[clang-riscv-O2]: exit 9
+// @EXPECT[gcc-morello-O2]: exit 9
+// @EXPECT[cerberus-cheriot]: ub UB_access_dead_allocation
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// s3.11 scenario 2: stale and fresh capability to the same address;
+// the stale one reads the *new* object's data on hardware.
+#include <stdlib.h>
+int main(void) {
+    int *old = malloc(sizeof(int));
+    *old = 1;
+    free(old);
+    int *fresh = malloc(sizeof(int));
+    *fresh = 9;
+    return *old;
+}

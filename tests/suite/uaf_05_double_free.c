@@ -1,0 +1,14 @@
+// @CATEGORY: Accessing memory via capabilities after the region has been deallocated
+// @EXPECT: ub UB_double_free
+// @EXPECT[clang-morello-O0]: ub UB_double_free
+// @EXPECT[clang-riscv-O2]: ub UB_double_free
+// @EXPECT[gcc-morello-O2]: ub UB_double_free
+// @EXPECT[cerberus-cheriot]: ub UB_double_free
+// @EXPECT[cheriot-temporal]: ub UB_double_free
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(4);
+    free(p);
+    free(p);
+    return 0;
+}
