@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compliance_matrix.dir/compliance_matrix.cpp.o"
+  "CMakeFiles/compliance_matrix.dir/compliance_matrix.cpp.o.d"
+  "compliance_matrix"
+  "compliance_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compliance_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

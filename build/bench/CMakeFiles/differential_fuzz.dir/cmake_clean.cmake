@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_fuzz.dir/differential_fuzz.cpp.o"
+  "CMakeFiles/differential_fuzz.dir/differential_fuzz.cpp.o.d"
+  "differential_fuzz"
+  "differential_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_caps.dir/micro_caps.cpp.o"
+  "CMakeFiles/micro_caps.dir/micro_caps.cpp.o.d"
+  "micro_caps"
+  "micro_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_memory.dir/micro_memory.cpp.o"
+  "CMakeFiles/micro_memory.dir/micro_memory.cpp.o.d"
+  "micro_memory"
+  "micro_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_categories.dir/table1_categories.cpp.o"
+  "CMakeFiles/table1_categories.dir/table1_categories.cpp.o.d"
+  "table1_categories"
+  "table1_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_workbench.dir/cap_workbench.cpp.o"
+  "CMakeFiles/cap_workbench.dir/cap_workbench.cpp.o.d"
+  "cap_workbench"
+  "cap_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

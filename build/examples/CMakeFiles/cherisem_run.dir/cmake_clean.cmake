@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cherisem_run.dir/cherisem_run.cpp.o"
+  "CMakeFiles/cherisem_run.dir/cherisem_run.cpp.o.d"
+  "cherisem_run"
+  "cherisem_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cherisem_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

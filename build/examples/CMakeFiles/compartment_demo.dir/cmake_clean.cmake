@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compartment_demo.dir/compartment_demo.cpp.o"
+  "CMakeFiles/compartment_demo.dir/compartment_demo.cpp.o.d"
+  "compartment_demo"
+  "compartment_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compartment_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

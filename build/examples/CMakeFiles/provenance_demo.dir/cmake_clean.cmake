@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_demo.dir/provenance_demo.cpp.o"
+  "CMakeFiles/provenance_demo.dir/provenance_demo.cpp.o.d"
+  "provenance_demo"
+  "provenance_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ub_explorer.dir/ub_explorer.cpp.o"
+  "CMakeFiles/ub_explorer.dir/ub_explorer.cpp.o.d"
+  "ub_explorer"
+  "ub_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ub_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cap/cap_format.cc" "src/CMakeFiles/cherisem.dir/cap/cap_format.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/cap/cap_format.cc.o.d"
+  "/root/repo/src/cap/capability.cc" "src/CMakeFiles/cherisem.dir/cap/capability.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/cap/capability.cc.o.d"
+  "/root/repo/src/cap/cc128.cc" "src/CMakeFiles/cherisem.dir/cap/cc128.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/cap/cc128.cc.o.d"
+  "/root/repo/src/cap/cc64.cc" "src/CMakeFiles/cherisem.dir/cap/cc64.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/cap/cc64.cc.o.d"
+  "/root/repo/src/cap/permissions.cc" "src/CMakeFiles/cherisem.dir/cap/permissions.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/cap/permissions.cc.o.d"
+  "/root/repo/src/corelang/eval.cc" "src/CMakeFiles/cherisem.dir/corelang/eval.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/corelang/eval.cc.o.d"
+  "/root/repo/src/corelang/optimize.cc" "src/CMakeFiles/cherisem.dir/corelang/optimize.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/corelang/optimize.cc.o.d"
+  "/root/repo/src/ctype/ctype.cc" "src/CMakeFiles/cherisem.dir/ctype/ctype.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/ctype/ctype.cc.o.d"
+  "/root/repo/src/ctype/layout.cc" "src/CMakeFiles/cherisem.dir/ctype/layout.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/ctype/layout.cc.o.d"
+  "/root/repo/src/driver/interpreter.cc" "src/CMakeFiles/cherisem.dir/driver/interpreter.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/driver/interpreter.cc.o.d"
+  "/root/repo/src/driver/profiles.cc" "src/CMakeFiles/cherisem.dir/driver/profiles.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/driver/profiles.cc.o.d"
+  "/root/repo/src/driver/suite.cc" "src/CMakeFiles/cherisem.dir/driver/suite.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/driver/suite.cc.o.d"
+  "/root/repo/src/frontend/ast.cc" "src/CMakeFiles/cherisem.dir/frontend/ast.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/frontend/ast.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/CMakeFiles/cherisem.dir/frontend/lexer.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/frontend/lexer.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/CMakeFiles/cherisem.dir/frontend/parser.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/frontend/token.cc" "src/CMakeFiles/cherisem.dir/frontend/token.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/frontend/token.cc.o.d"
+  "/root/repo/src/intrinsics/intrinsics.cc" "src/CMakeFiles/cherisem.dir/intrinsics/intrinsics.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/intrinsics/intrinsics.cc.o.d"
+  "/root/repo/src/mem/load_store.cc" "src/CMakeFiles/cherisem.dir/mem/load_store.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/mem/load_store.cc.o.d"
+  "/root/repo/src/mem/mem_value.cc" "src/CMakeFiles/cherisem.dir/mem/mem_value.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/mem/mem_value.cc.o.d"
+  "/root/repo/src/mem/memory_model.cc" "src/CMakeFiles/cherisem.dir/mem/memory_model.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/mem/memory_model.cc.o.d"
+  "/root/repo/src/mem/provenance.cc" "src/CMakeFiles/cherisem.dir/mem/provenance.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/mem/provenance.cc.o.d"
+  "/root/repo/src/mem/ub.cc" "src/CMakeFiles/cherisem.dir/mem/ub.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/mem/ub.cc.o.d"
+  "/root/repo/src/sema/sema.cc" "src/CMakeFiles/cherisem.dir/sema/sema.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/sema/sema.cc.o.d"
+  "/root/repo/src/support/format.cc" "src/CMakeFiles/cherisem.dir/support/format.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/support/format.cc.o.d"
+  "/root/repo/src/support/source_loc.cc" "src/CMakeFiles/cherisem.dir/support/source_loc.cc.o" "gcc" "src/CMakeFiles/cherisem.dir/support/source_loc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

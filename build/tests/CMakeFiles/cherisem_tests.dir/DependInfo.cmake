@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cap/capability_test.cc" "tests/CMakeFiles/cherisem_tests.dir/cap/capability_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/cap/capability_test.cc.o.d"
+  "/root/repo/tests/cap/compression_test.cc" "tests/CMakeFiles/cherisem_tests.dir/cap/compression_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/cap/compression_test.cc.o.d"
+  "/root/repo/tests/corelang/optimize_test.cc" "tests/CMakeFiles/cherisem_tests.dir/corelang/optimize_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/corelang/optimize_test.cc.o.d"
+  "/root/repo/tests/ctype/ctype_test.cc" "tests/CMakeFiles/cherisem_tests.dir/ctype/ctype_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/ctype/ctype_test.cc.o.d"
+  "/root/repo/tests/driver/extensions_test.cc" "tests/CMakeFiles/cherisem_tests.dir/driver/extensions_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/driver/extensions_test.cc.o.d"
+  "/root/repo/tests/driver/interpreter_test.cc" "tests/CMakeFiles/cherisem_tests.dir/driver/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/driver/interpreter_test.cc.o.d"
+  "/root/repo/tests/driver/language_test.cc" "tests/CMakeFiles/cherisem_tests.dir/driver/language_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/driver/language_test.cc.o.d"
+  "/root/repo/tests/driver/suite_test.cc" "tests/CMakeFiles/cherisem_tests.dir/driver/suite_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/driver/suite_test.cc.o.d"
+  "/root/repo/tests/frontend/frontend_test.cc" "tests/CMakeFiles/cherisem_tests.dir/frontend/frontend_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/frontend/frontend_test.cc.o.d"
+  "/root/repo/tests/intrinsics/intrinsics_test.cc" "tests/CMakeFiles/cherisem_tests.dir/intrinsics/intrinsics_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/intrinsics/intrinsics_test.cc.o.d"
+  "/root/repo/tests/mem/memory_model_test.cc" "tests/CMakeFiles/cherisem_tests.dir/mem/memory_model_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/mem/memory_model_test.cc.o.d"
+  "/root/repo/tests/mem/pnvi_test.cc" "tests/CMakeFiles/cherisem_tests.dir/mem/pnvi_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/mem/pnvi_test.cc.o.d"
+  "/root/repo/tests/mem/soak_test.cc" "tests/CMakeFiles/cherisem_tests.dir/mem/soak_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/mem/soak_test.cc.o.d"
+  "/root/repo/tests/sema/sema_test.cc" "tests/CMakeFiles/cherisem_tests.dir/sema/sema_test.cc.o" "gcc" "tests/CMakeFiles/cherisem_tests.dir/sema/sema_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cherisem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cherisem_tests.dir/cap/capability_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/cap/capability_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/cap/compression_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/cap/compression_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/corelang/optimize_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/corelang/optimize_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/ctype/ctype_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/ctype/ctype_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/driver/extensions_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/driver/extensions_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/driver/interpreter_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/driver/interpreter_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/driver/language_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/driver/language_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/driver/suite_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/driver/suite_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/frontend/frontend_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/frontend/frontend_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/intrinsics/intrinsics_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/intrinsics/intrinsics_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/mem/memory_model_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/mem/memory_model_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/mem/pnvi_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/mem/pnvi_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/mem/soak_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/mem/soak_test.cc.o.d"
+  "CMakeFiles/cherisem_tests.dir/sema/sema_test.cc.o"
+  "CMakeFiles/cherisem_tests.dir/sema/sema_test.cc.o.d"
+  "cherisem_tests"
+  "cherisem_tests.pdb"
+  "cherisem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cherisem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
