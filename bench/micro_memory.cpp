@@ -4,8 +4,21 @@
  * allocation, capability-preserving memcpy — plus the ghost-state
  * ablation (abstract semantics vs hardware mode) called out in
  * DESIGN.md.
+ *
+ * Every store-touching benchmark runs against both AbstractStore
+ * backends (the reference MapStore and the default PagedStore) so the
+ * store layer's effect is visible side by side.  Before the
+ * google-benchmark suite runs, a fixed harness times load / store /
+ * memcpy at 16 B, 4 KiB, and 1 MiB on both backends and writes the
+ * results to BENCH_memory.json — the machine-readable perf trajectory
+ * the ROADMAP tracks from PR 1 on.
  */
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "mem/memory_model.h"
 
@@ -18,14 +31,173 @@ using ctype::intType;
 using ctype::pointerTo;
 
 MemoryModel::Config
-config(bool ghost)
+config(bool ghost, StoreBackend backend = StoreBackend::Paged)
 {
     MemoryModel::Config c;
     c.ghostState = ghost;
     c.checkProvenance = ghost;
     c.readUninitIsUb = false;
+    c.storeBackend = backend;
     return c;
 }
+
+// ---------------------------------------------------------------------
+// BENCH_memory.json: fixed load/store/memcpy grid over both backends.
+// ---------------------------------------------------------------------
+
+/** Wall-clock ns/op of @p op, warmed up and run until ~0.3 s or
+ *  @p max_iters, whichever comes first. */
+template <typename F>
+double
+nsPerOp(F &&op, int max_iters = 64)
+{
+    using clock = std::chrono::steady_clock;
+    op(); // warm-up (page faults, lazy allocation)
+    double total_ns = 0;
+    int iters = 0;
+    while (iters < max_iters && total_ns < 3e8) {
+        auto t0 = clock::now();
+        op();
+        auto t1 = clock::now();
+        total_ns += static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                 t0)
+                .count());
+        ++iters;
+    }
+    return total_ns / iters;
+}
+
+struct JsonEntry
+{
+    std::string op;
+    uint64_t size;
+    std::string backend;
+    double nsPerOp;
+    uint64_t pagesAllocated;
+};
+
+/** One op = one pass over @p size bytes (8-byte stores). */
+double
+timeStoreSweep(StoreBackend b, uint64_t size)
+{
+    MemoryModel mm(config(true, b));
+    auto region = mm.allocateRegion("r", size, 16);
+    auto longTy = intType(IntKind::Long);
+    MemValue v(IntegerValue::ofNum(IntKind::Long, 0x0123456789abcdef));
+    PointerValue p = region.value();
+    return nsPerOp([&] {
+        for (uint64_t off = 0; off + 8 <= size; off += 8) {
+            p.cap = region.value().cap->withAddress(
+                region.value().address() + off);
+            benchmark::DoNotOptimize(mm.store({}, longTy, p, v));
+        }
+        if (size < 8)
+            benchmark::DoNotOptimize(
+                mm.store({}, intType(IntKind::UChar), region.value(),
+                         MemValue(IntegerValue::ofNum(IntKind::UChar,
+                                                      1))));
+    });
+}
+
+/** One op = one pass over @p size bytes (8-byte loads). */
+double
+timeLoadSweep(StoreBackend b, uint64_t size)
+{
+    MemoryModel mm(config(true, b));
+    auto region = mm.allocateRegion("r", size, 16);
+    (void)mm.memsetOp({}, region.value(), 7, size);
+    auto longTy = intType(IntKind::Long);
+    PointerValue p = region.value();
+    return nsPerOp([&] {
+        for (uint64_t off = 0; off + 8 <= size; off += 8) {
+            p.cap = region.value().cap->withAddress(
+                region.value().address() + off);
+            benchmark::DoNotOptimize(mm.load({}, longTy, p));
+        }
+        if (size < 8)
+            benchmark::DoNotOptimize(
+                mm.load({}, intType(IntKind::UChar), region.value()));
+    });
+}
+
+/** One op = one memcpyOp of @p size bytes. */
+double
+timeMemcpy(StoreBackend b, uint64_t size, uint64_t *pages_out)
+{
+    MemoryModel mm(config(true, b));
+    auto src = mm.allocateRegion("src", size, 16);
+    auto dst = mm.allocateRegion("dst", size, 16);
+    (void)mm.memsetOp({}, src.value(), 7, size);
+    double ns = nsPerOp(
+        [&] {
+            benchmark::DoNotOptimize(
+                mm.memcpyOp({}, dst.value(), src.value(), size));
+        },
+        size >= (1u << 20) ? 8 : 64);
+    if (pages_out)
+        *pages_out = mm.stats().store.pagesAllocated;
+    return ns;
+}
+
+void
+writeBenchJson(const char *path)
+{
+    const uint64_t sizes[] = {16, 4096, 1u << 20};
+    std::vector<JsonEntry> entries;
+    double memcpy_1m[2] = {0, 0}; // [map, paged]
+
+    for (StoreBackend b : {StoreBackend::Map, StoreBackend::Paged}) {
+        for (uint64_t size : sizes) {
+            uint64_t pages = 0;
+            double st = timeStoreSweep(b, size);
+            double ld = timeLoadSweep(b, size);
+            double mc = timeMemcpy(b, size, &pages);
+            entries.push_back(
+                {"store", size, storeBackendName(b), st, 0});
+            entries.push_back(
+                {"load", size, storeBackendName(b), ld, 0});
+            entries.push_back(
+                {"memcpy", size, storeBackendName(b), mc, pages});
+            if (size == (1u << 20))
+                memcpy_1m[b == StoreBackend::Paged ? 1 : 0] = mc;
+        }
+    }
+
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"results\": [\n");
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const JsonEntry &e = entries[i];
+        std::fprintf(f,
+                     "    {\"op\": \"%s\", \"size\": %llu, "
+                     "\"backend\": \"%s\", \"ns_per_op\": %.1f, "
+                     "\"pages_allocated\": %llu}%s\n",
+                     e.op.c_str(),
+                     static_cast<unsigned long long>(e.size),
+                     e.backend.c_str(), e.nsPerOp,
+                     static_cast<unsigned long long>(e.pagesAllocated),
+                     i + 1 < entries.size() ? "," : "");
+    }
+    double speedup =
+        memcpy_1m[1] > 0 ? memcpy_1m[0] / memcpy_1m[1] : 0;
+    std::fprintf(f,
+                 "  ],\n  \"memcpy_1MiB_speedup_paged_vs_map\": "
+                 "%.2f\n}\n",
+                 speedup);
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "BENCH_memory.json written: 1 MiB memcpy paged vs "
+                 "map speedup = %.2fx\n",
+                 speedup);
+}
+
+// ---------------------------------------------------------------------
+// google-benchmark suite (both backends side by side).
+// ---------------------------------------------------------------------
 
 void
 BM_Mem_AllocateObject(benchmark::State &state)
@@ -36,16 +208,16 @@ BM_Mem_AllocateObject(benchmark::State &state)
                                    false);
         benchmark::DoNotOptimize(p);
         mm.stackRestore(mm.stackSave() + 0); // keep sp (objects leak
-                                             // into the map, which is
-                                             // what we measure)
+                                             // into the store, which
+                                             // is what we measure)
     }
 }
 BENCHMARK(BM_Mem_AllocateObject);
 
 void
-BM_Mem_IntStoreLoad(benchmark::State &state)
+BM_Mem_IntStoreLoad(benchmark::State &state, StoreBackend backend)
 {
-    MemoryModel mm(config(true));
+    MemoryModel mm(config(true, backend));
     auto p = mm.allocateObject("x", intType(IntKind::Int), false,
                                false);
     MemValue v(IntegerValue::ofNum(IntKind::Int, 42));
@@ -56,12 +228,13 @@ BM_Mem_IntStoreLoad(benchmark::State &state)
             mm.load({}, intType(IntKind::Int), p.value()));
     }
 }
-BENCHMARK(BM_Mem_IntStoreLoad);
+BENCHMARK_CAPTURE(BM_Mem_IntStoreLoad, map, StoreBackend::Map);
+BENCHMARK_CAPTURE(BM_Mem_IntStoreLoad, paged, StoreBackend::Paged);
 
 void
-BM_Mem_CapStoreLoad(benchmark::State &state)
+BM_Mem_CapStoreLoad(benchmark::State &state, StoreBackend backend)
 {
-    MemoryModel mm(config(true));
+    MemoryModel mm(config(true, backend));
     auto x = mm.allocateObject("x", intType(IntKind::Int), false,
                                false);
     auto pp = pointerTo(intType(IntKind::Int));
@@ -72,12 +245,13 @@ BM_Mem_CapStoreLoad(benchmark::State &state)
         benchmark::DoNotOptimize(mm.load({}, pp, box.value()));
     }
 }
-BENCHMARK(BM_Mem_CapStoreLoad);
+BENCHMARK_CAPTURE(BM_Mem_CapStoreLoad, map, StoreBackend::Map);
+BENCHMARK_CAPTURE(BM_Mem_CapStoreLoad, paged, StoreBackend::Paged);
 
 void
-BM_Mem_MemcpyCaps(benchmark::State &state)
+BM_Mem_MemcpyCaps(benchmark::State &state, StoreBackend backend)
 {
-    MemoryModel mm(config(true));
+    MemoryModel mm(config(true, backend));
     uint64_t n = static_cast<uint64_t>(state.range(0));
     auto src = mm.allocateRegion("src", n, 16);
     auto dst = mm.allocateRegion("dst", n, 16);
@@ -88,8 +262,43 @@ BM_Mem_MemcpyCaps(benchmark::State &state)
     }
     state.SetBytesProcessed(
         static_cast<int64_t>(state.iterations()) * n);
+    const StoreStats &ss = mm.stats().store;
+    state.counters["pages"] =
+        static_cast<double>(ss.pagesAllocated);
+    state.counters["rangeCopies"] =
+        static_cast<double>(ss.rangeCopies);
 }
-BENCHMARK(BM_Mem_MemcpyCaps)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK_CAPTURE(BM_Mem_MemcpyCaps, map, StoreBackend::Map)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384);
+BENCHMARK_CAPTURE(BM_Mem_MemcpyCaps, paged, StoreBackend::Paged)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384);
+
+void
+BM_Mem_Memmove_Overlapping(benchmark::State &state,
+                           StoreBackend backend)
+{
+    MemoryModel mm(config(true, backend));
+    uint64_t n = static_cast<uint64_t>(state.range(0));
+    auto region = mm.allocateRegion("r", n + 64, 16);
+    (void)mm.memsetOp({}, region.value(), 7, n + 64);
+    PointerValue dst = region.value();
+    dst.cap = dst.cap->withAddress(dst.address() + 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mm.memmoveOp({}, dst, region.value(), n));
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK_CAPTURE(BM_Mem_Memmove_Overlapping, map, StoreBackend::Map)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_Mem_Memmove_Overlapping, paged,
+                  StoreBackend::Paged)
+    ->Arg(4096);
 
 /** Ablation: ghost-state bookkeeping vs deterministic hardware tag
  *  clearing on byte writes over capabilities. */
@@ -154,4 +363,29 @@ BENCHMARK(BM_Mem_MallocFree);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The fixed perf-trajectory grid always runs first; pass
+    // --no-json to skip it (e.g. when only the google benchmarks are
+    // wanted).
+    bool write_json = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--no-json") {
+            write_json = false;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    if (write_json)
+        writeBenchJson("BENCH_memory.json");
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

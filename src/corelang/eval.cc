@@ -1517,13 +1517,9 @@ Evaluator::evalBuiltin(const Expr &e)
         PointerValue src = args[1].asPointer();
         uint64_t n = uintval(2);
         if (b == Builtin::Memmove && n > 0) {
-            // memmove permits overlap: route through a temporary
-            // heap region.
-            PointerValue tmp = unwrap(mm_.allocateRegion(
-                "memmove.tmp", n, mm_.arch().capSize()));
-            unwrap(mm_.memcpyOp(loc, tmp, src, n));
-            unwrap(mm_.memcpyOp(loc, dst, tmp, n));
-            unwrap(mm_.kill(loc, true, tmp));
+            // memmove permits overlap: the memory model stages the
+            // copy (bytes and capability metadata) internally.
+            unwrap(mm_.memmoveOp(loc, dst, src, n));
         } else if (n > 0) {
             unwrap(mm_.memcpyOp(loc, dst, src, n));
         }

@@ -19,6 +19,9 @@ makeCerberus()
     p.memConfig.checkProvenance = true;
     p.memConfig.readUninitIsUb = true;
     p.memConfig.strictPtrArith = true;
+    // Even the reference semantics runs on the paged store; the map
+    // store is only the equivalence-test oracle.
+    p.memConfig.storeBackend = mem::StoreBackend::Paged;
     // Appendix A shows Cerberus stack addresses around 0xffffe6dc.
     p.memConfig.globalBase = 0x00010000;
     p.memConfig.heapBase = 0x01000000;
@@ -44,6 +47,7 @@ makeHardware(const std::string &name, const std::string &desc,
     // Hardware checks happen at access time; out-of-bounds pointer
     // *construction* only clears tags via representability.
     p.memConfig.strictPtrArith = false;
+    p.memConfig.storeBackend = mem::StoreBackend::Paged;
     p.memConfig.stackBase = stack;
     p.memConfig.heapBase = heap;
     p.memConfig.globalBase = globals;

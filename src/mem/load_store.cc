@@ -3,6 +3,11 @@
  * Typed load/store (the paper's load rule, section 4.3), the
  * abst()/repr() value<->representation functions, and the
  * capability-preserving bulk operations (section 3.5).
+ *
+ * All byte and capability-metadata access goes through the
+ * AbstractStore range primitives (mem/store.h); this file owns the
+ * *policy* (ghost-state transitions, slot carry rules) and the store
+ * owns the mechanics.
  */
 #include <algorithm>
 #include <cassert>
@@ -30,36 +35,74 @@ MemoryModel::writeCapability(uint64_t addr, const Capability &c,
     unsigned n = arch().capSize();
     std::vector<uint8_t> repr(n);
     arch().toBytes(c, repr.data());
-    for (unsigned i = 0; i < n; ++i) {
-        bytes_[addr + i] = AbsByte{prov, repr[i], i};
-    }
+    std::vector<AbsByte> bs(n);
+    for (unsigned i = 0; i < n; ++i)
+        bs[i] = AbsByte{prov, repr[i], i};
+    store_->writeBytes(addr, bs.data(), n);
     assert(addr % n == 0);
-    capMeta_[addr] = CapMeta{c.tag(), c.ghost()};
+    store_->setCapMeta(addr, CapMeta{c.tag(), c.ghost()});
 }
 
 void
 MemoryModel::invalidateCapMeta(uint64_t addr, uint64_t n)
 {
+    // Section 3.5: a non-capability write marks previously set tags
+    // *unspecified* in ghost state (so optimisations that remove the
+    // write stay sound); the hardware view deterministically clears.
+    uint64_t touched =
+        store_->invalidateCapRange(addr, n, config_.ghostState);
+    if (config_.ghostState)
+        stats_.ghostTagInvalidations += touched;
+    else
+        stats_.hardTagInvalidations += touched;
+}
+
+void
+MemoryModel::copyBytesAndMeta(uint64_t d, uint64_t s, uint64_t n)
+{
+    // Capability metadata: a destination slot receives the source
+    // slot's tag/ghost only if it is fully covered by the copy and
+    // the copy is capability-aligned; any partially covered slot is
+    // invalidated like a representation write (section 3.5).
+    //
+    // Every source-slot read is staged *before* any write so the
+    // routine is correct for overlapping ranges (memmove) — the same
+    // discipline copyRange applies to the abstract bytes.
     unsigned cs = arch().capSize();
-    uint64_t first = addr / cs * cs;
-    for (uint64_t slot = first; slot < addr + n; slot += cs) {
-        auto it = capMeta_.find(slot);
-        if (it == capMeta_.end())
-            continue;
-        CapMeta &m = it->second;
-        if (!m.tag && !m.ghost.tagUnspec)
-            continue;
-        if (config_.ghostState) {
-            // Section 3.5: a non-capability write marks previously
-            // set tags *unspecified* in ghost state (so optimisations
-            // that remove the write stay sound).
-            m.ghost.tagUnspec = true;
-            ++stats_.ghostTagInvalidations;
+    struct SlotPlan
+    {
+        uint64_t slot;
+        bool carry;
+        std::optional<CapMeta> meta; // staged source meta when carried
+        uint64_t lo, hi;             // partial coverage to invalidate
+    };
+    std::vector<SlotPlan> plan;
+    uint64_t first = d / cs * cs;
+    for (uint64_t slot = first; slot < d + n; slot += cs) {
+        bool fully = slot >= d && slot + cs <= d + n;
+        bool aligned_pair = ((slot - d + s) % cs) == 0;
+        if (fully && aligned_pair) {
+            plan.push_back({slot, true,
+                            store_->capMetaAt(slot - d + s), 0, 0});
         } else {
-            // Hardware view: the tag is deterministically cleared.
-            m.tag = false;
-            m.ghost = cap::GhostState{};
-            ++stats_.hardTagInvalidations;
+            uint64_t lo = std::max(slot, d);
+            uint64_t hi = std::min(slot + cs, d + n);
+            plan.push_back({slot, false, std::nullopt, lo, hi});
+        }
+    }
+
+    // Copy the abstract bytes verbatim (provenance and pointer
+    // indices travel with them); copyRange is overlap-safe.
+    store_->copyRange(d, s, n);
+
+    for (const SlotPlan &sp : plan) {
+        if (sp.carry) {
+            if (sp.meta)
+                store_->setCapMeta(sp.slot, *sp.meta);
+            else
+                store_->eraseCapMeta(sp.slot);
+        } else if (sp.lo < sp.hi) {
+            invalidateCapMeta(sp.lo, sp.hi - sp.lo);
         }
     }
 }
@@ -75,8 +118,7 @@ MemoryModel::reprValue(SourceLoc loc, uint64_t addr, const TypeRef &ty,
     uint64_t n = layout_.sizeOf(ty);
 
     if (v.isUnspec()) {
-        for (uint64_t i = 0; i < n; ++i)
-            bytes_[addr + i] = AbsByte{};
+        store_->clearRange(addr, n);
         invalidateCapMeta(addr, n);
         return Unit{};
     }
@@ -95,11 +137,12 @@ MemoryModel::reprValue(SourceLoc loc, uint64_t addr, const TypeRef &ty,
                 // representation is stored, the tag cannot be.
                 std::vector<uint8_t> repr(n);
                 arch().toBytes(*iv.cap, repr.data());
+                std::vector<AbsByte> bs(n);
                 for (uint64_t i = 0; i < n; ++i) {
-                    bytes_[addr + i] =
-                        AbsByte{iv.prov, repr[i],
-                                static_cast<uint32_t>(i)};
+                    bs[i] = AbsByte{iv.prov, repr[i],
+                                    static_cast<uint32_t>(i)};
                 }
+                store_->writeBytes(addr, bs.data(), n);
                 invalidateCapMeta(addr, n);
                 return Unit{};
             }
@@ -114,15 +157,17 @@ MemoryModel::reprValue(SourceLoc loc, uint64_t addr, const TypeRef &ty,
             // preserving provenance and pointer index so a later
             // pointer-typed load can recognise the copy (PNVI /
             // section 3.5).
-            bytes_[addr] = *iv.byteCopy;
+            store_->writeByte(addr, *iv.byteCopy);
             invalidateCapMeta(addr, 1);
             return Unit{};
         }
+        std::vector<AbsByte> bs(n);
         for (uint64_t i = 0; i < n; ++i) {
-            bytes_[addr + i] = AbsByte{
-                Provenance::empty(),
-                static_cast<uint8_t>(raw >> (8 * i)), std::nullopt};
+            bs[i] = AbsByte{Provenance::empty(),
+                            static_cast<uint8_t>(raw >> (8 * i)),
+                            std::nullopt};
         }
+        store_->writeBytes(addr, bs.data(), n);
         invalidateCapMeta(addr, n);
         return Unit{};
       }
@@ -139,10 +184,10 @@ MemoryModel::reprValue(SourceLoc loc, uint64_t addr, const TypeRef &ty,
         } else {
             std::memcpy(buf, &d, 8);
         }
-        for (uint64_t i = 0; i < m; ++i) {
-            bytes_[addr + i] =
-                AbsByte{Provenance::empty(), buf[i], std::nullopt};
-        }
+        std::vector<AbsByte> bs(m);
+        for (uint64_t i = 0; i < m; ++i)
+            bs[i] = AbsByte{Provenance::empty(), buf[i], std::nullopt};
+        store_->writeBytes(addr, bs.data(), m);
         invalidateCapMeta(addr, n);
         return Unit{};
       }
@@ -155,10 +200,12 @@ MemoryModel::reprValue(SourceLoc loc, uint64_t addr, const TypeRef &ty,
         if (addr % arch().capSize() != 0) {
             std::vector<uint8_t> repr(n);
             arch().toBytes(*pv.cap, repr.data());
+            std::vector<AbsByte> bs(n);
             for (uint64_t i = 0; i < n; ++i) {
-                bytes_[addr + i] = AbsByte{pv.prov, repr[i],
-                                           static_cast<uint32_t>(i)};
+                bs[i] = AbsByte{pv.prov, repr[i],
+                                static_cast<uint32_t>(i)};
             }
+            store_->writeBytes(addr, bs.data(), n);
             invalidateCapMeta(addr, n);
             return Unit{};
         }
@@ -189,13 +236,14 @@ MemoryModel::reprValue(SourceLoc loc, uint64_t addr, const TypeRef &ty,
             const auto *uv = std::get_if<UnionValue>(&v.v);
             if (!uv)
                 return Failure::internal("repr: union expected", loc);
-            for (uint64_t i = 0; i < n && i < uv->bytes.size(); ++i)
-                bytes_[addr + i] = uv->bytes[i];
+            uint64_t m = std::min<uint64_t>(n, uv->bytes.size());
+            if (m > 0)
+                store_->writeBytes(addr, uv->bytes.data(), m);
             invalidateCapMeta(addr, n);
             // Re-deposit capability metadata for aligned slots.
             for (const auto &[off, meta] : uv->metas) {
                 if ((addr + off) % arch().capSize() == 0)
-                    capMeta_[addr + off] = meta;
+                    store_->setCapMeta(addr + off, meta);
             }
             return Unit{};
         }
@@ -231,17 +279,11 @@ MemoryModel::abstValue(SourceLoc loc, uint64_t addr, const TypeRef &ty)
         [&](uint64_t a, uint64_t count,
             std::vector<AbsByte> &out) -> bool {
         out.resize(count);
+        store_->readBytes(a, count, out.data());
         bool all_present = true;
-        for (uint64_t i = 0; i < count; ++i) {
-            auto it = bytes_.find(a + i);
-            if (it == bytes_.end()) {
-                out[i] = AbsByte{};
+        for (const AbsByte &b : out) {
+            if (!b.value)
                 all_present = false;
-            } else {
-                out[i] = it->second;
-                if (!it->second.value)
-                    all_present = false;
-            }
         }
         if (!all_present && !config_.readUninitIsUb) {
             // Hardware view: memory always holds *some* byte; model
@@ -278,12 +320,14 @@ MemoryModel::abstValue(SourceLoc loc, uint64_t addr, const TypeRef &ty)
                     prov_ok = false;
                 }
             }
-            CapMeta meta = peekCapMeta(addr);
             bool aligned = addr % arch().capSize() == 0;
+            std::optional<CapMeta> meta_opt =
+                aligned ? store_->capMetaAt(addr) : std::nullopt;
+            CapMeta meta = meta_opt.value_or(CapMeta{});
             cap::GhostState ghost =
                 aligned ? meta.ghost : cap::GhostState{};
             if (config_.ghostState && prov_ok && !prov.isEmpty() &&
-                aligned && capMeta_.find(addr) == capMeta_.end()) {
+                aligned && !meta_opt) {
                 // The bytes are a verbatim copy of some capability's
                 // representation made with non-capability stores: an
                 // optimiser may turn that copy into a tag-preserving
@@ -370,12 +414,14 @@ MemoryModel::abstValue(SourceLoc loc, uint64_t addr, const TypeRef &ty)
                 prov_ok = false;
             }
         }
-        CapMeta meta = peekCapMeta(addr);
         bool aligned = addr % arch().capSize() == 0;
+        std::optional<CapMeta> meta_opt =
+            aligned ? store_->capMetaAt(addr) : std::nullopt;
+        CapMeta meta = meta_opt.value_or(CapMeta{});
         cap::GhostState ghost =
             aligned ? meta.ghost : cap::GhostState{};
         if (config_.ghostState && prov_ok && !prov.isEmpty() &&
-            aligned && capMeta_.find(addr) == capMeta_.end()) {
+            aligned && !meta_opt) {
             // See the capability-integer case above (section 3.5).
             ghost.tagUnspec = true;
         }
@@ -420,9 +466,10 @@ MemoryModel::abstValue(SourceLoc loc, uint64_t addr, const TypeRef &ty)
             unsigned cs = arch().capSize();
             for (uint64_t off = 0; off + cs <= n; off += cs) {
                 if ((addr + off) % cs == 0) {
-                    auto it = capMeta_.find(addr + off);
-                    if (it != capMeta_.end())
-                        uv.metas.emplace_back(off, it->second);
+                    if (std::optional<CapMeta> m =
+                            store_->capMetaAt(addr + off)) {
+                        uv.metas.emplace_back(off, *m);
+                    }
                 }
             }
             return MemValue(std::move(uv));
@@ -488,39 +535,25 @@ MemoryModel::memcpyOp(SourceLoc loc, const PointerValue &dst,
             return Unit{}; // Degenerate self-copy: nothing to do.
         return Failure::undefined(Ub::MemcpyOverlap, loc);
     }
+    copyBytesAndMeta(d, s, n);
+    return Unit{};
+}
 
-    // Copy the abstract bytes verbatim (provenance and pointer
-    // indices travel with them).
-    std::vector<AbsByte> tmp(n);
-    for (uint64_t i = 0; i < n; ++i) {
-        auto it = bytes_.find(s + i);
-        tmp[i] = (it == bytes_.end()) ? AbsByte{} : it->second;
-    }
-    for (uint64_t i = 0; i < n; ++i)
-        bytes_[d + i] = tmp[i];
-
-    // Capability metadata: a destination slot receives the source
-    // slot's tag/ghost only if it is fully covered by the copy and
-    // the copy is capability-aligned; any partially covered slot is
-    // invalidated like a representation write (section 3.5).
-    unsigned cs = arch().capSize();
-    uint64_t first = d / cs * cs;
-    for (uint64_t slot = first; slot < d + n; slot += cs) {
-        bool fully = slot >= d && slot + cs <= d + n;
-        bool aligned_pair = ((slot - d + s) % cs) == 0;
-        if (fully && aligned_pair) {
-            auto it = capMeta_.find(slot - d + s);
-            if (it != capMeta_.end())
-                capMeta_[slot] = it->second;
-            else
-                capMeta_.erase(slot);
-        } else {
-            uint64_t lo = std::max(slot, d);
-            uint64_t hi = std::min(slot + cs, d + n);
-            if (lo < hi)
-                invalidateCapMeta(lo, hi - lo);
-        }
-    }
+MemResult<Unit>
+MemoryModel::memmoveOp(SourceLoc loc, const PointerValue &dst,
+                       const PointerValue &src, uint64_t n)
+{
+    if (n == 0)
+        return Unit{};
+    CHERISEM_TRYV(accessCheck(loc, src, n, 1, false));
+    CHERISEM_TRYV(accessCheck(loc, dst, n, 1, true));
+    uint64_t s = src.address();
+    uint64_t d = dst.address();
+    if (s == d)
+        return Unit{};
+    // Overlap is fine: copyBytesAndMeta stages all source state
+    // (bytes and capability metadata) before writing.
+    copyBytesAndMeta(d, s, n);
     return Unit{};
 }
 
@@ -530,11 +563,12 @@ MemoryModel::memcmpOp(SourceLoc loc, const PointerValue &a,
 {
     CHERISEM_TRYV(accessCheck(loc, a, n, 1, false));
     CHERISEM_TRYV(accessCheck(loc, b, n, 1, false));
+    std::vector<AbsByte> ba(n), bb(n);
+    store_->readBytes(a.address(), n, ba.data());
+    store_->readBytes(b.address(), n, bb.data());
     for (uint64_t i = 0; i < n; ++i) {
-        auto ia = bytes_.find(a.address() + i);
-        auto ib = bytes_.find(b.address() + i);
-        bool ua = ia == bytes_.end() || !ia->second.value;
-        bool ub_ = ib == bytes_.end() || !ib->second.value;
+        bool ua = !ba[i].value;
+        bool ub_ = !bb[i].value;
         if (ua || ub_) {
             if (config_.readUninitIsUb) {
                 return Failure::undefined(Ub::ReadUninitialized, loc,
@@ -543,8 +577,8 @@ MemoryModel::memcmpOp(SourceLoc loc, const PointerValue &a,
             }
             continue; // Hardware view: garbage compares as equal-ish.
         }
-        uint8_t x = *ia->second.value;
-        uint8_t y = *ib->second.value;
+        uint8_t x = *ba[i].value;
+        uint8_t y = *bb[i].value;
         if (x != y) {
             return IntegerValue::ofNum(IntKind::Int,
                                        x < y ? -1 : 1);
@@ -561,8 +595,8 @@ MemoryModel::memsetOp(SourceLoc loc, const PointerValue &dst,
         return Unit{};
     CHERISEM_TRYV(accessCheck(loc, dst, n, 1, true, initializing));
     uint64_t d = dst.address();
-    for (uint64_t i = 0; i < n; ++i)
-        bytes_[d + i] = AbsByte{Provenance::empty(), byte, std::nullopt};
+    store_->fillRange(d, n,
+                      AbsByte{Provenance::empty(), byte, std::nullopt});
     invalidateCapMeta(d, n);
     return Unit{};
 }

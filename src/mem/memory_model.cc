@@ -17,6 +17,7 @@ MemoryModel::MemoryModel(Config config)
       layout_(ctype::MachineLayout{config_.arch->capSize(),
                                    config_.arch->addrBits() / 8},
               &emptyTags_),
+      store_(makeStore(config_.storeBackend, config_.arch->capSize())),
       globalPtr_(config_.globalBase),
       heapPtr_(config_.heapBase),
       stackPtr_(config_.stackBase),
@@ -221,28 +222,25 @@ MemoryModel::revokeRegion(uint64_t base, uint64_t size)
     // capability whose bounds overlap the freed region, so stale
     // pointers fault deterministically on their next load+use.
     unsigned cs = arch().capSize();
-    for (auto &[slot, meta] : capMeta_) {
-        if (!meta.tag)
-            continue;
-        std::vector<uint8_t> raw(cs);
-        bool complete = true;
-        for (unsigned i = 0; i < cs; ++i) {
-            auto it = bytes_.find(slot + i);
-            if (it == bytes_.end() || !it->second.value) {
-                complete = false;
-                break;
+    std::vector<AbsByte> bs(cs);
+    std::vector<uint8_t> raw(cs);
+    store_->forEachCapInRange(
+        0, ~uint64_t(0), [&](uint64_t slot, CapMeta &meta) {
+            if (!meta.tag)
+                return;
+            store_->readBytes(slot, cs, bs.data());
+            for (unsigned i = 0; i < cs; ++i) {
+                if (!bs[i].value)
+                    return;
+                raw[i] = *bs[i].value;
             }
-            raw[i] = *it->second.value;
-        }
-        if (!complete)
-            continue;
-        Capability c = arch().fromBytes(raw.data(), true);
-        if (c.base() < uint128(base) + size &&
-            c.top() > uint128(base)) {
-            meta.tag = false;
-            ++stats_.hardTagInvalidations;
-        }
-    }
+            Capability c = arch().fromBytes(raw.data(), true);
+            if (c.base() < uint128(base) + size &&
+                c.top() > uint128(base)) {
+                meta.tag = false;
+                ++stats_.hardTagInvalidations;
+            }
+        });
 }
 
 // ---------------------------------------------------------------------
@@ -694,18 +692,16 @@ MemoryModel::findAllocation(AllocId id) const
 std::optional<uint8_t>
 MemoryModel::peekByte(uint64_t addr) const
 {
-    auto it = bytes_.find(addr);
-    if (it == bytes_.end())
-        return std::nullopt;
-    return it->second.value;
+    AbsByte b;
+    store_->readBytes(addr, 1, &b);
+    return b.value;
 }
 
 CapMeta
 MemoryModel::peekCapMeta(uint64_t addr) const
 {
     uint64_t slot = addr / arch().capSize() * arch().capSize();
-    auto it = capMeta_.find(slot);
-    return it == capMeta_.end() ? CapMeta{} : it->second;
+    return store_->capMetaAt(slot).value_or(CapMeta{});
 }
 
 size_t

@@ -11,6 +11,12 @@
  *     C : Addr -> bool x ghost_state   (per-capability-slot tag + 2-bit
  *                                       ghost state)
  *
+ * The M component lives behind the AbstractStore interface
+ * (mem/store.h): all byte and capability-metadata access in the model
+ * goes through its range-based primitives, with the concrete backend
+ * (reference MapStore vs the default PagedStore) selected by
+ * Config::storeBackend.
+ *
  * All operations run in the Result-based error monad; undefined
  * behaviour is reported as a Failure rather than executed.
  *
@@ -27,6 +33,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +41,7 @@
 #include "ctype/layout.h"
 #include "mem/mem_value.h"
 #include "mem/provenance.h"
+#include "mem/store.h"
 #include "mem/ub.h"
 
 namespace cherisem::mem {
@@ -82,6 +90,9 @@ struct MemStats
     uint64_t ghostTagInvalidations = 0;
     uint64_t hardTagInvalidations = 0;
     uint64_t iotasCreated = 0;
+    /** Store-layer counters (page allocations, range ops, byte
+     *  totals), mirrored from the active AbstractStore backend. */
+    StoreStats store;
 };
 
 /**
@@ -115,6 +126,10 @@ class MemoryModel
          *  sweeps memory and invalidates stored capabilities that
          *  point into the freed region. */
         bool revokeOnFree = false;
+        /** Concrete backend for the M = B x C store.  Paged is the
+         *  default everywhere; Map is the reference oracle used by
+         *  the store-equivalence and differential tests. */
+        StoreBackend storeBackend = StoreBackend::Paged;
 
         // Address-space layout (drives the Appendix A differences).
         uint64_t globalBase = 0x0000000000010000ull;
@@ -129,7 +144,13 @@ class MemoryModel
     const cap::CapArch &arch() const { return *config_.arch; }
     const ctype::LayoutEngine &layout() const { return layout_; }
     void setTagTable(const ctype::TagTable *tags);
-    const MemStats &stats() const { return stats_; }
+    const MemStats &stats() const
+    {
+        stats_.store = store_->stats();
+        return stats_;
+    }
+    /** The active store backend (introspection / benchmarks). */
+    const AbstractStore &store() const { return *store_; }
 
     /// @name Allocation (create/kill), Cerberus interface.
     /// @{
@@ -210,6 +231,11 @@ class MemoryModel
     /// @{
     MemResult<Unit> memcpyOp(SourceLoc loc, const PointerValue &dst,
                              const PointerValue &src, uint64_t n);
+    /** memmove: like memcpyOp but overlap is permitted (both the
+     *  abstract bytes and the capability metadata are staged through
+     *  temporaries). */
+    MemResult<Unit> memmoveOp(SourceLoc loc, const PointerValue &dst,
+                              const PointerValue &src, uint64_t n);
     MemResult<IntegerValue> memcmpOp(SourceLoc loc,
                                      const PointerValue &a,
                                      const PointerValue &b, uint64_t n);
@@ -286,6 +312,10 @@ class MemoryModel
      *  ghost "tag unspecified" in the abstract semantics,
      *  deterministic tag clear in hardware mode (section 3.5). */
     void invalidateCapMeta(uint64_t addr, uint64_t n);
+    /** Shared memcpy/memmove body: copy abstract bytes and carry or
+     *  invalidate capability metadata per the section 3.5 rules.
+     *  Overlap-safe (all source state is staged before any write). */
+    void copyBytesAndMeta(uint64_t dst, uint64_t src, uint64_t n);
 
     /** repr(): serialize @p v (of type @p ty) into bytes/metadata at
      *  @p addr. */
@@ -308,8 +338,7 @@ class MemoryModel
     ctype::TagTable emptyTags_;
     ctype::LayoutEngine layout_;
 
-    std::map<uint64_t, AbsByte> bytes_;          // B
-    std::map<uint64_t, CapMeta> capMeta_;        // C
+    std::unique_ptr<AbstractStore> store_;       // M = B x C
     std::map<AllocId, Allocation> allocations_;  // A
     IotaTable iotas_;                            // S
 
@@ -324,7 +353,8 @@ class MemoryModel
 
     std::map<uint64_t, uint32_t> functionsByAddr_;
 
-    MemStats stats_;
+    /** Mutable so stats() can mirror the store counters on read. */
+    mutable MemStats stats_;
 };
 
 } // namespace cherisem::mem

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * The two AbstractStore backends: the reference MapStore (the paper's
+ * literal B and C maps) and the PagedStore the profiles run on.
+ */
+#include "mem/store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cherisem::mem {
+
+namespace {
+
+/** The section 3.5 transition on one recorded slot; true when the
+ *  slot actually changed (for the invalidation counters). */
+bool
+applyInvalidation(CapMeta &m, bool ghost)
+{
+    if (!m.tag && !m.ghost.tagUnspec)
+        return false;
+    if (ghost) {
+        // Abstract semantics: a representation write over a set tag
+        // makes the tag *unspecified*, so optimisations that elide
+        // the write stay sound.
+        m.ghost.tagUnspec = true;
+    } else {
+        // Hardware view: the tag is deterministically cleared.
+        m.tag = false;
+        m.ghost = cap::GhostState{};
+    }
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// MapStore.
+// ---------------------------------------------------------------------
+
+void
+MapStore::readBytes(uint64_t addr, uint64_t n, AbsByte *out) const
+{
+    ++stats_.rangeReads;
+    stats_.bytesRead += n;
+    uint64_t end = rangeEnd(addr, n);
+    for (uint64_t i = 0; i < n; ++i)
+        out[i] = AbsByte{};
+    for (auto it = bytes_.lower_bound(addr);
+         it != bytes_.end() && it->first < end; ++it) {
+        out[it->first - addr] = it->second;
+    }
+}
+
+void
+MapStore::writeBytes(uint64_t addr, const AbsByte *src, uint64_t n)
+{
+    ++stats_.rangeWrites;
+    stats_.bytesWritten += n;
+    for (uint64_t i = 0; i < n; ++i)
+        bytes_[addr + i] = src[i];
+}
+
+void
+MapStore::fillRange(uint64_t addr, uint64_t n, const AbsByte &b)
+{
+    ++stats_.rangeFills;
+    stats_.bytesWritten += n;
+    for (uint64_t i = 0; i < n; ++i)
+        bytes_[addr + i] = b;
+}
+
+void
+MapStore::clearRange(uint64_t addr, uint64_t n)
+{
+    uint64_t end = rangeEnd(addr, n);
+    bytes_.erase(bytes_.lower_bound(addr), bytes_.lower_bound(end));
+}
+
+void
+MapStore::copyRange(uint64_t dst, uint64_t src, uint64_t n)
+{
+    ++stats_.rangeCopies;
+    stats_.bytesCopied += n;
+    // Stage through a temporary: overlap-safe in either direction.
+    std::vector<AbsByte> tmp(n);
+    uint64_t end = rangeEnd(src, n);
+    for (auto it = bytes_.lower_bound(src);
+         it != bytes_.end() && it->first < end; ++it) {
+        tmp[it->first - src] = it->second;
+    }
+    for (uint64_t i = 0; i < n; ++i)
+        bytes_[dst + i] = tmp[i];
+}
+
+std::optional<CapMeta>
+MapStore::capMetaAt(uint64_t slot) const
+{
+    assert(slot % capSize_ == 0);
+    ++stats_.capMetaReads;
+    auto it = capMeta_.find(slot);
+    if (it == capMeta_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MapStore::setCapMeta(uint64_t slot, const CapMeta &m)
+{
+    assert(slot % capSize_ == 0);
+    ++stats_.capMetaWrites;
+    capMeta_[slot] = m;
+}
+
+void
+MapStore::eraseCapMeta(uint64_t slot)
+{
+    assert(slot % capSize_ == 0);
+    ++stats_.capMetaWrites;
+    capMeta_.erase(slot);
+}
+
+uint64_t
+MapStore::invalidateCapRange(uint64_t addr, uint64_t n, bool ghost)
+{
+    uint64_t first = addr / capSize_ * capSize_;
+    uint64_t end = rangeEnd(addr, n);
+    uint64_t count = 0;
+    for (auto it = capMeta_.lower_bound(first);
+         it != capMeta_.end() && it->first < end; ++it) {
+        if (applyInvalidation(it->second, ghost))
+            ++count;
+    }
+    return count;
+}
+
+void
+MapStore::forEachCapInRange(
+    uint64_t addr, uint64_t n,
+    const std::function<void(uint64_t, CapMeta &)> &visit)
+{
+    uint64_t first = addr / capSize_ * capSize_;
+    uint64_t end = rangeEnd(addr, n);
+    for (auto it = capMeta_.lower_bound(first);
+         it != capMeta_.end() && it->first < end; ++it) {
+        visit(it->first, it->second);
+    }
+}
+
+// ---------------------------------------------------------------------
+// PagedStore.
+// ---------------------------------------------------------------------
+
+PagedStore::PagedStore(unsigned cap_size)
+    : AbstractStore(cap_size),
+      slotsPerPage_(static_cast<unsigned>(kPageBytes) / cap_size)
+{
+    // The tag granule must tile a page exactly so a slot never
+    // straddles two pages.
+    assert(kPageBytes % cap_size == 0);
+}
+
+PagedStore::Page *
+PagedStore::findPage(uint64_t index) const
+{
+    if (index == cachedIndex_)
+        return cachedPage_;
+    auto it = pages_.find(index);
+    if (it == pages_.end())
+        return nullptr;
+    cachedIndex_ = index;
+    cachedPage_ = it->second.get();
+    return cachedPage_;
+}
+
+PagedStore::Page &
+PagedStore::touchPage(uint64_t index)
+{
+    if (Page *p = findPage(index))
+        return *p;
+    auto page = std::make_unique<Page>(slotsPerPage_);
+    Page *raw = page.get();
+    pages_.emplace(index, std::move(page));
+    ++stats_.pagesAllocated;
+    cachedIndex_ = index;
+    cachedPage_ = raw;
+    return *raw;
+}
+
+void
+PagedStore::readBytes(uint64_t addr, uint64_t n, AbsByte *out) const
+{
+    ++stats_.rangeReads;
+    stats_.bytesRead += n;
+    uint64_t i = 0;
+    while (i < n) {
+        uint64_t a = addr + i;
+        uint64_t off = a % kPageBytes;
+        uint64_t chunk = std::min(n - i, kPageBytes - off);
+        if (const Page *p = findPage(a / kPageBytes)) {
+            std::copy_n(p->bytes.begin() +
+                            static_cast<ptrdiff_t>(off),
+                        chunk, out + i);
+        } else {
+            std::fill_n(out + i, chunk, AbsByte{});
+        }
+        i += chunk;
+    }
+}
+
+void
+PagedStore::writeBytes(uint64_t addr, const AbsByte *src, uint64_t n)
+{
+    ++stats_.rangeWrites;
+    stats_.bytesWritten += n;
+    uint64_t i = 0;
+    while (i < n) {
+        uint64_t a = addr + i;
+        uint64_t off = a % kPageBytes;
+        uint64_t chunk = std::min(n - i, kPageBytes - off);
+        Page &p = touchPage(a / kPageBytes);
+        std::copy_n(src + i, chunk,
+                    p.bytes.begin() + static_cast<ptrdiff_t>(off));
+        i += chunk;
+    }
+}
+
+void
+PagedStore::fillRange(uint64_t addr, uint64_t n, const AbsByte &b)
+{
+    ++stats_.rangeFills;
+    stats_.bytesWritten += n;
+    uint64_t i = 0;
+    while (i < n) {
+        uint64_t a = addr + i;
+        uint64_t off = a % kPageBytes;
+        uint64_t chunk = std::min(n - i, kPageBytes - off);
+        Page &p = touchPage(a / kPageBytes);
+        std::fill_n(p.bytes.begin() + static_cast<ptrdiff_t>(off),
+                    chunk, b);
+        i += chunk;
+    }
+}
+
+void
+PagedStore::clearRange(uint64_t addr, uint64_t n)
+{
+    uint64_t i = 0;
+    while (i < n) {
+        uint64_t a = addr + i;
+        uint64_t off = a % kPageBytes;
+        uint64_t chunk = std::min(n - i, kPageBytes - off);
+        // Absent pages are already uninitialised: skip without
+        // materialising them.
+        if (Page *p = findPage(a / kPageBytes)) {
+            std::fill_n(p->bytes.begin() +
+                            static_cast<ptrdiff_t>(off),
+                        chunk, AbsByte{});
+        }
+        i += chunk;
+    }
+}
+
+void
+PagedStore::copyRange(uint64_t dst, uint64_t src, uint64_t n)
+{
+    ++stats_.rangeCopies;
+    stats_.bytesCopied += n;
+    bool overlap = src < dst ? dst - src < n : src - dst < n;
+    if (overlap && dst != src) {
+        // Stage through a temporary, as the reference backend does.
+        std::vector<AbsByte> tmp(n);
+        // Not via readBytes/writeBytes: keep the range-op counters
+        // identical across backends for the equivalence test.
+        uint64_t i = 0;
+        while (i < n) {
+            uint64_t a = src + i;
+            uint64_t off = a % kPageBytes;
+            uint64_t chunk = std::min(n - i, kPageBytes - off);
+            if (const Page *p = findPage(a / kPageBytes)) {
+                std::copy_n(p->bytes.begin() +
+                                static_cast<ptrdiff_t>(off),
+                            chunk, tmp.begin() +
+                                static_cast<ptrdiff_t>(i));
+            }
+            i += chunk;
+        }
+        i = 0;
+        while (i < n) {
+            uint64_t a = dst + i;
+            uint64_t off = a % kPageBytes;
+            uint64_t chunk = std::min(n - i, kPageBytes - off);
+            Page &p = touchPage(a / kPageBytes);
+            std::copy_n(tmp.begin() + static_cast<ptrdiff_t>(i),
+                        chunk,
+                        p.bytes.begin() + static_cast<ptrdiff_t>(off));
+            i += chunk;
+        }
+        return;
+    }
+    if (dst == src)
+        return;
+    // Disjoint ranges: page-chunked direct copy, no staging.
+    uint64_t i = 0;
+    while (i < n) {
+        uint64_t sa = src + i;
+        uint64_t da = dst + i;
+        uint64_t soff = sa % kPageBytes;
+        uint64_t doff = da % kPageBytes;
+        uint64_t chunk = std::min({n - i, kPageBytes - soff,
+                                   kPageBytes - doff});
+        const Page *sp = findPage(sa / kPageBytes);
+        Page &dp = touchPage(da / kPageBytes);
+        if (sp) {
+            std::copy_n(sp->bytes.begin() +
+                            static_cast<ptrdiff_t>(soff),
+                        chunk,
+                        dp.bytes.begin() +
+                            static_cast<ptrdiff_t>(doff));
+        } else {
+            std::fill_n(dp.bytes.begin() +
+                            static_cast<ptrdiff_t>(doff),
+                        chunk, AbsByte{});
+        }
+        i += chunk;
+    }
+}
+
+std::optional<CapMeta>
+PagedStore::capMetaAt(uint64_t slot) const
+{
+    assert(slot % capSize_ == 0);
+    ++stats_.capMetaReads;
+    const Page *p = findPage(slot / kPageBytes);
+    if (!p)
+        return std::nullopt;
+    unsigned s = static_cast<unsigned>((slot % kPageBytes) / capSize_);
+    if (!p->metaPresent[s])
+        return std::nullopt;
+    return p->meta[s];
+}
+
+void
+PagedStore::setCapMeta(uint64_t slot, const CapMeta &m)
+{
+    assert(slot % capSize_ == 0);
+    ++stats_.capMetaWrites;
+    Page &p = touchPage(slot / kPageBytes);
+    unsigned s = static_cast<unsigned>((slot % kPageBytes) / capSize_);
+    p.meta[s] = m;
+    p.metaPresent[s] = 1;
+}
+
+void
+PagedStore::eraseCapMeta(uint64_t slot)
+{
+    assert(slot % capSize_ == 0);
+    ++stats_.capMetaWrites;
+    if (Page *p = findPage(slot / kPageBytes)) {
+        unsigned s =
+            static_cast<unsigned>((slot % kPageBytes) / capSize_);
+        p->metaPresent[s] = 0;
+        p->meta[s] = CapMeta{};
+    }
+}
+
+uint64_t
+PagedStore::invalidateCapRange(uint64_t addr, uint64_t n, bool ghost)
+{
+    uint64_t first = addr / capSize_ * capSize_;
+    uint64_t end = rangeEnd(addr, n);
+    uint64_t count = 0;
+    for (uint64_t slot = first; slot < end;) {
+        Page *p = findPage(slot / kPageBytes);
+        if (!p) {
+            // Skip to the next page boundary.
+            uint64_t next = (slot / kPageBytes + 1) * kPageBytes;
+            slot = next > slot ? next : end;
+            continue;
+        }
+        uint64_t page_end =
+            std::min(end, (slot / kPageBytes + 1) * kPageBytes);
+        for (; slot < page_end; slot += capSize_) {
+            unsigned s = static_cast<unsigned>((slot % kPageBytes) /
+                                               capSize_);
+            if (p->metaPresent[s] &&
+                applyInvalidation(p->meta[s], ghost)) {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+void
+PagedStore::forEachCapInRange(
+    uint64_t addr, uint64_t n,
+    const std::function<void(uint64_t, CapMeta &)> &visit)
+{
+    uint64_t end = rangeEnd(addr, n);
+    for (auto &[index, page] : pages_) {
+        uint64_t page_base = index * kPageBytes;
+        if (page_base >= end || page_base + kPageBytes <= addr)
+            continue;
+        for (unsigned s = 0; s < slotsPerPage_; ++s) {
+            if (!page->metaPresent[s])
+                continue;
+            uint64_t slot = page_base + uint64_t(s) * capSize_;
+            if (slot + capSize_ <= addr || slot >= end)
+                continue;
+            visit(slot, page->meta[s]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Factory.
+// ---------------------------------------------------------------------
+
+std::unique_ptr<AbstractStore>
+makeStore(StoreBackend backend, unsigned cap_size)
+{
+    switch (backend) {
+      case StoreBackend::Map:
+        return std::make_unique<MapStore>(cap_size);
+      case StoreBackend::Paged:
+        return std::make_unique<PagedStore>(cap_size);
+    }
+    return std::make_unique<PagedStore>(cap_size);
+}
+
+const char *
+storeBackendName(StoreBackend backend)
+{
+    return backend == StoreBackend::Map ? "map" : "paged";
+}
+
+} // namespace cherisem::mem

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The abstract store layer under the memory object model.
+ *
+ * The paper keeps the memory component of the state as two maps
+ * (section 4.3):
+ *
+ *     M = B x C        B : Addr -> AbsByte
+ *                      C : Addr -> bool x ghost_state
+ *
+ * AbstractStore is exactly that object, exposed as a narrow,
+ * range-based interface so the rest of the semantics never touches a
+ * concrete container.  Two backends implement it:
+ *
+ *  - MapStore: the literal `std::map` transcription of B and C.  Kept
+ *    as the reference backend / differential oracle: slow (one
+ *    red-black-tree lookup per byte) but obviously faithful.
+ *  - PagedStore: sparse 4 KiB pages of flat AbsByte / CapMeta arrays
+ *    keyed by page index, with a one-entry last-page cache.  This is
+ *    what every implementation profile runs by default.
+ *
+ * Invariants every backend must uphold (and the store-equivalence
+ * test checks):
+ *
+ *  - A byte never written reads back as the uninitialised AbsByte{}
+ *    (empty provenance, no value, no pointer index).
+ *  - Capability metadata lives only at capSize()-aligned slots, and
+ *    "no metadata recorded" is observably distinct from "metadata
+ *    recorded with a clear tag": the ghost-state rule of section 3.5
+ *    (a byte-wise capability copy has an *unspecified* tag) keys off
+ *    that distinction.
+ *  - invalidateCapRange applies the section 3.5 transition to every
+ *    slot overlapping the range: ghost mode marks set tags
+ *    unspecified; hardware mode clears them deterministically.
+ *  - copyRange is overlap-safe in both directions (memmove
+ *    semantics) for the abstract bytes.
+ */
+#ifndef CHERISEM_MEM_STORE_H
+#define CHERISEM_MEM_STORE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_value.h"
+
+namespace cherisem::mem {
+
+/** Which concrete backend a MemoryModel runs on. */
+enum class StoreBackend { Map, Paged };
+
+/** Store-level counters (nested into MemStats). */
+struct StoreStats
+{
+    /** PagedStore 4 KiB pages materialised (0 for MapStore). */
+    uint64_t pagesAllocated = 0;
+    /** Range-primitive invocations. */
+    uint64_t rangeReads = 0;
+    uint64_t rangeWrites = 0;
+    uint64_t rangeCopies = 0;
+    uint64_t rangeFills = 0;
+    /** Per-op byte totals for the range primitives above. */
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+    uint64_t bytesCopied = 0;
+    /** Capability-metadata primitive invocations. */
+    uint64_t capMetaReads = 0;
+    uint64_t capMetaWrites = 0;
+};
+
+/**
+ * The store interface: the `M = B x C` component of the memory state
+ * behind range-based primitives.
+ *
+ * Addresses are plain 64-bit; @p slot arguments must be
+ * capSize()-aligned (callers round, backends assert).
+ */
+class AbstractStore
+{
+  public:
+    explicit AbstractStore(unsigned cap_size) : capSize_(cap_size) {}
+    virtual ~AbstractStore() = default;
+
+    virtual const char *name() const = 0;
+
+    /// @name Byte-map (B) primitives.
+    /// @{
+    /** Read @p n abstract bytes into @p out; never-written addresses
+     *  produce the uninitialised AbsByte{}. */
+    virtual void readBytes(uint64_t addr, uint64_t n,
+                           AbsByte *out) const = 0;
+    /** Write @p n abstract bytes from @p src. */
+    virtual void writeBytes(uint64_t addr, const AbsByte *src,
+                            uint64_t n) = 0;
+    /** Write the same abstract byte over [addr, addr+n) (memset). */
+    virtual void fillRange(uint64_t addr, uint64_t n,
+                           const AbsByte &b) = 0;
+    /** Return [addr, addr+n) to the uninitialised state. */
+    virtual void clearRange(uint64_t addr, uint64_t n) = 0;
+    /** Copy @p n abstract bytes src -> dst; overlap-safe (memmove
+     *  semantics).  Bytes only — capability metadata policy stays
+     *  with the memory model. */
+    virtual void copyRange(uint64_t dst, uint64_t src, uint64_t n) = 0;
+    /// @}
+
+    /// @name Capability-metadata (C) primitives.
+    /// @{
+    /** Metadata at the aligned @p slot; nullopt when none was ever
+     *  recorded (distinct from a recorded clear tag, section 3.5). */
+    virtual std::optional<CapMeta> capMetaAt(uint64_t slot) const = 0;
+    virtual void setCapMeta(uint64_t slot, const CapMeta &m) = 0;
+    virtual void eraseCapMeta(uint64_t slot) = 0;
+    /**
+     * Apply the representation-write transition (section 3.5) to
+     * every recorded slot overlapping [addr, addr+n): with @p ghost
+     * set, previously set tags become *unspecified* in ghost state;
+     * otherwise tags are deterministically cleared (hardware view).
+     * Returns the number of slots actually transitioned.
+     */
+    virtual uint64_t invalidateCapRange(uint64_t addr, uint64_t n,
+                                        bool ghost) = 0;
+    /**
+     * Visit every recorded capability-metadata slot intersecting
+     * [addr, addr+n) as (slot, meta&); the visitor may mutate the
+     * metadata in place (the CHERIoT revocation sweep clears tags
+     * this way).  Pass addr=0, n=~0 to sweep the whole store.
+     * Visit order is unspecified.
+     */
+    virtual void
+    forEachCapInRange(uint64_t addr, uint64_t n,
+                      const std::function<void(uint64_t, CapMeta &)>
+                          &visit) = 0;
+    /// @}
+
+    /** Convenience: single-byte write. */
+    void writeByte(uint64_t addr, const AbsByte &b)
+    {
+        writeBytes(addr, &b, 1);
+    }
+    /** Convenience: allocate-and-return range read. */
+    std::vector<AbsByte>
+    readBytes(uint64_t addr, uint64_t n) const
+    {
+        std::vector<AbsByte> out(n);
+        readBytes(addr, n, out.data());
+        return out;
+    }
+
+    unsigned capSize() const { return capSize_; }
+    const StoreStats &stats() const { return stats_; }
+
+  protected:
+    /** Exclusive end of [addr, addr+n), saturating at 2^64-1. */
+    static uint64_t
+    rangeEnd(uint64_t addr, uint64_t n)
+    {
+        return n > ~uint64_t(0) - addr ? ~uint64_t(0) : addr + n;
+    }
+
+    unsigned capSize_;
+    mutable StoreStats stats_;
+};
+
+/**
+ * Reference backend: the literal B and C maps of the paper.
+ */
+class MapStore final : public AbstractStore
+{
+  public:
+    using AbstractStore::AbstractStore;
+    using AbstractStore::readBytes;
+
+    const char *name() const override { return "map"; }
+
+    void readBytes(uint64_t addr, uint64_t n,
+                   AbsByte *out) const override;
+    void writeBytes(uint64_t addr, const AbsByte *src,
+                    uint64_t n) override;
+    void fillRange(uint64_t addr, uint64_t n, const AbsByte &b) override;
+    void clearRange(uint64_t addr, uint64_t n) override;
+    void copyRange(uint64_t dst, uint64_t src, uint64_t n) override;
+
+    std::optional<CapMeta> capMetaAt(uint64_t slot) const override;
+    void setCapMeta(uint64_t slot, const CapMeta &m) override;
+    void eraseCapMeta(uint64_t slot) override;
+    uint64_t invalidateCapRange(uint64_t addr, uint64_t n,
+                                bool ghost) override;
+    void forEachCapInRange(
+        uint64_t addr, uint64_t n,
+        const std::function<void(uint64_t, CapMeta &)> &visit) override;
+
+  private:
+    std::map<uint64_t, AbsByte> bytes_;   // B
+    std::map<uint64_t, CapMeta> capMeta_; // C
+};
+
+/**
+ * Paged backend: sparse 4 KiB pages of flat AbsByte arrays plus
+ * per-page CapMeta slot arrays with presence bits, keyed by page
+ * index, fronted by a one-entry last-page cache.
+ */
+class PagedStore final : public AbstractStore
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+
+    explicit PagedStore(unsigned cap_size);
+    using AbstractStore::readBytes;
+
+    const char *name() const override { return "paged"; }
+
+    void readBytes(uint64_t addr, uint64_t n,
+                   AbsByte *out) const override;
+    void writeBytes(uint64_t addr, const AbsByte *src,
+                    uint64_t n) override;
+    void fillRange(uint64_t addr, uint64_t n, const AbsByte &b) override;
+    void clearRange(uint64_t addr, uint64_t n) override;
+    void copyRange(uint64_t dst, uint64_t src, uint64_t n) override;
+
+    std::optional<CapMeta> capMetaAt(uint64_t slot) const override;
+    void setCapMeta(uint64_t slot, const CapMeta &m) override;
+    void eraseCapMeta(uint64_t slot) override;
+    uint64_t invalidateCapRange(uint64_t addr, uint64_t n,
+                                bool ghost) override;
+    void forEachCapInRange(
+        uint64_t addr, uint64_t n,
+        const std::function<void(uint64_t, CapMeta &)> &visit) override;
+
+  private:
+    struct Page
+    {
+        explicit Page(unsigned slots)
+            : bytes(kPageBytes), meta(slots), metaPresent(slots, 0)
+        {
+        }
+        std::vector<AbsByte> bytes;      // kPageBytes entries
+        std::vector<CapMeta> meta;       // one per cap slot
+        std::vector<uint8_t> metaPresent;
+    };
+
+    /** Existing page or nullptr; never allocates. */
+    Page *findPage(uint64_t index) const;
+    /** Existing page, materialising (and counting) a fresh one. */
+    Page &touchPage(uint64_t index);
+
+    unsigned slotsPerPage_;
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    // One-entry last-page cache.  Page storage is behind unique_ptr
+    // and pages are never erased, so the cached pointer stays valid
+    // across rehashes.
+    mutable uint64_t cachedIndex_ = ~uint64_t(0);
+    mutable Page *cachedPage_ = nullptr;
+};
+
+/** Factory used by MemoryModel::Config. */
+std::unique_ptr<AbstractStore> makeStore(StoreBackend backend,
+                                         unsigned cap_size);
+
+/** Backend name for diagnostics / benchmark labels. */
+const char *storeBackendName(StoreBackend backend);
+
+} // namespace cherisem::mem
+
+#endif // CHERISEM_MEM_STORE_H

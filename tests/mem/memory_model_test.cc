@@ -256,6 +256,82 @@ TEST_F(MemoryModelTest, AlignedMemcpyPreservesCapability)
     EXPECT_EQ(loadInt(r.value().asPointer()), 3);
 }
 
+TEST_F(MemoryModelTest, OverlappingMemmovePreservesCapabilities)
+{
+    // Regression test: the capability-slot metadata transfer must be
+    // staged through a temporary exactly like the byte copy, or an
+    // overlapping memmove of capability-bearing structs propagates
+    // already-overwritten slots.
+    unsigned cs = mm_->arch().capSize();
+    TypeRef pp = pointerTo(intType(IntKind::Int));
+    PointerValue a = allocInt("a");
+    PointerValue b = allocInt("b");
+    PointerValue c = allocInt("c");
+    storeInt(a, 1);
+    storeInt(b, 2);
+    storeInt(c, 3);
+
+    auto arr = mm_->allocateRegion("arr", 4 * cs, 16);
+    ASSERT_TRUE(arr.ok());
+    auto slotPtr = [&](unsigned i) {
+        PointerValue p = arr.value();
+        p.cap = p.cap->withAddress(p.address() + i * cs);
+        return p;
+    };
+    ASSERT_TRUE(mm_->store({}, pp, slotPtr(0), MemValue(a)).ok());
+    ASSERT_TRUE(mm_->store({}, pp, slotPtr(1), MemValue(b)).ok());
+    ASSERT_TRUE(mm_->store({}, pp, slotPtr(2), MemValue(c)).ok());
+
+    // Forward overlap: arr[1..3] <- arr[0..2].
+    ASSERT_TRUE(
+        mm_->memmoveOp({}, slotPtr(1), slotPtr(0), 3 * cs).ok());
+    int expect_fwd[] = {1, 1, 2, 3};
+    for (unsigned i = 0; i < 4; ++i) {
+        auto r = mm_->load({}, pp, slotPtr(i));
+        ASSERT_TRUE(r.ok()) << "slot " << i << ": "
+                            << r.error().str();
+        const PointerValue &p = r.value().asPointer();
+        ASSERT_TRUE(p.cap->tag()) << "tag lost in slot " << i;
+        EXPECT_FALSE(p.cap->ghost().any()) << "slot " << i;
+        EXPECT_EQ(loadInt(p), expect_fwd[i]) << "slot " << i;
+    }
+
+    // Backward overlap: arr[0..2] <- arr[1..3].
+    ASSERT_TRUE(
+        mm_->memmoveOp({}, slotPtr(0), slotPtr(1), 3 * cs).ok());
+    int expect_bwd[] = {1, 2, 3, 3};
+    for (unsigned i = 0; i < 4; ++i) {
+        auto r = mm_->load({}, pp, slotPtr(i));
+        ASSERT_TRUE(r.ok()) << "slot " << i << ": "
+                            << r.error().str();
+        const PointerValue &p = r.value().asPointer();
+        ASSERT_TRUE(p.cap->tag()) << "tag lost in slot " << i;
+        EXPECT_EQ(loadInt(p), expect_bwd[i]) << "slot " << i;
+    }
+}
+
+TEST_F(MemoryModelTest, MisalignedOverlappingMemmoveGhostsTags)
+{
+    // An overlapping memmove whose src/dst are not capability-aligned
+    // relative to each other must invalidate the destination slots
+    // (section 3.5), never carry stale metadata.
+    unsigned cs = mm_->arch().capSize();
+    TypeRef pp = pointerTo(intType(IntKind::Int));
+    PointerValue a = allocInt("a");
+    storeInt(a, 1);
+    auto arr = mm_->allocateRegion("arr", 4 * cs, 16);
+    ASSERT_TRUE(arr.ok());
+    PointerValue base = arr.value();
+    ASSERT_TRUE(mm_->store({}, pp, base, MemValue(a)).ok());
+
+    PointerValue dst = base;
+    dst.cap = base.cap->withAddress(base.address() + 1);
+    ASSERT_TRUE(mm_->memmoveOp({}, dst, base, 2 * cs).ok());
+
+    CapMeta meta = mm_->peekCapMeta(base.address());
+    EXPECT_TRUE(meta.ghost.tagUnspec || !meta.tag);
+}
+
 TEST_F(MemoryModelTest, PartialMemcpyOfCapabilityGhostsTheTag)
 {
     PointerValue x = allocInt("x");

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Store-layer tests.
+ *
+ * 1. Direct unit tests of the AbstractStore primitives on both
+ *    backends (page-boundary crossing, overlap-safe copies, the
+ *    ghost/hard invalidation transition, range visitors).
+ * 2. The backend-equivalence soak: a randomized op sequence
+ *    (alloc/store/load/memcpy/memmove/memset/kill) is driven through
+ *    two MemoryModels that differ only in Config::storeBackend, and
+ *    every observable — per-op UB verdicts, loaded values, final
+ *    bytes, capability metadata, and the core MemStats counters —
+ *    must be identical.  MapStore is the oracle (the literal B and C
+ *    maps of section 4.3); PagedStore is what the profiles run.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cap/cc64.h"
+#include "cap/cc128.h"
+#include "mem/memory_model.h"
+#include "mem/store.h"
+
+namespace cherisem::mem {
+namespace {
+
+using ctype::IntKind;
+using ctype::intType;
+using ctype::pointerTo;
+using ctype::TypeRef;
+
+// ---------------------------------------------------------------------
+// Direct primitive tests, parameterised over the backend.
+// ---------------------------------------------------------------------
+
+class StorePrimitiveTest
+    : public ::testing::TestWithParam<StoreBackend>
+{
+  protected:
+    void SetUp() override { store_ = makeStore(GetParam(), 16); }
+
+    AbsByte
+    byteOf(uint8_t v, uint64_t prov_id = 0)
+    {
+        AbsByte b;
+        b.value = v;
+        if (prov_id)
+            b.prov = Provenance::alloc(prov_id);
+        return b;
+    }
+
+    std::unique_ptr<AbstractStore> store_;
+};
+
+TEST_P(StorePrimitiveTest, UnwrittenBytesReadUninitialised)
+{
+    std::vector<AbsByte> out = store_->readBytes(0x12345, 8);
+    for (const AbsByte &b : out) {
+        EXPECT_FALSE(b.value.has_value());
+        EXPECT_TRUE(b.prov.isEmpty());
+        EXPECT_FALSE(b.index.has_value());
+    }
+}
+
+TEST_P(StorePrimitiveTest, WriteReadRoundTripAcrossPageBoundary)
+{
+    // Straddle the 4 KiB page boundary at 0x2000.
+    const uint64_t addr = 0x2000 - 5;
+    std::vector<AbsByte> in(11);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = byteOf(static_cast<uint8_t>(0x40 + i), /*prov=*/7);
+    store_->writeBytes(addr, in.data(), in.size());
+
+    std::vector<AbsByte> out = store_->readBytes(addr, in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        ASSERT_TRUE(out[i].value.has_value());
+        EXPECT_EQ(*out[i].value, 0x40 + i);
+        EXPECT_EQ(out[i].prov, Provenance::alloc(7));
+    }
+    // Neighbours untouched.
+    EXPECT_FALSE(store_->readBytes(addr - 1, 1)[0].value.has_value());
+    EXPECT_FALSE(
+        store_->readBytes(addr + in.size(), 1)[0].value.has_value());
+}
+
+TEST_P(StorePrimitiveTest, FillAndClearRange)
+{
+    store_->fillRange(0x1000, 8192, byteOf(0xAB));
+    EXPECT_EQ(*store_->readBytes(0x1000, 1)[0].value, 0xAB);
+    EXPECT_EQ(*store_->readBytes(0x2FFF, 1)[0].value, 0xAB);
+    store_->clearRange(0x1004, 4096);
+    EXPECT_EQ(*store_->readBytes(0x1003, 1)[0].value, 0xAB);
+    EXPECT_FALSE(store_->readBytes(0x1004, 1)[0].value.has_value());
+    EXPECT_FALSE(store_->readBytes(0x2003, 1)[0].value.has_value());
+    EXPECT_EQ(*store_->readBytes(0x2004, 1)[0].value, 0xAB);
+}
+
+TEST_P(StorePrimitiveTest, CopyRangeOverlapBothDirections)
+{
+    for (size_t i = 0; i < 64; ++i)
+        store_->writeByte(0x3000 + i, byteOf(static_cast<uint8_t>(i)));
+    // Forward overlap (dst > src).
+    store_->copyRange(0x3010, 0x3000, 64);
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(*store_->readBytes(0x3010 + i, 1)[0].value, i);
+    // Backward overlap (dst < src).
+    store_->copyRange(0x3008, 0x3010, 64);
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(*store_->readBytes(0x3008 + i, 1)[0].value, i);
+}
+
+TEST_P(StorePrimitiveTest, CapMetaPresenceIsDistinctFromClearTag)
+{
+    EXPECT_FALSE(store_->capMetaAt(0x4000).has_value());
+    store_->setCapMeta(0x4000, CapMeta{});
+    ASSERT_TRUE(store_->capMetaAt(0x4000).has_value());
+    EXPECT_FALSE(store_->capMetaAt(0x4000)->tag);
+    store_->eraseCapMeta(0x4000);
+    EXPECT_FALSE(store_->capMetaAt(0x4000).has_value());
+}
+
+TEST_P(StorePrimitiveTest, InvalidateGhostVsHard)
+{
+    store_->setCapMeta(0x5000, CapMeta{true, {}});
+    store_->setCapMeta(0x5010, CapMeta{true, {}});
+    store_->setCapMeta(0x5020, CapMeta{false, {}});
+
+    // Ghost mode: tags stay set, tagUnspec raised; the recorded-but-
+    // clear slot does not transition.
+    EXPECT_EQ(store_->invalidateCapRange(0x5005, 0x30, true), 2u);
+    EXPECT_TRUE(store_->capMetaAt(0x5000)->tag);
+    EXPECT_TRUE(store_->capMetaAt(0x5000)->ghost.tagUnspec);
+    EXPECT_TRUE(store_->capMetaAt(0x5010)->ghost.tagUnspec);
+    EXPECT_FALSE(store_->capMetaAt(0x5020)->ghost.tagUnspec);
+
+    // Hard mode: deterministic clear of tag and ghost state.
+    EXPECT_EQ(store_->invalidateCapRange(0x5000, 0x20, false), 2u);
+    EXPECT_FALSE(store_->capMetaAt(0x5000)->tag);
+    EXPECT_FALSE(store_->capMetaAt(0x5000)->ghost.tagUnspec);
+}
+
+TEST_P(StorePrimitiveTest, ForEachCapInRangeWindows)
+{
+    for (uint64_t slot = 0x6000; slot < 0x6100; slot += 16)
+        store_->setCapMeta(slot, CapMeta{true, {}});
+
+    size_t seen = 0;
+    store_->forEachCapInRange(0x6020, 0x40,
+                              [&](uint64_t, CapMeta &) { ++seen; });
+    EXPECT_EQ(seen, 4u);
+
+    // Whole-store sweep, mutating through the visitor.
+    seen = 0;
+    store_->forEachCapInRange(0, ~uint64_t(0),
+                              [&](uint64_t, CapMeta &m) {
+                                  m.tag = false;
+                                  ++seen;
+                              });
+    EXPECT_EQ(seen, 16u);
+    EXPECT_FALSE(store_->capMetaAt(0x6000)->tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StorePrimitiveTest,
+                         ::testing::Values(StoreBackend::Map,
+                                           StoreBackend::Paged),
+                         [](const auto &info) {
+                             return std::string(
+                                 storeBackendName(info.param));
+                         });
+
+// ---------------------------------------------------------------------
+// Backend equivalence soak.
+// ---------------------------------------------------------------------
+
+/** One model per backend, driven in lockstep. */
+struct Pair
+{
+    explicit Pair(MemoryModel::Config base)
+    {
+        base.storeBackend = StoreBackend::Map;
+        oracle = std::make_unique<MemoryModel>(base);
+        base.storeBackend = StoreBackend::Paged;
+        paged = std::make_unique<MemoryModel>(base);
+    }
+    std::unique_ptr<MemoryModel> oracle;
+    std::unique_ptr<MemoryModel> paged;
+};
+
+/** Same-verdict check for a pair of MemResults. */
+template <typename T>
+void
+expectSameVerdict(const MemResult<T> &a, const MemResult<T> &b,
+                  int step)
+{
+    ASSERT_EQ(a.ok(), b.ok()) << "verdict diverged at step " << step;
+    if (!a.ok())
+        ASSERT_EQ(a.error().ub, b.error().ub)
+            << "UB class diverged at step " << step;
+}
+
+void
+runEquivalenceSoak(MemoryModel::Config base, uint32_t seed, int steps)
+{
+    Pair mm(base);
+    std::mt19937 rng(seed);
+
+    constexpr uint64_t SIZE = 4096 + 512; // crosses a page boundary
+    auto regionO =
+        mm.oracle->allocateRegion("region", SIZE, 16).value();
+    auto regionP =
+        mm.paged->allocateRegion("region", SIZE, 16).value();
+    ASSERT_EQ(regionO.address(), regionP.address())
+        << "allocator must be deterministic across backends";
+
+    TypeRef intTy = intType(IntKind::Int);
+    TypeRef longTy = intType(IntKind::Long);
+    TypeRef ucharTy = intType(IntKind::UChar);
+    TypeRef pp = pointerTo(intTy);
+
+    auto targetO = mm.oracle->allocateObject("t", intTy, false, false);
+    auto targetP = mm.paged->allocateObject("t", intTy, false, false);
+
+    auto at = [](const PointerValue &region, uint64_t off) {
+        PointerValue p = region;
+        p.cap = region.cap->withAddress(region.address() + off);
+        return p;
+    };
+
+    // Secondary allocations that come and go (exercises kill and the
+    // heap free list).
+    std::vector<std::pair<PointerValue, PointerValue>> extras;
+
+    for (int step = 0; step < steps; ++step) {
+        switch (rng() % 10) {
+          case 0: { // aligned capability store
+            uint64_t slot = (rng() % (SIZE / 16)) * 16;
+            expectSameVerdict(
+                mm.oracle->store({}, pp, at(regionO, slot),
+                                 MemValue(targetO.value())),
+                mm.paged->store({}, pp, at(regionP, slot),
+                                MemValue(targetP.value())),
+                step);
+            break;
+          }
+          case 1: { // byte store
+            uint64_t off = rng() % SIZE;
+            uint8_t v = static_cast<uint8_t>(rng());
+            MemValue b(IntegerValue::ofNum(IntKind::UChar, v));
+            expectSameVerdict(
+                mm.oracle->store({}, ucharTy, at(regionO, off), b),
+                mm.paged->store({}, ucharTy, at(regionP, off), b),
+                step);
+            break;
+          }
+          case 2: { // long store
+            uint64_t off = (rng() % (SIZE / 8)) * 8;
+            MemValue v(IntegerValue::ofNum(
+                IntKind::Long, static_cast<int64_t>(rng())));
+            expectSameVerdict(
+                mm.oracle->store({}, longTy, at(regionO, off), v),
+                mm.paged->store({}, longTy, at(regionP, off), v),
+                step);
+            break;
+          }
+          case 3: { // memset
+            uint64_t off = rng() % SIZE;
+            uint64_t n = rng() % (SIZE - off) + 1;
+            uint8_t v = static_cast<uint8_t>(rng());
+            expectSameVerdict(
+                mm.oracle->memsetOp({}, at(regionO, off), v, n),
+                mm.paged->memsetOp({}, at(regionP, off), v, n),
+                step);
+            break;
+          }
+          case 4: { // memcpy (may hit the overlap UB — also compared)
+            uint64_t so = rng() % SIZE;
+            uint64_t d0 = rng() % SIZE;
+            uint64_t n =
+                rng() % (SIZE - std::max(so, d0)) + 1;
+            expectSameVerdict(
+                mm.oracle->memcpyOp({}, at(regionO, d0),
+                                    at(regionO, so), n),
+                mm.paged->memcpyOp({}, at(regionP, d0),
+                                   at(regionP, so), n),
+                step);
+            break;
+          }
+          case 5: { // memmove, deliberately overlapping
+            uint64_t so = rng() % (SIZE / 2);
+            uint64_t d0 = so + rng() % 64;
+            uint64_t n = rng() % (SIZE / 4) + 1;
+            if (std::max(so, d0) + n > SIZE)
+                n = SIZE - std::max(so, d0);
+            if (n == 0)
+                break;
+            expectSameVerdict(
+                mm.oracle->memmoveOp({}, at(regionO, d0),
+                                     at(regionO, so), n),
+                mm.paged->memmoveOp({}, at(regionP, d0),
+                                    at(regionP, so), n),
+                step);
+            break;
+          }
+          case 6: { // capability-slot load; compare tag/ghost/addr
+            uint64_t slot = (rng() % (SIZE / 16)) * 16;
+            auto ro = mm.oracle->load({}, pp, at(regionO, slot));
+            auto rp = mm.paged->load({}, pp, at(regionP, slot));
+            ASSERT_EQ(ro.ok(), rp.ok()) << "at step " << step;
+            if (!ro.ok()) {
+                ASSERT_EQ(ro.error().ub, rp.error().ub);
+                break;
+            }
+            if (ro.value().isPointer() && rp.value().isPointer()) {
+                const auto &po = ro.value().asPointer();
+                const auto &pq = rp.value().asPointer();
+                ASSERT_EQ(po.address(), pq.address());
+                ASSERT_EQ(po.cap->tag(), pq.cap->tag());
+                ASSERT_EQ(po.cap->ghost(), pq.cap->ghost());
+                ASSERT_EQ(po.prov, pq.prov);
+            }
+            break;
+          }
+          case 7: { // byte load
+            uint64_t off = rng() % SIZE;
+            auto ro = mm.oracle->load({}, ucharTy, at(regionO, off));
+            auto rp = mm.paged->load({}, ucharTy, at(regionP, off));
+            ASSERT_EQ(ro.ok(), rp.ok()) << "at step " << step;
+            if (ro.ok() && ro.value().isInteger()) {
+                ASSERT_EQ(ro.value().asInteger().value(),
+                          rp.value().asInteger().value())
+                    << "at step " << step;
+            }
+            break;
+          }
+          case 8: { // allocate an extra region
+            uint64_t n = rng() % 256 + 1;
+            auto eo = mm.oracle->allocateRegion("e", n, 16);
+            auto ep = mm.paged->allocateRegion("e", n, 16);
+            ASSERT_EQ(eo.value().address(), ep.value().address());
+            extras.emplace_back(eo.value(), ep.value());
+            break;
+          }
+          case 9: { // free a random extra
+            if (extras.empty())
+                break;
+            size_t i = rng() % extras.size();
+            expectSameVerdict(
+                mm.oracle->kill({}, true, extras[i].first),
+                mm.paged->kill({}, true, extras[i].second),
+                step);
+            extras.erase(extras.begin() +
+                         static_cast<ptrdiff_t>(i));
+            break;
+          }
+        }
+    }
+
+    // Final state sweep: every byte and capability slot of the region
+    // must be identical.
+    uint64_t base_addr = regionO.address();
+    for (uint64_t i = 0; i < SIZE; ++i) {
+        ASSERT_EQ(mm.oracle->peekByte(base_addr + i),
+                  mm.paged->peekByte(base_addr + i))
+            << "byte mismatch at offset " << i;
+    }
+    for (uint64_t slot = 0; slot + 16 <= SIZE; slot += 16) {
+        CapMeta mo = mm.oracle->peekCapMeta(base_addr + slot);
+        CapMeta mp = mm.paged->peekCapMeta(base_addr + slot);
+        ASSERT_EQ(mo.tag, mp.tag) << "tag mismatch at slot " << slot;
+        ASSERT_EQ(mo.ghost, mp.ghost)
+            << "ghost mismatch at slot " << slot;
+    }
+
+    // Core counters must agree (page/range counters legitimately
+    // differ only in pagesAllocated, which MapStore never bumps).
+    const MemStats &so = mm.oracle->stats();
+    const MemStats &sp = mm.paged->stats();
+    EXPECT_EQ(so.loads, sp.loads);
+    EXPECT_EQ(so.stores, sp.stores);
+    EXPECT_EQ(so.allocations, sp.allocations);
+    EXPECT_EQ(so.kills, sp.kills);
+    EXPECT_EQ(so.ghostTagInvalidations, sp.ghostTagInvalidations);
+    EXPECT_EQ(so.hardTagInvalidations, sp.hardTagInvalidations);
+    EXPECT_EQ(so.iotasCreated, sp.iotasCreated);
+    EXPECT_EQ(so.store.rangeReads, sp.store.rangeReads);
+    EXPECT_EQ(so.store.rangeWrites, sp.store.rangeWrites);
+    EXPECT_EQ(so.store.bytesWritten, sp.store.bytesWritten);
+    EXPECT_EQ(so.store.pagesAllocated, 0u);
+    EXPECT_GT(sp.store.pagesAllocated, 0u);
+}
+
+TEST(StoreEquivalence, ReferenceSemantics10kOps)
+{
+    MemoryModel::Config cfg; // ghost state + PNVI, morello
+    for (uint32_t seed : {1u, 2u, 3u})
+        runEquivalenceSoak(cfg, seed, 10000);
+}
+
+TEST(StoreEquivalence, HardwareSemantics10kOps)
+{
+    MemoryModel::Config cfg;
+    cfg.ghostState = false;
+    cfg.checkProvenance = false;
+    cfg.readUninitIsUb = false;
+    cfg.strictPtrArith = false;
+    for (uint32_t seed : {11u, 12u, 13u})
+        runEquivalenceSoak(cfg, seed, 10000);
+}
+
+TEST(StoreEquivalence, CheriotRevocation10kOps)
+{
+    MemoryModel::Config cfg;
+    cfg.arch = &cap::cheriot();
+    cfg.ghostState = false;
+    cfg.checkProvenance = false;
+    cfg.readUninitIsUb = false;
+    cfg.strictPtrArith = false;
+    cfg.revokeOnFree = true;
+    cfg.heapBase = 0x00100000;
+    cfg.stackBase = 0x7ffff000;
+    for (uint32_t seed : {21u, 22u})
+        runEquivalenceSoak(cfg, seed, 10000);
+}
+
+} // namespace
+} // namespace cherisem::mem
