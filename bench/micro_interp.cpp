@@ -3,10 +3,23 @@
  * End-to-end interpreter benchmarks: whole-pipeline cost of running
  * small CHERI C programs under the reference and hardware profiles,
  * including the optimisation-pass ablation.
+ *
+ * Like micro_memory, a fixed harness runs first and writes
+ * BENCH_interp.json (same format: a "results" array of ns_per_op
+ * entries plus one summary ratio) — here the grid is workload x
+ * profile, and the summary is the witness-tracing overhead ratio
+ * (traced-into-a-ring vs untraced), which the obs/ subsystem promises
+ * stays under 5% when disabled.  Pass --no-json to skip it.
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "driver/interpreter.h"
+#include "obs/sinks.h"
 
 namespace {
 
@@ -67,6 +80,116 @@ int main(void) {
     return total & 0xff;
 }
 )";
+
+// ---------------------------------------------------------------------
+// BENCH_interp.json: fixed workload x profile grid.
+// ---------------------------------------------------------------------
+
+/** Wall-clock ns/op of @p op, warmed up and run until ~0.3 s or
+ *  @p max_iters, whichever comes first. */
+template <typename F>
+double
+nsPerOp(F &&op, int max_iters = 64)
+{
+    using clock = std::chrono::steady_clock;
+    op(); // warm-up
+    double total_ns = 0;
+    int iters = 0;
+    while (iters < max_iters && total_ns < 3e8) {
+        auto t0 = clock::now();
+        op();
+        auto t1 = clock::now();
+        total_ns += static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                 t0)
+                .count());
+        ++iters;
+    }
+    return total_ns / iters;
+}
+
+struct Workload
+{
+    const char *name;
+    const char *src;
+};
+
+/** One op = one whole runSource() (parse..evaluate). */
+double
+timeRun(const char *src, const Profile &profile,
+        cherisem::obs::TraceSink *sink = nullptr)
+{
+    Profile p = profile;
+    p.memConfig.traceSink = sink;
+    return nsPerOp([&] {
+        RunResult r = runSource(src, p);
+        benchmark::DoNotOptimize(r.outcome.exitCode);
+    });
+}
+
+void
+writeBenchJson(const char *path)
+{
+    const Workload workloads[] = {
+        {"arith_loop", ARITH_LOOP},
+        {"pointer_chase", POINTER_CHASE},
+        {"intptr_heavy", INTPTR_HEAVY},
+        {"malloc_churn", MALLOC_CHURN},
+    };
+    const char *profiles[] = {"cerberus", "clang-morello-O0"};
+
+    struct Entry
+    {
+        std::string workload, profile;
+        double nsPerRun;
+    };
+    std::vector<Entry> entries;
+    double untraced_total = 0, traced_total = 0;
+
+    for (const Workload &w : workloads) {
+        for (const char *name : profiles) {
+            const Profile *p = findProfile(name);
+            entries.push_back({w.name, name, timeRun(w.src, *p)});
+        }
+        // Tracing-overhead ablation on the reference profile: the
+        // sum over workloads gives the headline ratio.
+        const Profile &ref = referenceProfile();
+        untraced_total += timeRun(w.src, ref);
+        cherisem::obs::RingBufferSink ring;
+        traced_total += timeRun(w.src, ref, &ring);
+    }
+
+    double ratio =
+        untraced_total > 0 ? traced_total / untraced_total : 0;
+
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"results\": [\n");
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        std::fprintf(f,
+                     "    {\"workload\": \"%s\", \"profile\": \"%s\", "
+                     "\"ns_per_run\": %.1f}%s\n",
+                     e.workload.c_str(), e.profile.c_str(), e.nsPerRun,
+                     i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"tracing_overhead_ratio_ring_vs_off\": "
+                 "%.3f\n}\n",
+                 ratio);
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "BENCH_interp.json written: ring-traced vs untraced "
+                 "= %.3fx\n",
+                 ratio);
+}
+
+// ---------------------------------------------------------------------
+// google-benchmark suite.
+// ---------------------------------------------------------------------
 
 void
 runBench(benchmark::State &state, const char *src,
@@ -142,4 +265,26 @@ BENCHMARK(BM_Interp_MallocChurn_Optimized);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool write_json = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--no-json") {
+            write_json = false;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    if (write_json)
+        writeBenchJson("BENCH_interp.json");
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -4,7 +4,16 @@
  * any implementation profile (the "test oracle" use of the
  * executable semantics, section 7).
  *
- *   cherisem_run file.c [--profile NAME] [--all] [--trace]
+ *   cherisem_run file.c [--profile NAME] [--all] [--stats]
+ *                       [--trace=<sink>[:<arg>]]
+ *
+ * Trace sinks (the execution-witness subsystem, src/obs/):
+ *
+ *   --trace=ring[:N]      capture the last N events in memory and
+ *                         print them after the run
+ *   --trace=jsonl:PATH    stream events to PATH, one JSON per line
+ *   --trace=chrome:PATH   write a Chrome trace_event file; open it
+ *                         in chrome://tracing or ui.perfetto.dev
  */
 #include <cstdio>
 #include <cstring>
@@ -13,15 +22,18 @@
 #include <string>
 
 #include "driver/interpreter.h"
+#include "obs/sinks.h"
 
 using namespace cherisem::driver;
+namespace obs = cherisem::obs;
 
 namespace {
 
 int
-runOne(const std::string &src, const Profile &p,
-       const std::string &file, bool verbose)
+runOne(const std::string &src, Profile p, const std::string &file,
+       bool verbose, obs::TraceSink *sink)
 {
+    p.memConfig.traceSink = sink;
     RunResult r = runSource(src, p, file);
     printf("[%s] %s\n", p.name.c_str(), r.summary().c_str());
     if (!r.outcome.output.empty()) {
@@ -38,6 +50,23 @@ runOne(const std::string &src, const Profile &p,
                (unsigned long long)r.outcome.memStats.allocations,
                (unsigned long long)
                    r.outcome.memStats.ghostTagInvalidations);
+        printf("  parse=%lluns sema=%lluns optimize=%lluns "
+               "eval=%lluns\n",
+               (unsigned long long)r.phases.parseNs,
+               (unsigned long long)r.phases.semaNs,
+               (unsigned long long)r.phases.optimizeNs,
+               (unsigned long long)r.phases.evalNs);
+        for (const auto &[name, count] : r.outcome.intrinsicCalls)
+            printf("  intrinsic %-28s %llu\n", name.c_str(),
+                   (unsigned long long)count);
+    }
+    if (auto *ring = dynamic_cast<obs::RingBufferSink *>(sink)) {
+        if (ring->dropped() > 0)
+            printf("  (ring full: %llu oldest events dropped)\n",
+                   (unsigned long long)ring->dropped());
+        for (const obs::TraceEvent &e : ring->snapshot())
+            printf("  %s\n", obs::renderEvent(e).c_str());
+        ring->clear();
     }
     if (r.frontendError)
         return 2;
@@ -53,6 +82,7 @@ main(int argc, char **argv)
 {
     std::string file;
     std::string profile = "cerberus";
+    std::string traceSpec;
     bool all = false;
     bool verbose = false;
     for (int i = 1; i < argc; ++i) {
@@ -60,8 +90,12 @@ main(int argc, char **argv)
             profile = argv[++i];
         } else if (!std::strcmp(argv[i], "--all")) {
             all = true;
-        } else if (!std::strcmp(argv[i], "--trace")) {
+        } else if (!std::strcmp(argv[i], "--trace") ||
+                   !std::strcmp(argv[i], "--stats")) {
+            // Bare --trace is kept as the old stats-only spelling.
             verbose = true;
+        } else if (!std::strncmp(argv[i], "--trace=", 8)) {
+            traceSpec = argv[i] + 8;
         } else if (!std::strcmp(argv[i], "--list")) {
             for (const Profile &p : allProfiles())
                 printf("%-20s %s\n", p.name.c_str(),
@@ -74,7 +108,7 @@ main(int argc, char **argv)
     if (file.empty()) {
         fprintf(stderr,
                 "usage: cherisem_run file.c [--profile NAME] [--all] "
-                "[--trace] [--list]\n");
+                "[--stats] [--trace=<sink>[:<arg>]] [--list]\n");
         return 2;
     }
     std::ifstream in(file);
@@ -85,17 +119,30 @@ main(int argc, char **argv)
     std::stringstream ss;
     ss << in.rdbuf();
 
+    std::unique_ptr<obs::TraceSink> sink;
+    if (!traceSpec.empty()) {
+        std::string err;
+        sink = obs::makeSink(traceSpec, &err);
+        if (!sink) {
+            fprintf(stderr, "--trace: %s\n", err.c_str());
+            return 2;
+        }
+    }
+
+    int rc = 0;
     if (all) {
-        int rc = 0;
         for (const Profile &p : allProfiles())
-            rc = runOne(ss.str(), p, file, verbose);
-        return rc;
+            rc = runOne(ss.str(), p, file, verbose, sink.get());
+    } else {
+        const Profile *p = findProfile(profile);
+        if (!p) {
+            fprintf(stderr, "unknown profile %s (try --list)\n",
+                    profile.c_str());
+            return 2;
+        }
+        rc = runOne(ss.str(), *p, file, verbose, sink.get());
     }
-    const Profile *p = findProfile(profile);
-    if (!p) {
-        fprintf(stderr, "unknown profile %s (try --list)\n",
-                profile.c_str());
-        return 2;
-    }
-    return runOne(ss.str(), *p, file, verbose);
+    if (sink)
+        sink->flush();
+    return rc;
 }

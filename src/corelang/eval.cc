@@ -1,6 +1,8 @@
 #include "corelang/eval.h"
 
+#include <array>
 #include <cassert>
+#include <chrono>
 #include <cinttypes>
 #include <map>
 #include <vector>
@@ -102,6 +104,15 @@ class Evaluator
                                         : Outcome::Kind::Error;
             out.failure = f.failure;
             out.message = f.failure.str();
+            // Witness the UB verdict with its source location; this
+            // is the stream's terminal event for undefined runs.
+            if (f.failure.isUb() && mm_.tracer().enabled()) {
+                mm_.tracer().emit(
+                    {.kind = obs::EventKind::UbRaise,
+                     .a = static_cast<uint64_t>(f.failure.ub),
+                     .line = f.failure.loc.line,
+                     .label = mem::ubName(f.failure.ub)});
+            }
         } catch (const ExitException &e) {
             out.kind = Outcome::Kind::Exit;
             out.exitCode = e.code;
@@ -112,6 +123,14 @@ class Evaluator
         out.output = output_;
         out.memStats = mm_.stats();
         out.steps = steps_;
+        for (size_t i = 0; i < kNumBuiltins; ++i) {
+            const char *name =
+                intrinsics::builtinName(static_cast<Builtin>(i));
+            if (intrinsicCount_[i] > 0)
+                out.intrinsicCalls[name] = intrinsicCount_[i];
+            if (intrinsicNs_[i] > 0)
+                out.intrinsicNanos[name] = intrinsicNs_[i];
+        }
         return out;
     }
 
@@ -1064,6 +1083,12 @@ class Evaluator
                                       "overflow)",
                                       fn.loc));
         }
+        if (mm_.tracer().enabled()) {
+            mm_.tracer().emit({.kind = obs::EventKind::FuncEnter,
+                               .a = idx,
+                               .b = static_cast<uint64_t>(callDepth_),
+                               .label = fn.name});
+        }
         uint64_t sp = mm_.stackSave();
         pushScope();
         for (size_t i = 0; i < fn.type->params.size() &&
@@ -1088,17 +1113,30 @@ class Evaluator
         MemValue result = MemValue(mem::UnspecValue{
             fn.type->returnType});
         Flow flow = Flow::Normal;
+        auto trace_exit = [&] {
+            if (mm_.tracer().enabled()) {
+                mm_.tracer().emit(
+                    {.kind = obs::EventKind::FuncExit,
+                     .a = idx,
+                     .b = static_cast<uint64_t>(callDepth_),
+                     .label = fn.name});
+            }
+        };
         try {
             flow = execStmt(*fn.body, &result);
         } catch (...) {
             popScope(fn.loc);
             mm_.stackRestore(sp);
+            // Balance FuncEnter even on non-local exit so duration
+            // slices in the Chrome exporter stay well-nested.
+            trace_exit();
             --callDepth_;
             throw;
         }
         (void)flow;
         popScope(fn.loc);
         mm_.stackRestore(sp);
+        trace_exit();
         --callDepth_;
         if (fn.name == "main" && result.isUnspec())
             return MemValue(makeInt(fn.loc, IntKind::Int, 0));
@@ -1281,6 +1319,7 @@ class Evaluator
     // ---- builtins (defined below) ----
 
     MemValue evalBuiltin(const Expr &e);
+    MemValue evalBuiltinImpl(const Expr &e);
     std::string readCString(const SourceLoc &loc,
                             const PointerValue &p);
     std::string formatPrintf(const SourceLoc &loc,
@@ -1305,6 +1344,13 @@ class Evaluator
     std::string output_;
     uint64_t steps_ = 0;
     int callDepth_ = 0;
+
+    // Per-intrinsic counters (always on: one array increment per
+    // call) and scoped-timer accumulators (tracing runs only).
+    static constexpr size_t kNumBuiltins =
+        static_cast<size_t>(Builtin::CheriDdcGet) + 1;
+    std::array<uint64_t, kNumBuiltins> intrinsicCount_{};
+    std::array<uint64_t, kNumBuiltins> intrinsicNs_{};
 };
 
 // ---------------------------------------------------------------------
@@ -1480,6 +1526,40 @@ Evaluator::formatPrintf(const SourceLoc &loc, const std::string &fmt,
 
 MemValue
 Evaluator::evalBuiltin(const Expr &e)
+{
+    Builtin b = static_cast<Builtin>(e.builtinId);
+    size_t idx = static_cast<size_t>(b);
+    assert(idx < kNumBuiltins);
+    ++intrinsicCount_[idx];
+
+    const obs::Tracer &tr = mm_.tracer();
+    if (!tr.enabled())
+        return evalBuiltinImpl(e);
+
+    tr.emit({.kind = obs::EventKind::Intrinsic,
+             .a = static_cast<uint64_t>(idx),
+             .line = e.loc.line,
+             .label = intrinsics::builtinName(b)});
+    // Scoped timer: accumulate even when the intrinsic raises (UB
+    // unwinds through here as an EvalFailure exception).
+    struct Scoped
+    {
+        uint64_t *slot;
+        std::chrono::steady_clock::time_point t0 =
+            std::chrono::steady_clock::now();
+        ~Scoped()
+        {
+            *slot += static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+        }
+    } scoped{&intrinsicNs_[idx]};
+    return evalBuiltinImpl(e);
+}
+
+MemValue
+Evaluator::evalBuiltinImpl(const Expr &e)
 {
     Builtin b = static_cast<Builtin>(e.builtinId);
     std::vector<MemValue> args;

@@ -13,6 +13,7 @@
 #define CHERISEM_CORELANG_EVAL_H
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "cap/cap_format.h"
@@ -52,6 +53,13 @@ struct Outcome
     std::string output;       ///< everything printf/print_cap wrote
     mem::MemStats memStats;
     uint64_t steps = 0;
+    /** Calls per builtin/intrinsic (name -> count); the per-intrinsic
+     *  counters of the obs subsystem, surfaced beside MemStats. */
+    std::map<std::string, uint64_t> intrinsicCalls;
+    /** Cumulative nanoseconds per builtin/intrinsic.  Only collected
+     *  when a trace sink is attached (the scoped timers cost two
+     *  clock reads per call); empty otherwise. */
+    std::map<std::string, uint64_t> intrinsicNanos;
 
     bool isUb(mem::Ub ub) const
     {

@@ -1,5 +1,7 @@
 #include "driver/interpreter.h"
 
+#include <optional>
+
 #include "frontend/parser.h"
 #include "sema/sema.h"
 
@@ -18,17 +20,35 @@ runSource(const std::string &source, const Profile &profile,
           const std::string &filename)
 {
     RunResult result;
+    obs::Tracer tracer(profile.memConfig.traceSink);
     try {
-        frontend::TranslationUnit unit =
-            frontend::parse(source, filename);
+        std::optional<frontend::TranslationUnit> unit;
+        {
+            obs::ScopedPhaseTimer t(&result.phases.parseNs, tracer,
+                                    "parse");
+            unit = frontend::parse(source, filename);
+        }
         ctype::MachineLayout machine{
             profile.memConfig.arch->capSize(),
             profile.memConfig.arch->addrBits() / 8};
-        sema::Program prog =
-            sema::analyze(std::move(unit), machine);
-        result.optStats = corelang::optimize(prog, profile.optims);
-        result.outcome =
-            corelang::evaluate(prog, profile.evalOptions());
+        std::optional<sema::Program> prog;
+        {
+            obs::ScopedPhaseTimer t(&result.phases.semaNs, tracer,
+                                    "sema");
+            prog = sema::analyze(std::move(*unit), machine);
+        }
+        {
+            obs::ScopedPhaseTimer t(&result.phases.optimizeNs, tracer,
+                                    "optimize");
+            result.optStats =
+                corelang::optimize(*prog, profile.optims);
+        }
+        {
+            obs::ScopedPhaseTimer t(&result.phases.evalNs, tracer,
+                                    "evaluate");
+            result.outcome =
+                corelang::evaluate(*prog, profile.evalOptions());
+        }
     } catch (const frontend::FrontendError &e) {
         result.frontendError = true;
         result.frontendMessage = e.str();

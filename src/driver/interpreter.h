@@ -16,6 +16,7 @@
 
 #include "corelang/optimize.h"
 #include "driver/profiles.h"
+#include "obs/metrics.h"
 
 namespace cherisem::driver {
 
@@ -26,6 +27,9 @@ struct RunResult
     std::string frontendMessage;
     corelang::Outcome outcome;
     corelang::OptimizeStats optStats;
+    /** Wall-clock time per pipeline phase (always collected; also
+     *  emitted as Phase events when the profile has a trace sink). */
+    obs::PhaseTimings phases;
 
     /** "exit 0" / "ub UB_CHERI_..." / "frontend-error ...". */
     std::string summary() const;

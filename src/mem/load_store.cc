@@ -55,6 +55,18 @@ MemoryModel::invalidateCapMeta(uint64_t addr, uint64_t n)
         stats_.ghostTagInvalidations += touched;
     else
         stats_.hardTagInvalidations += touched;
+    // Witness the transition only when some stored capability was
+    // actually affected — a representation write over plain data is
+    // not an observable capability effect.
+    if (touched > 0 && tracer_.enabled()) {
+        tracer_.emit({.kind = config_.ghostState
+                          ? obs::EventKind::GhostMark
+                          : obs::EventKind::TagClear,
+                      .addr = addr,
+                      .size = n,
+                      .a = touched,
+                      .label = "repr-write"});
+    }
 }
 
 void
@@ -493,13 +505,38 @@ MemoryModel::abstValue(SourceLoc loc, uint64_t addr, const TypeRef &ty)
 // Typed load/store.
 // ---------------------------------------------------------------------
 
+/** Pack the capability metadata at @p addr (if the footprint holds a
+ *  whole, aligned slot) for the Load/Store event payload:
+ *  bit0 = slot metadata present, bit1 = tag, bits 2-3 = ghost. */
+uint64_t
+MemoryModel::packedCapMeta(uint64_t addr, uint64_t n) const
+{
+    unsigned cs = arch().capSize();
+    if (addr % cs != 0 || n < cs)
+        return 0;
+    std::optional<CapMeta> meta = store_->capMetaAt(addr);
+    if (!meta)
+        return 0;
+    return 1u | (meta->tag ? 2u : 0u) |
+        (meta->ghost.tagUnspec ? 4u : 0u) |
+        (meta->ghost.boundsUnspec ? 8u : 0u);
+}
+
 MemResult<MemValue>
 MemoryModel::load(SourceLoc loc, const TypeRef &ty, const PointerValue &p)
 {
     uint64_t n = layout_.sizeOf(ty);
     unsigned align = ty->isScalar() ? layout_.alignOf(ty) : 1;
-    CHERISEM_TRYV(accessCheck(loc, p, n, align, /*want_store=*/false));
+    CHERISEM_TRY(info,
+                 accessCheck(loc, p, n, align, /*want_store=*/false));
     ++stats_.loads;
+    if (tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::Load,
+                      .addr = p.address(),
+                      .size = n,
+                      .a = info.haveAlloc ? info.alloc : 0,
+                      .b = packedCapMeta(p.address(), n)});
+    }
     return abstValue(loc, p.address(), ty);
 }
 
@@ -510,10 +547,21 @@ MemoryModel::store(SourceLoc loc, const TypeRef &ty,
 {
     uint64_t n = layout_.sizeOf(ty);
     unsigned align = ty->isScalar() ? layout_.alignOf(ty) : 1;
-    CHERISEM_TRYV(accessCheck(loc, p, n, align, /*want_store=*/true,
-                              initializing));
+    CHERISEM_TRY(info,
+                 accessCheck(loc, p, n, align, /*want_store=*/true,
+                             initializing));
     ++stats_.stores;
-    return reprValue(loc, p.address(), ty, v);
+    CHERISEM_TRYV(reprValue(loc, p.address(), ty, v));
+    // Witness after the write so the packed metadata reflects the
+    // stored value (tag deposited or invalidated per section 3.5).
+    if (tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::Store,
+                      .addr = p.address(),
+                      .size = n,
+                      .a = info.haveAlloc ? info.alloc : 0,
+                      .b = packedCapMeta(p.address(), n)});
+    }
+    return Unit{};
 }
 
 // ---------------------------------------------------------------------

@@ -14,6 +14,7 @@ using ctype::TypeRef;
 
 MemoryModel::MemoryModel(Config config)
     : config_(std::move(config)),
+      tracer_(config_.traceSink),
       layout_(ctype::MachineLayout{config_.arch->capSize(),
                                    config_.arch->addrBits() / 8},
               &emptyTags_),
@@ -112,6 +113,14 @@ MemoryModel::allocate(const std::string &prefix, uint64_t size,
     alloc.readOnly = read_only;
     allocations_[id] = alloc;
     ++stats_.allocations;
+    if (tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::Alloc,
+                      .addr = base,
+                      .size = size,
+                      .a = id,
+                      .b = static_cast<uint64_t>(kind),
+                      .label = prefix});
+    }
 
     PermSet perms =
         read_only ? PermSet::readOnlyData() : PermSet::data();
@@ -186,6 +195,14 @@ MemoryModel::kill(SourceLoc loc, bool dyn, const PointerValue &p)
     }
     alloc.alive = false;
     ++stats_.kills;
+    if (tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::Free,
+                      .addr = alloc.base,
+                      .size = alloc.size,
+                      .a = *id,
+                      .b = dyn ? 1u : 0u,
+                      .label = alloc.prefix});
+    }
     return Unit{};
 }
 
@@ -212,6 +229,13 @@ MemoryModel::reallocRegion(SourceLoc loc, const PointerValue &p,
     if (n > 0)
         CHERISEM_TRYV(memcpyOp(loc, np, p, n));
     CHERISEM_TRYV(kill(loc, true, p));
+    if (tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::Realloc,
+                      .addr = p.address(),
+                      .size = new_size,
+                      .a = old_size,
+                      .b = np.address()});
+    }
     return np;
 }
 
@@ -224,6 +248,7 @@ MemoryModel::revokeRegion(uint64_t base, uint64_t size)
     unsigned cs = arch().capSize();
     std::vector<AbsByte> bs(cs);
     std::vector<uint8_t> raw(cs);
+    uint64_t revoked = 0;
     store_->forEachCapInRange(
         0, ~uint64_t(0), [&](uint64_t slot, CapMeta &meta) {
             if (!meta.tag)
@@ -239,8 +264,22 @@ MemoryModel::revokeRegion(uint64_t base, uint64_t size)
                 c.top() > uint128(base)) {
                 meta.tag = false;
                 ++stats_.hardTagInvalidations;
+                ++revoked;
+                if (tracer_.enabled()) {
+                    tracer_.emit({.kind = obs::EventKind::TagClear,
+                                  .addr = slot,
+                                  .size = cs,
+                                  .a = 1,
+                                  .label = "revoke"});
+                }
             }
         });
+    if (tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::RevokeSweep,
+                      .addr = base,
+                      .size = size,
+                      .a = revoked});
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -251,8 +290,19 @@ void
 MemoryModel::exposeAllocation(AllocId id)
 {
     auto it = allocations_.find(id);
-    if (it != allocations_.end())
-        it->second.exposed = true;
+    if (it == allocations_.end())
+        return;
+    // Witness only the false->true transition so the event stream
+    // stays independent of how often an already-exposed allocation is
+    // re-exposed.
+    if (!it->second.exposed && tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::Expose,
+                      .addr = it->second.base,
+                      .size = it->second.size,
+                      .a = id,
+                      .label = it->second.prefix});
+    }
+    it->second.exposed = true;
 }
 
 void
@@ -286,13 +336,20 @@ MemoryModel::attachProvenance(uint64_t a)
             ++nfound;
         }
     }
-    if (nfound == 1)
-        return Provenance::alloc(found[0]);
-    if (nfound == 2) {
+    Provenance prov = Provenance::empty();
+    if (nfound == 1) {
+        prov = Provenance::alloc(found[0]);
+    } else if (nfound == 2) {
         ++stats_.iotasCreated;
-        return Provenance::iota(iotas_.create(found[0], found[1]));
+        prov = Provenance::iota(iotas_.create(found[0], found[1]));
     }
-    return Provenance::empty();
+    if (tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::Attach,
+                      .addr = a,
+                      .a = static_cast<uint64_t>(prov.kind),
+                      .b = prov.isEmpty() ? 0 : prov.id});
+    }
+    return prov;
 }
 
 std::optional<AllocId>

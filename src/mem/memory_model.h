@@ -43,6 +43,7 @@
 #include "mem/provenance.h"
 #include "mem/store.h"
 #include "mem/ub.h"
+#include "obs/tracer.h"
 
 namespace cherisem::mem {
 
@@ -130,6 +131,10 @@ class MemoryModel
          *  default everywhere; Map is the reference oracle used by
          *  the store-equivalence and differential tests. */
         StoreBackend storeBackend = StoreBackend::Paged;
+        /** Execution-witness sink (src/obs/).  Null (the default)
+         *  disables tracing; the model, the evaluator, and the
+         *  driver all emit their semantic events here. */
+        obs::TraceSink *traceSink = nullptr;
 
         // Address-space layout (drives the Appendix A differences).
         uint64_t globalBase = 0x0000000000010000ull;
@@ -151,6 +156,9 @@ class MemoryModel
     }
     /** The active store backend (introspection / benchmarks). */
     const AbstractStore &store() const { return *store_; }
+    /** The execution-witness handle (disabled when Config::traceSink
+     *  is null); the evaluator shares it for its own events. */
+    const obs::Tracer &tracer() const { return tracer_; }
 
     /// @name Allocation (create/kill), Cerberus interface.
     /// @{
@@ -305,6 +313,10 @@ class MemoryModel
     /** Revocation sweep for revokeOnFree (CHERIoT-style). */
     void revokeRegion(uint64_t base, uint64_t size);
 
+    /** Capability metadata at @p addr packed for a Load/Store trace
+     *  event (0 when the footprint is not one whole aligned slot). */
+    uint64_t packedCapMeta(uint64_t addr, uint64_t n) const;
+
     /** Write a capability's bytes+metadata at (aligned) @p addr. */
     void writeCapability(uint64_t addr, const Capability &c,
                          const Provenance &prov);
@@ -335,6 +347,7 @@ class MemoryModel
     uint64_t alignUp(uint64_t v, uint64_t a) const;
 
     Config config_;
+    obs::Tracer tracer_;
     ctype::TagTable emptyTags_;
     ctype::LayoutEngine layout_;
 

@@ -1,0 +1,101 @@
+#include "obs/trace_diff.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+
+namespace cherisem::obs {
+
+namespace {
+
+bool
+isControlFlow(EventKind k)
+{
+    return k == EventKind::FuncEnter || k == EventKind::FuncExit ||
+        k == EventKind::Intrinsic;
+}
+
+bool
+sameUnderOptions(const TraceEvent &x, const TraceEvent &y,
+                 const DiffOptions &opts)
+{
+    if (x.kind != y.kind || x.size != y.size || x.a != y.a ||
+        x.b != y.b) {
+        return false;
+    }
+    if (opts.compareAddresses && x.addr != y.addr)
+        return false;
+    if (opts.compareLabels && x.label != y.label)
+        return false;
+    if (opts.compareLines && x.line != y.line)
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::vector<TraceEvent>
+normalizeStream(const std::vector<TraceEvent> &events,
+                const DiffOptions &opts)
+{
+    std::vector<TraceEvent> out;
+    out.reserve(events.size());
+    for (const TraceEvent &e : events) {
+        if (opts.ignorePhases && e.kind == EventKind::Phase)
+            continue;
+        if (opts.ignoreControlFlow && isControlFlow(e.kind))
+            continue;
+        out.push_back(e);
+    }
+    return out;
+}
+
+DiffResult
+diffEventStreams(const std::vector<TraceEvent> &left,
+                 const std::vector<TraceEvent> &right,
+                 const DiffOptions &opts)
+{
+    std::vector<TraceEvent> l = normalizeStream(left, opts);
+    std::vector<TraceEvent> r = normalizeStream(right, opts);
+
+    DiffResult res;
+    res.leftCount = l.size();
+    res.rightCount = r.size();
+
+    size_t n = std::min(l.size(), r.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (!sameUnderOptions(l[i], r[i], opts)) {
+            res.equivalent = false;
+            res.index = i;
+            res.left = l[i];
+            res.right = r[i];
+            return res;
+        }
+    }
+    if (l.size() != r.size()) {
+        res.equivalent = false;
+        res.index = n;
+        if (n < l.size())
+            res.left = l[n];
+        if (n < r.size())
+            res.right = r[n];
+    }
+    return res;
+}
+
+std::string
+DiffResult::summary() const
+{
+    if (equivalent) {
+        return "equivalent (" + decStr(uint128(leftCount)) +
+            " events)";
+    }
+    std::string s =
+        "diverged at event " + decStr(uint128(index)) + ": ";
+    s += left ? renderEvent(*left) : "<stream ended>";
+    s += "  vs  ";
+    s += right ? renderEvent(*right) : "<stream ended>";
+    return s;
+}
+
+} // namespace cherisem::obs

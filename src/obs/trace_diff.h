@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace-level differential checking: normalise two event streams and
+ * report the first divergent event.
+ *
+ * This is strictly stronger than comparing final verdicts (the
+ * section 6 methodology): two runs can reach the same exit code while
+ * disagreeing on an intermediate tag clear or provenance attach, and
+ * the first divergent *event* pinpoints where the semantics split.
+ *
+ * Normalisation drops event kinds that are legitimately
+ * non-deterministic or irrelevant to the comparison (Phase timings
+ * always; addresses/labels optionally, for cross-profile runs whose
+ * allocators use different address layouts).
+ */
+#ifndef CHERISEM_OBS_TRACE_DIFF_H
+#define CHERISEM_OBS_TRACE_DIFF_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace cherisem::obs {
+
+/** What counts as a divergence. */
+struct DiffOptions
+{
+    /** Compare addr fields.  Off for cross-profile diffs: different
+     *  address-space layouts (Appendix A) make addresses diverge
+     *  without semantic significance. */
+    bool compareAddresses = true;
+    /** Compare label fields (allocation prefixes, UB names...). */
+    bool compareLabels = true;
+    /** Compare source-line fields. */
+    bool compareLines = true;
+    /** Drop Phase events (timing-dependent) before comparing.  On by
+     *  default; there is no sound way to compare durations. */
+    bool ignorePhases = true;
+    /** Drop FuncEnter/FuncExit/Intrinsic control-flow events,
+     *  comparing memory-state witnesses only. */
+    bool ignoreControlFlow = false;
+};
+
+/** Outcome of a stream diff. */
+struct DiffResult
+{
+    bool equivalent = true;
+    /** Index of the first divergence in the *normalised* streams. */
+    size_t index = 0;
+    /** The divergent events; nullopt when that stream ended early. */
+    std::optional<TraceEvent> left;
+    std::optional<TraceEvent> right;
+    /** Normalised stream lengths (diagnostics). */
+    size_t leftCount = 0;
+    size_t rightCount = 0;
+
+    /** One-line report: "equivalent (N events)" or "diverged at
+     *  event I: <left> vs <right>". */
+    std::string summary() const;
+};
+
+/** Keep only the events @p opts compares. */
+std::vector<TraceEvent> normalizeStream(
+    const std::vector<TraceEvent> &events, const DiffOptions &opts);
+
+/** Diff two raw streams under @p opts. */
+DiffResult diffEventStreams(const std::vector<TraceEvent> &left,
+                            const std::vector<TraceEvent> &right,
+                            const DiffOptions &opts = {});
+
+} // namespace cherisem::obs
+
+#endif // CHERISEM_OBS_TRACE_DIFF_H

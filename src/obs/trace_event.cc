@@ -1,0 +1,94 @@
+#include "obs/trace_event.h"
+
+#include "support/format.h"
+
+namespace cherisem::obs {
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Alloc:       return "alloc";
+      case EventKind::Free:        return "free";
+      case EventKind::Realloc:     return "realloc";
+      case EventKind::Load:        return "load";
+      case EventKind::Store:       return "store";
+      case EventKind::TagClear:    return "tag-clear";
+      case EventKind::GhostMark:   return "ghost-mark";
+      case EventKind::Expose:      return "expose";
+      case EventKind::Attach:      return "attach";
+      case EventKind::RevokeSweep: return "revoke-sweep";
+      case EventKind::FuncEnter:   return "func-enter";
+      case EventKind::FuncExit:    return "func-exit";
+      case EventKind::Intrinsic:   return "intrinsic";
+      case EventKind::UbRaise:     return "ub-raise";
+      case EventKind::Phase:       return "phase";
+    }
+    return "?";
+}
+
+std::string
+renderEvent(const TraceEvent &e)
+{
+    std::string s = "#" + decStr(uint128(e.seq)) + " " +
+        eventKindName(e.kind);
+    if (!e.label.empty())
+        s += " '" + e.label + "'";
+    if (e.addr != 0)
+        s += " addr=" + hexStr(e.addr);
+    if (e.size != 0)
+        s += " size=" + decStr(uint128(e.size));
+    if (e.a != 0)
+        s += " a=" + decStr(uint128(e.a));
+    if (e.b != 0)
+        s += " b=" + decStr(uint128(e.b));
+    if (e.line != 0)
+        s += " line=" + decStr(uint128(e.line));
+    return s;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += strPrintf("\\u%04x", c);
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+renderEventJson(const TraceEvent &e)
+{
+    std::string s = "{\"seq\":" + decStr(uint128(e.seq)) +
+        ",\"kind\":\"" + eventKindName(e.kind) + "\"";
+    if (e.addr != 0)
+        s += ",\"addr\":\"" + hexStr(e.addr) + "\"";
+    if (e.size != 0)
+        s += ",\"size\":" + decStr(uint128(e.size));
+    if (e.a != 0)
+        s += ",\"a\":" + decStr(uint128(e.a));
+    if (e.b != 0)
+        s += ",\"b\":" + decStr(uint128(e.b));
+    if (e.line != 0)
+        s += ",\"line\":" + decStr(uint128(e.line));
+    if (!e.label.empty())
+        s += ",\"label\":\"" + jsonEscape(e.label) + "\"";
+    s += "}";
+    return s;
+}
+
+} // namespace cherisem::obs

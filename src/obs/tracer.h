@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Tracer handle and the TraceSink interface.
+ *
+ * A Tracer is a nullable view of a sink: the memory model, the
+ * evaluator, and the driver each hold one, all pointing at the same
+ * sink when tracing is on, and at nothing (the default) when it is
+ * off.  The disabled path is a single pointer null-check — callers
+ * guard event *construction* behind enabled() so a disabled run never
+ * builds a label string:
+ *
+ *     if (tracer_.enabled())
+ *         tracer_.emit({EventKind::Alloc, 0, base, size, id});
+ *
+ * Sequence numbers are assigned by the sink (not the tracer) so that
+ * the several Tracer handles sharing one sink produce one globally
+ * ordered stream.
+ */
+#ifndef CHERISEM_OBS_TRACER_H
+#define CHERISEM_OBS_TRACER_H
+
+#include <cstdint>
+#include <utility>
+
+#include "obs/trace_event.h"
+
+namespace cherisem::obs {
+
+/**
+ * Where events go.  Subclasses implement write(); the base class owns
+ * sequence numbering so every event entering the sink — from any
+ * Tracer handle — gets the next global number.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Stamp @p e with the next sequence number and record it. */
+    void
+    emit(TraceEvent e)
+    {
+        e.seq = nextSeq_++;
+        write(e);
+    }
+
+    /** Total events emitted into this sink. */
+    uint64_t emitted() const { return nextSeq_; }
+
+    /** Finish any buffered output (file footers etc.). */
+    virtual void flush() {}
+
+  protected:
+    virtual void write(const TraceEvent &e) = 0;
+
+  private:
+    uint64_t nextSeq_ = 0;
+};
+
+/**
+ * The zero-cost-when-disabled handle through which the semantics
+ * emits events.  Copyable; does not own the sink.
+ */
+class Tracer
+{
+  public:
+    Tracer() = default;
+    explicit Tracer(TraceSink *sink) : sink_(sink) {}
+
+    bool enabled() const { return sink_ != nullptr; }
+
+    void
+    emit(TraceEvent e) const
+    {
+        if (sink_)
+            sink_->emit(std::move(e));
+    }
+
+    TraceSink *sink() const { return sink_; }
+
+  private:
+    TraceSink *sink_ = nullptr;
+};
+
+} // namespace cherisem::obs
+
+#endif // CHERISEM_OBS_TRACER_H

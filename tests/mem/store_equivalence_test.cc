@@ -1,17 +1,16 @@
 /**
  * @file
- * Store-layer tests.
+ * The backend-equivalence soak: a randomized op sequence
+ * (alloc/store/load/memcpy/memmove/memset/realloc/kill) is driven
+ * through two MemoryModels that differ only in Config::storeBackend,
+ * and every observable — per-op UB verdicts, loaded values, final
+ * bytes, capability metadata, the core MemStats counters, and the
+ * full execution-witness event stream (src/obs/) — must be
+ * identical.  MapStore is the oracle (the literal B and C maps of
+ * section 4.3); PagedStore is what the profiles run.
  *
- * 1. Direct unit tests of the AbstractStore primitives on both
- *    backends (page-boundary crossing, overlap-safe copies, the
- *    ghost/hard invalidation transition, range visitors).
- * 2. The backend-equivalence soak: a randomized op sequence
- *    (alloc/store/load/memcpy/memmove/memset/kill) is driven through
- *    two MemoryModels that differ only in Config::storeBackend, and
- *    every observable — per-op UB verdicts, loaded values, final
- *    bytes, capability metadata, and the core MemStats counters —
- *    must be identical.  MapStore is the oracle (the literal B and C
- *    maps of section 4.3); PagedStore is what the profiles run.
+ * Runs under the `soak` ctest label; `ctest -LE soak` skips it (the
+ * fast-tier primitives live in store_primitive_test.cc).
  */
 #include <gtest/gtest.h>
 
@@ -21,6 +20,8 @@
 #include "cap/cc128.h"
 #include "mem/memory_model.h"
 #include "mem/store.h"
+#include "obs/sinks.h"
+#include "obs/trace_diff.h"
 
 namespace cherisem::mem {
 namespace {
@@ -30,159 +31,26 @@ using ctype::intType;
 using ctype::pointerTo;
 using ctype::TypeRef;
 
-// ---------------------------------------------------------------------
-// Direct primitive tests, parameterised over the backend.
-// ---------------------------------------------------------------------
+/** Ample for 10k ops (each op emits at most a handful of events);
+ *  the soak asserts nothing was dropped before diffing. */
+constexpr size_t kRingCapacity = 1 << 17;
 
-class StorePrimitiveTest
-    : public ::testing::TestWithParam<StoreBackend>
-{
-  protected:
-    void SetUp() override { store_ = makeStore(GetParam(), 16); }
-
-    AbsByte
-    byteOf(uint8_t v, uint64_t prov_id = 0)
-    {
-        AbsByte b;
-        b.value = v;
-        if (prov_id)
-            b.prov = Provenance::alloc(prov_id);
-        return b;
-    }
-
-    std::unique_ptr<AbstractStore> store_;
-};
-
-TEST_P(StorePrimitiveTest, UnwrittenBytesReadUninitialised)
-{
-    std::vector<AbsByte> out = store_->readBytes(0x12345, 8);
-    for (const AbsByte &b : out) {
-        EXPECT_FALSE(b.value.has_value());
-        EXPECT_TRUE(b.prov.isEmpty());
-        EXPECT_FALSE(b.index.has_value());
-    }
-}
-
-TEST_P(StorePrimitiveTest, WriteReadRoundTripAcrossPageBoundary)
-{
-    // Straddle the 4 KiB page boundary at 0x2000.
-    const uint64_t addr = 0x2000 - 5;
-    std::vector<AbsByte> in(11);
-    for (size_t i = 0; i < in.size(); ++i)
-        in[i] = byteOf(static_cast<uint8_t>(0x40 + i), /*prov=*/7);
-    store_->writeBytes(addr, in.data(), in.size());
-
-    std::vector<AbsByte> out = store_->readBytes(addr, in.size());
-    for (size_t i = 0; i < in.size(); ++i) {
-        ASSERT_TRUE(out[i].value.has_value());
-        EXPECT_EQ(*out[i].value, 0x40 + i);
-        EXPECT_EQ(out[i].prov, Provenance::alloc(7));
-    }
-    // Neighbours untouched.
-    EXPECT_FALSE(store_->readBytes(addr - 1, 1)[0].value.has_value());
-    EXPECT_FALSE(
-        store_->readBytes(addr + in.size(), 1)[0].value.has_value());
-}
-
-TEST_P(StorePrimitiveTest, FillAndClearRange)
-{
-    store_->fillRange(0x1000, 8192, byteOf(0xAB));
-    EXPECT_EQ(*store_->readBytes(0x1000, 1)[0].value, 0xAB);
-    EXPECT_EQ(*store_->readBytes(0x2FFF, 1)[0].value, 0xAB);
-    store_->clearRange(0x1004, 4096);
-    EXPECT_EQ(*store_->readBytes(0x1003, 1)[0].value, 0xAB);
-    EXPECT_FALSE(store_->readBytes(0x1004, 1)[0].value.has_value());
-    EXPECT_FALSE(store_->readBytes(0x2003, 1)[0].value.has_value());
-    EXPECT_EQ(*store_->readBytes(0x2004, 1)[0].value, 0xAB);
-}
-
-TEST_P(StorePrimitiveTest, CopyRangeOverlapBothDirections)
-{
-    for (size_t i = 0; i < 64; ++i)
-        store_->writeByte(0x3000 + i, byteOf(static_cast<uint8_t>(i)));
-    // Forward overlap (dst > src).
-    store_->copyRange(0x3010, 0x3000, 64);
-    for (size_t i = 0; i < 64; ++i)
-        EXPECT_EQ(*store_->readBytes(0x3010 + i, 1)[0].value, i);
-    // Backward overlap (dst < src).
-    store_->copyRange(0x3008, 0x3010, 64);
-    for (size_t i = 0; i < 64; ++i)
-        EXPECT_EQ(*store_->readBytes(0x3008 + i, 1)[0].value, i);
-}
-
-TEST_P(StorePrimitiveTest, CapMetaPresenceIsDistinctFromClearTag)
-{
-    EXPECT_FALSE(store_->capMetaAt(0x4000).has_value());
-    store_->setCapMeta(0x4000, CapMeta{});
-    ASSERT_TRUE(store_->capMetaAt(0x4000).has_value());
-    EXPECT_FALSE(store_->capMetaAt(0x4000)->tag);
-    store_->eraseCapMeta(0x4000);
-    EXPECT_FALSE(store_->capMetaAt(0x4000).has_value());
-}
-
-TEST_P(StorePrimitiveTest, InvalidateGhostVsHard)
-{
-    store_->setCapMeta(0x5000, CapMeta{true, {}});
-    store_->setCapMeta(0x5010, CapMeta{true, {}});
-    store_->setCapMeta(0x5020, CapMeta{false, {}});
-
-    // Ghost mode: tags stay set, tagUnspec raised; the recorded-but-
-    // clear slot does not transition.
-    EXPECT_EQ(store_->invalidateCapRange(0x5005, 0x30, true), 2u);
-    EXPECT_TRUE(store_->capMetaAt(0x5000)->tag);
-    EXPECT_TRUE(store_->capMetaAt(0x5000)->ghost.tagUnspec);
-    EXPECT_TRUE(store_->capMetaAt(0x5010)->ghost.tagUnspec);
-    EXPECT_FALSE(store_->capMetaAt(0x5020)->ghost.tagUnspec);
-
-    // Hard mode: deterministic clear of tag and ghost state.
-    EXPECT_EQ(store_->invalidateCapRange(0x5000, 0x20, false), 2u);
-    EXPECT_FALSE(store_->capMetaAt(0x5000)->tag);
-    EXPECT_FALSE(store_->capMetaAt(0x5000)->ghost.tagUnspec);
-}
-
-TEST_P(StorePrimitiveTest, ForEachCapInRangeWindows)
-{
-    for (uint64_t slot = 0x6000; slot < 0x6100; slot += 16)
-        store_->setCapMeta(slot, CapMeta{true, {}});
-
-    size_t seen = 0;
-    store_->forEachCapInRange(0x6020, 0x40,
-                              [&](uint64_t, CapMeta &) { ++seen; });
-    EXPECT_EQ(seen, 4u);
-
-    // Whole-store sweep, mutating through the visitor.
-    seen = 0;
-    store_->forEachCapInRange(0, ~uint64_t(0),
-                              [&](uint64_t, CapMeta &m) {
-                                  m.tag = false;
-                                  ++seen;
-                              });
-    EXPECT_EQ(seen, 16u);
-    EXPECT_FALSE(store_->capMetaAt(0x6000)->tag);
-}
-
-INSTANTIATE_TEST_SUITE_P(Backends, StorePrimitiveTest,
-                         ::testing::Values(StoreBackend::Map,
-                                           StoreBackend::Paged),
-                         [](const auto &info) {
-                             return std::string(
-                                 storeBackendName(info.param));
-                         });
-
-// ---------------------------------------------------------------------
-// Backend equivalence soak.
-// ---------------------------------------------------------------------
-
-/** One model per backend, driven in lockstep. */
+/** One model per backend, driven in lockstep, each witnessed into
+ *  its own ring buffer. */
 struct Pair
 {
     explicit Pair(MemoryModel::Config base)
+        : oracleRing(kRingCapacity), pagedRing(kRingCapacity)
     {
         base.storeBackend = StoreBackend::Map;
+        base.traceSink = &oracleRing;
         oracle = std::make_unique<MemoryModel>(base);
         base.storeBackend = StoreBackend::Paged;
+        base.traceSink = &pagedRing;
         paged = std::make_unique<MemoryModel>(base);
     }
+    obs::RingBufferSink oracleRing;
+    obs::RingBufferSink pagedRing;
     std::unique_ptr<MemoryModel> oracle;
     std::unique_ptr<MemoryModel> paged;
 };
@@ -194,9 +62,10 @@ expectSameVerdict(const MemResult<T> &a, const MemResult<T> &b,
                   int step)
 {
     ASSERT_EQ(a.ok(), b.ok()) << "verdict diverged at step " << step;
-    if (!a.ok())
+    if (!a.ok()) {
         ASSERT_EQ(a.error().ub, b.error().ub)
             << "UB class diverged at step " << step;
+    }
 }
 
 void
@@ -227,12 +96,17 @@ runEquivalenceSoak(MemoryModel::Config base, uint32_t seed, int steps)
         return p;
     };
 
-    // Secondary allocations that come and go (exercises kill and the
-    // heap free list).
-    std::vector<std::pair<PointerValue, PointerValue>> extras;
+    // Secondary allocations that come and go (exercises kill,
+    // realloc, and the heap free list).
+    struct Extra
+    {
+        PointerValue o, p;
+        uint64_t size;
+    };
+    std::vector<Extra> extras;
 
     for (int step = 0; step < steps; ++step) {
-        switch (rng() % 10) {
+        switch (rng() % 11) {
           case 0: { // aligned capability store
             uint64_t slot = (rng() % (SIZE / 16)) * 16;
             expectSameVerdict(
@@ -338,7 +212,7 @@ runEquivalenceSoak(MemoryModel::Config base, uint32_t seed, int steps)
             auto eo = mm.oracle->allocateRegion("e", n, 16);
             auto ep = mm.paged->allocateRegion("e", n, 16);
             ASSERT_EQ(eo.value().address(), ep.value().address());
-            extras.emplace_back(eo.value(), ep.value());
+            extras.push_back({eo.value(), ep.value(), n});
             break;
           }
           case 9: { // free a random extra
@@ -346,11 +220,45 @@ runEquivalenceSoak(MemoryModel::Config base, uint32_t seed, int steps)
                 break;
             size_t i = rng() % extras.size();
             expectSameVerdict(
-                mm.oracle->kill({}, true, extras[i].first),
-                mm.paged->kill({}, true, extras[i].second),
+                mm.oracle->kill({}, true, extras[i].o),
+                mm.paged->kill({}, true, extras[i].p),
                 step);
             extras.erase(extras.begin() +
                          static_cast<ptrdiff_t>(i));
+            break;
+          }
+          case 10: { // realloc an extra: grow, shrink, or in-place
+            if (extras.empty())
+                break;
+            size_t i = rng() % extras.size();
+            uint64_t old_size = extras[i].size;
+            uint64_t new_size;
+            switch (rng() % 3) {
+              case 0: // grow
+                new_size = old_size + rng() % 256 + 1;
+                break;
+              case 1: // shrink (at least one byte remains)
+                new_size = old_size > 1
+                               ? old_size - rng() % (old_size - 1) - 1
+                               : old_size;
+                break;
+              default: // in-place: same footprint
+                new_size = old_size;
+                break;
+            }
+            auto ro = mm.oracle->reallocRegion({}, extras[i].o,
+                                               new_size);
+            auto rp = mm.paged->reallocRegion({}, extras[i].p,
+                                              new_size);
+            expectSameVerdict(ro, rp, step);
+            if (ro.ok()) {
+                ASSERT_EQ(ro.value().address(), rp.value().address())
+                    << "realloc placement diverged at step " << step;
+                extras[i] = {ro.value(), rp.value(), new_size};
+            } else {
+                extras.erase(extras.begin() +
+                             static_cast<ptrdiff_t>(i));
+            }
             break;
           }
         }
@@ -388,6 +296,17 @@ runEquivalenceSoak(MemoryModel::Config base, uint32_t seed, int steps)
     EXPECT_EQ(so.store.bytesWritten, sp.store.bytesWritten);
     EXPECT_EQ(so.store.pagesAllocated, 0u);
     EXPECT_GT(sp.store.pagesAllocated, 0u);
+
+    // Trace-level differential: the full event streams — every
+    // alloc, access, tag transition, with concrete addresses — must
+    // match event-for-event, strictly stronger than the verdict and
+    // state comparisons above.
+    ASSERT_EQ(mm.oracleRing.dropped(), 0u) << "raise kRingCapacity";
+    ASSERT_EQ(mm.pagedRing.dropped(), 0u) << "raise kRingCapacity";
+    obs::DiffResult diff = obs::diffEventStreams(
+        mm.oracleRing.snapshot(), mm.pagedRing.snapshot());
+    EXPECT_TRUE(diff.equivalent) << diff.summary();
+    EXPECT_GT(diff.leftCount, 0u);
 }
 
 TEST(StoreEquivalence, ReferenceSemantics10kOps)

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Direct unit tests of the AbstractStore primitives on both backends
+ * (page-boundary crossing, overlap-safe copies, the ghost/hard
+ * invalidation transition, range visitors).
+ *
+ * These are the fast-tier complement of the randomized
+ * backend-equivalence soak in store_equivalence_test.cc (which runs
+ * under the `soak` ctest label).
+ */
+#include <gtest/gtest.h>
+
+#include "mem/store.h"
+
+namespace cherisem::mem {
+namespace {
+
+class StorePrimitiveTest
+    : public ::testing::TestWithParam<StoreBackend>
+{
+  protected:
+    void SetUp() override { store_ = makeStore(GetParam(), 16); }
+
+    AbsByte
+    byteOf(uint8_t v, uint64_t prov_id = 0)
+    {
+        AbsByte b;
+        b.value = v;
+        if (prov_id)
+            b.prov = Provenance::alloc(prov_id);
+        return b;
+    }
+
+    std::unique_ptr<AbstractStore> store_;
+};
+
+TEST_P(StorePrimitiveTest, UnwrittenBytesReadUninitialised)
+{
+    std::vector<AbsByte> out = store_->readBytes(0x12345, 8);
+    for (const AbsByte &b : out) {
+        EXPECT_FALSE(b.value.has_value());
+        EXPECT_TRUE(b.prov.isEmpty());
+        EXPECT_FALSE(b.index.has_value());
+    }
+}
+
+TEST_P(StorePrimitiveTest, WriteReadRoundTripAcrossPageBoundary)
+{
+    // Straddle the 4 KiB page boundary at 0x2000.
+    const uint64_t addr = 0x2000 - 5;
+    std::vector<AbsByte> in(11);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = byteOf(static_cast<uint8_t>(0x40 + i), /*prov=*/7);
+    store_->writeBytes(addr, in.data(), in.size());
+
+    std::vector<AbsByte> out = store_->readBytes(addr, in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        ASSERT_TRUE(out[i].value.has_value());
+        EXPECT_EQ(*out[i].value, 0x40 + i);
+        EXPECT_EQ(out[i].prov, Provenance::alloc(7));
+    }
+    // Neighbours untouched.
+    EXPECT_FALSE(store_->readBytes(addr - 1, 1)[0].value.has_value());
+    EXPECT_FALSE(
+        store_->readBytes(addr + in.size(), 1)[0].value.has_value());
+}
+
+TEST_P(StorePrimitiveTest, FillAndClearRange)
+{
+    store_->fillRange(0x1000, 8192, byteOf(0xAB));
+    EXPECT_EQ(*store_->readBytes(0x1000, 1)[0].value, 0xAB);
+    EXPECT_EQ(*store_->readBytes(0x2FFF, 1)[0].value, 0xAB);
+    store_->clearRange(0x1004, 4096);
+    EXPECT_EQ(*store_->readBytes(0x1003, 1)[0].value, 0xAB);
+    EXPECT_FALSE(store_->readBytes(0x1004, 1)[0].value.has_value());
+    EXPECT_FALSE(store_->readBytes(0x2003, 1)[0].value.has_value());
+    EXPECT_EQ(*store_->readBytes(0x2004, 1)[0].value, 0xAB);
+}
+
+TEST_P(StorePrimitiveTest, CopyRangeOverlapBothDirections)
+{
+    for (size_t i = 0; i < 64; ++i)
+        store_->writeByte(0x3000 + i, byteOf(static_cast<uint8_t>(i)));
+    // Forward overlap (dst > src).
+    store_->copyRange(0x3010, 0x3000, 64);
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(*store_->readBytes(0x3010 + i, 1)[0].value, i);
+    // Backward overlap (dst < src).
+    store_->copyRange(0x3008, 0x3010, 64);
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(*store_->readBytes(0x3008 + i, 1)[0].value, i);
+}
+
+TEST_P(StorePrimitiveTest, CapMetaPresenceIsDistinctFromClearTag)
+{
+    EXPECT_FALSE(store_->capMetaAt(0x4000).has_value());
+    store_->setCapMeta(0x4000, CapMeta{});
+    ASSERT_TRUE(store_->capMetaAt(0x4000).has_value());
+    EXPECT_FALSE(store_->capMetaAt(0x4000)->tag);
+    store_->eraseCapMeta(0x4000);
+    EXPECT_FALSE(store_->capMetaAt(0x4000).has_value());
+}
+
+TEST_P(StorePrimitiveTest, InvalidateGhostVsHard)
+{
+    store_->setCapMeta(0x5000, CapMeta{true, {}});
+    store_->setCapMeta(0x5010, CapMeta{true, {}});
+    store_->setCapMeta(0x5020, CapMeta{false, {}});
+
+    // Ghost mode: tags stay set, tagUnspec raised; the recorded-but-
+    // clear slot does not transition.
+    EXPECT_EQ(store_->invalidateCapRange(0x5005, 0x30, true), 2u);
+    EXPECT_TRUE(store_->capMetaAt(0x5000)->tag);
+    EXPECT_TRUE(store_->capMetaAt(0x5000)->ghost.tagUnspec);
+    EXPECT_TRUE(store_->capMetaAt(0x5010)->ghost.tagUnspec);
+    EXPECT_FALSE(store_->capMetaAt(0x5020)->ghost.tagUnspec);
+
+    // Hard mode: deterministic clear of tag and ghost state.
+    EXPECT_EQ(store_->invalidateCapRange(0x5000, 0x20, false), 2u);
+    EXPECT_FALSE(store_->capMetaAt(0x5000)->tag);
+    EXPECT_FALSE(store_->capMetaAt(0x5000)->ghost.tagUnspec);
+}
+
+TEST_P(StorePrimitiveTest, ForEachCapInRangeWindows)
+{
+    for (uint64_t slot = 0x6000; slot < 0x6100; slot += 16)
+        store_->setCapMeta(slot, CapMeta{true, {}});
+
+    size_t seen = 0;
+    store_->forEachCapInRange(0x6020, 0x40,
+                              [&](uint64_t, CapMeta &) { ++seen; });
+    EXPECT_EQ(seen, 4u);
+
+    // Whole-store sweep, mutating through the visitor.
+    seen = 0;
+    store_->forEachCapInRange(0, ~uint64_t(0),
+                              [&](uint64_t, CapMeta &m) {
+                                  m.tag = false;
+                                  ++seen;
+                              });
+    EXPECT_EQ(seen, 16u);
+    EXPECT_FALSE(store_->capMetaAt(0x6000)->tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StorePrimitiveTest,
+                         ::testing::Values(StoreBackend::Map,
+                                           StoreBackend::Paged),
+                         [](const auto &info) {
+                             return std::string(
+                                 storeBackendName(info.param));
+                         });
+
+} // namespace
+} // namespace cherisem::mem

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests of the trace-differential checker: stream normalisation, the
+ * first-divergence report, fault injection (a deliberately perturbed
+ * stream must be caught at the exact event), and the end-to-end
+ * store-backend and cross-profile comparisons.
+ */
+#include <gtest/gtest.h>
+
+#include "obs/differential.h"
+#include "obs/sinks.h"
+#include "obs/trace_diff.h"
+
+namespace cherisem::obs {
+namespace {
+
+TraceEvent
+ev(EventKind k, uint64_t addr = 0, uint64_t size = 0)
+{
+    TraceEvent e;
+    e.kind = k;
+    e.addr = addr;
+    e.size = size;
+    return e;
+}
+
+// ---------------------------------------------------------------------
+// Normalisation and raw stream diffing.
+// ---------------------------------------------------------------------
+
+TEST(NormalizeStream, DropsPhasesAlwaysAndControlFlowOnRequest)
+{
+    std::vector<TraceEvent> s = {
+        ev(EventKind::Phase),     ev(EventKind::FuncEnter),
+        ev(EventKind::Alloc),     ev(EventKind::Intrinsic),
+        ev(EventKind::Store),     ev(EventKind::FuncExit),
+        ev(EventKind::Phase),
+    };
+
+    DiffOptions opts;
+    std::vector<TraceEvent> n = normalizeStream(s, opts);
+    ASSERT_EQ(n.size(), 5u);
+    EXPECT_EQ(n[0].kind, EventKind::FuncEnter);
+    EXPECT_EQ(n[4].kind, EventKind::FuncExit);
+
+    opts.ignoreControlFlow = true;
+    n = normalizeStream(s, opts);
+    ASSERT_EQ(n.size(), 2u);
+    EXPECT_EQ(n[0].kind, EventKind::Alloc);
+    EXPECT_EQ(n[1].kind, EventKind::Store);
+}
+
+TEST(DiffEventStreams, IdenticalStreamsAreEquivalent)
+{
+    std::vector<TraceEvent> a = {ev(EventKind::Alloc, 0x1000, 32),
+                                 ev(EventKind::Store, 0x1000, 8),
+                                 ev(EventKind::Free, 0x1000, 32)};
+    DiffResult d = diffEventStreams(a, a);
+    EXPECT_TRUE(d.equivalent) << d.summary();
+    EXPECT_EQ(d.leftCount, 3u);
+    EXPECT_NE(d.summary().find("equivalent"), std::string::npos);
+}
+
+TEST(DiffEventStreams, SinglePerturbedEventCaughtAtIndex)
+{
+    std::vector<TraceEvent> a, b;
+    for (uint64_t i = 0; i < 20; ++i) {
+        a.push_back(ev(EventKind::Store, 0x1000 + 8 * i, 8));
+        b.push_back(ev(EventKind::Store, 0x1000 + 8 * i, 8));
+    }
+    b[13].size = 4; // inject one divergent payload
+
+    DiffResult d = diffEventStreams(a, b);
+    EXPECT_FALSE(d.equivalent);
+    EXPECT_EQ(d.index, 13u);
+    ASSERT_TRUE(d.left.has_value());
+    ASSERT_TRUE(d.right.has_value());
+    EXPECT_EQ(d.left->size, 8u);
+    EXPECT_EQ(d.right->size, 4u);
+    EXPECT_NE(d.summary().find("diverged at event 13"),
+              std::string::npos)
+        << d.summary();
+}
+
+TEST(DiffEventStreams, LengthMismatchReportsMissingSide)
+{
+    std::vector<TraceEvent> a = {ev(EventKind::Alloc, 0x1000, 32),
+                                 ev(EventKind::Store, 0x1000, 8)};
+    std::vector<TraceEvent> b = a;
+    b.push_back(ev(EventKind::Free, 0x1000, 32));
+
+    DiffResult d = diffEventStreams(a, b);
+    EXPECT_FALSE(d.equivalent);
+    EXPECT_EQ(d.index, 2u);
+    EXPECT_FALSE(d.left.has_value()) << "left stream ended early";
+    ASSERT_TRUE(d.right.has_value());
+    EXPECT_EQ(d.right->kind, EventKind::Free);
+}
+
+TEST(DiffEventStreams, OptionsRelaxAddressLabelLineComparison)
+{
+    TraceEvent l = ev(EventKind::Alloc, 0x1000, 32);
+    l.label = "x";
+    l.line = 3;
+    TraceEvent r = ev(EventKind::Alloc, 0xfff0000, 32);
+    r.label = "y";
+    r.line = 9;
+
+    EXPECT_FALSE(diffEventStreams({l}, {r}).equivalent);
+
+    DiffOptions relaxed;
+    relaxed.compareAddresses = false;
+    relaxed.compareLabels = false;
+    relaxed.compareLines = false;
+    EXPECT_TRUE(diffEventStreams({l}, {r}, relaxed).equivalent);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection through a perturbing sink: run the same operations
+// twice, corrupt the Nth event of the second run in flight, and check
+// the differential checker pinpoints exactly that event.
+// ---------------------------------------------------------------------
+
+/** Forwards to a ring buffer, flipping one event's payload. */
+class PerturbingSink : public TraceSink
+{
+  public:
+    PerturbingSink(RingBufferSink &inner, uint64_t victim)
+        : inner_(inner), victim_(victim)
+    {
+    }
+
+  protected:
+    void
+    write(const TraceEvent &e) override
+    {
+        TraceEvent copy = e;
+        if (copy.seq == victim_)
+            copy.size ^= 1; // single-bit semantic corruption
+        inner_.emit(copy);
+    }
+
+  private:
+    RingBufferSink &inner_;
+    uint64_t victim_;
+};
+
+TEST(FaultInjection, InjectedDivergenceIsCaughtAtTheExactEvent)
+{
+    auto runProgram = [](TraceSink *sink) {
+        driver::Profile p = driver::referenceProfile();
+        p.memConfig.traceSink = sink;
+        driver::RunResult r = driver::runSource(R"(
+#include <stdlib.h>
+int main(void) {
+    long *a = malloc(4 * sizeof(long));
+    for (int i = 0; i < 4; i++) a[i] = i;
+    long sum = 0;
+    for (int i = 0; i < 4; i++) sum += a[i];
+    free(a);
+    return (int)sum;
+}
+)",
+                                                p);
+        EXPECT_FALSE(r.frontendError);
+        return r;
+    };
+
+    RingBufferSink clean;
+    runProgram(&clean);
+    const std::vector<TraceEvent> reference = clean.snapshot();
+    ASSERT_GT(reference.size(), 10u);
+
+    // A healthy re-run witnesses the identical stream.
+    RingBufferSink again;
+    runProgram(&again);
+    EXPECT_TRUE(diffEventStreams(reference, again.snapshot())
+                    .equivalent);
+
+    // Corrupt one mid-stream event; use a memory event so phase
+    // normalisation cannot mask the injection.
+    size_t victim = 0;
+    for (size_t i = reference.size() / 2; i < reference.size(); ++i) {
+        if (reference[i].kind == EventKind::Load ||
+            reference[i].kind == EventKind::Store) {
+            victim = i;
+            break;
+        }
+    }
+    ASSERT_GT(victim, 0u);
+
+    RingBufferSink corruptRing;
+    PerturbingSink perturber(corruptRing, reference[victim].seq);
+    runProgram(&perturber);
+
+    DiffResult d =
+        diffEventStreams(reference, corruptRing.snapshot());
+    EXPECT_FALSE(d.equivalent) << "injected fault must be caught";
+    ASSERT_TRUE(d.left.has_value());
+    ASSERT_TRUE(d.right.has_value());
+    EXPECT_EQ(d.left->seq, reference[victim].seq)
+        << "first divergence is exactly the corrupted event";
+    EXPECT_EQ(d.left->size ^ 1, d.right->size);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end differential runs.
+// ---------------------------------------------------------------------
+
+const char *kLifecycleProgram = R"(
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+    char *p = malloc(32);
+    memset(p, 7, 32);
+    char *q = realloc(p, 64);
+    int ok = q[31] == 7;
+    free(q);
+    return ok ? 0 : 1;
+}
+)";
+
+TEST(Differential, StoreBackendsWitnessIdenticalStreams)
+{
+    DifferentialResult r = diffStoreBackends(
+        kLifecycleProgram, driver::referenceProfile());
+    EXPECT_TRUE(r.equivalent()) << r.summary();
+    EXPECT_FALSE(r.truncated);
+    EXPECT_GT(r.leftEvents, 0u);
+    EXPECT_EQ(r.leftEvents, r.rightEvents);
+    EXPECT_EQ(r.left.outcome.kind, corelang::Outcome::Kind::Exit);
+    EXPECT_EQ(r.left.outcome.exitCode, 0);
+}
+
+TEST(Differential, SameProfileAgainstItselfIsEquivalent)
+{
+    DifferentialResult r = diffProfiles(
+        kLifecycleProgram, driver::referenceProfile(),
+        driver::referenceProfile(), DiffOptions{});
+    EXPECT_TRUE(r.equivalent()) << r.summary();
+}
+
+TEST(Differential, GhostVsHardwareTagSemanticsDiverge)
+{
+    // The section 3.5 identity byte write: the reference semantics
+    // marks the capability's tag unspecified (GhostMark) and the
+    // later dereference raises UB; concrete hardware semantics
+    // deterministically clears the tag (TagClear) instead.  The
+    // first divergent event names exactly this axis.
+    const char *prog = R"(
+int main(void) {
+    int x = 0;
+    int *px = &x;
+    unsigned char *p = (unsigned char *)&px;
+    p[0] = p[0];
+    *px = 1;
+    return x;
+}
+)";
+    DiffOptions opts;
+    opts.compareAddresses = false; // allocators differ by design
+    DifferentialResult r = diffProfiles(
+        prog, driver::referenceProfile(),
+        *driver::findProfile("clang-morello-O0"), opts);
+
+    EXPECT_FALSE(r.equivalent());
+    ASSERT_TRUE(r.diff.left.has_value()) << r.summary();
+    ASSERT_TRUE(r.diff.right.has_value()) << r.summary();
+    // The first divergent event IS the semantic axis: reading the
+    // capability's representation bytes is a PNVI expose under the
+    // reference semantics — a witness the provenance-blind hardware
+    // profile never emits; its first differing event is the
+    // deterministic tag clear of the section 3.5 byte write.
+    EXPECT_EQ(r.diff.left->kind, EventKind::Expose) << r.summary();
+    EXPECT_EQ(r.diff.right->kind, EventKind::TagClear) << r.summary();
+    // The reference machine turns the later dereference into UB.
+    EXPECT_EQ(r.left.outcome.kind, corelang::Outcome::Kind::Undefined)
+        << r.left.summary();
+}
+
+} // namespace
+} // namespace cherisem::obs
