@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Differential fuzzing driver (src/fuzz/): generate seeded MiniC
+ * programs, run each across the profile x store-backend grid, and
+ * report divergences as JSONL.
+ *
+ *   cherisem_fuzz [--seeds A..B] [--allow-ub] [--stmts N]
+ *                 [--profiles a,b,c] [--no-cross] [--shrink]
+ *                 [--report PATH] [--print-seed N] [--quiet]
+ *
+ *   --seeds A..B    inclusive seed range (default 0..100)
+ *   --allow-ub      generate the UB-allowed corpus instead of the
+ *                   UB-free-by-construction one
+ *   --stmts N       approximate statements per program (default 24)
+ *   --profiles ...  restrict the grid to these profiles
+ *   --no-cross      skip the cross-profile comparisons (backend
+ *                   Map-vs-Paged grid only)
+ *   --shrink        delta-debug every hard failure before reporting
+ *   --report PATH   append one JSON line per divergence to PATH
+ *   --print-seed N  print the generated program for seed N and exit
+ *
+ * Exit status: 0 when no hard failure (backend divergence, crash, or
+ * unexpected profile divergence) was found, 1 otherwise, 2 on usage
+ * errors.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/diff_runner.h"
+#include "fuzz/generator.h"
+#include "fuzz/reduce.h"
+
+namespace fuzz = cherisem::fuzz;
+
+namespace {
+
+int
+usage()
+{
+    fprintf(stderr,
+            "usage: cherisem_fuzz [--seeds A..B] [--allow-ub] "
+            "[--stmts N]\n"
+            "                     [--profiles a,b,c] [--no-cross] "
+            "[--shrink]\n"
+            "                     [--report PATH] [--print-seed N] "
+            "[--quiet]\n");
+    return 2;
+}
+
+bool
+parseRange(const std::string &s, uint64_t &lo, uint64_t &hi)
+{
+    size_t dots = s.find("..");
+    if (dots == std::string::npos)
+        return false;
+    try {
+        lo = std::stoull(s.substr(0, dots));
+        hi = std::stoull(s.substr(dots + 2));
+    } catch (...) {
+        return false;
+    }
+    return lo <= hi;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seedLo = 0, seedHi = 100;
+    bool haveSingle = false;
+    uint64_t singleSeed = 0;
+    fuzz::GenOptions gen;
+    fuzz::RunnerOptions runner;
+    bool shrink = false;
+    bool quiet = false;
+    std::string reportPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                fprintf(stderr, "%s needs an argument\n", flag);
+                exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--seeds") {
+            if (!parseRange(next("--seeds"), seedLo, seedHi))
+                return usage();
+        } else if (a == "--allow-ub") {
+            gen.allowUb = true;
+        } else if (a == "--stmts") {
+            gen.numStmts = (unsigned)atoi(next("--stmts"));
+        } else if (a == "--profiles") {
+            runner.profiles = splitCommas(next("--profiles"));
+        } else if (a == "--no-cross") {
+            runner.crossProfiles = false;
+        } else if (a == "--shrink") {
+            shrink = true;
+        } else if (a == "--report") {
+            reportPath = next("--report");
+        } else if (a == "--print-seed") {
+            haveSingle = true;
+            singleSeed = std::stoull(next("--print-seed"));
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else {
+            return usage();
+        }
+    }
+
+    if (haveSingle) {
+        gen.seed = singleSeed;
+        fputs(fuzz::generateProgram(gen).c_str(), stdout);
+        return 0;
+    }
+
+    std::ofstream report;
+    if (!reportPath.empty()) {
+        report.open(reportPath, std::ios::app);
+        if (!report) {
+            fprintf(stderr, "cannot open %s\n", reportPath.c_str());
+            return 2;
+        }
+    }
+
+    uint64_t cases = 0, hard = 0, expected = 0;
+    for (uint64_t seed = seedLo; seed <= seedHi; ++seed) {
+        gen.seed = seed;
+        runner.requireExit = !gen.allowUb;
+        std::string source = fuzz::generateProgram(gen);
+        std::vector<fuzz::Divergence> findings =
+            fuzz::runCase(seed, source, runner);
+        ++cases;
+
+        for (fuzz::Divergence &d : findings) {
+            if (!fuzz::isHardFailure(d)) {
+                ++expected;
+                if (report)
+                    report << d.jsonl() << "\n";
+                continue;
+            }
+            ++hard;
+            std::string reduced = source;
+            if (shrink) {
+                fuzz::Divergence::Kind kind = d.kind;
+                std::string where = d.where;
+                fuzz::ReduceStats rs;
+                reduced = fuzz::reduceProgram(
+                    source,
+                    [&](const std::string &cand) {
+                        for (const fuzz::Divergence &c :
+                             fuzz::runCase(seed, cand, runner))
+                            if (fuzz::isHardFailure(c) &&
+                                c.kind == kind && c.where == where)
+                                return true;
+                        return false;
+                    },
+                    &rs);
+                if (!quiet)
+                    fprintf(stderr,
+                            "  shrink: %u attempts, %u statements "
+                            "removed\n",
+                            rs.attempts, rs.removed);
+            }
+            if (report)
+                report << d.jsonl(reduced) << "\n";
+            if (!quiet) {
+                fprintf(stderr, "seed %llu [%s] %s\n",
+                        (unsigned long long)seed, d.where.c_str(),
+                        d.detail.c_str());
+                if (shrink)
+                    fprintf(stderr, "--- reduced ---\n%s---\n",
+                            reduced.c_str());
+            }
+        }
+        if (!quiet && cases % 50 == 0)
+            fprintf(stderr,
+                    "... %llu cases, %llu hard failures, %llu "
+                    "expected profile divergences\n",
+                    (unsigned long long)cases,
+                    (unsigned long long)hard,
+                    (unsigned long long)expected);
+    }
+
+    printf("cherisem_fuzz: %llu cases (%s), %llu hard failures, "
+           "%llu expected profile divergences\n",
+           (unsigned long long)cases,
+           gen.allowUb ? "ub-allowed" : "ub-free",
+           (unsigned long long)hard, (unsigned long long)expected);
+    return hard == 0 ? 0 : 1;
+}

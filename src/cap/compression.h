@@ -252,6 +252,11 @@ Compression<AddrBits, MW>::representableAlignmentMask(uint64_t len)
 {
     if (len <= maxExactLength)
         return ~uint64_t(0);
+    // No region inside the address space can hold the request: CRAM
+    // is 0 ("no alignment helps"), the saturating behaviour of the
+    // Morello pseudocode.
+    if (uint128(len) > addrSpaceTop)
+        return 0;
     unsigned msb = 0;
     for (uint64_t v = len; v > 1; v >>= 1)
         ++msb;
@@ -263,8 +268,6 @@ Compression<AddrBits, MW>::representableAlignmentMask(uint64_t len)
         ++e;
         g <<= 1;
     }
-    if (e + 3 >= 64)
-        return 0;
     return ~(static_cast<uint64_t>(g) - 1);
 }
 
@@ -273,9 +276,20 @@ uint64_t
 Compression<AddrBits, MW>::representableLength(uint64_t len)
 {
     uint64_t m = representableAlignmentMask(len);
+    if (m == ~uint64_t(0))
+        return len;
     if (m == 0)
         return 0; // Length exceeds what any single region can hold.
-    return (len + ~m) & m;
+    // Round up at the CRAM granularity, in 128 bits: a near-top
+    // length can round to exactly 2^AddrBits (the full span).  The
+    // result truncates to uint64 like Morello's RRLEN register, so a
+    // full-span CRRL on a 64-bit architecture reads as 0 — callers
+    // must treat CRRL < len as "not satisfiable by one region".
+    uint64_t g = ~m + 1;
+    uint128 rounded = (uint128(len) + (g - 1)) & ~uint128(g - 1);
+    if (rounded > addrSpaceTop)
+        return 0; // Unreachable for in-space lengths; stay total.
+    return static_cast<uint64_t>(rounded);
 }
 
 /** Morello / 64-bit CHERI-RISC-V style compression. */

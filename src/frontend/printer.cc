@@ -1,0 +1,398 @@
+/**
+ * @file
+ * AST -> MiniC source printer (see printer.h for the contract).
+ */
+#include "frontend/printer.h"
+
+#include <cassert>
+
+namespace cherisem::frontend {
+
+namespace {
+
+using ctype::Type;
+using ctype::TypeRef;
+
+std::string
+baseTypeStr(const Type &t, const ctype::TagTable &tags)
+{
+    std::string c = t.isConst ? "const " : "";
+    switch (t.kind) {
+      case Type::Kind::Void:
+        return c + "void";
+      case Type::Kind::Integer:
+      case Type::Kind::Floating:
+        // typeStr spells scalars exactly the way the lexer reads
+        // them (intptr_t etc. are predefined typedefs).
+        return ctype::typeStr(
+            std::make_shared<const Type>(t), &tags);
+      case Type::Kind::StructOrUnion: {
+        const ctype::TagDef &d = tags.get(t.tag);
+        return c + (d.isUnion ? "union " : "struct ") + d.name;
+      }
+      default:
+        assert(false && "not a base type");
+        return "<?>";
+    }
+}
+
+} // namespace
+
+std::string
+declString(const TypeRef &t, const std::string &name,
+           const ctype::TagTable &tags)
+{
+    // Build the declarator inside-out: walk the type outside-in,
+    // appending [] / () on the right and * on the left, inserting
+    // parens whenever a suffix would otherwise bind the '*' first.
+    std::string d = name;
+    const Type *cur = t.get();
+    while (cur) {
+        switch (cur->kind) {
+          case Type::Kind::Pointer:
+            d = std::string("*") + (cur->isConst ? "const " : "") + d;
+            cur = cur->pointee.get();
+            continue;
+          case Type::Kind::Array:
+            if (!d.empty() && d[0] == '*')
+                d = "(" + d + ")";
+            d += "[" + std::to_string(cur->arraySize) + "]";
+            cur = cur->element.get();
+            continue;
+          case Type::Kind::Function: {
+            if (!d.empty() && d[0] == '*')
+                d = "(" + d + ")";
+            std::string ps;
+            for (size_t i = 0; i < cur->params.size(); ++i) {
+                if (i)
+                    ps += ", ";
+                ps += declString(cur->params[i], "", tags);
+            }
+            if (cur->variadic)
+                ps += ps.empty() ? "..." : ", ...";
+            if (ps.empty())
+                ps = "void";
+            d += "(" + ps + ")";
+            cur = cur->returnType.get();
+            continue;
+          }
+          default: {
+            std::string base = baseTypeStr(*cur, tags);
+            return d.empty() ? base : base + " " + d;
+          }
+        }
+    }
+    return d;
+}
+
+namespace {
+
+std::string
+escapeString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char ch : s) {
+        switch (ch) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\0': out += "\\0"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                snprintf(buf, sizeof buf, "\\x%02x",
+                         static_cast<unsigned char>(ch));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out + "\"";
+}
+
+const char *
+binOpStr(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "+";
+      case BinOp::Sub: return "-";
+      case BinOp::Mul: return "*";
+      case BinOp::Div: return "/";
+      case BinOp::Rem: return "%";
+      case BinOp::Shl: return "<<";
+      case BinOp::Shr: return ">>";
+      case BinOp::Lt: return "<";
+      case BinOp::Gt: return ">";
+      case BinOp::Le: return "<=";
+      case BinOp::Ge: return ">=";
+      case BinOp::Eq: return "==";
+      case BinOp::Ne: return "!=";
+      case BinOp::BitAnd: return "&";
+      case BinOp::BitXor: return "^";
+      case BinOp::BitOr: return "|";
+      case BinOp::LogAnd: return "&&";
+      case BinOp::LogOr: return "||";
+      case BinOp::Comma: return ",";
+    }
+    return "?";
+}
+
+std::string
+printInit(const Initializer &init, const ctype::TagTable &tags)
+{
+    if (!init.isList)
+        return printExpr(*init.expr, tags);
+    std::string s = "{";
+    for (size_t i = 0; i < init.list.size(); ++i) {
+        if (i)
+            s += ", ";
+        s += printInit(init.list[i], tags);
+    }
+    return s + "}";
+}
+
+std::string
+printVarDecl(const VarDecl &d, const ctype::TagTable &tags)
+{
+    std::string s;
+    if (d.isStatic)
+        s += "static ";
+    if (d.isExtern)
+        s += "extern ";
+    s += declString(d.type, d.name, tags);
+    if (d.hasInit)
+        s += " = " + printInit(d.init, tags);
+    return s + ";";
+}
+
+std::string
+indentStr(int n)
+{
+    return std::string(static_cast<size_t>(n) * 2, ' ');
+}
+
+} // namespace
+
+std::string
+printExpr(const Expr &e, const ctype::TagTable &tags)
+{
+    switch (e.kind) {
+      case Expr::Kind::IntLit: {
+        std::string s = std::to_string(e.intValue);
+        if (e.litUnsigned)
+            s += "u";
+        if (e.litLong)
+            s += "l";
+        return s;
+      }
+      case Expr::Kind::FloatLit: {
+        char buf[64];
+        snprintf(buf, sizeof buf, "%.17g", e.floatValue);
+        std::string s = buf;
+        // Keep it a FloatLit on re-parse.
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos &&
+            s.find("inf") == std::string::npos &&
+            s.find("nan") == std::string::npos)
+            s += ".0";
+        return s;
+      }
+      case Expr::Kind::StringLit:
+        return escapeString(e.text);
+      case Expr::Kind::Ident:
+        return e.text;
+      case Expr::Kind::Unary: {
+        std::string v = printExpr(*e.lhs, tags);
+        switch (e.unop) {
+          case UnOp::Plus: return "(+" + v + ")";
+          case UnOp::Minus: return "(-" + v + ")";
+          case UnOp::LogNot: return "(!" + v + ")";
+          case UnOp::BitNot: return "(~" + v + ")";
+          case UnOp::Deref: return "(*" + v + ")";
+          case UnOp::AddrOf: return "(&" + v + ")";
+          case UnOp::PreInc: return "(++" + v + ")";
+          case UnOp::PreDec: return "(--" + v + ")";
+          case UnOp::PostInc: return "(" + v + "++)";
+          case UnOp::PostDec: return "(" + v + "--)";
+        }
+        return "(?" + v + ")";
+      }
+      case Expr::Kind::Binary:
+        return "(" + printExpr(*e.lhs, tags) + " " +
+            binOpStr(e.binop) + " " + printExpr(*e.rhs, tags) + ")";
+      case Expr::Kind::Assign: {
+        std::string op = e.binop == BinOp::Comma
+                             ? "="
+                             : std::string(binOpStr(e.binop)) + "=";
+        return "(" + printExpr(*e.lhs, tags) + " " + op + " " +
+            printExpr(*e.rhs, tags) + ")";
+      }
+      case Expr::Kind::Cond:
+        return "(" + printExpr(*e.cond, tags) + " ? " +
+            printExpr(*e.lhs, tags) + " : " +
+            printExpr(*e.rhs, tags) + ")";
+      case Expr::Kind::Cast:
+        // Sema-inserted conversions are not source syntax.
+        if (e.implicitCast)
+            return printExpr(*e.lhs, tags);
+        return "((" + declString(e.typeOperand, "", tags) + ")" +
+            printExpr(*e.lhs, tags) + ")";
+      case Expr::Kind::Call: {
+        std::string s = printExpr(*e.lhs, tags) + "(";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            if (i)
+                s += ", ";
+            s += printExpr(*e.args[i], tags);
+        }
+        return s + ")";
+      }
+      case Expr::Kind::Index:
+        return printExpr(*e.lhs, tags) + "[" +
+            printExpr(*e.rhs, tags) + "]";
+      case Expr::Kind::Member:
+        return printExpr(*e.lhs, tags) + (e.isArrow ? "->" : ".") +
+            e.text;
+      case Expr::Kind::SizeofExpr:
+        return "sizeof(" + printExpr(*e.lhs, tags) + ")";
+      case Expr::Kind::SizeofType:
+        return "sizeof(" + declString(e.typeOperand, "", tags) + ")";
+      case Expr::Kind::AlignofType:
+        return "_Alignof(" + declString(e.typeOperand, "", tags) + ")";
+      case Expr::Kind::OffsetOf:
+        return "offsetof(" + declString(e.typeOperand, "", tags) +
+            ", " + e.text + ")";
+    }
+    return "<expr?>";
+}
+
+std::string
+printStmt(const Stmt &s, const ctype::TagTable &tags, int indent)
+{
+    std::string in = indentStr(indent);
+    std::string out;
+    // Switch labels attach to the statement itself.
+    for (const ExprPtr &ce : s.caseExprs)
+        out += indentStr(indent > 0 ? indent - 1 : 0) + "case " +
+            printExpr(*ce, tags) + ":\n";
+    if (s.isDefault)
+        out += indentStr(indent > 0 ? indent - 1 : 0) + "default:\n";
+
+    switch (s.kind) {
+      case Stmt::Kind::Expr:
+        return out + in + printExpr(*s.expr, tags) + ";\n";
+      case Stmt::Kind::Decl: {
+        for (const VarDecl &d : s.decls)
+            out += in + printVarDecl(d, tags) + "\n";
+        return out;
+      }
+      case Stmt::Kind::Block: {
+        out += in + "{\n";
+        for (const StmtPtr &b : s.body)
+            out += printStmt(*b, tags, indent + 1);
+        return out + in + "}\n";
+      }
+      case Stmt::Kind::If: {
+        out += in + "if (" + printExpr(*s.expr, tags) + ")\n";
+        out += printStmt(*s.thenStmt, tags, indent + 1);
+        if (s.elseStmt) {
+            out += in + "else\n";
+            out += printStmt(*s.elseStmt, tags, indent + 1);
+        }
+        return out;
+      }
+      case Stmt::Kind::While:
+        out += in + "while (" + printExpr(*s.expr, tags) + ")\n";
+        return out + printStmt(*s.thenStmt, tags, indent + 1);
+      case Stmt::Kind::DoWhile:
+        out += in + "do\n";
+        out += printStmt(*s.thenStmt, tags, indent + 1);
+        return out + in + "while (" + printExpr(*s.expr, tags) +
+            ");\n";
+      case Stmt::Kind::For: {
+        // The init clause prints inline (sans newline/indent).
+        std::string init;
+        if (s.forInit) {
+            std::string raw = printStmt(*s.forInit, tags, 0);
+            while (!raw.empty() &&
+                   (raw.back() == '\n' || raw.back() == ' '))
+                raw.pop_back();
+            init = raw;
+        } else {
+            init = ";";
+        }
+        out += in + "for (" + init + " " +
+            (s.forCond ? printExpr(*s.forCond, tags) : "") + "; " +
+            (s.forStep ? printExpr(*s.forStep, tags) : "") + ")\n";
+        return out + printStmt(*s.thenStmt, tags, indent + 1);
+      }
+      case Stmt::Kind::Return:
+        if (s.expr)
+            return out + in + "return " + printExpr(*s.expr, tags) +
+                ";\n";
+        return out + in + "return;\n";
+      case Stmt::Kind::Break:
+        return out + in + "break;\n";
+      case Stmt::Kind::Continue:
+        return out + in + "continue;\n";
+      case Stmt::Kind::Switch: {
+        out += in + "switch (" + printExpr(*s.expr, tags) + ")\n";
+        return out + printStmt(*s.thenStmt, tags, indent + 1);
+      }
+      case Stmt::Kind::Empty:
+        return out + in + ";\n";
+    }
+    return out + in + "<stmt?>;\n";
+}
+
+std::string
+printUnit(const TranslationUnit &tu)
+{
+    std::string out;
+    // Enumerator constants come back as #defines (see printer.h).
+    for (const auto &[name, value] : tu.enumConstants)
+        out += "#define " + name + " " + std::to_string(value) + "\n";
+
+    for (ctype::TagId id = 0; id < tu.tags.size(); ++id) {
+        const ctype::TagDef &d = tu.tags.get(id);
+        if (!d.complete || d.name.empty())
+            continue;
+        out += (d.isUnion ? "union " : "struct ") + d.name + " {\n";
+        for (const ctype::Member &m : d.members)
+            out += "  " + declString(m.type, m.name, tu.tags) + ";\n";
+        out += "};\n";
+    }
+
+    for (const VarDecl &g : tu.globals)
+        out += printVarDecl(g, tu.tags) + "\n";
+
+    for (const FunctionDef &f : tu.functions) {
+        assert(f.type && f.type->isFunction());
+        std::string ps;
+        const Type &ft = *f.type;
+        for (size_t i = 0; i < ft.params.size(); ++i) {
+            if (i)
+                ps += ", ";
+            std::string pname = i < f.paramNames.size()
+                                    ? f.paramNames[i]
+                                    : "";
+            ps += declString(ft.params[i], pname, tu.tags);
+        }
+        if (ft.variadic)
+            ps += ps.empty() ? "..." : ", ...";
+        if (ps.empty())
+            ps = "void";
+        out += declString(ft.returnType, "", tu.tags) + " " + f.name +
+            "(" + ps + ")";
+        if (!f.body) {
+            out += ";\n";
+            continue;
+        }
+        out += "\n" + printStmt(*f.body, tu.tags, 0);
+    }
+    return out;
+}
+
+} // namespace cherisem::frontend

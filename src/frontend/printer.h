@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AST -> MiniC source printer.
+ *
+ * Renders a (parsed, not necessarily type-checked) TranslationUnit
+ * back to source text that re-parses to the same tree, which is what
+ * the fuzz shrinker needs: delta-debugging removes AST statements and
+ * the reduced program must still go through the ordinary frontend.
+ *
+ * Expressions are printed fully parenthesised, so no precedence
+ * bookkeeping is needed and a print -> parse -> print round trip is a
+ * fixed point.  Enumerations are the one lossy corner: enum
+ * *declarations* are not kept in the AST, so enumerator constants are
+ * re-emitted as #define lines (same values, but the second round trip
+ * substitutes them away).
+ */
+#ifndef CHERISEM_FRONTEND_PRINTER_H
+#define CHERISEM_FRONTEND_PRINTER_H
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace cherisem::frontend {
+
+/** Render a full translation unit (tag definitions, globals,
+ *  functions, in declaration order). */
+std::string printUnit(const TranslationUnit &tu);
+
+/** Render one statement at @p indent levels (two spaces each). */
+std::string printStmt(const Stmt &s, const ctype::TagTable &tags,
+                      int indent);
+
+/** Render one expression (fully parenthesised). */
+std::string printExpr(const Expr &e, const ctype::TagTable &tags);
+
+/** C declaration spelling: type @p t declaring @p name (empty name
+ *  gives an abstract declarator usable in casts / sizeof). */
+std::string declString(const ctype::TypeRef &t, const std::string &name,
+                       const ctype::TagTable &tags);
+
+} // namespace cherisem::frontend
+
+#endif // CHERISEM_FRONTEND_PRINTER_H

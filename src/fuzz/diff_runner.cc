@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Differential executor (see diff_runner.h for the oracle rules).
+ */
+#include "fuzz/diff_runner.h"
+
+#include "corelang/eval.h"
+#include "obs/differential.h"
+
+namespace cherisem::fuzz {
+
+namespace {
+
+using corelang::Outcome;
+
+bool
+isCrash(const driver::RunResult &r)
+{
+    return r.frontendError || r.outcome.kind == Outcome::Kind::Error;
+}
+
+bool
+sameOutcome(const driver::RunResult &a, const driver::RunResult &b)
+{
+    return a.summary() == b.summary() && a.outcome.output == b.outcome.output;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char ch : s) {
+        switch (ch) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                snprintf(buf, sizeof buf, "\\u%04x",
+                         static_cast<unsigned char>(ch));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Is a cross-profile divergence on a documented semantic axis?
+ *
+ * The documented axes (paper section 5, DESIGN.md) all surface as
+ * *verdict-class* differences: one side raises UB (or an assert)
+ * where the other exits, or the two sides raise different UB names
+ * (temporal checks, ghost vs hardware tags, provenance checks,
+ * strict arithmetic, uninitialised reads).  Capability-format
+ * precision (cheriot profiles) can additionally shift an exit code
+ * through cheri_length_get/representable-length values.
+ *
+ * By the generator's sink discipline a UB-free program never folds
+ * addresses into its exit code, so two profiles that both Exit must
+ * agree — unless their capability formats differ.  An Exit-vs-Exit
+ * mismatch between same-format profiles is therefore NOT expected.
+ */
+bool
+expectedProfileDivergence(const driver::Profile &a,
+                          const driver::Profile &b,
+                          const driver::RunResult &ra,
+                          const driver::RunResult &rb)
+{
+    bool a_exit = !ra.frontendError &&
+        ra.outcome.kind == Outcome::Kind::Exit;
+    bool b_exit = !rb.frontendError &&
+        rb.outcome.kind == Outcome::Kind::Exit;
+    if (!a_exit || !b_exit)
+        return true; // some side stopped on UB/assert: semantic axis
+    // Both exited: expected only across capability formats.
+    return a.memConfig.arch != b.memConfig.arch;
+}
+
+} // namespace
+
+std::string
+Divergence::jsonl(const std::string &source) const
+{
+    const char *k = "profile";
+    switch (kind) {
+      case Kind::Backend: k = "backend"; break;
+      case Kind::Crash: k = "crash"; break;
+      case Kind::UbFree: k = "ub-free-violation"; break;
+      case Kind::Profile: break;
+    }
+    std::string s = "{\"seed\": " + std::to_string(seed) +
+        ", \"kind\": \"" + k + "\", \"where\": \"" +
+        jsonEscape(where) + "\", \"expected\": " +
+        (expected ? "true" : "false") + ", \"detail\": \"" +
+        jsonEscape(detail) + "\"";
+    if (!source.empty())
+        s += ", \"source\": \"" + jsonEscape(source) + "\"";
+    return s + "}";
+}
+
+bool
+isHardFailure(const Divergence &d)
+{
+    return d.kind != Divergence::Kind::Profile || !d.expected;
+}
+
+std::vector<Divergence>
+runCase(uint64_t seed, const std::string &source,
+        const RunnerOptions &opts)
+{
+    std::vector<Divergence> out;
+
+    std::vector<const driver::Profile *> grid;
+    if (opts.profiles.empty()) {
+        for (const driver::Profile &p : driver::allProfiles())
+            grid.push_back(&p);
+    } else {
+        for (const std::string &name : opts.profiles) {
+            if (const driver::Profile *p = driver::findProfile(name))
+                grid.push_back(p);
+        }
+    }
+
+    // Backend grid: Map vs Paged per profile.
+    for (const driver::Profile *p : grid) {
+        obs::DifferentialResult r =
+            obs::diffStoreBackends(source, *p, opts.ringCapacity);
+        if (isCrash(r.left) || isCrash(r.right)) {
+            out.push_back({Divergence::Kind::Crash, seed, p->name,
+                           r.left.summary() + " | " +
+                               r.right.summary(),
+                           false});
+            continue;
+        }
+        if (!r.equivalent() || !sameOutcome(r.left, r.right)) {
+            out.push_back({Divergence::Kind::Backend, seed, p->name,
+                           r.summary(), false});
+        }
+        if (opts.requireExit &&
+            r.left.outcome.kind != Outcome::Kind::Exit) {
+            out.push_back({Divergence::Kind::UbFree, seed, p->name,
+                           r.left.summary(), false});
+        }
+    }
+
+    // Profile grid: reference vs each of the others.
+    if (opts.crossProfiles) {
+        const driver::Profile &ref = driver::referenceProfile();
+        obs::DiffOptions dopts;
+        dopts.compareAddresses = false;
+        dopts.compareLabels = false;
+        dopts.compareLines = false;
+        for (const driver::Profile *p : grid) {
+            if (p->name == ref.name)
+                continue;
+            obs::DifferentialResult r = obs::diffProfiles(
+                source, ref, *p, dopts, opts.ringCapacity);
+            if (isCrash(r.left) || isCrash(r.right)) {
+                out.push_back({Divergence::Kind::Crash, seed,
+                               ref.name + "|" + p->name,
+                               r.left.summary() + " | " +
+                                   r.right.summary(),
+                               false});
+                continue;
+            }
+            if (sameOutcome(r.left, r.right))
+                continue; // stream-level diffs with equal outcomes
+                          // are below the profile oracle's bar
+            out.push_back(
+                {Divergence::Kind::Profile, seed,
+                 ref.name + "|" + p->name,
+                 r.left.summary() + " | " + r.right.summary(),
+                 expectedProfileDivergence(ref, *p, r.left,
+                                           r.right)});
+        }
+    }
+
+    return out;
+}
+
+} // namespace cherisem::fuzz

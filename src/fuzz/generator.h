@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Seeded, deterministic MiniC program generator for differential
+ * fuzzing.
+ *
+ * Programs are biased toward the semantics' hot spots: pointer
+ * arithmetic near allocation bounds, int<->pointer round trips across
+ * exposed allocations, memcpy/memmove/realloc chains, capability
+ * intrinsics, and struct/union loads — the scenarios of paper
+ * sections 3 and 6.
+ *
+ * Two corpus modes:
+ *
+ *  - UB-free by construction (the default): the generator tracks
+ *    allocation sizes, liveness, and initialisation, and only emits
+ *    accesses it can prove in-bounds, live, and initialised.  A
+ *    UB-free program must run to Exit under the reference profile;
+ *    anything else is a semantics bug.
+ *  - UB-allowed (GenOptions::allowUb): a fraction of statements
+ *    deliberately step outside (one-past dereference, use after free,
+ *    double free, overlapping memcpy, ...) so the *reporting* of UB
+ *    is exercised; the differential oracle still requires the two
+ *    store backends to agree bit-for-bit on whatever happens.
+ *
+ * Observability rule: results funnel into a `sink` accumulator that
+ * becomes the exit code.  The generator never folds raw addresses
+ * into the sink (only address-independent values: offsets, lengths,
+ * tag bits, equality of pointers) so that cross-profile runs of a
+ * UB-free program must agree on the exit code even though their
+ * allocators place objects differently.
+ */
+#ifndef CHERISEM_FUZZ_GENERATOR_H
+#define CHERISEM_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace cherisem::fuzz {
+
+struct GenOptions
+{
+    /** Corpus seed: same seed + options => byte-identical source. */
+    uint64_t seed = 0;
+    /** Allow deliberately-UB statements (see file comment). */
+    bool allowUb = false;
+    /** Approximate number of statements in main(). */
+    unsigned numStmts = 24;
+};
+
+/** Generate one deterministic MiniC program. */
+std::string generateProgram(const GenOptions &opts);
+
+} // namespace cherisem::fuzz
+
+#endif // CHERISEM_FUZZ_GENERATOR_H

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Delta-debugging shrinker (see reduce.h).
+ */
+#include "fuzz/reduce.h"
+
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+
+namespace cherisem::fuzz {
+
+namespace {
+
+using frontend::Stmt;
+using frontend::StmtPtr;
+
+/**
+ * Pre-order statement walker.  With target == UINT_MAX it only
+ * counts; otherwise it deletes the target-th statement and stops.
+ */
+struct Walker
+{
+    unsigned target;
+    unsigned counter = 0;
+    bool removed = false;
+
+    bool
+    removeIn(std::vector<StmtPtr> &body)
+    {
+        for (auto it = body.begin(); it != body.end(); ++it) {
+            if (counter++ == target) {
+                body.erase(it);
+                removed = true;
+                return true;
+            }
+            if (descend(**it))
+                return true;
+        }
+        return false;
+    }
+
+    /** Mandatory child slot: replaced by an empty statement. */
+    bool
+    removeChild(StmtPtr &slot)
+    {
+        if (!slot)
+            return false;
+        if (counter++ == target) {
+            slot = Stmt::make(Stmt::Kind::Empty, slot->loc);
+            removed = true;
+            return true;
+        }
+        return descend(*slot);
+    }
+
+    bool
+    descend(Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Block:
+            return removeIn(s.body);
+          case Stmt::Kind::If:
+            return removeChild(s.thenStmt) || removeChild(s.elseStmt);
+          case Stmt::Kind::While:
+          case Stmt::Kind::DoWhile:
+          case Stmt::Kind::Switch:
+            return removeChild(s.thenStmt);
+          case Stmt::Kind::For:
+            return removeChild(s.forInit) || removeChild(s.thenStmt);
+          default:
+            return false;
+        }
+    }
+};
+
+/** Delete statement @p k (pre-order) across all function bodies;
+ *  returns the number of statements seen (when k is out of range)
+ *  and sets @p removed. */
+unsigned
+removeStmt(frontend::TranslationUnit &tu, unsigned k, bool &removed)
+{
+    Walker w{k};
+    for (frontend::FunctionDef &f : tu.functions) {
+        if (!f.body)
+            continue;
+        if (f.body->kind == Stmt::Kind::Block ? w.removeIn(f.body->body)
+                                              : w.removeChild(f.body))
+            break;
+    }
+    removed = w.removed;
+    return w.counter;
+}
+
+} // namespace
+
+std::string
+reduceProgram(std::string source, const Oracle &oracle,
+              ReduceStats *stats)
+{
+    ReduceStats local;
+    unsigned k = 0;
+    for (;;) {
+        frontend::TranslationUnit tu;
+        try {
+            tu = frontend::parse(source, "<reduce>");
+        } catch (...) {
+            break; // current source no longer parses: give up
+        }
+        bool removed = false;
+        removeStmt(tu, k, removed);
+        if (!removed)
+            break; // k walked past the last statement: done
+        std::string candidate = frontend::printUnit(tu);
+        ++local.attempts;
+        bool still = false;
+        try {
+            still = oracle(candidate);
+        } catch (...) {
+            still = false;
+        }
+        if (still) {
+            source = std::move(candidate);
+            ++local.removed;
+            // keep k: indices after the deleted statement shifted down
+        } else {
+            ++k;
+        }
+    }
+    if (stats)
+        *stats = local;
+    return source;
+}
+
+} // namespace cherisem::fuzz

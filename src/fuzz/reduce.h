@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Statement-level delta-debugging shrinker for diverging programs.
+ *
+ * The reducer works on the AST, not on text: each attempt re-parses
+ * the current source, deletes the k-th statement of a deterministic
+ * pre-order walk (erased from its enclosing block, or replaced by an
+ * empty statement when it is a mandatory child such as a loop body),
+ * re-prints via frontend::printUnit, and asks the oracle whether the
+ * candidate still exhibits the failure.  Accepted candidates restart
+ * the scan greedily at the same index; the loop ends when no single
+ * statement can be removed.
+ *
+ * The oracle owns the definition of "still failing" — reducers for
+ * crashes should reject candidates that fail for a *different* reason
+ * (e.g. a frontend error introduced by deleting a declaration), or
+ * the minimisation will wander.
+ */
+#ifndef CHERISEM_FUZZ_REDUCE_H
+#define CHERISEM_FUZZ_REDUCE_H
+
+#include <functional>
+#include <string>
+
+namespace cherisem::fuzz {
+
+/** Returns true when @p source still exhibits the target failure. */
+using Oracle = std::function<bool(const std::string &source)>;
+
+struct ReduceStats
+{
+    unsigned attempts = 0; ///< oracle invocations
+    unsigned removed = 0;  ///< statements successfully deleted
+};
+
+/**
+ * Greedily minimise @p source under @p oracle.  @p source must
+ * already satisfy the oracle; the result is 1-minimal at statement
+ * granularity (no single further deletion keeps the failure).
+ */
+std::string reduceProgram(std::string source, const Oracle &oracle,
+                          ReduceStats *stats = nullptr);
+
+} // namespace cherisem::fuzz
+
+#endif // CHERISEM_FUZZ_REDUCE_H

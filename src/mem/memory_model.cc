@@ -56,6 +56,14 @@ MemoryModel::allocate(const std::string &prefix, uint64_t size,
     uint64_t cap_len = std::max<uint64_t>(size, 1);
     uint64_t repr_len = a.representableLength(cap_len);
     uint64_t repr_mask = a.representableAlignmentMask(cap_len);
+    // CRRL saturates (or truncates to 0) when no single region can
+    // hold the request; without this check the allocator would carve
+    // overlapping footprints out of the address space.
+    if (repr_len < cap_len) {
+        return Failure::constraint(
+            "allocation of " + std::to_string(size) +
+            " bytes exceeds the representable address space");
+    }
     uint64_t eff_align = std::max<uint64_t>(align, 1);
     if (repr_mask != ~uint64_t(0))
         eff_align = std::max<uint64_t>(eff_align, ~repr_mask + 1);
@@ -210,8 +218,21 @@ MemResult<PointerValue>
 MemoryModel::reallocRegion(SourceLoc loc, const PointerValue &p,
                            uint64_t new_size)
 {
-    if (p.isNull())
-        return allocateRegion("realloc", new_size, arch().capSize());
+    // realloc(NULL, n) is malloc(n); witness it as a Realloc (old
+    // base/size 0) so every successful realloc path emits the same
+    // event sequence ending in Realloc.
+    if (p.isNull()) {
+        CHERISEM_TRY(np, allocateRegion("realloc", new_size,
+                                        arch().capSize()));
+        if (tracer_.enabled()) {
+            tracer_.emit({.kind = obs::EventKind::Realloc,
+                          .addr = 0,
+                          .size = new_size,
+                          .a = 0,
+                          .b = np.address()});
+        }
+        return np;
+    }
 
     std::optional<AllocId> id = peekProvenance(p.prov);
     if (!id)
@@ -219,19 +240,46 @@ MemoryModel::reallocRegion(SourceLoc loc, const PointerValue &p,
                                   "realloc of unprovenanced pointer");
     auto it = allocations_.find(*id);
     assert(it != allocations_.end());
+    // Validate the old pointer fully *before* allocating the new
+    // region: kill() would re-check all of this, but only after the
+    // new allocation and the copy had already happened — leaking the
+    // new region (and its Alloc/Load/Store trace events) on every UB
+    // path.
     if (!it->second.alive)
         return Failure::undefined(Ub::DoubleFree, loc, "realloc");
+    if (it->second.kind != AllocKind::Region)
+        return Failure::undefined(Ub::FreeInvalidPointer, loc,
+                                  "not a heap allocation");
+    if (p.address() != it->second.base)
+        return Failure::undefined(Ub::FreeInvalidPointer, loc,
+                                  "not the start of the allocation");
+    if (p.cap && !p.cap->tag())
+        return Failure::undefined(Ub::CheriInvalidCap, loc,
+                                  "realloc via untagged capability");
     uint64_t old_size = it->second.size;
+    uint64_t old_base = it->second.base;
 
     CHERISEM_TRY(np, allocateRegion("realloc", new_size,
                                     arch().capSize()));
     uint64_t n = std::min(old_size, new_size);
-    if (n > 0)
-        CHERISEM_TRYV(memcpyOp(loc, np, p, n));
+    if (n > 0) {
+        MemResult<Unit> copied = memcpyOp(loc, np, p, n);
+        if (!copied.ok()) {
+            // The old capability can still fail the copy (e.g. its
+            // Load permission was dropped).  Release the new region
+            // so the failed realloc does not leak a live allocation
+            // with an unmatched Alloc event, then report the copy's
+            // failure.
+            MemResult<Unit> freed = kill(loc, true, np);
+            assert(freed.ok());
+            (void)freed;
+            return std::move(copied).error();
+        }
+    }
     CHERISEM_TRYV(kill(loc, true, p));
     if (tracer_.enabled()) {
         tracer_.emit({.kind = obs::EventKind::Realloc,
-                      .addr = p.address(),
+                      .addr = old_base,
                       .size = new_size,
                       .a = old_size,
                       .b = np.address()});
@@ -393,14 +441,27 @@ MemoryModel::resolveForAccess(SourceLoc loc, const Provenance &prov,
         if (!second) {
             id = first;
         } else {
+            // Disambiguate by footprint containment alone.  Liveness
+            // must NOT enter the choice: a dead candidate that
+            // contains the footprint is the object this access is
+            // *to* (the section 3.11 boundary-cast cases), and the
+            // shared liveness check below then raises the precise
+            // AccessDeadAllocation — not a silent resolution to the
+            // surviving neighbour, nor a generic bounds failure.
             const Allocation &a1 = allocations_.at(first);
             const Allocation &a2 = allocations_.at(*second);
-            bool in1 = a1.alive && a1.containsFootprint(addr, n);
-            bool in2 = a2.alive && a2.containsFootprint(addr, n);
-            if (in1 == in2) {
+            bool in1 = a1.containsFootprint(addr, n);
+            bool in2 = a2.containsFootprint(addr, n);
+            if (in1 && in2) {
                 return Failure::undefined(
                     Ub::AccessOutOfBounds, loc,
-                    "ambiguous or failed iota resolution");
+                    "ambiguous iota resolution");
+            }
+            if (!in1 && !in2) {
+                return Failure::undefined(
+                    Ub::AccessOutOfBounds, loc,
+                    "address " + hexStr(addr) +
+                        " in neither iota candidate");
             }
             id = in1 ? first : *second;
             iotas_.resolve(prov.id, id);

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Round-trip tests for the AST printer: for a representative set of
+ * MiniC programs (plus the whole annotated suite corpus),
+ * print(parse(print(parse(src)))) must equal print(parse(src)) — the
+ * printer's output is a fixed point of parse-then-print — and the
+ * printed program must still run to the same outcome.
+ */
+#include <gtest/gtest.h>
+
+#include "driver/interpreter.h"
+#include "driver/suite.h"
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+
+namespace cherisem::frontend {
+namespace {
+
+std::string
+roundTrip(const std::string &src)
+{
+    TranslationUnit tu = parse(src, "rt");
+    return printUnit(tu);
+}
+
+void
+expectFixedPoint(const std::string &src, const std::string &name)
+{
+    std::string once;
+    ASSERT_NO_THROW(once = roundTrip(src)) << name;
+    std::string twice;
+    ASSERT_NO_THROW(twice = roundTrip(once))
+        << name << "\n--- printed ---\n"
+        << once;
+    EXPECT_EQ(once, twice) << name;
+}
+
+TEST(Printer, ExpressionForms)
+{
+    expectFixedPoint(R"(
+int g(int a, int b) { return a + b * 3; }
+int main(void) {
+  int x = 5;
+  int *p = &x;
+  int arr[4] = {1, 2, 3, 4};
+  x += arr[2] - g(x, *p);
+  x = x < 3 ? -x : ~x;
+  x = (x << 2) | (x & 0x7);
+  unsigned long u = (unsigned long)sizeof(int[4]);
+  u += _Alignof(long);
+  x++; --x;
+  return x && p != 0;
+}
+)",
+                     "expressions");
+}
+
+TEST(Printer, DeclaratorForms)
+{
+    expectFixedPoint(R"(
+struct S { int a; int *p; int arr[3]; };
+union U { long l; struct S s; };
+static int g0 = 9;
+int *ptrs[4];
+int (*pa)[4];
+long fn(int *a, char c);
+int main(void) {
+  struct S s = {1, 0, {2, 3, 4}};
+  union U u;
+  u.s = s;
+  s.p = &s.a;
+  const char *msg = "hi\tthere\n";
+  return u.s.arr[1] + *s.p + (int)msg[0] + g0;
+}
+long fn(int *a, char c) { return (long)a + c; }
+)",
+                     "declarators");
+}
+
+TEST(Printer, ControlFlowForms)
+{
+    expectFixedPoint(R"(
+int main(void) {
+  int n = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i == 3) continue;
+    n += i;
+  }
+  while (n > 20) n--;
+  do { n++; } while (n < 25);
+  switch (n) {
+    case 25: n = 1; break;
+    case 26:
+    case 27: n = 2; break;
+    default: n = 3; break;
+  }
+  return n;
+}
+)",
+                     "control flow");
+}
+
+TEST(Printer, CheriIdioms)
+{
+    expectFixedPoint(R"(
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+int main(void) {
+  int *p = malloc(4 * sizeof(int));
+  p[0] = 11;
+  uintptr_t u = (uintptr_t)p;
+  int *q = (int *)(u + 4);
+  memcpy(p + 2, p, 8);
+  size_t len = cheri_length_get(p);
+  free(p);
+  return (int)(len - 16) + (q != 0);
+}
+)",
+                     "cheri idioms");
+}
+
+TEST(Printer, SuiteCorpusRoundTripsAndRunsIdentically)
+{
+    // Every corpus program must survive a print -> parse -> print
+    // fixed-point check AND still produce the reference outcome when
+    // the printed source is run instead of the original.
+    const driver::Profile &ref = driver::referenceProfile();
+    size_t checked = 0;
+    for (const driver::SuiteTest &t :
+         driver::loadSuite(driver::defaultSuiteDir())) {
+        SCOPED_TRACE(t.name);
+        std::string once;
+        ASSERT_NO_THROW(once = roundTrip(t.source)) << t.name;
+        ASSERT_NO_THROW(EXPECT_EQ(once, roundTrip(once)));
+
+        driver::RunResult orig = driver::runSource(t.source, ref,
+                                                   t.name);
+        driver::RunResult reprinted = driver::runSource(
+            once, ref, t.name + "#printed");
+        EXPECT_EQ(orig.summary(), reprinted.summary()) << t.name;
+        ++checked;
+    }
+    EXPECT_GE(checked, 90u);
+}
+
+} // namespace
+} // namespace cherisem::frontend

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the differential fuzzing subsystem (src/fuzz/):
+ * generator determinism (golden file), the UB-free-by-construction
+ * property on the reference profile, the differential runner's
+ * oracle, and the statement-level reducer.
+ */
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "driver/interpreter.h"
+#include "fuzz/diff_runner.h"
+#include "fuzz/generator.h"
+#include "fuzz/reduce.h"
+
+namespace cherisem::fuzz {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Generator, DeterministicPerSeed)
+{
+    GenOptions o;
+    o.seed = 42;
+    EXPECT_EQ(generateProgram(o), generateProgram(o));
+    GenOptions other = o;
+    other.seed = 43;
+    EXPECT_NE(generateProgram(o), generateProgram(other));
+    other = o;
+    other.allowUb = true;
+    EXPECT_NE(generateProgram(o), generateProgram(other));
+}
+
+TEST(Generator, GoldenSeed1IsByteIdentical)
+{
+    // The golden file pins the generator's output format: any change
+    // to the generator invalidates previously-reported seeds, so it
+    // must be deliberate (regenerate with
+    // `cherisem_fuzz --print-seed 1 > tests/fuzz/golden_seed1.c`).
+    GenOptions o;
+    o.seed = 1;
+    EXPECT_EQ(generateProgram(o),
+              readFile(std::string(CHERISEM_SOURCE_DIR) +
+                       "/tests/fuzz/golden_seed1.c"));
+}
+
+TEST(Generator, UbFreeCorpusExitsOnReferenceProfile)
+{
+    // The UB-free-by-construction property, checked on the strictest
+    // profile: the reference semantics (cc128, MapStore) must run
+    // every UB-free program to a normal Exit.
+    const driver::Profile &ref = driver::referenceProfile();
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+        GenOptions o;
+        o.seed = seed;
+        std::string src = generateProgram(o);
+        driver::RunResult r = driver::runSource(
+            src, ref, "fuzz-seed-" + std::to_string(seed));
+        ASSERT_FALSE(r.frontendError) << seed << "\n" << src;
+        EXPECT_EQ(r.outcome.kind, corelang::Outcome::Kind::Exit)
+            << "seed " << seed << ": " << r.summary() << "\n"
+            << src;
+    }
+}
+
+TEST(DiffRunner, CleanProgramHasNoHardFailures)
+{
+    RunnerOptions opts;
+    opts.requireExit = true;
+    std::vector<Divergence> ds = runCase(
+        0,
+        "int main(void) {\n"
+        "  int x = 3;\n"
+        "  return x + 4;\n"
+        "}\n",
+        opts);
+    for (const Divergence &d : ds)
+        EXPECT_FALSE(isHardFailure(d)) << d.jsonl();
+}
+
+TEST(DiffRunner, UbFreeOracleFlagsUbOutcomes)
+{
+    // A use-after-free must Exit nowhere; with requireExit set the
+    // runner reports it as a hard UbFree finding on every profile.
+    RunnerOptions opts;
+    opts.requireExit = true;
+    opts.crossProfiles = false;
+    opts.profiles = {"cerberus"};
+    std::vector<Divergence> ds = runCase(
+        0,
+        "#include <stdlib.h>\n"
+        "int main(void) {\n"
+        "  int *p = malloc(4);\n"
+        "  free(p);\n"
+        "  return *p;\n"
+        "}\n",
+        opts);
+    ASSERT_EQ(ds.size(), 1u);
+    EXPECT_EQ(ds[0].kind, Divergence::Kind::UbFree);
+    EXPECT_TRUE(isHardFailure(ds[0]));
+    EXPECT_NE(ds[0].jsonl().find("\"kind\": \"ub-free-violation\""),
+              std::string::npos);
+}
+
+TEST(DiffRunner, JsonlEscapesControlCharacters)
+{
+    Divergence d;
+    d.kind = Divergence::Kind::Crash;
+    d.seed = 7;
+    d.where = "a\"b";
+    d.detail = "line1\nline2\t\\";
+    std::string line = d.jsonl("int main(void) { return 0; }\n");
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_NE(line.find("a\\\"b"), std::string::npos);
+    EXPECT_NE(line.find("line1\\nline2\\t\\\\"), std::string::npos);
+}
+
+TEST(Reduce, ShrinksUbProgramPreservingTheVerdict)
+{
+    // Take a generated UB-allowed program that raises UB under the
+    // reference profile and minimise it under a same-verdict oracle:
+    // the result must be smaller, still parse, and still raise the
+    // identical UB.
+    const driver::Profile &ref = driver::referenceProfile();
+    GenOptions o;
+    o.seed = 5;
+    o.allowUb = true;
+    std::string src = generateProgram(o);
+    std::string verdict = driver::runSource(src, ref).summary();
+    ASSERT_EQ(verdict.rfind("ub ", 0), 0u) << verdict;
+
+    ReduceStats stats;
+    std::string reduced = reduceProgram(
+        src,
+        [&](const std::string &cand) {
+            return driver::runSource(cand, ref).summary() == verdict;
+        },
+        &stats);
+
+    EXPECT_GT(stats.removed, 0u);
+    EXPECT_LT(reduced.size(), src.size() / 2) << reduced;
+    EXPECT_EQ(driver::runSource(reduced, ref).summary(), verdict)
+        << reduced;
+}
+
+TEST(Reduce, FixedPointWhenNothingCanBeRemoved)
+{
+    // An oracle demanding the exact exit code of a two-statement
+    // program: neither statement can go, so reduce is the identity
+    // (modulo printing) and reports zero removals... unless a
+    // statement really is deletable, which "return 7" prevents.
+    std::string src = "int main(void) {\n  return 7;\n}\n";
+    const driver::Profile &ref = driver::referenceProfile();
+    std::string verdict = driver::runSource(src, ref).summary();
+    ReduceStats stats;
+    std::string reduced = reduceProgram(
+        src,
+        [&](const std::string &cand) {
+            return driver::runSource(cand, ref).summary() == verdict;
+        },
+        &stats);
+    EXPECT_EQ(stats.removed, 0u);
+    EXPECT_EQ(driver::runSource(reduced, ref).summary(), verdict);
+}
+
+} // namespace
+} // namespace cherisem::fuzz

@@ -1,0 +1,101 @@
+// cherisem_fuzz seed=1 mode=ub-free
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+struct S { long a; int b[4]; int *p; };
+union U { unsigned long l; unsigned int w[2]; };
+int main(void) {
+  unsigned long sink = 0;
+  int a0[2] = {0, 29};
+  int *p1 = malloc(7 * sizeof(int));
+  for (int i = 0; i < 7; i++) p1[i] = 9 + i;
+  {
+    uintptr_t u2 = (uintptr_t)p1 + 4;
+    int *q3 = (int *)u2;
+    sink += (unsigned long)(q3 == p1 + 1);
+    sink += (unsigned long)*q3;
+  }
+  int a4[3] = {40, 38, 28};
+  sink += (unsigned long)p1[6];
+  int a5[8] = {0, 10, 39, 0, 47, 42, 40, 31};
+  {
+    struct S s6;
+    s6.a = 15;
+    s6.b[0] = 53;
+    s6.p = p1;
+    sink += (unsigned long)(s6.a + s6.b[0]);
+    sink += (unsigned long)(s6.p == p1);
+  }
+  {
+    long l7 = (long)p1;
+    int *w8 = (int *)l7;
+    sink += (unsigned long)(w8 == p1);
+    sink += (unsigned long)(cheri_tag_get(w8) == 0);
+  }
+  if (sink % 3u == 1u) {
+    sink += 10u;
+  } else {
+    sink ^= 8u;
+  }
+  {
+    uintptr_t u9 = (uintptr_t)p1 + 4;
+    int *q10 = (int *)u9;
+    sink += (unsigned long)(q10 == p1 + 1);
+    sink += (unsigned long)*q10;
+  }
+  p1 = realloc(p1, 3 * sizeof(int));
+  for (int i = 0; i < 8; i++) {
+    sink += (unsigned long)a5[i];
+  }
+  memmove(p1 + 1, p1, 2 * sizeof(int));
+  sink += (unsigned long)p1[2];
+  {
+    uintptr_t u11 = (uintptr_t)p1 + 8;
+    int *q12 = (int *)u11;
+    sink += (unsigned long)(q12 == p1 + 2);
+    sink += (unsigned long)*q12;
+  }
+  long x13 = 32;
+  int a14[8] = {1, 17, 26, 6, 28, 42, 2, 34};
+  long x15 = 82;
+  memmove(p1 + 1, p1, 2 * sizeof(int));
+  sink += (unsigned long)p1[0];
+  {
+    struct S s16;
+    s16.a = 75;
+    s16.b[1] = 12;
+    s16.p = p1;
+    sink += (unsigned long)(s16.a + s16.b[1]);
+    sink += (unsigned long)(s16.p == p1);
+  }
+  {
+    long l17 = (long)p1;
+    int *w18 = (int *)l17;
+    sink += (unsigned long)(w18 == p1);
+    sink += (unsigned long)(cheri_tag_get(w18) == 0);
+  }
+  p1[1] = 45;
+  if (sink % 7u == 1u) {
+    sink += 8u;
+  } else {
+    sink ^= 2u;
+  }
+  {
+    struct S s19;
+    s19.a = 47;
+    s19.b[0] = 52;
+    s19.p = p1;
+    sink += (unsigned long)(s19.a + s19.b[0]);
+    sink += (unsigned long)(s19.p == p1);
+  }
+  {
+    struct S s20;
+    s20.a = 61;
+    s20.b[2] = 20;
+    s20.p = p1;
+    sink += (unsigned long)(s20.a + s20.b[2]);
+    sink += (unsigned long)(s20.p == p1);
+  }
+  free(p1);
+  return (int)(sink % 256u);
+}

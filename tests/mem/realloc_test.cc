@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Regression tests for MemoryModel::reallocRegion — the paths audited
+ * in the realloc bug hunt: realloc(NULL, n), new_size == 0, every
+ * UB/validation path (which must not leak a freshly allocated region
+ * or its trace events), the failure-after-allocate copy path, and the
+ * invariants across a successful move (exposed flag not inherited,
+ * stored capabilities keep their tags, trace events in a consistent
+ * order ending in Realloc on every successful path).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mem/memory_model.h"
+#include "obs/sinks.h"
+
+namespace cherisem::mem {
+namespace {
+
+using ctype::IntKind;
+using ctype::intType;
+using obs::EventKind;
+
+class ReallocTest : public ::testing::Test
+{
+  protected:
+    MemoryModel::Config config_;
+    obs::RingBufferSink ring_;
+    std::unique_ptr<MemoryModel> mm_;
+
+    void
+    SetUp() override
+    {
+        config_.traceSink = &ring_;
+        mm_ = std::make_unique<MemoryModel>(config_);
+    }
+
+    PointerValue
+    heapAlloc(uint64_t size)
+    {
+        auto p = mm_->allocateRegion("malloc", size, 16);
+        EXPECT_TRUE(p.ok());
+        return p.value();
+    }
+
+    std::vector<obs::TraceEvent>
+    eventsOfKind(EventKind k) const
+    {
+        std::vector<obs::TraceEvent> out;
+        for (const obs::TraceEvent &e : ring_.snapshot())
+            if (e.kind == k)
+                out.push_back(e);
+        return out;
+    }
+};
+
+TEST_F(ReallocTest, NullPointerActsAsMallocAndEmitsRealloc)
+{
+    auto r = mm_->reallocRegion({}, PointerValue::null(mm_->arch()), 24);
+    ASSERT_TRUE(r.ok()) << r.error().str();
+    EXPECT_TRUE(r.value().cap->tag());
+    EXPECT_EQ(mm_->liveAllocationCount(), 1u);
+
+    // The NULL path still witnesses a Realloc event (old base/size 0)
+    // so traces from all successful realloc paths end the same way.
+    auto re = eventsOfKind(EventKind::Realloc);
+    ASSERT_EQ(re.size(), 1u);
+    EXPECT_EQ(re[0].addr, 0u);
+    EXPECT_EQ(re[0].size, 24u);
+    EXPECT_EQ(re[0].a, 0u);
+    EXPECT_EQ(re[0].b, r.value().address());
+}
+
+TEST_F(ReallocTest, GrowPreservesBytes)
+{
+    PointerValue p = heapAlloc(4);
+    ASSERT_TRUE(mm_->store({}, intType(IntKind::Int), p,
+                           MemValue(IntegerValue::ofNum(IntKind::Int,
+                                                        1234)))
+                    .ok());
+    auto r = mm_->reallocRegion({}, p, 64);
+    ASSERT_TRUE(r.ok()) << r.error().str();
+    auto v = mm_->load({}, intType(IntKind::Int), r.value());
+    ASSERT_TRUE(v.ok()) << v.error().str();
+    EXPECT_EQ(v.value().asInteger().value(), 1234u);
+    // The old region is gone: exactly one live allocation remains.
+    EXPECT_EQ(mm_->liveAllocationCount(), 1u);
+}
+
+TEST_F(ReallocTest, NewSizeZeroFreesOldAndReturnsFreshRegion)
+{
+    PointerValue p = heapAlloc(16);
+    uint64_t old_base = p.address();
+    auto r = mm_->reallocRegion({}, p, 0);
+    ASSERT_TRUE(r.ok()) << r.error().str();
+    // The result is a distinct, live zero-size region; the old one is
+    // dead (using it afterwards is UB, and freeing it is DoubleFree).
+    EXPECT_NE(r.value().address(), old_base);
+    EXPECT_EQ(mm_->liveAllocationCount(), 1u);
+    auto dead = mm_->kill({}, true, p);
+    ASSERT_FALSE(dead.ok());
+    EXPECT_EQ(dead.error().ub, Ub::DoubleFree);
+    // The fresh region can itself be freed.
+    EXPECT_TRUE(mm_->kill({}, true, r.value()).ok());
+}
+
+TEST_F(ReallocTest, MidPointerIsFreeInvalidPointerWithoutLeak)
+{
+    PointerValue p = heapAlloc(32);
+    auto q = mm_->arrayShift({}, p, intType(IntKind::Int), 1);
+    ASSERT_TRUE(q.ok());
+    size_t allocs_before = eventsOfKind(EventKind::Alloc).size();
+
+    auto r = mm_->reallocRegion({}, q.value(), 64);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().ub, Ub::FreeInvalidPointer);
+    // Validation happens before the new region is allocated: nothing
+    // leaked, no stray Alloc event.
+    EXPECT_EQ(mm_->liveAllocationCount(), 1u);
+    EXPECT_EQ(eventsOfKind(EventKind::Alloc).size(), allocs_before);
+    // The original allocation is still usable.
+    ASSERT_TRUE(mm_->store({}, intType(IntKind::Int), p,
+                           MemValue(IntegerValue::ofNum(IntKind::Int,
+                                                        7)))
+                    .ok());
+}
+
+TEST_F(ReallocTest, NonHeapPointerIsFreeInvalidPointer)
+{
+    auto p = mm_->allocateObject("x", intType(IntKind::Int), false,
+                                 false);
+    ASSERT_TRUE(p.ok());
+    auto r = mm_->reallocRegion({}, p.value(), 8);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().ub, Ub::FreeInvalidPointer);
+    EXPECT_EQ(mm_->liveAllocationCount(), 1u);
+}
+
+TEST_F(ReallocTest, DeadAllocationIsDoubleFreeWithoutLeak)
+{
+    PointerValue p = heapAlloc(16);
+    ASSERT_TRUE(mm_->kill({}, true, p).ok());
+    size_t allocs_before = eventsOfKind(EventKind::Alloc).size();
+    auto r = mm_->reallocRegion({}, p, 32);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().ub, Ub::DoubleFree);
+    EXPECT_EQ(mm_->liveAllocationCount(), 0u);
+    EXPECT_EQ(eventsOfKind(EventKind::Alloc).size(), allocs_before);
+}
+
+TEST_F(ReallocTest, UntaggedCapabilityIsCheriInvalidCap)
+{
+    PointerValue p = heapAlloc(16);
+    PointerValue bad = p;
+    bad.cap = bad.cap->withTagCleared();
+    auto r = mm_->reallocRegion({}, bad, 32);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().ub, Ub::CheriInvalidCap);
+    EXPECT_EQ(mm_->liveAllocationCount(), 1u);
+}
+
+TEST_F(ReallocTest, CopyFailureReleasesTheNewRegion)
+{
+    // Drop the Load permission from the old capability: validation
+    // passes (tag set, right base, live heap region) but the copy
+    // into the new region must fail — and the new region must not
+    // survive the failed realloc.
+    PointerValue p = heapAlloc(16);
+    ASSERT_TRUE(mm_->store({}, intType(IntKind::Int), p,
+                           MemValue(IntegerValue::ofNum(IntKind::Int,
+                                                        9)))
+                    .ok());
+    PointerValue noload = p;
+    noload.cap = noload.cap->withPerms(
+        noload.cap->perms().without(cap::Perm::Load));
+
+    auto r = mm_->reallocRegion({}, noload, 64);
+    ASSERT_FALSE(r.ok());
+    // Exactly the original allocation is live; the transient new
+    // region was killed, so its Alloc event has a matching Free.
+    EXPECT_EQ(mm_->liveAllocationCount(), 1u);
+    auto allocs = eventsOfKind(EventKind::Alloc);
+    auto frees = eventsOfKind(EventKind::Free);
+    ASSERT_EQ(allocs.size(), 2u);
+    ASSERT_EQ(frees.size(), 1u);
+    EXPECT_EQ(frees[0].a, allocs[1].a);
+    // No Realloc event was emitted for the failed call.
+    EXPECT_TRUE(eventsOfKind(EventKind::Realloc).empty());
+    // The original region is untouched and still readable via the
+    // full-permission pointer.
+    auto v = mm_->load({}, intType(IntKind::Int), p);
+    ASSERT_TRUE(v.ok()) << v.error().str();
+    EXPECT_EQ(v.value().asInteger().value(), 9u);
+}
+
+TEST_F(ReallocTest, ExposedFlagIsNotInheritedByTheNewAllocation)
+{
+    PointerValue p = heapAlloc(16);
+    // Expose the old allocation via a pointer-to-int cast.
+    ASSERT_TRUE(mm_->intFromPtr({}, IntKind::Long, p).ok());
+    const Allocation *old_a = mm_->findAllocation(p.prov.id);
+    ASSERT_NE(old_a, nullptr);
+    ASSERT_TRUE(old_a->exposed);
+
+    auto r = mm_->reallocRegion({}, p, 32);
+    ASSERT_TRUE(r.ok()) << r.error().str();
+    const Allocation *new_a = mm_->findAllocation(r.value().prov.id);
+    ASSERT_NE(new_a, nullptr);
+    // Exposure is an event on the *old* storage instance; the moved
+    // object has not had its address leaked to integers yet.
+    EXPECT_FALSE(new_a->exposed);
+}
+
+TEST_F(ReallocTest, StoredCapabilityKeepsItsTagAcrossRealloc)
+{
+    // A capability stored inside the region must survive the move
+    // with its tag intact (realloc copies via the capability-
+    // preserving memcpy of section 3.5).
+    unsigned cs = mm_->arch().capSize();
+    PointerValue region = heapAlloc(2 * cs);
+    PointerValue target = heapAlloc(8);
+    ctype::TypeRef pty = ctype::pointerTo(intType(IntKind::Int));
+    ASSERT_TRUE(
+        mm_->store({}, pty, region, MemValue(target)).ok());
+
+    auto r = mm_->reallocRegion({}, region, 4 * cs);
+    ASSERT_TRUE(r.ok()) << r.error().str();
+    auto v = mm_->load({}, pty, r.value());
+    ASSERT_TRUE(v.ok()) << v.error().str();
+    const PointerValue &moved = v.value().asPointer();
+    ASSERT_TRUE(moved.cap.has_value());
+    EXPECT_TRUE(moved.cap->tag());
+    EXPECT_EQ(moved.address(), target.address());
+}
+
+TEST_F(ReallocTest, SuccessPathEventOrderEndsInRealloc)
+{
+    PointerValue p = heapAlloc(8);
+    uint64_t old_base = p.address();
+    ring_.clear();
+    auto r = mm_->reallocRegion({}, p, 32);
+    ASSERT_TRUE(r.ok()) << r.error().str();
+
+    // Alloc(new) ... Free(old) ... Realloc — the Realloc summary is
+    // always last, and it names both regions.
+    std::vector<obs::TraceEvent> evs = ring_.snapshot();
+    ASSERT_FALSE(evs.empty());
+    EXPECT_EQ(evs.front().kind, EventKind::Alloc);
+    EXPECT_EQ(evs.back().kind, EventKind::Realloc);
+    EXPECT_EQ(evs.back().addr, old_base);
+    EXPECT_EQ(evs.back().size, 32u);
+    EXPECT_EQ(evs.back().a, 8u);
+    EXPECT_EQ(evs.back().b, r.value().address());
+    auto free_it = std::find_if(
+        evs.begin(), evs.end(), [](const obs::TraceEvent &e) {
+            return e.kind == EventKind::Free;
+        });
+    ASSERT_NE(free_it, evs.end());
+    EXPECT_EQ(free_it->addr, old_base);
+}
+
+} // namespace
+} // namespace cherisem::mem

@@ -1,0 +1,22 @@
+// @CATEGORY: Reading uninitialised memory
+// @EXPECT: ub UB_read_uninitialized
+// @EXPECT[clang-morello-O0]: exit 54
+// @EXPECT[clang-morello-O2]: exit 54
+// @EXPECT[clang-riscv-O0]: exit 54
+// @EXPECT[clang-riscv-O2]: exit 54
+// @EXPECT[gcc-morello-O0]: exit 54
+// @EXPECT[gcc-morello-O2]: exit 54
+// @EXPECT[cerberus-cheriot]: ub UB_read_uninitialized
+// @EXPECT[clang-morello-subobject-safe]: exit 54
+// @EXPECT[cheriot-temporal]: exit 54
+// Reduced from a cherisem_fuzz finding: a struct statement template
+// stored to s.b[3] but read back s.b[2].  The reference semantics
+// flags the uninitialised member read; concrete hardware profiles
+// read the (deterministic, zeroed) stack bytes and exit normally.
+struct S { long a; int b[4]; int *p; };
+int main(void) {
+    struct S s;
+    s.a = 54;
+    s.b[3] = 6;
+    return (int)(s.a + s.b[2]);
+}

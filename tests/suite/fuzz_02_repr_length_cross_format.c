@@ -1,0 +1,25 @@
+// @CATEGORY: Intrinsics for bounds and representability
+// @EXPECT: exit 59
+// @EXPECT[clang-morello-O0]: exit 59
+// @EXPECT[clang-morello-O2]: exit 59
+// @EXPECT[clang-riscv-O0]: exit 59
+// @EXPECT[clang-riscv-O2]: exit 59
+// @EXPECT[gcc-morello-O0]: exit 59
+// @EXPECT[gcc-morello-O2]: exit 59
+// @EXPECT[cerberus-cheriot]: exit 187
+// @EXPECT[clang-morello-subobject-safe]: exit 59
+// @EXPECT[cheriot-temporal]: exit 187
+// Reduced from the cherisem_fuzz campaign's only Exit-vs-Exit
+// cross-profile divergence class: cheri_representable_length depends
+// on the capability format's mantissa width, so cc128 (Morello,
+// MW=14) and cc64 (CHERIoT-style, MW=11) round the same requested
+// length to different granules.  This pins the documented
+// capability-format-precision axis (DESIGN.md, Differential
+// fuzzing): profiles sharing a format must agree exactly.
+#include <cheriintrin.h>
+int main(void) {
+    unsigned long len = 74565; /* 0x12345: not exactly representable */
+    unsigned long r = cheri_representable_length(len);
+    // Same format => same rounding; the exit code exposes the slack.
+    return (int)((r - len) % 256);
+}

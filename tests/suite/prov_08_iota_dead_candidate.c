@@ -1,0 +1,22 @@
+// @CATEGORY: pointer provenance tracking per [18]
+// @EXPECT: ub UB_CHERI_InvalidCap
+// The s3.11 boundary cast with a dead candidate: the integer lands on
+// the one-past/first-byte boundary of two exposed heap regions, so
+// the attach produces a symbolic iota; the containing region is then
+// freed before the iota is resolved.  In CHERI C a pure integer can
+// never materialise a valid capability, so the tag check dominates on
+// every profile (the abstract machine's dead-candidate resolution —
+// UB_access_dead_allocation — is only reachable with a tagged
+// capability view and is covered by the PNVI unit tests).
+#include <stdint.h>
+#include <stdlib.h>
+int main(void) {
+    int *a = malloc(16);
+    int *b = malloc(16);
+    long la = (long)a;               /* exposes a */
+    long lb = (long)b;               /* exposes b */
+    if (la + 16 != lb) return 42;    /* bump allocator: adjacent */
+    int *p = (int*)(la + 16);        /* iota{a, b}, untagged */
+    free(b);
+    return *p;                       /* tag check fires first */
+}
