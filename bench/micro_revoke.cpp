@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Micro-benchmarks of the temporal-safety revocation engine
+ * (src/revoke/): eager per-free sweeps vs quarantine-batched epoch
+ * sweeps vs a single manual end-of-run sweep.
+ *
+ * The workload is the allocation-heavy pattern that made the eager
+ * policy quadratic: a registry of long-lived stored capabilities
+ * (every sweep must visit and decode each one) plus a 1000-alloc
+ * malloc/free churn.  Eager revocation sweeps the full capability
+ * index on *every* free; the quarantine amortises the same total
+ * revocation work over epoch boundaries.
+ *
+ * Before the google-benchmark suite runs, a fixed harness times the
+ * churn under each policy and writes BENCH_revoke.json — including
+ * the headline `quarantine_speedup_vs_eager` the ROADMAP tracks
+ * (target: >= 10x on this workload).
+ */
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cap/cc64.h"
+#include "mem/memory_model.h"
+#include "revoke/revocation.h"
+
+namespace {
+
+using namespace cherisem;
+using namespace cherisem::mem;
+using ctype::IntKind;
+using ctype::intType;
+using ctype::pointerTo;
+using revoke::RevokePolicy;
+
+constexpr uint64_t kChurnAllocs = 1000;
+constexpr uint64_t kChurnBytes = 64;
+constexpr uint64_t kRegistrySlots = 4096;
+
+MemoryModel::Config
+config(RevokePolicy policy)
+{
+    // The cheriot-temporal profiles' semantics: hardware checks only,
+    // CHERIoT 64-bit capability format.
+    MemoryModel::Config c;
+    c.arch = &cap::cheriot();
+    c.ghostState = false;
+    c.checkProvenance = false;
+    c.readUninitIsUb = false;
+    c.strictPtrArith = false;
+    c.heapBase = 0x00100000;
+    c.stackBase = 0x7ffff000;
+    c.revoke.policy = policy;
+    return c;
+}
+
+/** Fill a registry region with @p slots long-lived tagged
+ *  capabilities (into @p arena), so every revocation sweep has a
+ *  realistic capability index to walk and decode. */
+void
+populateRegistry(MemoryModel &mm, uint64_t slots)
+{
+    unsigned cs = mm.arch().capSize();
+    auto pp = pointerTo(intType(IntKind::Int));
+    auto arena = mm.allocateRegion("arena", slots * 4, 16);
+    auto registry = mm.allocateRegion("registry", slots * cs, 16);
+    PointerValue slotPtr = registry.value();
+    PointerValue target = arena.value();
+    for (uint64_t i = 0; i < slots; ++i) {
+        slotPtr.cap = registry.value().cap->withAddress(
+            registry.value().address() + i * cs);
+        target.cap = arena.value().cap->withAddress(
+            arena.value().address() + i * 4);
+        (void)mm.store({}, pp, slotPtr, MemValue(target));
+    }
+}
+
+/** The 1k-alloc free churn; @p flushAtEnd drains the quarantine so
+ *  one op leaves the model in a steady state under every policy. */
+void
+churn(MemoryModel &mm, bool flushAtEnd)
+{
+    for (uint64_t i = 0; i < kChurnAllocs; ++i) {
+        auto p = mm.allocateRegion("m", kChurnBytes, 16);
+        benchmark::DoNotOptimize(p);
+        benchmark::DoNotOptimize(mm.kill({}, true, p.value()));
+    }
+    if (flushAtEnd)
+        benchmark::DoNotOptimize(mm.flushQuarantine());
+}
+
+/** Wall-clock ns/op of @p op, warmed up and run until ~0.3 s or
+ *  @p max_iters, whichever comes first. */
+template <typename F>
+double
+nsPerOp(F &&op, int max_iters = 16)
+{
+    using clock = std::chrono::steady_clock;
+    op(); // warm-up
+    double total_ns = 0;
+    int iters = 0;
+    while (iters < max_iters && total_ns < 3e8) {
+        auto t0 = clock::now();
+        op();
+        auto t1 = clock::now();
+        total_ns += static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                 t0)
+                .count());
+        ++iters;
+    }
+    return total_ns / iters;
+}
+
+// ---------------------------------------------------------------------
+// BENCH_revoke.json: the fixed policy grid.
+// ---------------------------------------------------------------------
+
+struct PolicyRun
+{
+    std::string name;
+    double nsPerChurn = 0;
+    uint64_t sweepsPerChurn = 0;
+    uint64_t slotsVisitedPerChurn = 0;
+    uint64_t tagsRevokedPerChurn = 0;
+};
+
+PolicyRun
+runPolicy(const std::string &name, RevokePolicy policy,
+          uint64_t maxBytes, uint64_t maxRegions)
+{
+    MemoryModel::Config cfg = config(policy);
+    cfg.revoke.quarantineMaxBytes = maxBytes;
+    cfg.revoke.quarantineMaxRegions = maxRegions;
+    MemoryModel mm(cfg);
+    populateRegistry(mm, kRegistrySlots);
+
+    // Per-churn engine counters, measured over one untimed pass.
+    bool flushAtEnd = policy != RevokePolicy::Eager;
+    revoke::RevokeStats before = mm.stats().revoke;
+    churn(mm, flushAtEnd);
+    revoke::RevokeStats after = mm.stats().revoke;
+
+    PolicyRun r;
+    r.name = name;
+    r.sweepsPerChurn = after.sweeps - before.sweeps;
+    r.slotsVisitedPerChurn = after.slotsVisited - before.slotsVisited;
+    r.tagsRevokedPerChurn = after.tagsRevoked - before.tagsRevoked;
+    r.nsPerChurn = nsPerOp([&] { churn(mm, flushAtEnd); });
+    return r;
+}
+
+void
+writeBenchJson(const char *path)
+{
+    std::vector<PolicyRun> runs;
+    runs.push_back(runPolicy("eager", RevokePolicy::Eager, 0, 0));
+    runs.push_back(runPolicy("quarantine-default",
+                             RevokePolicy::Quarantine,
+                             revoke::RevokeConfig{}.quarantineMaxBytes,
+                             revoke::RevokeConfig{}.quarantineMaxRegions));
+    runs.push_back(runPolicy("quarantine-profile",
+                             RevokePolicy::Quarantine, 4096, 8));
+    runs.push_back(
+        runPolicy("manual-single-sweep", RevokePolicy::Manual, 0, 0));
+
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"workload\": {\"churn_allocs\": %llu, "
+                 "\"alloc_bytes\": %llu, \"registry_slots\": %llu},\n"
+                 "  \"results\": [\n",
+                 static_cast<unsigned long long>(kChurnAllocs),
+                 static_cast<unsigned long long>(kChurnBytes),
+                 static_cast<unsigned long long>(kRegistrySlots));
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const PolicyRun &r = runs[i];
+        std::fprintf(
+            f,
+            "    {\"policy\": \"%s\", \"ns_per_churn\": %.0f, "
+            "\"sweeps\": %llu, \"slots_visited\": %llu, "
+            "\"tags_revoked\": %llu}%s\n",
+            r.name.c_str(), r.nsPerChurn,
+            static_cast<unsigned long long>(r.sweepsPerChurn),
+            static_cast<unsigned long long>(r.slotsVisitedPerChurn),
+            static_cast<unsigned long long>(r.tagsRevokedPerChurn),
+            i + 1 < runs.size() ? "," : "");
+    }
+    double speedup = runs[1].nsPerChurn > 0
+        ? runs[0].nsPerChurn / runs[1].nsPerChurn
+        : 0;
+    std::fprintf(f,
+                 "  ],\n  \"quarantine_speedup_vs_eager\": %.2f\n}\n",
+                 speedup);
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "BENCH_revoke.json written: 1k-alloc churn "
+                 "quarantine vs eager speedup = %.2fx\n",
+                 speedup);
+}
+
+// ---------------------------------------------------------------------
+// google-benchmark suite.
+// ---------------------------------------------------------------------
+
+void
+BM_Revoke_FreeChurn(benchmark::State &state, RevokePolicy policy,
+                    uint64_t maxBytes, uint64_t maxRegions)
+{
+    MemoryModel::Config cfg = config(policy);
+    cfg.revoke.quarantineMaxBytes = maxBytes;
+    cfg.revoke.quarantineMaxRegions = maxRegions;
+    MemoryModel mm(cfg);
+    uint64_t slots = static_cast<uint64_t>(state.range(0));
+    populateRegistry(mm, slots);
+    bool flushAtEnd = policy != RevokePolicy::Eager;
+    uint64_t frees = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 100; ++i) {
+            auto p = mm.allocateRegion("m", kChurnBytes, 16);
+            benchmark::DoNotOptimize(mm.kill({}, true, p.value()));
+        }
+        if (flushAtEnd)
+            benchmark::DoNotOptimize(mm.flushQuarantine());
+        frees += 100;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(frees));
+    const revoke::RevokeStats &rs = mm.stats().revoke;
+    state.counters["sweeps"] = static_cast<double>(rs.sweeps);
+    state.counters["slotsVisited"] =
+        static_cast<double>(rs.slotsVisited);
+}
+BENCHMARK_CAPTURE(BM_Revoke_FreeChurn, eager, RevokePolicy::Eager, 0,
+                  0)
+    ->Arg(256)
+    ->Arg(2048);
+BENCHMARK_CAPTURE(BM_Revoke_FreeChurn, quarantine,
+                  RevokePolicy::Quarantine, 1 << 16, 64)
+    ->Arg(256)
+    ->Arg(2048);
+BENCHMARK_CAPTURE(BM_Revoke_FreeChurn, manual, RevokePolicy::Manual,
+                  0, 0)
+    ->Arg(256)
+    ->Arg(2048);
+
+/** The bitmap's classify cost on its own: marked vs unmarked
+ *  lookups over a quarantine-shaped mark set. */
+void
+BM_Revoke_BitmapIntersect(benchmark::State &state)
+{
+    revoke::ShadowBitmap bm(8);
+    for (uint64_t i = 0; i < 64; ++i)
+        bm.mark(0x00100000 + i * 1024, 64);
+    uint64_t addr = 0x00100000;
+    bool acc = false;
+    for (auto _ : state) {
+        acc ^= bm.intersects(addr, uint128(addr) + 32);
+        addr += 512;
+        if (addr > 0x00200000)
+            addr = 0x00100000;
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Revoke_BitmapIntersect);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // The fixed policy grid always runs first; pass --no-json to skip
+    // it (e.g. when only the google benchmarks are wanted).
+    bool write_json = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--no-json") {
+            write_json = false;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    if (write_json)
+        writeBenchJson("BENCH_revoke.json");
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

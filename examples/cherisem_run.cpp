@@ -50,6 +50,20 @@ runOne(const std::string &src, Profile p, const std::string &file,
                (unsigned long long)r.outcome.memStats.allocations,
                (unsigned long long)
                    r.outcome.memStats.ghostTagInvalidations);
+        const ::cherisem::revoke::RevokeStats &rv =
+            r.outcome.memStats.revoke;
+        if (rv.sweeps || rv.regionsQuarantined || rv.pendingRegions) {
+            printf("  revoke: sweeps=%llu slots-visited=%llu "
+                   "tags-revoked=%llu quarantined=%llu "
+                   "flushed=%llu pending=%llu sweep-ns=%llu\n",
+                   (unsigned long long)rv.sweeps,
+                   (unsigned long long)rv.slotsVisited,
+                   (unsigned long long)rv.tagsRevoked,
+                   (unsigned long long)rv.regionsQuarantined,
+                   (unsigned long long)rv.regionsFlushed,
+                   (unsigned long long)rv.pendingRegions,
+                   (unsigned long long)rv.sweepNs);
+        }
         printf("  parse=%lluns sema=%lluns optimize=%lluns "
                "eval=%lluns\n",
                (unsigned long long)r.phases.parseNs,

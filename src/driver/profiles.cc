@@ -125,13 +125,26 @@ makeAll()
     out.push_back(sub);
     Profile tmp = makeHardware(
         "cheriot-temporal",
-        "CHERIoT-style core with revocation on free (temporal "
+        "CHERIoT-style core with eager revocation on free (temporal "
         "safety)",
         0x7ffff000ull, 0x00100000ull, 0x00010000ull, false);
     tmp.memConfig.arch = &cap::cheriot();
     tmp.memConfig.codeBase = 0x1000;
-    tmp.memConfig.revokeOnFree = true;
+    tmp.memConfig.revoke.policy = revoke::RevokePolicy::Eager;
     out.push_back(tmp);
+    // Same temporal-safety semantics, but frees are quarantined and
+    // swept in batched epochs (src/revoke/).  Differs from
+    // cheriot-temporal only in *when* stale tags die — the fuzzer's
+    // documented eager-vs-quarantine divergence axis.
+    Profile quar = tmp;
+    quar.name = "cheriot-temporal-quarantine";
+    quar.description =
+        "CHERIoT-style core with quarantine + batched epoch "
+        "revocation sweeps";
+    quar.memConfig.revoke.policy = revoke::RevokePolicy::Quarantine;
+    quar.memConfig.revoke.quarantineMaxBytes = 4096;
+    quar.memConfig.revoke.quarantineMaxRegions = 8;
+    out.push_back(quar);
     return out;
 }
 

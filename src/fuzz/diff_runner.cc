@@ -180,6 +180,45 @@ runCase(uint64_t seed, const std::string &source,
                  expectedProfileDivergence(ref, *p, r.left,
                                            r.right)});
         }
+
+        // Temporal-policy axis: eager vs deferred (quarantine/manual)
+        // revocation over the same capability format differ only in
+        // *when* stale tags die.  A UB-free program never observes a
+        // dead pointer, so the pair must agree exactly — any mismatch
+        // is a hard finding.  An allow-ub program can watch the epoch
+        // boundary (cheri_tag_get on a freed pointer, a UAF load that
+        // faults eagerly but reads stale bytes under quarantine), so
+        // there a mismatch is the documented expected divergence.
+        for (const driver::Profile *a : grid) {
+            if (a->memConfig.revoke.policy !=
+                revoke::RevokePolicy::Eager)
+                continue;
+            for (const driver::Profile *b : grid) {
+                if (b->memConfig.revoke.policy ==
+                        revoke::RevokePolicy::Off ||
+                    b->memConfig.revoke.policy ==
+                        revoke::RevokePolicy::Eager ||
+                    a->memConfig.arch != b->memConfig.arch)
+                    continue;
+                obs::DifferentialResult r = obs::diffProfiles(
+                    source, *a, *b, dopts, opts.ringCapacity);
+                if (isCrash(r.left) || isCrash(r.right)) {
+                    out.push_back({Divergence::Kind::Crash, seed,
+                                   a->name + "|" + b->name,
+                                   r.left.summary() + " | " +
+                                       r.right.summary(),
+                                   false});
+                    continue;
+                }
+                if (sameOutcome(r.left, r.right))
+                    continue;
+                out.push_back({Divergence::Kind::Profile, seed,
+                               a->name + "|" + b->name,
+                               r.left.summary() + " | " +
+                                   r.right.summary(),
+                               !opts.requireExit});
+            }
+        }
     }
 
     return out;

@@ -14,7 +14,13 @@
  *    section 5): the UB classes the profiles disagree on, ghost
  *    state vs hardware tag clearing, provenance/liveness checking,
  *    strict vs permissive pointer arithmetic, uninitialised-read
- *    detection, revocation, and capability-format precision.
+ *    detection, revocation, and capability-format precision;
+ *  - eager vs deferred revocation (cheriot-temporal vs
+ *    cheriot-temporal-quarantine): the policies clear the same tags
+ *    but at different times, so they must agree exactly on UB-free
+ *    programs (a mismatch is a hard finding), while allow-ub
+ *    programs may observe the epoch boundary through stale pointers
+ *    (an expected divergence).
  *
  * Any run ending in Outcome::Kind::Error or a frontend error is a
  * crash finding: the generator only emits well-formed programs, so

@@ -485,7 +485,7 @@ class Gen
     std::string
     ubStmt()
     {
-        switch (rng_.below(7)) {
+        switch (rng_.below(8)) {
           case 0: { // out-of-bounds write (capability fault)
             HeapPtr *p = livePtr();
             if (!p)
@@ -535,11 +535,31 @@ class Gen
             return "  {\n    long " + n +
                 ";\n    sink += (unsigned long)" + n + ";\n  }\n";
           }
-          default: { // free() of a non-heap pointer
+          case 6: { // free() of a non-heap pointer
             if (arrs_.empty())
                 return {};
             const StackArr &a = arrs_[rng_.below(arrs_.size())];
             return "  free(" + a.name + ");\n";
+          }
+          default: { // free-then-probe: stale-tag observation + UAF.
+            // The probe makes revocation *timing* observable: an
+            // eager sweep has already cleared the stale capability
+            // held in the variable (tag_get folds 0 into the sink,
+            // the load faults with UB_CHERI_InvalidCap), while a
+            // quarantine policy leaves the tag alive until the next
+            // epoch — the documented eager-vs-quarantine divergence
+            // axis the diff runner tolerates in allow-ub mode.
+            HeapPtr *p = livePtr();
+            if (!p)
+                return {};
+            p->alive = false;
+            p->dangling = true;
+            std::string s = "  free(" + p->name + ");\n";
+            s += "  sink += (unsigned long)cheri_tag_get(" + p->name +
+                ");\n";
+            if (rng_.chance(50))
+                s += "  sink += (unsigned long)" + p->name + "[0];\n";
+            return s;
           }
         }
     }

@@ -24,6 +24,17 @@ MemoryModel::MemoryModel(Config config)
       stackPtr_(config_.stackBase),
       codePtr_(config_.codeBase)
 {
+    if (config_.revoke.enabled()) {
+        // Swept footprints come back through the release callback so
+        // the quarantine, not kill(), decides when an address range
+        // becomes reusable.
+        revoker_ = std::make_unique<revoke::RevocationEngine>(
+            config_.revoke, *store_, arch(), tracer_,
+            &stats_.hardTagInvalidations,
+            [this](uint64_t base, uint64_t size) {
+                heapFree_.emplace_back(base, size);
+            });
+    }
 }
 
 void
@@ -196,10 +207,16 @@ MemoryModel::kill(SourceLoc loc, bool dyn, const PointerValue &p)
         if (p.cap && !p.cap->tag())
             return Failure::undefined(Ub::CheriInvalidCap, loc,
                                       "free via untagged capability");
-        heapFree_.emplace_back(alloc.base,
-                               std::max<uint64_t>(alloc.size, 1));
-        if (config_.revokeOnFree)
-            revokeRegion(alloc.base, alloc.size);
+        if (revoker_) {
+            // The engine quarantines the footprint (Eager flushes it
+            // straight away) and releases it to heapFree_ once
+            // swept; a quarantined footprint is never handed out by
+            // allocate() because it is not on the free list.
+            revoker_->onFree(alloc.base, alloc.size, *id);
+        } else {
+            heapFree_.emplace_back(alloc.base,
+                                   std::max<uint64_t>(alloc.size, 1));
+        }
     }
     alloc.alive = false;
     ++stats_.kills;
@@ -285,49 +302,6 @@ MemoryModel::reallocRegion(SourceLoc loc, const PointerValue &p,
                       .b = np.address()});
     }
     return np;
-}
-
-void
-MemoryModel::revokeRegion(uint64_t base, uint64_t size)
-{
-    // CHERIoT-style revocation sweep: clear the tag of every stored
-    // capability whose bounds overlap the freed region, so stale
-    // pointers fault deterministically on their next load+use.
-    unsigned cs = arch().capSize();
-    std::vector<AbsByte> bs(cs);
-    std::vector<uint8_t> raw(cs);
-    uint64_t revoked = 0;
-    store_->forEachCapInRange(
-        0, ~uint64_t(0), [&](uint64_t slot, CapMeta &meta) {
-            if (!meta.tag)
-                return;
-            store_->readBytes(slot, cs, bs.data());
-            for (unsigned i = 0; i < cs; ++i) {
-                if (!bs[i].value)
-                    return;
-                raw[i] = *bs[i].value;
-            }
-            Capability c = arch().fromBytes(raw.data(), true);
-            if (c.base() < uint128(base) + size &&
-                c.top() > uint128(base)) {
-                meta.tag = false;
-                ++stats_.hardTagInvalidations;
-                ++revoked;
-                if (tracer_.enabled()) {
-                    tracer_.emit({.kind = obs::EventKind::TagClear,
-                                  .addr = slot,
-                                  .size = cs,
-                                  .a = 1,
-                                  .label = "revoke"});
-                }
-            }
-        });
-    if (tracer_.enabled()) {
-        tracer_.emit({.kind = obs::EventKind::RevokeSweep,
-                      .addr = base,
-                      .size = size,
-                      .a = revoked});
-    }
 }
 
 // ---------------------------------------------------------------------

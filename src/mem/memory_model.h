@@ -44,6 +44,7 @@
 #include "mem/store.h"
 #include "mem/ub.h"
 #include "obs/tracer.h"
+#include "revoke/revocation.h"
 
 namespace cherisem::mem {
 
@@ -94,6 +95,9 @@ struct MemStats
     /** Store-layer counters (page allocations, range ops, byte
      *  totals), mirrored from the active AbstractStore backend. */
     StoreStats store;
+    /** Revocation-engine counters (sweeps, slots visited, tags
+     *  revoked, quarantine occupancy), mirrored from the engine. */
+    revoke::RevokeStats revoke;
 };
 
 /**
@@ -123,10 +127,15 @@ class MemoryModel
          *  (the stricter opt-in mode of section 3.8; off by default,
          *  matching CHERI C). */
         bool subobjectBounds = false;
-        /** CHERIoT-style temporal safety (sections 5.4, 7): free()
-         *  sweeps memory and invalidates stored capabilities that
-         *  point into the freed region. */
-        bool revokeOnFree = false;
+        /** CHERIoT-style temporal safety (sections 3.10, 5.4, 7):
+         *  stored capabilities pointing into freed regions have
+         *  their tags cleared by the revocation engine.  The policy
+         *  picks *when*: Eager sweeps on every free; Quarantine
+         *  batches frees (reuse of the footprint forbidden until
+         *  swept) and sweeps when the quarantine fills; Manual
+         *  sweeps only on flushQuarantine().  Off (the default)
+         *  disables the engine. */
+        revoke::RevokeConfig revoke;
         /** Concrete backend for the M = B x C store.  Paged is the
          *  default everywhere; Map is the reference oracle used by
          *  the store-equivalence and differential tests. */
@@ -152,6 +161,8 @@ class MemoryModel
     const MemStats &stats() const
     {
         stats_.store = store_->stats();
+        stats_.revoke =
+            revoker_ ? revoker_->stats() : revoke::RevokeStats{};
         return stats_;
     }
     /** The active store backend (introspection / benchmarks). */
@@ -159,6 +170,19 @@ class MemoryModel
     /** The execution-witness handle (disabled when Config::traceSink
      *  is null); the evaluator shares it for its own events. */
     const obs::Tracer &tracer() const { return tracer_; }
+    /** The temporal-safety engine; null when Config::revoke is Off. */
+    const revoke::RevocationEngine *revoker() const
+    {
+        return revoker_.get();
+    }
+    /** Force an epoch sweep of the quarantine (the Manual policy's
+     *  trigger; also usable under Quarantine).  Returns the number of
+     *  tags cleared; no-op (0) when revocation is off or the
+     *  quarantine is empty. */
+    uint64_t flushQuarantine()
+    {
+        return revoker_ ? revoker_->flush() : 0;
+    }
 
     /// @name Allocation (create/kill), Cerberus interface.
     /// @{
@@ -310,9 +334,6 @@ class MemoryModel
     void exposeAllocation(AllocId id);
     void exposeByteProvenance(const AbsByte &b);
 
-    /** Revocation sweep for revokeOnFree (CHERIoT-style). */
-    void revokeRegion(uint64_t base, uint64_t size);
-
     /** Capability metadata at @p addr packed for a Load/Store trace
      *  event (0 when the footprint is not one whole aligned slot). */
     uint64_t packedCapMeta(uint64_t addr, uint64_t n) const;
@@ -354,6 +375,9 @@ class MemoryModel
     std::unique_ptr<AbstractStore> store_;       // M = B x C
     std::map<AllocId, Allocation> allocations_;  // A
     IotaTable iotas_;                            // S
+    /** Temporal-safety engine (src/revoke/); null when off.
+     *  Declared after store_ — it holds a reference into it. */
+    std::unique_ptr<revoke::RevocationEngine> revoker_;
 
     AllocId nextAlloc_ = 1;
     uint64_t globalPtr_;

@@ -17,6 +17,7 @@ eventKindName(EventKind k)
       case EventKind::GhostMark:   return "ghost-mark";
       case EventKind::Expose:      return "expose";
       case EventKind::Attach:      return "attach";
+      case EventKind::Quarantine:  return "quarantine";
       case EventKind::RevokeSweep: return "revoke-sweep";
       case EventKind::FuncEnter:   return "func-enter";
       case EventKind::FuncExit:    return "func-exit";

@@ -47,8 +47,11 @@ enum class EventKind : uint8_t
     Expose,      ///< allocation exposed by int cast; a = id
     Attach,      ///< int-to-pointer attach; a = prov kind, b = id
 
-    // Temporal safety (sections 5.4, 7).
-    RevokeSweep, ///< sweep summary; a = capabilities revoked
+    // Temporal safety (sections 3.10, 5.4, 7).
+    Quarantine,  ///< free deferred to quarantine; a = alloc id,
+                 ///< b = quarantine occupancy (regions) after enqueue
+    RevokeSweep, ///< epoch sweep summary; a = capabilities revoked,
+                 ///< b = regions flushed
 
     // Abstract-machine control flow.
     FuncEnter,   ///< a = function index, label = name

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Revocation engine implementation (see revocation.h for the model).
+ */
+#include "revoke/revocation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace cherisem::revoke {
+
+const char *
+revokePolicyName(RevokePolicy p)
+{
+    switch (p) {
+      case RevokePolicy::Off:        return "off";
+      case RevokePolicy::Eager:      return "eager";
+      case RevokePolicy::Quarantine: return "quarantine";
+      case RevokePolicy::Manual:     return "manual";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// ShadowBitmap.
+// ---------------------------------------------------------------------
+
+namespace {
+
+unsigned
+log2Exact(unsigned v)
+{
+    assert(v != 0 && (v & (v - 1)) == 0 && "granule must be 2^k");
+    unsigned s = 0;
+    while ((1u << s) < v)
+        ++s;
+    return s;
+}
+
+/** Presence bits of chunk @p chunk for granules in [first, last]. */
+uint64_t
+chunkMask(uint64_t chunk, uint64_t first, uint64_t last)
+{
+    uint64_t lo = chunk == (first >> 6) ? (first & 63) : 0;
+    uint64_t hi = chunk == (last >> 6) ? (last & 63) : 63;
+    return (~uint64_t(0) >> (63 - hi)) & (~uint64_t(0) << lo);
+}
+
+} // namespace
+
+ShadowBitmap::ShadowBitmap(unsigned granule) : shift_(log2Exact(granule))
+{
+}
+
+void
+ShadowBitmap::mark(uint64_t base, uint64_t size)
+{
+    if (size == 0)
+        return;
+    uint64_t first = base >> shift_;
+    uint64_t last = (base + size - 1) >> shift_;
+    loGranule_ = std::min(loGranule_, first);
+    hiGranule_ = std::max(hiGranule_, last);
+    for (uint64_t chunk = first >> 6; chunk <= last >> 6; ++chunk)
+        chunks_[chunk] |= chunkMask(chunk, first, last);
+}
+
+bool
+ShadowBitmap::intersects(uint64_t base, uint128 top) const
+{
+    if (chunks_.empty() || top <= uint128(base))
+        return false;
+    // Clamp the (possibly whole-address-space) capability range to
+    // the bounding box of marked granules.
+    uint64_t first = base >> shift_;
+    uint128 lastByte = top - 1;
+    uint64_t last = lastByte > uint128(~uint64_t(0))
+        ? (~uint64_t(0) >> shift_)
+        : static_cast<uint64_t>(lastByte) >> shift_;
+    if (first > hiGranule_ || last < loGranule_)
+        return false;
+    first = std::max(first, loGranule_);
+    last = std::min(last, hiGranule_);
+    uint64_t cfirst = first >> 6, clast = last >> 6;
+    if (clast - cfirst >= chunks_.size()) {
+        // Wide query over a sparse map: walk the marked chunks.
+        for (const auto &[chunk, bits] : chunks_) {
+            if (chunk >= cfirst && chunk <= clast &&
+                (bits & chunkMask(chunk, first, last)))
+                return true;
+        }
+        return false;
+    }
+    for (uint64_t chunk = cfirst; chunk <= clast; ++chunk) {
+        auto it = chunks_.find(chunk);
+        if (it != chunks_.end() &&
+            (it->second & chunkMask(chunk, first, last)))
+            return true;
+    }
+    return false;
+}
+
+bool
+ShadowBitmap::test(uint64_t addr) const
+{
+    uint64_t g = addr >> shift_;
+    auto it = chunks_.find(g >> 6);
+    return it != chunks_.end() && (it->second >> (g & 63)) & 1;
+}
+
+void
+ShadowBitmap::clearAll()
+{
+    chunks_.clear();
+    loGranule_ = ~uint64_t(0);
+    hiGranule_ = 0;
+}
+
+uint64_t
+ShadowBitmap::markedGranules() const
+{
+    uint64_t n = 0;
+    for (const auto &[chunk, bits] : chunks_)
+        n += static_cast<uint64_t>(__builtin_popcountll(bits));
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// RevocationEngine.
+// ---------------------------------------------------------------------
+
+RevocationEngine::RevocationEngine(const RevokeConfig &config,
+                                   mem::AbstractStore &store,
+                                   const cap::CapArch &arch,
+                                   const obs::Tracer &tracer,
+                                   uint64_t *hardTagCounter,
+                                   ReleaseFn release)
+    : config_(config), store_(store), arch_(arch), tracer_(tracer),
+      hardTagCounter_(hardTagCounter), release_(std::move(release)),
+      bitmap_(arch.capSize())
+{
+}
+
+void
+RevocationEngine::onFree(uint64_t base, uint64_t size, uint64_t allocId)
+{
+    regions_.push_back({base, size, allocId});
+    // Mark the full footprint (a zero-size malloc still occupies one
+    // byte of address space) so quarantined() covers it; capability
+    // intersection stays byte-precise via intersectsRegion().
+    bitmap_.mark(base, std::max<uint64_t>(size, 1));
+    stats_.pendingRegions = regions_.size();
+    stats_.pendingBytes += size;
+    stats_.quarantinePeakBytes =
+        std::max(stats_.quarantinePeakBytes, stats_.pendingBytes);
+
+    if (config_.policy == RevokePolicy::Eager) {
+        flush();
+        return;
+    }
+
+    ++stats_.regionsQuarantined;
+    if (tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::Quarantine,
+                      .addr = base,
+                      .size = size,
+                      .a = allocId,
+                      .b = regions_.size()});
+    }
+    if (config_.policy == RevokePolicy::Quarantine &&
+        (stats_.pendingBytes > config_.quarantineMaxBytes ||
+         regions_.size() > config_.quarantineMaxRegions)) {
+        flush();
+    }
+}
+
+bool
+RevocationEngine::quarantined(uint64_t addr) const
+{
+    if (!bitmap_.test(addr))
+        return false;
+    for (const Region &r : regions_) {
+        if (addr >= r.base && addr < r.base + std::max<uint64_t>(r.size, 1))
+            return true;
+    }
+    return false;
+}
+
+bool
+RevocationEngine::intersectsRegion(uint128 capBase, uint128 capTop) const
+{
+    for (const Region &r : regions_) {
+        if (capBase < uint128(r.base) + r.size &&
+            capTop > uint128(r.base))
+            return true;
+    }
+    return false;
+}
+
+uint64_t
+RevocationEngine::flush()
+{
+    if (regions_.empty())
+        return 0;
+    auto t0 = std::chrono::steady_clock::now();
+
+    const unsigned cs = arch_.capSize();
+    std::vector<mem::AbsByte> bs(cs);
+    std::vector<uint8_t> raw(cs);
+    // Collect first, emit second: forEachCapInRange's visit order is
+    // backend-specific (PagedStore walks an unordered page map), and
+    // the trace streams of the two backends must stay bit-identical.
+    std::vector<uint64_t> cleared;
+    uint64_t visited = 0;
+    store_.forEachCapInRange(
+        0, ~uint64_t(0), [&](uint64_t slot, mem::CapMeta &meta) {
+            ++visited;
+            if (!meta.tag)
+                return;
+            store_.readBytes(slot, cs, bs.data());
+            for (unsigned i = 0; i < cs; ++i) {
+                if (!bs[i].value)
+                    return;
+                raw[i] = *bs[i].value;
+            }
+            cap::Capability c = arch_.fromBytes(raw.data(), true);
+            // One-bit fast path; a hit is confirmed against the exact
+            // region list so the revoked set matches the eager
+            // byte-precise intersection test exactly.
+            if (!bitmap_.intersects(
+                    static_cast<uint64_t>(c.base() &
+                                          uint128(~uint64_t(0))),
+                    c.top()))
+                return;
+            if (!intersectsRegion(c.base(), c.top()))
+                return;
+            meta.tag = false;
+            cleared.push_back(slot);
+        });
+    std::sort(cleared.begin(), cleared.end());
+    if (tracer_.enabled()) {
+        for (uint64_t slot : cleared) {
+            tracer_.emit({.kind = obs::EventKind::TagClear,
+                          .addr = slot,
+                          .size = cs,
+                          .a = 1,
+                          .label = "revoke"});
+        }
+    }
+    if (hardTagCounter_)
+        *hardTagCounter_ += cleared.size();
+
+    // One RevokeSweep per epoch.  A single-region epoch (the eager
+    // policy) keeps the seed's event shape: addr/size = the freed
+    // footprint; batched epochs report the whole quarantine.
+    uint64_t sweptBytes = 0;
+    for (const Region &r : regions_)
+        sweptBytes += r.size;
+    if (tracer_.enabled()) {
+        tracer_.emit({.kind = obs::EventKind::RevokeSweep,
+                      .addr = regions_.size() == 1 ? regions_[0].base
+                                                   : 0,
+                      .size = regions_.size() == 1 ? regions_[0].size
+                                                   : sweptBytes,
+                      .a = cleared.size(),
+                      .b = regions_.size()});
+    }
+
+    stats_.sweeps += 1;
+    stats_.slotsVisited += visited;
+    stats_.tagsRevoked += cleared.size();
+    stats_.regionsFlushed += regions_.size();
+
+    // Release the swept footprints to the allocator and start the
+    // next epoch.
+    if (release_) {
+        for (const Region &r : regions_)
+            release_(r.base, std::max<uint64_t>(r.size, 1));
+    }
+    regions_.clear();
+    bitmap_.clearAll();
+    stats_.pendingRegions = 0;
+    stats_.pendingBytes = 0;
+
+    stats_.sweepNs += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return cleared.size();
+}
+
+} // namespace cherisem::revoke

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Temporal-safety revocation engine (paper sections 3.10, 5.4, 7).
+ *
+ * The paper's CHERIoT-style `revokeOnFree` semantics — free() clears
+ * the tag of every stored capability whose bounds overlap the freed
+ * region — was reproduced as an eager full-index sweep on every free,
+ * which is O(capability slots) *per free* and quadratic on
+ * allocation-heavy workloads.  Real CHERI stacks (CheriBSD's
+ * Cornucopia, CHERIoT's allocator) amortise the sweep:
+ *
+ *  1. a **quarantine** holds freed-but-unrevoked regions.  A
+ *     quarantined footprint is dead (the abstract machine still
+ *     raises UB_access_dead_allocation through stale pointers under
+ *     provenance checks) and MUST NOT be reused by the allocator
+ *     until it has been swept — only the *tag-clearing* is deferred;
+ *  2. a **shadow revocation bitmap** marks quarantined footprints at
+ *     capability-granule resolution, so a sweep classifies each
+ *     stored capability with a few bit-lookups instead of a
+ *     per-region range compare;
+ *  3. **batched epoch sweeps** walk only the capability-bearing slots
+ *     (AbstractStore::forEachCapInRange) once per epoch, clearing
+ *     every capability that points into any quarantined region, then
+ *     release the whole batch back to the allocator's free list.
+ *
+ * Policies (RevokePolicy):
+ *
+ *  - Off: no revocation (spatial-safety-only profiles);
+ *  - Eager: sweep on every free (the seed's semantics, one-region
+ *    epochs) — the reference for what the batched sweep must equal;
+ *  - Quarantine: defer until quarantineMaxBytes/quarantineMaxRegions
+ *    is exceeded, then sweep the batch;
+ *  - Manual: defer until an explicit flush (tests, intrinsics).
+ *
+ * Determinism contract: the engine emits TagClear events in sorted
+ * slot order (forEachCapInRange visit order is backend-specific) and
+ * never puts wall-clock time into events — sweep timing goes only
+ * into RevokeStats::sweepNs.  Eager and deferred policies clear
+ * exactly the same tag *set* for the same frees; only the epoch
+ * boundary (when) moves.
+ */
+#ifndef CHERISEM_REVOKE_REVOCATION_H
+#define CHERISEM_REVOKE_REVOCATION_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cap/capability.h"
+#include "mem/store.h"
+#include "obs/tracer.h"
+#include "support/format.h"
+
+namespace cherisem::revoke {
+
+/** When freed regions have their stale capabilities revoked. */
+enum class RevokePolicy : uint8_t
+{
+    Off,        ///< no temporal safety
+    Eager,      ///< sweep on every free() (seed semantics)
+    Quarantine, ///< batch frees, sweep when the quarantine fills
+    Manual,     ///< batch frees, sweep only on explicit flush()
+};
+
+/** Stable identifier, e.g. "quarantine". */
+const char *revokePolicyName(RevokePolicy p);
+
+/** Per-model revocation configuration (MemoryModel::Config::revoke). */
+struct RevokeConfig
+{
+    RevokePolicy policy = RevokePolicy::Off;
+    /** Quarantine policy: flush when the pending footprint bytes
+     *  exceed this. */
+    uint64_t quarantineMaxBytes = 1 << 16;
+    /** Quarantine policy: flush when more regions than this are
+     *  pending. */
+    uint64_t quarantineMaxRegions = 64;
+
+    bool enabled() const { return policy != RevokePolicy::Off; }
+};
+
+/** Counters the engine maintains (mirrored into mem::MemStats).
+ *  Everything except sweepNs is deterministic — a function of the
+ *  operation sequence only — so the store-equivalence tests may
+ *  compare these across backends. */
+struct RevokeStats
+{
+    uint64_t sweeps = 0;            ///< epoch sweeps run
+    uint64_t slotsVisited = 0;      ///< cap slots examined across sweeps
+    uint64_t tagsRevoked = 0;       ///< tags cleared across sweeps
+    uint64_t regionsQuarantined = 0; ///< regions ever enqueued (deferred)
+    uint64_t regionsFlushed = 0;    ///< regions released by sweeps
+    uint64_t pendingRegions = 0;    ///< quarantine occupancy (now)
+    uint64_t pendingBytes = 0;      ///< quarantine footprint bytes (now)
+    uint64_t quarantinePeakBytes = 0; ///< high-water mark
+    /** Wall-clock nanoseconds spent sweeping.  NOT deterministic:
+     *  never compared, never emitted into trace events. */
+    uint64_t sweepNs = 0;
+};
+
+/**
+ * Shadow revocation bitmap: one bit per capability granule of the
+ * address space, set while the granule lies inside a quarantined
+ * footprint.  Storage is a sparse map of 64-granule chunks (with a
+ * granule-index bounding box), so marking is O(footprint/granule) and
+ * an intersection query costs a couple of hash lookups for the
+ * typical small-bounds capability.
+ *
+ * Granularity: heap allocations are capability-size aligned and
+ * representability-padded, so two distinct allocations never share a
+ * granule; the bitmap is therefore an exact classifier for
+ * whole-allocation capabilities and a conservative pre-filter for
+ * narrowed ones (the engine confirms hits against the exact region
+ * list to match the eager byte-precise semantics).
+ */
+class ShadowBitmap
+{
+  public:
+    /** @p granule must be a power of two (the capability size). */
+    explicit ShadowBitmap(unsigned granule);
+
+    /** Mark every granule overlapping [base, base+size). */
+    void mark(uint64_t base, uint64_t size);
+    /** Does the byte range [base, top) overlap any marked granule? */
+    bool intersects(uint64_t base, uint128 top) const;
+    /** Is the granule containing @p addr marked? */
+    bool test(uint64_t addr) const;
+    /** Unmark everything (end of an epoch). */
+    void clearAll();
+
+    bool empty() const { return chunks_.empty(); }
+    unsigned granule() const { return 1u << shift_; }
+    /** Number of marked granules (tests/introspection). */
+    uint64_t markedGranules() const;
+
+  private:
+    unsigned shift_;
+    /** Bounding box over marked granule indices (inclusive). */
+    uint64_t loGranule_ = ~uint64_t(0);
+    uint64_t hiGranule_ = 0;
+    /** chunk index (granule >> 6) -> 64 granule-presence bits. */
+    std::unordered_map<uint64_t, uint64_t> chunks_;
+};
+
+/**
+ * The revocation engine.  Owned by the MemoryModel when its config
+ * enables a policy; the model routes dynamic frees through onFree()
+ * instead of putting footprints straight on its free list, and the
+ * engine hands them back through the release callback once swept.
+ */
+class RevocationEngine
+{
+  public:
+    /** Returns a swept footprint to the allocator's free list. */
+    using ReleaseFn = std::function<void(uint64_t base, uint64_t size)>;
+
+    /** @p hardTagCounter is the model's hardTagInvalidations stat
+     *  (incremented per revoked tag, as the eager path always did);
+     *  may be null. */
+    RevocationEngine(const RevokeConfig &config,
+                     mem::AbstractStore &store,
+                     const cap::CapArch &arch, const obs::Tracer &tracer,
+                     uint64_t *hardTagCounter, ReleaseFn release);
+
+    /** A dynamic free of [base, base+size) (allocation @p allocId).
+     *  Eager: sweeps immediately.  Quarantine: enqueues, emits a
+     *  Quarantine event, flushes if over threshold.  Manual:
+     *  enqueues only. */
+    void onFree(uint64_t base, uint64_t size, uint64_t allocId);
+
+    /** Run an epoch sweep over the whole quarantine: clear every
+     *  stored capability pointing into a quarantined region, release
+     *  the regions, emit TagClear events (sorted by slot) and one
+     *  RevokeSweep.  Returns the number of tags cleared (0 when the
+     *  quarantine is empty — no events in that case). */
+    uint64_t flush();
+
+    /** Is @p addr inside a quarantined (freed, unswept) footprint? */
+    bool quarantined(uint64_t addr) const;
+
+    const RevokeConfig &config() const { return config_; }
+    const RevokeStats &stats() const { return stats_; }
+    uint64_t pendingRegions() const { return regions_.size(); }
+    uint64_t pendingBytes() const { return stats_.pendingBytes; }
+    const ShadowBitmap &bitmap() const { return bitmap_; }
+
+  private:
+    struct Region
+    {
+        uint64_t base = 0;
+        uint64_t size = 0;   ///< exact allocation size (may be 0)
+        uint64_t allocId = 0;
+    };
+
+    /** Byte-precise check against the pending regions (the eager
+     *  semantics' intersection test). */
+    bool intersectsRegion(uint128 capBase, uint128 capTop) const;
+
+    RevokeConfig config_;
+    mem::AbstractStore &store_;
+    const cap::CapArch &arch_;
+    obs::Tracer tracer_;
+    uint64_t *hardTagCounter_;
+    ReleaseFn release_;
+
+    std::vector<Region> regions_;
+    ShadowBitmap bitmap_;
+    RevokeStats stats_;
+};
+
+} // namespace cherisem::revoke
+
+#endif // CHERISEM_REVOKE_REVOCATION_H

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Regression tests for the temporal-safety revocation engine
+ * (src/revoke/): the shadow bitmap, the quarantine policies, the
+ * free/realloc/allocate edge cases under quarantine, and the stats
+ * surfaced through mem::MemStats.
+ */
+#include <gtest/gtest.h>
+
+#include "mem/memory_model.h"
+#include "revoke/revocation.h"
+
+namespace cherisem::mem {
+namespace {
+
+using ctype::IntKind;
+using ctype::intType;
+using ctype::pointerTo;
+using revoke::RevokePolicy;
+using revoke::ShadowBitmap;
+
+// ---------------------------------------------------------------------
+// ShadowBitmap.
+// ---------------------------------------------------------------------
+
+TEST(ShadowBitmap, MarkTestClear)
+{
+    ShadowBitmap bm(16);
+    EXPECT_TRUE(bm.empty());
+    EXPECT_FALSE(bm.test(0x1000));
+
+    bm.mark(0x1000, 64);
+    EXPECT_FALSE(bm.empty());
+    EXPECT_TRUE(bm.test(0x1000));
+    EXPECT_TRUE(bm.test(0x103f));
+    EXPECT_FALSE(bm.test(0x0ff0)); // granule before
+    EXPECT_FALSE(bm.test(0x1040)); // granule after
+    EXPECT_EQ(bm.markedGranules(), 4u);
+
+    bm.clearAll();
+    EXPECT_TRUE(bm.empty());
+    EXPECT_FALSE(bm.test(0x1000));
+}
+
+TEST(ShadowBitmap, IntersectsIsHalfOpen)
+{
+    ShadowBitmap bm(16);
+    bm.mark(0x1000, 32);
+    // Ranges ending exactly at the footprint's base do not intersect.
+    EXPECT_FALSE(bm.intersects(0x0fe0, uint128(0x1000)));
+    EXPECT_TRUE(bm.intersects(0x0fe0, uint128(0x1001)));
+    // Ranges starting at the one-past address do not intersect.
+    EXPECT_FALSE(bm.intersects(0x1020, uint128(0x1040)));
+    EXPECT_TRUE(bm.intersects(0x101f, uint128(0x1040)));
+    // Empty ranges never intersect.
+    EXPECT_FALSE(bm.intersects(0x1000, uint128(0x1000)));
+}
+
+TEST(ShadowBitmap, WholeAddressSpaceQueryClampsToMarks)
+{
+    ShadowBitmap bm(16);
+    bm.mark(0xffff0000ull, 256);
+    // A whole-address-space capability range must still answer (the
+    // query is clamped to the marked bounding box, not iterated).
+    EXPECT_TRUE(bm.intersects(0, uint128(1) << 64));
+    bm.clearAll();
+    EXPECT_FALSE(bm.intersects(0, uint128(1) << 64));
+}
+
+TEST(ShadowBitmap, SparseMarksFarApart)
+{
+    ShadowBitmap bm(16);
+    bm.mark(0x1000, 16);
+    bm.mark(0x4000000000ull, 16);
+    EXPECT_TRUE(bm.intersects(0x1000, uint128(0x1010)));
+    EXPECT_TRUE(
+        bm.intersects(0x4000000000ull, uint128(0x4000000010ull)));
+    // A wide query spanning the (huge, unmarked) gap.
+    EXPECT_TRUE(bm.intersects(0x2000, uint128(0x4000000001ull)));
+    EXPECT_FALSE(bm.intersects(0x2000, uint128(0x3000000000ull)));
+}
+
+// ---------------------------------------------------------------------
+// Engine policies through the MemoryModel.
+// ---------------------------------------------------------------------
+
+MemoryModel::Config
+hardwareConfig(RevokePolicy policy)
+{
+    MemoryModel::Config cfg;
+    cfg.ghostState = false;
+    cfg.checkProvenance = false;
+    cfg.readUninitIsUb = false;
+    cfg.strictPtrArith = false;
+    cfg.revoke.policy = policy;
+    return cfg;
+}
+
+/** Allocate holder+victim regions and stash a capability to the
+ *  victim inside the holder, so a sweep has something to revoke. */
+struct Stash
+{
+    PointerValue victim;
+    PointerValue holder;
+
+    explicit Stash(MemoryModel &mm)
+    {
+        auto pp = pointerTo(intType(IntKind::Int));
+        victim = mm.allocateRegion("victim", 32, 16).value();
+        holder = mm.allocateRegion("holder", 16, 16).value();
+        EXPECT_TRUE(mm.store({}, pp, holder, MemValue(victim)).ok());
+    }
+};
+
+TEST(RevocationEngine, EagerClearsStaleTagOnFree)
+{
+    MemoryModel mm(hardwareConfig(RevokePolicy::Eager));
+    Stash s(mm);
+    ASSERT_TRUE(mm.kill({}, true, s.victim).ok());
+
+    EXPECT_FALSE(mm.peekCapMeta(s.holder.address()).tag);
+    const MemStats &st = mm.stats();
+    EXPECT_EQ(st.revoke.sweeps, 1u);
+    EXPECT_EQ(st.revoke.tagsRevoked, 1u);
+    EXPECT_EQ(st.revoke.regionsFlushed, 1u);
+    EXPECT_EQ(st.revoke.pendingRegions, 0u);
+    EXPECT_GE(st.revoke.slotsVisited, 1u);
+    EXPECT_EQ(st.hardTagInvalidations, 1u);
+}
+
+TEST(RevocationEngine, QuarantineDefersTagDeathUntilFlush)
+{
+    MemoryModel mm(hardwareConfig(RevokePolicy::Quarantine));
+    Stash s(mm);
+    ASSERT_TRUE(mm.kill({}, true, s.victim).ok());
+
+    // Freed but unswept: the stale capability is still tagged, the
+    // footprint is quarantined, and no sweep has run.
+    EXPECT_TRUE(mm.peekCapMeta(s.holder.address()).tag);
+    ASSERT_NE(mm.revoker(), nullptr);
+    EXPECT_TRUE(mm.revoker()->quarantined(s.victim.address()));
+    EXPECT_EQ(mm.stats().revoke.sweeps, 0u);
+    EXPECT_EQ(mm.stats().revoke.pendingRegions, 1u);
+    EXPECT_EQ(mm.stats().revoke.pendingBytes, 32u);
+    EXPECT_EQ(mm.stats().revoke.regionsQuarantined, 1u);
+
+    EXPECT_EQ(mm.flushQuarantine(), 1u);
+    EXPECT_FALSE(mm.peekCapMeta(s.holder.address()).tag);
+    EXPECT_FALSE(mm.revoker()->quarantined(s.victim.address()));
+    EXPECT_EQ(mm.stats().revoke.sweeps, 1u);
+    EXPECT_EQ(mm.stats().revoke.tagsRevoked, 1u);
+    EXPECT_EQ(mm.stats().revoke.pendingRegions, 0u);
+    EXPECT_EQ(mm.stats().revoke.pendingBytes, 0u);
+}
+
+TEST(RevocationEngine, QuarantineRegionThresholdTriggersEpoch)
+{
+    MemoryModel::Config cfg = hardwareConfig(RevokePolicy::Quarantine);
+    cfg.revoke.quarantineMaxRegions = 2;
+    cfg.revoke.quarantineMaxBytes = 1 << 30;
+    MemoryModel mm(cfg);
+
+    Stash s(mm);
+    PointerValue r2 = mm.allocateRegion("r2", 16, 16).value();
+    PointerValue r3 = mm.allocateRegion("r3", 16, 16).value();
+    ASSERT_TRUE(mm.kill({}, true, s.victim).ok());
+    ASSERT_TRUE(mm.kill({}, true, r2).ok());
+    EXPECT_EQ(mm.stats().revoke.sweeps, 0u);
+    EXPECT_TRUE(mm.peekCapMeta(s.holder.address()).tag);
+
+    // The third free exceeds maxRegions=2 and sweeps the batch.
+    ASSERT_TRUE(mm.kill({}, true, r3).ok());
+    EXPECT_EQ(mm.stats().revoke.sweeps, 1u);
+    EXPECT_EQ(mm.stats().revoke.regionsFlushed, 3u);
+    EXPECT_FALSE(mm.peekCapMeta(s.holder.address()).tag);
+}
+
+TEST(RevocationEngine, QuarantineByteThresholdTriggersEpoch)
+{
+    MemoryModel::Config cfg = hardwareConfig(RevokePolicy::Quarantine);
+    cfg.revoke.quarantineMaxBytes = 64;
+    cfg.revoke.quarantineMaxRegions = 1 << 20;
+    MemoryModel mm(cfg);
+
+    Stash s(mm);
+    PointerValue big = mm.allocateRegion("big", 64, 16).value();
+    ASSERT_TRUE(mm.kill({}, true, s.victim).ok());
+    EXPECT_EQ(mm.stats().revoke.sweeps, 0u);
+
+    // 32 + 64 = 96 > 64 pending bytes: epoch.
+    ASSERT_TRUE(mm.kill({}, true, big).ok());
+    EXPECT_EQ(mm.stats().revoke.sweeps, 1u);
+    EXPECT_EQ(mm.stats().revoke.quarantinePeakBytes, 96u);
+    EXPECT_FALSE(mm.peekCapMeta(s.holder.address()).tag);
+}
+
+TEST(RevocationEngine, ManualPolicyOnlySweepsOnExplicitFlush)
+{
+    MemoryModel::Config cfg = hardwareConfig(RevokePolicy::Manual);
+    cfg.revoke.quarantineMaxBytes = 1;
+    cfg.revoke.quarantineMaxRegions = 1;
+    MemoryModel mm(cfg);
+
+    Stash s(mm);
+    std::vector<PointerValue> rs;
+    for (int i = 0; i < 8; ++i)
+        rs.push_back(mm.allocateRegion("r", 48, 16).value());
+    ASSERT_TRUE(mm.kill({}, true, s.victim).ok());
+    for (PointerValue &p : rs)
+        ASSERT_TRUE(mm.kill({}, true, p).ok());
+
+    // Way over both thresholds, yet Manual never auto-sweeps.
+    EXPECT_EQ(mm.stats().revoke.sweeps, 0u);
+    EXPECT_EQ(mm.stats().revoke.pendingRegions, 9u);
+    EXPECT_TRUE(mm.peekCapMeta(s.holder.address()).tag);
+
+    EXPECT_EQ(mm.flushQuarantine(), 1u);
+    EXPECT_FALSE(mm.peekCapMeta(s.holder.address()).tag);
+    EXPECT_EQ(mm.stats().revoke.regionsFlushed, 9u);
+}
+
+TEST(RevocationEngine, AllocateNeverReusesQuarantinedFootprint)
+{
+    MemoryModel mm(hardwareConfig(RevokePolicy::Manual));
+    PointerValue p = mm.allocateRegion("a", 32, 16).value();
+    uint64_t base = p.address();
+    ASSERT_TRUE(mm.kill({}, true, p).ok());
+
+    // The footprint is quarantined, not on the free list: a same-size
+    // allocation must land elsewhere.
+    PointerValue q = mm.allocateRegion("b", 32, 16).value();
+    EXPECT_NE(q.address(), base);
+    EXPECT_TRUE(mm.revoker()->quarantined(base));
+
+    // After the sweep the footprint is reusable again (first fit).
+    mm.flushQuarantine();
+    EXPECT_FALSE(mm.revoker()->quarantined(base));
+    PointerValue r = mm.allocateRegion("c", 32, 16).value();
+    EXPECT_EQ(r.address(), base);
+}
+
+TEST(RevocationEngine, EagerReusesFootprintImmediately)
+{
+    MemoryModel mm(hardwareConfig(RevokePolicy::Eager));
+    PointerValue p = mm.allocateRegion("a", 32, 16).value();
+    uint64_t base = p.address();
+    ASSERT_TRUE(mm.kill({}, true, p).ok());
+    PointerValue q = mm.allocateRegion("b", 32, 16).value();
+    EXPECT_EQ(q.address(), base);
+}
+
+TEST(RevocationEngine, DoubleFreeOfQuarantinedRegionIsUb)
+{
+    MemoryModel mm(hardwareConfig(RevokePolicy::Quarantine));
+    PointerValue p = mm.allocateRegion("a", 32, 16).value();
+    ASSERT_TRUE(mm.kill({}, true, p).ok());
+    auto r = mm.kill({}, true, p);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().ub, Ub::DoubleFree);
+}
+
+TEST(RevocationEngine, ReallocOfQuarantinedPointerIsUb)
+{
+    MemoryModel mm(hardwareConfig(RevokePolicy::Quarantine));
+    PointerValue p = mm.allocateRegion("a", 32, 16).value();
+    ASSERT_TRUE(mm.kill({}, true, p).ok());
+    auto r = mm.reallocRegion({}, p, 64);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().ub, Ub::DoubleFree);
+}
+
+TEST(RevocationEngine, QuarantinedAllocationIsDeadUnderProvenance)
+{
+    // Reference-style checks + quarantine: the allocation dies at
+    // free() even though its stale capability keeps its tag until
+    // the epoch sweep — only the tag-clearing is deferred, never
+    // the liveness semantics.
+    MemoryModel::Config cfg; // provenance + ghost state on
+    cfg.revoke.policy = RevokePolicy::Quarantine;
+    MemoryModel mm(cfg);
+
+    PointerValue p = mm.allocateRegion("a", 32, 16).value();
+    auto w = mm.store({}, intType(IntKind::Int), p,
+                      MemValue(IntegerValue::ofNum(IntKind::Int, 7)));
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(mm.kill({}, true, p).ok());
+
+    EXPECT_TRUE(p.cap->tag()) << "value copy keeps its tag";
+    auto r = mm.load({}, intType(IntKind::Int), p);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().ub, Ub::AccessDeadAllocation);
+}
+
+TEST(RevocationEngine, ExitWithNonEmptyQuarantineIsSafe)
+{
+    // A program may exit while frees are still quarantined; model
+    // teardown must not sweep, release, or crash.
+    auto mm = std::make_unique<MemoryModel>(
+        hardwareConfig(RevokePolicy::Manual));
+    Stash s(*mm);
+    ASSERT_TRUE(mm->kill({}, true, s.victim).ok());
+    EXPECT_EQ(mm->stats().revoke.pendingRegions, 1u);
+    mm.reset(); // destructor with a non-empty quarantine
+}
+
+TEST(RevocationEngine, ZeroSizeRegionQuarantinesSafely)
+{
+    MemoryModel mm(hardwareConfig(RevokePolicy::Quarantine));
+    PointerValue p = mm.allocateRegion("z", 0, 16).value();
+    uint64_t base = p.address();
+    ASSERT_TRUE(mm.kill({}, true, p).ok());
+    // The 1-byte footprint is quarantined; the sweep revokes nothing
+    // (no capability can point *into* a zero-size region).
+    EXPECT_TRUE(mm.revoker()->quarantined(base));
+    EXPECT_EQ(mm.flushQuarantine(), 0u);
+    EXPECT_FALSE(mm.revoker()->quarantined(base));
+}
+
+TEST(RevocationEngine, FlushQuarantineIsNoOpWhenOffOrEmpty)
+{
+    MemoryModel off{MemoryModel::Config{}};
+    EXPECT_EQ(off.revoker(), nullptr);
+    EXPECT_EQ(off.flushQuarantine(), 0u);
+
+    MemoryModel mm(hardwareConfig(RevokePolicy::Quarantine));
+    EXPECT_EQ(mm.flushQuarantine(), 0u);
+    EXPECT_EQ(mm.stats().revoke.sweeps, 0u) << "empty flush: no epoch";
+}
+
+TEST(RevocationEngine, BatchedSweepRevokesAcrossAllRegions)
+{
+    // Several quarantined regions, one stashed capability into each:
+    // a single epoch must clear them all and release every footprint.
+    MemoryModel mm(hardwareConfig(RevokePolicy::Manual));
+    auto pp = pointerTo(intType(IntKind::Int));
+    std::vector<PointerValue> victims, holders;
+    for (int i = 0; i < 4; ++i) {
+        victims.push_back(mm.allocateRegion("v", 32, 16).value());
+        holders.push_back(mm.allocateRegion("h", 16, 16).value());
+        ASSERT_TRUE(
+            mm.store({}, pp, holders.back(), MemValue(victims.back()))
+                .ok());
+    }
+    for (PointerValue &v : victims)
+        ASSERT_TRUE(mm.kill({}, true, v).ok());
+    for (PointerValue &h : holders)
+        EXPECT_TRUE(mm.peekCapMeta(h.address()).tag);
+
+    EXPECT_EQ(mm.flushQuarantine(), 4u);
+    for (PointerValue &h : holders)
+        EXPECT_FALSE(mm.peekCapMeta(h.address()).tag);
+    EXPECT_EQ(mm.stats().revoke.sweeps, 1u);
+    EXPECT_EQ(mm.stats().revoke.regionsFlushed, 4u);
+    EXPECT_EQ(mm.stats().revoke.tagsRevoked, 4u);
+    EXPECT_EQ(mm.stats().hardTagInvalidations, 4u);
+}
+
+} // namespace
+} // namespace cherisem::mem

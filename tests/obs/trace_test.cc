@@ -273,7 +273,7 @@ TEST(ModelEmission, RevocationSweepWitnessed)
     MemoryModel::Config cfg;
     cfg.ghostState = false;
     cfg.checkProvenance = false;
-    cfg.revokeOnFree = true;
+    cfg.revoke.policy = revoke::RevokePolicy::Eager;
     cfg.traceSink = &ring;
     MemoryModel mm(cfg);
 
@@ -290,6 +290,49 @@ TEST(ModelEmission, RevocationSweepWitnessed)
         filterKind(s, EventKind::RevokeSweep);
     ASSERT_EQ(sweeps.size(), 1u);
     EXPECT_EQ(sweeps[0].a, 1u) << "one capability revoked";
+    std::vector<TraceEvent> clears =
+        filterKind(s, EventKind::TagClear);
+    ASSERT_EQ(clears.size(), 1u);
+    EXPECT_EQ(clears[0].label, "revoke");
+    EXPECT_EQ(clears[0].addr, holder.address());
+}
+
+TEST(ModelEmission, QuarantineAndBatchedSweepWitnessed)
+{
+    RingBufferSink ring;
+    MemoryModel::Config cfg;
+    cfg.ghostState = false;
+    cfg.checkProvenance = false;
+    cfg.revoke.policy = revoke::RevokePolicy::Manual;
+    cfg.traceSink = &ring;
+    MemoryModel mm(cfg);
+
+    auto pp = pointerTo(intType(IntKind::Int));
+    PointerValue victim = mm.allocateRegion("victim", 32, 16).value();
+    PointerValue holder = mm.allocateRegion("holder", 16, 16).value();
+    ASSERT_TRUE(mm.store({}, pp, holder, MemValue(victim)).ok());
+    ASSERT_TRUE(mm.kill({}, true, victim).ok());
+
+    // Deferred policy: the free is witnessed as a Quarantine event,
+    // with no sweep or tag-clear yet.
+    std::vector<TraceEvent> s = ring.snapshot();
+    std::vector<TraceEvent> quar =
+        filterKind(s, EventKind::Quarantine);
+    ASSERT_EQ(quar.size(), 1u);
+    EXPECT_EQ(quar[0].addr, victim.address());
+    EXPECT_EQ(quar[0].size, 32u);
+    EXPECT_EQ(quar[0].b, 1u) << "quarantine occupancy after enqueue";
+    EXPECT_TRUE(filterKind(s, EventKind::RevokeSweep).empty());
+    EXPECT_TRUE(filterKind(s, EventKind::TagClear).empty());
+
+    // The explicit epoch emits the TagClear and one RevokeSweep.
+    EXPECT_EQ(mm.flushQuarantine(), 1u);
+    s = ring.snapshot();
+    std::vector<TraceEvent> sweeps =
+        filterKind(s, EventKind::RevokeSweep);
+    ASSERT_EQ(sweeps.size(), 1u);
+    EXPECT_EQ(sweeps[0].a, 1u) << "one capability revoked";
+    EXPECT_EQ(sweeps[0].b, 1u) << "one region flushed";
     std::vector<TraceEvent> clears =
         filterKind(s, EventKind::TagClear);
     ASSERT_EQ(clears.size(), 1u);

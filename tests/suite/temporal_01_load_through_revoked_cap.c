@@ -1,0 +1,22 @@
+// @CATEGORY: Temporal safety: revocation of stale capabilities after free
+// @EXPECT: ub UB_access_dead_allocation
+// @EXPECT[clang-morello-O0]: exit 41
+// @EXPECT[cheriot-temporal]: ub UB_CHERI_InvalidCap
+// @EXPECT[cheriot-temporal-quarantine]: ub UB_CHERI_InvalidCap
+// A capability stashed in the heap outlives its allocation.  The
+// reference semantics flags the dead access abstractly; plain
+// hardware reads the stale bytes; both revocation policies have
+// cleared the stashed tag by the time it is used — eagerly at
+// free(), or during the epoch sweep the 8 KiB churn forces the
+// quarantine (4 KiB threshold) to run (s3.10, s5.4).
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    int **box = malloc(sizeof(int *));
+    *p = 41;
+    *box = p;
+    free(p);
+    free(malloc(8192));
+    int *stale = *box;
+    return *stale;
+}

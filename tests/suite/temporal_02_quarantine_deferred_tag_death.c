@@ -1,0 +1,22 @@
+// @CATEGORY: Temporal safety: revocation of stale capabilities after free
+// @EXPECT: exit 11
+// @EXPECT[clang-morello-O0]: exit 11
+// @EXPECT[cheriot-temporal]: exit 0
+// @EXPECT[cheriot-temporal-quarantine]: exit 10
+// When stale tags die is the eager-vs-quarantine axis, observed via
+// cheri_tag_get (holding a stale capability is never UB, s3.11): no
+// revocation keeps the tag alive throughout (11); eager kills it at
+// free() (0); quarantine keeps it until the 8 KiB churn triggers an
+// epoch sweep between the two probes (10).
+#include <stdlib.h>
+#include <cheriintrin.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    int **box = malloc(sizeof(int *));
+    *box = p;
+    free(p);
+    int before = cheri_tag_get(*box);
+    free(malloc(8192));
+    int after = cheri_tag_get(*box);
+    return before * 10 + after;
+}

@@ -1,0 +1,25 @@
+// @CATEGORY: Temporal safety: revocation of stale capabilities after free
+// @EXPECT: exit 10
+// @EXPECT[clang-morello-O0]: exit 10
+// @EXPECT[cheriot-temporal]: exit 10
+// @EXPECT[cheriot-temporal-quarantine]: exit 1
+// A quarantined footprint must not be handed out again until it has
+// been swept.  Without a quarantine the first-fit allocator reuses
+// the freed address immediately (early=1, and the later malloc is
+// served from the 8 KiB block instead: late=0 -> 10).  Under
+// quarantine the early malloc gets a fresh address (early=0); the
+// 8 KiB churn triggers the epoch sweep that releases the footprint,
+// so the late malloc reuses it (late=1 -> 1).
+#include <stdlib.h>
+#include <stdint.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    uintptr_t old = (uintptr_t)p;
+    free(p);
+    int *q = malloc(sizeof(int));
+    int early = (uintptr_t)q == old;
+    free(malloc(8192));
+    int *r = malloc(sizeof(int));
+    int late = (uintptr_t)r == old;
+    return early * 10 + late;
+}
