@@ -5,8 +5,9 @@
  * report divergences as JSONL.
  *
  *   cherisem_fuzz [--seeds A..B] [--allow-ub] [--stmts N]
- *                 [--profiles a,b,c] [--no-cross] [--shrink]
- *                 [--report PATH] [--print-seed N] [--quiet]
+ *                 [--profiles a,b,c] [--no-cross] [--no-engines]
+ *                 [--shrink] [--report PATH] [--print-seed N]
+ *                 [--quiet]
  *
  *   --seeds A..B    inclusive seed range (default 0..100)
  *   --allow-ub      generate the UB-allowed corpus instead of the
@@ -15,6 +16,7 @@
  *   --profiles ...  restrict the grid to these profiles
  *   --no-cross      skip the cross-profile comparisons (backend
  *                   Map-vs-Paged grid only)
+ *   --no-engines    skip the tree-vs-bytecode engine comparisons
  *   --shrink        delta-debug every hard failure before reporting
  *   --report PATH   append one JSON line per divergence to PATH
  *   --print-seed N  print the generated program for seed N and exit
@@ -44,9 +46,9 @@ usage()
             "usage: cherisem_fuzz [--seeds A..B] [--allow-ub] "
             "[--stmts N]\n"
             "                     [--profiles a,b,c] [--no-cross] "
-            "[--shrink]\n"
-            "                     [--report PATH] [--print-seed N] "
-            "[--quiet]\n");
+            "[--no-engines]\n"
+            "                     [--shrink] [--report PATH] "
+            "[--print-seed N] [--quiet]\n");
     return 2;
 }
 
@@ -115,6 +117,8 @@ main(int argc, char **argv)
             runner.profiles = splitCommas(next("--profiles"));
         } else if (a == "--no-cross") {
             runner.crossProfiles = false;
+        } else if (a == "--no-engines") {
+            runner.engineAxis = false;
         } else if (a == "--shrink") {
             shrink = true;
         } else if (a == "--report") {

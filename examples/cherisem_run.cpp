@@ -5,7 +5,8 @@
  * executable semantics, section 7).
  *
  *   cherisem_run file.c [--profile NAME] [--all] [--stats]
- *                       [--trace=<sink>[:<arg>]]
+ *                       [--engine tree|bytecode] [--bench-repeat N]
+ *                       [--dump-bytecode] [--trace=<sink>[:<arg>]]
  *
  * Trace sinks (the execution-witness subsystem, src/obs/):
  *
@@ -14,20 +15,118 @@
  *   --trace=jsonl:PATH    stream events to PATH, one JSON per line
  *   --trace=chrome:PATH   write a Chrome trace_event file; open it
  *                         in chrome://tracing or ui.perfetto.dev
+ *
+ * Engine selection (--engine) picks the tree-walking oracle or the
+ * bytecode VM; both produce bit-identical outcomes and witness
+ * streams.  --bench-repeat compiles once and re-runs evaluation N
+ * times, reporting the minimum (the fair compile-once/run-many
+ * comparison).  --dump-bytecode prints the compiled program's
+ * disassembly instead of running it.
  */
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
+#include "corelang/bytecode.h"
+#include "corelang/machine.h"
+#include "corelang/vm.h"
 #include "driver/interpreter.h"
+#include "frontend/parser.h"
 #include "obs/sinks.h"
+#include "sema/sema.h"
 
 using namespace cherisem::driver;
 namespace obs = cherisem::obs;
+namespace corelang = cherisem::corelang;
 
 namespace {
+
+/** Parse/analyse/optimise under @p p; false (with a message on
+ *  stderr) on a frontend error.  The bench and dump modes need the
+ *  Core program itself, which runSource() never exposes. */
+bool
+compileFrontend(const std::string &src, const Profile &p,
+                const std::string &file,
+                std::optional<cherisem::sema::Program> *out)
+{
+    try {
+        cherisem::frontend::TranslationUnit unit =
+            cherisem::frontend::parse(src, file);
+        cherisem::ctype::MachineLayout machine{
+            p.memConfig.arch->capSize(),
+            p.memConfig.arch->addrBits() / 8};
+        out->emplace(
+            cherisem::sema::analyze(std::move(unit), machine));
+        corelang::optimize(**out, p.optims);
+    } catch (const cherisem::frontend::FrontendError &e) {
+        fprintf(stderr, "%s: %s\n", file.c_str(), e.str().c_str());
+        return false;
+    } catch (const cherisem::sema::SemaError &e) {
+        fprintf(stderr, "%s: %s\n", file.c_str(), e.str().c_str());
+        return false;
+    }
+    return true;
+}
+
+/** --dump-bytecode: compile and print, don't run. */
+int
+dumpBytecode(const std::string &src, const Profile &p,
+             const std::string &file)
+{
+    std::optional<cherisem::sema::Program> prog;
+    if (!compileFrontend(src, p, file, &prog))
+        return 2;
+    corelang::BytecodeModule m = corelang::compileProgram(*prog);
+    printf("%s", corelang::disassemble(m, *prog).c_str());
+    return 0;
+}
+
+/** --bench-repeat N: compile once, evaluate N times, report the
+ *  minimum evaluation time (matching bench/micro_interp.cpp). */
+int
+benchRepeat(const std::string &src, Profile p,
+            const std::string &file, int reps)
+{
+    std::optional<cherisem::sema::Program> prog;
+    if (!compileFrontend(src, p, file, &prog))
+        return 2;
+    corelang::EvalOptions opts = p.evalOptions();
+    corelang::BytecodeModule module;
+    if (opts.engine == corelang::Engine::Bytecode)
+        module = corelang::compileProgram(*prog);
+    corelang::Outcome outcome;
+    uint64_t minNs = ~0ull, totalNs = 0;
+    for (int i = 0; i < reps; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        if (opts.engine == corelang::Engine::Bytecode) {
+            corelang::Vm vm(*prog, opts, &module);
+            outcome = vm.run();
+        } else {
+            corelang::Machine machine(*prog, opts);
+            outcome = machine.run();
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        uint64_t ns = (uint64_t)std::chrono::duration_cast<
+                          std::chrono::nanoseconds>(t1 - t0)
+                          .count();
+        minNs = ns < minNs ? ns : minNs;
+        totalNs += ns;
+    }
+    printf("[%s/%s] %s\n", p.name.c_str(),
+           corelang::engineName(opts.engine),
+           outcome.summary().c_str());
+    printf("  reps=%d eval-min=%lluns eval-mean=%lluns\n", reps,
+           (unsigned long long)minNs,
+           (unsigned long long)(totalNs / (uint64_t)reps));
+    return outcome.kind == corelang::Outcome::Kind::Exit
+               ? outcome.exitCode
+               : 1;
+}
 
 int
 runOne(const std::string &src, Profile p, const std::string &file,
@@ -97,13 +196,26 @@ main(int argc, char **argv)
     std::string file;
     std::string profile = "cerberus";
     std::string traceSpec;
+    std::string engineName;
     bool all = false;
     bool verbose = false;
+    bool dump = false;
+    int benchReps = 0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--profile") && i + 1 < argc) {
             profile = argv[++i];
         } else if (!std::strcmp(argv[i], "--all")) {
             all = true;
+        } else if (!std::strcmp(argv[i], "--engine") &&
+                   i + 1 < argc) {
+            engineName = argv[++i];
+        } else if (!std::strncmp(argv[i], "--engine=", 9)) {
+            engineName = argv[i] + 9;
+        } else if (!std::strcmp(argv[i], "--bench-repeat") &&
+                   i + 1 < argc) {
+            benchReps = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--dump-bytecode")) {
+            dump = true;
         } else if (!std::strcmp(argv[i], "--trace") ||
                    !std::strcmp(argv[i], "--stats")) {
             // Bare --trace is kept as the old stats-only spelling.
@@ -122,7 +234,18 @@ main(int argc, char **argv)
     if (file.empty()) {
         fprintf(stderr,
                 "usage: cherisem_run file.c [--profile NAME] [--all] "
-                "[--stats] [--trace=<sink>[:<arg>]] [--list]\n");
+                "[--engine tree|bytecode] [--bench-repeat N] "
+                "[--dump-bytecode] [--stats] "
+                "[--trace=<sink>[:<arg>]] [--list]\n");
+        return 2;
+    }
+    corelang::Engine engine = corelang::Engine::Tree;
+    bool haveEngine = !engineName.empty();
+    if (haveEngine &&
+        !corelang::parseEngine(engineName, &engine)) {
+        fprintf(stderr,
+                "unknown engine %s (want tree or bytecode)\n",
+                engineName.c_str());
         return 2;
     }
     std::ifstream in(file);
@@ -145,16 +268,27 @@ main(int argc, char **argv)
 
     int rc = 0;
     if (all) {
-        for (const Profile &p : allProfiles())
+        for (Profile p : allProfiles()) {
+            if (haveEngine)
+                p.engine = engine;
             rc = runOne(ss.str(), p, file, verbose, sink.get());
+        }
     } else {
-        const Profile *p = findProfile(profile);
-        if (!p) {
+        const Profile *found = findProfile(profile);
+        if (!found) {
             fprintf(stderr, "unknown profile %s (try --list)\n",
                     profile.c_str());
             return 2;
         }
-        rc = runOne(ss.str(), *p, file, verbose, sink.get());
+        Profile p = *found;
+        if (haveEngine)
+            p.engine = engine;
+        if (dump)
+            rc = dumpBytecode(ss.str(), p, file);
+        else if (benchReps > 0)
+            rc = benchRepeat(ss.str(), p, file, benchReps);
+        else
+            rc = runOne(ss.str(), p, file, verbose, sink.get());
     }
     if (sink)
         sink->flush();

@@ -1,0 +1,933 @@
+/**
+ * @file
+ * The bytecode compiler: one pass over each function body, mirroring
+ * the tree walker's evaluation order instruction by instruction.
+ *
+ * Step accounting: the tree walker calls step() on entry to every
+ * evalExpr / evalLValue / execStmt and once per loop iteration.  The
+ * compiler accumulates those charges in `pending_` and attaches them
+ * to the next emitted instruction (`Instr::n`), flushing into an
+ * explicit Step instruction at control-flow joins so a charge is
+ * never attributed across a branch.  Fallback instructions (TreeStmt
+ * / TreeExpr / TreeLValue / InitTree / AllocStatic) charge nothing
+ * for the node itself — the tree walker they invoke does its own
+ * accounting — so the total is exact by construction.
+ *
+ * Name resolution: locals resolve to frame slots at compile time
+ * (the innermost lexical declarator — identical to what the runtime
+ * scope walk would find, since the current frame's scopes sit on top
+ * of the dynamic chain).  Anything else stays a named instruction
+ * that performs the tree walker's own dynamic lookup() at runtime,
+ * preserving its exact behaviour — including the cross-frame
+ * shadowing quirk for globals and the direct-call `!lookup(name)`
+ * guard.
+ */
+#include "corelang/bytecode.h"
+
+#include <cassert>
+#include <map>
+
+#include "support/format.h"
+
+namespace cherisem::corelang {
+
+using frontend::BinOp;
+using frontend::Expr;
+using frontend::Stmt;
+using frontend::UnOp;
+
+namespace {
+
+/** One open lexical scope during compilation. */
+struct CScope
+{
+    /** The Block/For/... statement whose loc popScope charges; the
+     *  function-level (parameter) scope has no owner and is popped
+     *  by callFunction, not by compiled code. */
+    const Stmt *owner = nullptr;
+    std::map<std::string, uint16_t> slots;
+};
+
+/** An enclosing loop during compilation. */
+struct CLoop
+{
+    /** Scope depth at the loop body (break/continue pop deeper). */
+    size_t scopeDepth = 0;
+    /** Continue target pc (known up front for While; bound after
+     *  the body for DoWhile/For, whose continues jump forward). */
+    uint32_t contPc = kNoTarget;
+    /** Forward patches waiting for the break target. */
+    std::vector<uint32_t> breakPatches;
+    /** Forward patches waiting for the continue target. */
+    std::vector<uint32_t> contPatches;
+};
+
+class FnCompiler
+{
+  public:
+    FnCompiler(const sema::Program &prog) : prog_(prog) {}
+
+    Chunk
+    compile(const frontend::FunctionDef &fn)
+    {
+        scopes_.push_back(CScope{}); // parameter scope
+        for (size_t i = 0; i < fn.type->params.size(); ++i) {
+            uint16_t slot = newSlot();
+            if (i < fn.paramNames.size() && !fn.paramNames[i].empty())
+                scopes_.back().slots[fn.paramNames[i]] = slot;
+        }
+        compileStmt(*fn.body);
+        flushPending(&fn.body->loc);
+        emit(Op::Halt, fn.body.get(), &fn.body->loc);
+        assert(scopes_.size() == 1 && "unbalanced compile scopes");
+        ch_.numSlots = nextSlot_;
+        return std::move(ch_);
+    }
+
+  private:
+    const sema::Program &prog_;
+    Chunk ch_;
+    std::vector<CScope> scopes_;
+    std::vector<CLoop> loops_;
+    /** Pending step charges (one loc per charge, tree-walk order),
+     *  attached to the next emitted instruction. */
+    std::vector<const SourceLoc *> pending_;
+    uint16_t nextSlot_ = 0;
+
+    uint16_t
+    newSlot()
+    {
+        assert(nextSlot_ < 0xffff);
+        return nextSlot_++;
+    }
+
+    /** Innermost compile-time slot for @p name, or -1. */
+    int
+    findSlot(const std::string &name) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto f = it->slots.find(name);
+            if (f != it->slots.end())
+                return f->second;
+        }
+        return -1;
+    }
+
+    // ---- emission ----
+
+    /** Record one step charge at @p loc (what the tree walker's
+     *  step(loc) would do at the same point). */
+    void
+    charge(const SourceLoc &loc)
+    {
+        pending_.push_back(&loc);
+    }
+
+    void
+    uncharge()
+    {
+        pending_.pop_back();
+    }
+
+    uint32_t
+    emit(Op op, const void *p, const SourceLoc *loc, uint16_t a = 0,
+         uint32_t b = 0)
+    {
+        // The step charges ride on the next instruction; charges
+        // above the field's range (255 nested single-instruction
+        // nodes) spill into explicit Step instructions.
+        while (pending_.size() > 255) {
+            Instr st;
+            st.op = Op::Step;
+            st.n = 255;
+            st.p = p;
+            st.loc = loc;
+            uint32_t pc = here();
+            ch_.code.push_back(st);
+            ch_.stepLocs[pc].assign(pending_.begin(),
+                                    pending_.begin() + 255);
+            pending_.erase(pending_.begin(),
+                           pending_.begin() + 255);
+        }
+        Instr in;
+        in.op = op;
+        in.n = static_cast<uint8_t>(pending_.size());
+        in.a = a;
+        in.b = b;
+        in.p = p;
+        in.loc = loc;
+        uint32_t pc = here();
+        if (!pending_.empty()) {
+            ch_.stepLocs[pc] = std::move(pending_);
+            pending_.clear();
+        }
+        ch_.code.push_back(in);
+        return pc;
+    }
+
+    /** Emit any pending step charges as an explicit Step so they
+     *  cannot leak across a label or jump. */
+    void
+    flushPending(const SourceLoc *loc)
+    {
+        if (!pending_.empty())
+            emit(Op::Step, nullptr, loc);
+    }
+
+    uint32_t
+    here() const
+    {
+        return static_cast<uint32_t>(ch_.code.size());
+    }
+
+    /** Emit a forward jump; returns the patch index. */
+    uint32_t
+    emitJump(Op op, const void *p, const SourceLoc *loc)
+    {
+        return emit(op, p, loc, 0, kNoTarget);
+    }
+
+    void
+    patch(uint32_t at, uint32_t target)
+    {
+        ch_.code[at].b = target;
+    }
+
+    uint16_t
+    addType(ctype::TypeRef t)
+    {
+        ch_.types.push_back(std::move(t));
+        assert(ch_.types.size() <= 0xffff);
+        return static_cast<uint16_t>(ch_.types.size() - 1);
+    }
+
+    uint32_t
+    addCall(CallInfo ci)
+    {
+        ch_.calls.push_back(std::move(ci));
+        return static_cast<uint32_t>(ch_.calls.size() - 1);
+    }
+
+    // ---- scope bookkeeping ----
+
+    void
+    openScope(const Stmt *owner)
+    {
+        scopes_.push_back(CScope{});
+        scopes_.back().owner = owner;
+    }
+
+    void
+    closeScope()
+    {
+        scopes_.pop_back();
+    }
+
+    /** Emit PopScope for every scope strictly deeper than @p depth
+     *  (innermost first), charging each pop to its owner's loc —
+     *  the order and locations the tree walker produces when a
+     *  Break/Continue/Return flow unwinds through nested blocks. */
+    void
+    emitScopeUnwind(size_t depth)
+    {
+        for (size_t i = scopes_.size(); i-- > depth;) {
+            const Stmt *owner = scopes_[i].owner;
+            assert(owner && "cannot unwind the parameter scope");
+            emit(Op::PopScope, owner, &owner->loc);
+        }
+    }
+
+    /** The function's return path from the current position: store
+     *  the value (already on the stack when @p has_value), unwind
+     *  every open scope, halt. */
+    void
+    emitReturnPath(bool has_value, const Stmt *s)
+    {
+        if (has_value)
+            emit(Op::StoreRet, s, &s->loc);
+        emitScopeUnwind(1);
+        emit(Op::Halt, s, &s->loc);
+    }
+
+    // ---- expressions ----
+
+    void
+    compileExpr(const Expr &e)
+    {
+        charge(e.loc); // evalExpr entry step
+        switch (e.kind) {
+          case Expr::Kind::IntLit:
+            emit(Op::PushInt, &e, &e.loc);
+            return;
+          case Expr::Kind::FloatLit:
+            emit(Op::PushFloat, &e, &e.loc);
+            return;
+          case Expr::Kind::StringLit:
+            // Whole-array load of the literal object (rare; decay
+            // is the common shape and goes through Cast below).
+            emit(Op::PlaceString, &e, &e.loc);
+            emit(Op::LoadAt, &e, &e.loc);
+            return;
+          case Expr::Kind::Ident:
+            if (e.isEnumConst) {
+                emit(Op::PushEnum, &e, &e.loc);
+                return;
+            }
+            if (int slot = findSlot(e.text); slot >= 0) {
+                emit(Op::LoadSlot, &e, &e.loc,
+                     static_cast<uint16_t>(slot));
+                return;
+            }
+            emit(Op::LoadNamed, &e, &e.loc);
+            return;
+          case Expr::Kind::Unary:
+            compileUnary(e);
+            return;
+          case Expr::Kind::Binary:
+            compileBinary(e);
+            return;
+          case Expr::Kind::Assign:
+            compileAssign(e);
+            return;
+          case Expr::Kind::Cond: {
+            compileExpr(*e.cond);
+            uint32_t to_else =
+                emitJump(Op::BrFalse, &e, &e.cond->loc);
+            compileExpr(*e.lhs);
+            uint32_t to_end = emitJump(Op::Jmp, &e, &e.loc);
+            patch(to_else, here());
+            compileExpr(*e.rhs);
+            patch(to_end, here());
+            return;
+          }
+          case Expr::Kind::Cast:
+            compileCast(e);
+            return;
+          case Expr::Kind::Call:
+            compileCall(e);
+            return;
+          case Expr::Kind::Index:
+          case Expr::Kind::Member:
+            // Rvalue load through the lvalue path: the tree walker
+            // charges both the evalExpr and the evalLValue entry.
+            compileLValue(e);
+            emit(Op::LoadAt, &e, &e.loc);
+            return;
+          case Expr::Kind::SizeofExpr:
+          case Expr::Kind::SizeofType:
+          case Expr::Kind::AlignofType:
+          case Expr::Kind::OffsetOf:
+            emit(Op::PushMeta, &e, &e.loc);
+            return;
+        }
+        // Unknown shape: let the tree walker handle (and charge) it.
+        uncharge();
+        emit(Op::TreeExpr, &e, &e.loc);
+    }
+
+    void
+    compileUnary(const Expr &e)
+    {
+        switch (e.unop) {
+          case UnOp::Deref:
+            compileExpr(*e.lhs);
+            if (!e.type->isFunction())
+                emit(Op::LoadDeref, &e, &e.loc);
+            return;
+          case UnOp::AddrOf:
+            if (e.lhs->type->isFunction()) {
+                if (e.lhs->kind == Expr::Kind::Ident) {
+                    auto fi =
+                        prog_.functionIndex.find(e.lhs->text);
+                    if (fi != prog_.functionIndex.end()) {
+                        emit(Op::PushFunc, &e, &e.loc, 0,
+                             fi->second);
+                        return;
+                    }
+                }
+                compileExpr(*e.lhs);
+                return;
+            }
+            // &lvalue: the place itself is the value.
+            compileLValue(*e.lhs);
+            return;
+          case UnOp::Plus:
+          case UnOp::Minus:
+          case UnOp::BitNot:
+          case UnOp::LogNot:
+            compileExpr(*e.lhs);
+            emit(Op::UnaryOp, &e, &e.loc);
+            return;
+          case UnOp::PreInc:
+          case UnOp::PreDec:
+          case UnOp::PostInc:
+          case UnOp::PostDec: {
+            bool pre = e.unop == UnOp::PreInc ||
+                e.unop == UnOp::PreDec;
+            compileLValue(*e.lhs);
+            uint16_t ty =
+                addType(ctype::withConst(e.lhs->type, false));
+            emit(Op::IncDec, &e, &e.loc, pre ? 1 : 0, ty);
+            return;
+          }
+        }
+        uncharge();
+        emit(Op::TreeExpr, &e, &e.loc);
+    }
+
+    void
+    compileBinary(const Expr &e)
+    {
+        switch (e.binop) {
+          case BinOp::LogAnd: {
+            compileExpr(*e.lhs);
+            uint32_t to_false = emitJump(Op::BrFalse, &e, &e.loc);
+            compileExpr(*e.rhs);
+            emit(Op::Truthy01, &e, &e.loc);
+            uint32_t to_end = emitJump(Op::Jmp, &e, &e.loc);
+            patch(to_false, here());
+            emit(Op::PushIntK, &e, &e.loc, 0);
+            patch(to_end, here());
+            return;
+          }
+          case BinOp::LogOr: {
+            compileExpr(*e.lhs);
+            uint32_t to_true = emitJump(Op::BrTrue, &e, &e.loc);
+            compileExpr(*e.rhs);
+            emit(Op::Truthy01, &e, &e.loc);
+            uint32_t to_end = emitJump(Op::Jmp, &e, &e.loc);
+            patch(to_true, here());
+            emit(Op::PushIntK, &e, &e.loc, 1);
+            patch(to_end, here());
+            return;
+          }
+          case BinOp::Comma:
+            compileExpr(*e.lhs);
+            emit(Op::Pop, &e, &e.loc);
+            compileExpr(*e.rhs);
+            return;
+          default:
+            compileExpr(*e.lhs);
+            compileExpr(*e.rhs);
+            emit(Op::BinaryOp, &e, &e.loc);
+            return;
+        }
+    }
+
+    void
+    compileAssign(const Expr &e)
+    {
+        compileLValue(*e.lhs);
+        uint16_t ty = addType(ctype::withConst(e.lhs->type, false));
+        if (e.binop == BinOp::Comma) { // plain '='
+            compileExpr(*e.rhs);
+            emit(Op::StorePlain, &e, &e.loc, 0, ty);
+            return;
+        }
+        // Compound: the old value loads BEFORE the rhs evaluates.
+        emit(Op::CompLoad, &e, &e.loc, 0, ty);
+        compileExpr(*e.rhs);
+        emit(Op::CompStore, &e, &e.loc, 0, ty);
+    }
+
+    void
+    compileCast(const Expr &e)
+    {
+        const ctype::TypeRef &from = e.lhs->type;
+        if (from->isArray()) {
+            compileLValue(*e.lhs);
+            emit(Op::Decay, &e, &e.loc);
+            return;
+        }
+        if (from->isFunction()) {
+            compileExpr(*e.lhs);
+            return;
+        }
+        compileExpr(*e.lhs);
+        emit(Op::CastOp, &e, &e.loc);
+    }
+
+    void
+    compileCall(const Expr &e)
+    {
+        if (e.builtinId >= 0) {
+            // The Intrinsic witness event precedes argument
+            // evaluation — part of the trace contract.
+            emit(Op::BuiltinPre, &e, &e.loc);
+            for (const auto &a : e.args)
+                compileExpr(*a);
+            emit(Op::BuiltinCall, &e, &e.loc,
+                 static_cast<uint16_t>(e.args.size()));
+            return;
+        }
+        CallInfo ci;
+        for (const auto &a : e.args)
+            ci.argTypes.push_back(a->type);
+        uint32_t call = addCall(std::move(ci));
+
+        if (e.lhs->kind == Expr::Kind::Ident &&
+            prog_.functionIndex.count(e.lhs->text) &&
+            findSlot(e.lhs->text) < 0) {
+            // Statically a direct call; CallPrep still re-checks
+            // lookup() at runtime for tree-exact dynamic shadowing.
+            emit(Op::CallPrep, &e, &e.loc);
+        } else {
+            compileExpr(*e.lhs);
+            emit(Op::CallResolve, &e, &e.loc);
+        }
+        for (const auto &a : e.args)
+            compileExpr(*a);
+        emit(Op::CallIndirect, &e, &e.loc,
+             static_cast<uint16_t>(e.args.size()), call);
+    }
+
+    void
+    compileLValue(const Expr &e)
+    {
+        charge(e.loc); // evalLValue entry step
+        switch (e.kind) {
+          case Expr::Kind::Ident:
+            if (int slot = findSlot(e.text); slot >= 0) {
+                emit(Op::PlaceSlot, &e, &e.loc,
+                     static_cast<uint16_t>(slot));
+                return;
+            }
+            emit(Op::PlaceNamed, &e, &e.loc);
+            return;
+          case Expr::Kind::StringLit:
+            emit(Op::PlaceString, &e, &e.loc);
+            return;
+          case Expr::Kind::Unary:
+            if (e.unop == UnOp::Deref) {
+                compileExpr(*e.lhs);
+                emit(Op::PointerOf, &e, &e.loc);
+                return;
+            }
+            break;
+          case Expr::Kind::Index: {
+            const Expr &pe =
+                e.lhs->type->isPointer() ? *e.lhs : *e.rhs;
+            const Expr &ie =
+                e.lhs->type->isPointer() ? *e.rhs : *e.lhs;
+            compileExpr(pe);
+            compileExpr(ie);
+            emit(Op::IndexShift, &e, &e.loc);
+            return;
+          }
+          case Expr::Kind::Member:
+            if (e.isArrow) {
+                compileExpr(*e.lhs);
+                emit(Op::MemberArrow, &e, &e.loc);
+            } else {
+                compileLValue(*e.lhs);
+                emit(Op::MemberDot, &e, &e.loc);
+            }
+            return;
+          default:
+            break;
+        }
+        // Not an lvalue shape: the tree walker raises the identical
+        // internal error at runtime.
+        uncharge();
+        emit(Op::TreeLValue, &e, &e.loc);
+    }
+
+    // ---- statements ----
+
+    void
+    compileStmt(const Stmt &s)
+    {
+        charge(s.loc); // execStmt entry step
+        switch (s.kind) {
+          case Stmt::Kind::Empty:
+            return; // charge rides on whatever comes next
+          case Stmt::Kind::Expr:
+            compileExpr(*s.expr);
+            emit(Op::Pop, &s, &s.loc);
+            return;
+          case Stmt::Kind::Decl:
+            compileDecl(s);
+            return;
+          case Stmt::Kind::Block: {
+            emit(Op::PushScope, &s, &s.loc);
+            openScope(&s);
+            for (const auto &sub : s.body)
+                compileStmt(*sub);
+            flushPending(&s.loc);
+            emit(Op::PopScope, &s, &s.loc);
+            closeScope();
+            return;
+          }
+          case Stmt::Kind::If: {
+            compileExpr(*s.expr);
+            uint32_t to_else =
+                emitJump(Op::BrFalse, &s, &s.expr->loc);
+            compileStmt(*s.thenStmt);
+            if (s.elseStmt) {
+                flushPending(&s.loc);
+                uint32_t to_end = emitJump(Op::Jmp, &s, &s.loc);
+                patch(to_else, here());
+                compileStmt(*s.elseStmt);
+                flushPending(&s.loc);
+                patch(to_end, here());
+            } else {
+                flushPending(&s.loc);
+                patch(to_else, here());
+            }
+            return;
+          }
+          case Stmt::Kind::While: {
+            flushPending(&s.loc);
+            uint32_t top = here();
+            loops_.push_back(CLoop{scopes_.size(), top, {}, {}});
+            charge(s.loc); // per-iteration step
+            compileExpr(*s.expr);
+            uint32_t to_end =
+                emitJump(Op::BrFalse, &s, &s.expr->loc);
+            compileStmt(*s.thenStmt);
+            flushPending(&s.loc);
+            emit(Op::Jmp, &s, &s.loc, 0, top);
+            patch(to_end, here());
+            closeLoop(here());
+            return;
+          }
+          case Stmt::Kind::DoWhile: {
+            flushPending(&s.loc);
+            uint32_t top = here();
+            loops_.push_back(CLoop{scopes_.size(), kNoTarget, {}, {}});
+            charge(s.loc); // per-iteration step
+            compileStmt(*s.thenStmt);
+            flushPending(&s.loc);
+            loops_.back().contPc = here(); // continue -> condition
+            compileExpr(*s.expr);
+            emit(Op::BrTrue, &s, &s.expr->loc, 0, top);
+            closeLoop(here());
+            return;
+          }
+          case Stmt::Kind::For:
+            compileFor(s);
+            return;
+          case Stmt::Kind::Return:
+            if (s.expr) {
+                compileExpr(*s.expr);
+                emitReturnPath(true, &s);
+            } else {
+                emitReturnPath(false, &s);
+            }
+            return;
+          case Stmt::Kind::Break: {
+            assert(!loops_.empty());
+            emitScopeUnwind(loops_.back().scopeDepth);
+            flushPending(&s.loc);
+            loops_.back().breakPatches.push_back(
+                emitJump(Op::Jmp, &s, &s.loc));
+            return;
+          }
+          case Stmt::Kind::Continue: {
+            assert(!loops_.empty());
+            emitScopeUnwind(loops_.back().scopeDepth);
+            flushPending(&s.loc);
+            loops_.back().contPatches.push_back(
+                emitJump(Op::Jmp, &s, &s.loc));
+            return;
+          }
+          case Stmt::Kind::Switch:
+            // Cold construct: tree-walk the whole statement (its
+            // label scan has bespoke step/order semantics), routing
+            // any escaping Flow back into compiled code.
+            compileTreeStmt(s);
+            return;
+        }
+        compileTreeStmt(s);
+    }
+
+    void
+    compileDecl(const Stmt &s)
+    {
+        for (const frontend::VarDecl &d : s.decls) {
+            // The declarator is visible in its own initializer.
+            uint16_t slot = newSlot();
+            scopes_.back().slots[d.name] = slot;
+            if (d.isStatic) {
+                emit(Op::AllocStatic, &d, &d.loc, slot);
+                continue;
+            }
+            emit(Op::Alloc, &d, &d.loc, slot);
+            if (!d.hasInit)
+                continue;
+            if (!d.init.isList && !d.type->isArray()) {
+                // Scalar initializer: compiled expression plus an
+                // initializing store — the storeInitializer fast
+                // shape.
+                compileExpr(*d.init.expr);
+                emit(Op::StoreInit, &d, &d.loc, slot);
+            } else {
+                // Braced lists, string-into-array: tree walker
+                // (identical traversal, including nested evalExpr
+                // step/trace charges).
+                emit(Op::InitTree, &d, &d.loc, slot);
+            }
+        }
+    }
+
+    void
+    compileFor(const Stmt &s)
+    {
+        emit(Op::PushScope, &s, &s.loc);
+        openScope(&s);
+        if (s.forInit)
+            compileStmt(*s.forInit);
+        flushPending(&s.loc);
+        uint32_t top = here();
+        loops_.push_back(CLoop{scopes_.size(), kNoTarget, {}, {}});
+        charge(s.loc); // per-iteration step
+        uint32_t to_end = kNoTarget;
+        if (s.forCond) {
+            compileExpr(*s.forCond);
+            to_end = emitJump(Op::BrFalse, &s, &s.forCond->loc);
+        }
+        compileStmt(*s.thenStmt);
+        flushPending(&s.loc);
+        loops_.back().contPc = here(); // continue -> step expr
+        if (s.forStep) {
+            compileExpr(*s.forStep);
+            emit(Op::Pop, &s, &s.loc);
+        }
+        emit(Op::Jmp, &s, &s.loc, 0, top);
+        if (to_end != kNoTarget)
+            patch(to_end, here());
+        closeLoop(here());
+        emit(Op::PopScope, &s, &s.loc);
+        closeScope();
+    }
+
+    /** Pop the loop context, pointing its break patches at
+     *  @p target and its continue patches at the loop's (by now
+     *  bound) continue pc. */
+    void
+    closeLoop(uint32_t target)
+    {
+        CLoop &l = loops_.back();
+        for (uint32_t at : l.breakPatches)
+            patch(at, target);
+        assert(l.contPatches.empty() || l.contPc != kNoTarget);
+        for (uint32_t at : l.contPatches)
+            patch(at, l.contPc);
+        loops_.pop_back();
+    }
+
+    void
+    compileTreeStmt(const Stmt &s)
+    {
+        uncharge(); // execStmt charges its own entry step
+        FlowRoute route;
+        uint32_t idx = static_cast<uint32_t>(ch_.routes.size());
+        ch_.routes.push_back(route);
+        emit(Op::TreeStmt, &s, &s.loc, 0, idx);
+        uint32_t over = emitJump(Op::Jmp, &s, &s.loc);
+        // Flow stubs: unwind compiled scopes exactly as the tree
+        // walker's Flow propagation would, then rejoin.
+        if (!loops_.empty()) {
+            ch_.routes[idx].brk = here();
+            emitScopeUnwind(loops_.back().scopeDepth);
+            loops_.back().breakPatches.push_back(
+                emitJump(Op::Jmp, &s, &s.loc));
+            ch_.routes[idx].cont = here();
+            emitScopeUnwind(loops_.back().scopeDepth);
+            loops_.back().contPatches.push_back(
+                emitJump(Op::Jmp, &s, &s.loc));
+        }
+        ch_.routes[idx].ret = here();
+        emitScopeUnwind(1);
+        emit(Op::Halt, &s, &s.loc);
+        patch(over, here());
+    }
+};
+
+} // namespace
+
+BytecodeModule
+compileProgram(const sema::Program &prog)
+{
+    BytecodeModule m;
+    m.chunks.resize(prog.unit.functions.size());
+    for (size_t i = 0; i < prog.unit.functions.size(); ++i) {
+        const frontend::FunctionDef &fn = prog.unit.functions[i];
+        if (!fn.body)
+            continue;
+        m.chunks[i] = FnCompiler(prog).compile(fn);
+    }
+    return m;
+}
+
+// ---------------------------------------------------------------------
+// Disassembler.
+// ---------------------------------------------------------------------
+
+namespace {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::PushInt: return "push.int";
+      case Op::PushFloat: return "push.float";
+      case Op::PushEnum: return "push.enum";
+      case Op::PushIntK: return "push.k";
+      case Op::PushMeta: return "push.meta";
+      case Op::PushFunc: return "push.func";
+      case Op::LoadSlot: return "load.slot";
+      case Op::LoadNamed: return "load.named";
+      case Op::LoadAt: return "load.at";
+      case Op::LoadDeref: return "load.deref";
+      case Op::PlaceSlot: return "place.slot";
+      case Op::PlaceNamed: return "place.named";
+      case Op::PlaceString: return "place.string";
+      case Op::PointerOf: return "pointer.of";
+      case Op::Decay: return "decay";
+      case Op::IndexShift: return "index.shift";
+      case Op::MemberDot: return "member.dot";
+      case Op::MemberArrow: return "member.arrow";
+      case Op::UnaryOp: return "unary";
+      case Op::IncDec: return "incdec";
+      case Op::BinaryOp: return "binary";
+      case Op::StorePlain: return "store";
+      case Op::CompLoad: return "comp.load";
+      case Op::CompStore: return "comp.store";
+      case Op::CastOp: return "cast";
+      case Op::Truthy01: return "truthy01";
+      case Op::Pop: return "pop";
+      case Op::Jmp: return "jmp";
+      case Op::BrFalse: return "br.false";
+      case Op::BrTrue: return "br.true";
+      case Op::Step: return "step";
+      case Op::Halt: return "halt";
+      case Op::CallPrep: return "call.prep";
+      case Op::CallResolve: return "call.resolve";
+      case Op::CallIndirect: return "call";
+      case Op::BuiltinPre: return "builtin.pre";
+      case Op::BuiltinCall: return "builtin";
+      case Op::PushScope: return "scope.push";
+      case Op::PopScope: return "scope.pop";
+      case Op::Alloc: return "alloc";
+      case Op::AllocStatic: return "alloc.static";
+      case Op::InitTree: return "init.tree";
+      case Op::StoreInit: return "store.init";
+      case Op::StoreRet: return "store.ret";
+      case Op::TreeStmt: return "tree.stmt";
+      case Op::TreeExpr: return "tree.expr";
+      case Op::TreeLValue: return "tree.lvalue";
+    }
+    return "?";
+}
+
+bool
+hasJumpTarget(Op op)
+{
+    return op == Op::Jmp || op == Op::BrFalse || op == Op::BrTrue;
+}
+
+/** Human anchor for the instruction's AST node. */
+std::string
+note(const Instr &in)
+{
+    switch (in.op) {
+      case Op::PushInt: {
+        const Expr &e = *static_cast<const Expr *>(in.p);
+        return decStr(static_cast<cherisem::int128>(e.intValue));
+      }
+      case Op::PushEnum: {
+        const Expr &e = *static_cast<const Expr *>(in.p);
+        return e.text;
+      }
+      case Op::LoadSlot:
+      case Op::LoadNamed:
+      case Op::PlaceSlot:
+      case Op::PlaceNamed: {
+        const Expr &e = *static_cast<const Expr *>(in.p);
+        return e.text;
+      }
+      case Op::MemberDot:
+      case Op::MemberArrow: {
+        const Expr &e = *static_cast<const Expr *>(in.p);
+        return "." + e.text;
+      }
+      case Op::CallPrep: {
+        const Expr &e = *static_cast<const Expr *>(in.p);
+        return e.lhs->text;
+      }
+      case Op::BuiltinPre:
+      case Op::BuiltinCall: {
+        const Expr &e = *static_cast<const Expr *>(in.p);
+        return e.lhs->text;
+      }
+      case Op::Alloc:
+      case Op::AllocStatic:
+      case Op::InitTree:
+      case Op::StoreInit: {
+        const frontend::VarDecl &d =
+            *static_cast<const frontend::VarDecl *>(in.p);
+        return d.name;
+      }
+      default:
+        return "";
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const BytecodeModule &m, const sema::Program &prog)
+{
+    std::string out;
+    for (size_t f = 0; f < m.chunks.size(); ++f) {
+        const Chunk &ch = m.chunks[f];
+        if (ch.empty())
+            continue;
+        const frontend::FunctionDef &fn = prog.unit.functions[f];
+        out += strPrintf("%s:  ; %u slots, %zu instrs\n",
+                         fn.name.c_str(), ch.numSlots,
+                         ch.code.size());
+        for (size_t pc = 0; pc < ch.code.size(); ++pc) {
+            const Instr &in = ch.code[pc];
+            out += strPrintf("  %4zu  %-12s", pc, opName(in.op));
+            if (in.n)
+                out += strPrintf(" n=%u", in.n);
+            if (in.a)
+                out += strPrintf(" a=%u", in.a);
+            if (hasJumpTarget(in.op)) {
+                out += strPrintf(" -> %u", in.b);
+            } else if (in.op == Op::TreeStmt) {
+                const FlowRoute &r = ch.routes[in.b];
+                out += strPrintf(" routes[brk=%d cont=%d ret=%d]",
+                                 r.brk == kNoTarget
+                                     ? -1
+                                     : static_cast<int>(r.brk),
+                                 r.cont == kNoTarget
+                                     ? -1
+                                     : static_cast<int>(r.cont),
+                                 r.ret == kNoTarget
+                                     ? -1
+                                     : static_cast<int>(r.ret));
+            } else if (in.op == Op::CallIndirect ||
+                       in.op == Op::StorePlain ||
+                       in.op == Op::CompLoad ||
+                       in.op == Op::CompStore ||
+                       in.op == Op::IncDec ||
+                       in.op == Op::PushFunc) {
+                if (in.b)
+                    out += strPrintf(" b=%u", in.b);
+            }
+            std::string nt = note(in);
+            if (!nt.empty())
+                out += "  ; " + nt;
+            if (in.loc && in.loc->isKnown())
+                out += strPrintf("  @%u:%u", in.loc->line,
+                                 in.loc->column);
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace cherisem::corelang

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The Core IR bytecode: a compact register/stack instruction set
+ * compiled once per function from the type-annotated AST, executed by
+ * the VM in vm.{h,cc}.
+ *
+ * Design constraints (DESIGN.md "Bytecode engine"):
+ *
+ *  - *Observational equivalence is compiled in, not checked in.*  The
+ *    instruction stream mirrors the tree walker's evaluation order
+ *    exactly — including the per-node step() accounting, the
+ *    scope-push/pop (object kill) order, the Intrinsic-event-before-
+ *    argument-evaluation contract, and the short-circuit shapes — so
+ *    both engines produce bit-identical outcomes and witness streams.
+ *    Each instruction carries `n`, the number of semantic steps the
+ *    tree walker would have charged on reaching the same point.
+ *  - *Semantic rules are never duplicated.*  Instructions call the
+ *    Machine's own post-operand helpers (binaryOp, castValueOp,
+ *    incDecNext, compoundNext, builtinCall) on operands popped from
+ *    the VM stack; cold constructs (switch dispatch, braced
+ *    initializers) fall back to the tree walker per-statement, and
+ *    any function called from tree-walked fragments re-enters the VM
+ *    through the virtual callFunction seam.
+ *  - *Arena layout.*  A chunk is four flat arrays (POD instructions
+ *    plus index-addressed side tables for types, call signatures and
+ *    flow routes); compiling allocates once per array, and executing
+ *    allocates nothing.  Compile once, run many: a BytecodeModule is
+ *    immutable and shareable across Vm instances (it holds no
+ *    run-scoped state).
+ *
+ * Instruction layout: 24 bytes.  `op` selects the handler, `n` is the
+ * step charge, `a`/`b` are small/large immediate operands (frame slot,
+ * argument count, jump target, side-table index), `p` points at the
+ * originating AST node (Expr/Stmt/VarDecl — the handler knows which),
+ * and `loc` is the source location charged on a step-limit raise.
+ */
+#ifndef CHERISEM_CORELANG_BYTECODE_H
+#define CHERISEM_CORELANG_BYTECODE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sema/sema.h"
+
+namespace cherisem::corelang {
+
+enum class Op : uint8_t
+{
+    // ---- values ----
+    PushInt,     ///< push makeInt(e.loc, e.type->intKind, e.intValue)
+    PushFloat,   ///< push the float literal
+    PushEnum,    ///< push makeInt(e.loc, Int, e.enumValue)
+    PushIntK,    ///< push makeInt(e.loc, Int, a) — short-circuit tails
+    PushMeta,    ///< sizeof/alignof/offsetof constant
+    PushFunc,    ///< push functionPointer(b)
+    LoadSlot,    ///< push load via frame slot a
+    LoadNamed,   ///< dynamic lookup() rvalue (globals/functions)
+    LoadAt,      ///< pop place, push load(e.loc, e.type, place)
+    LoadDeref,   ///< pop value, pointerOf, load (rvalue *p)
+    PlaceSlot,   ///< push frame slot a's place
+    PlaceNamed,  ///< dynamic lookup() lvalue
+    PlaceString, ///< push stringLiteralPlace(e)
+    PointerOf,   ///< pop value, push pointerOf(e.loc, v) (lvalue *p)
+    Decay,       ///< pop place, kind := Object (array decay)
+    IndexShift,  ///< pop index, pop pointer, push arrayShift
+    MemberDot,   ///< pop place, push memberShift (a.m)
+    MemberArrow, ///< pop value, pointerOf, push memberShift (a->m)
+
+    // ---- operators ----
+    UnaryOp,     ///< pop v, push unaryValueOp(e, v)
+    IncDec,      ///< pop place; load/incDecNext/store; a=pre, b=type
+    BinaryOp,    ///< pop rv, lv; push binaryOp(e, lv, rv)
+    StorePlain,  ///< pop v, place; store; push v; b=type
+    CompLoad,    ///< peek place, push load (compound-assign old)
+    CompStore,   ///< pop rv, old, place; compoundNext; store; push
+    CastOp,      ///< pop v, push castValueOp(e, v)
+    Truthy01,    ///< pop v, push makeInt(e.loc, Int, truthy ? 1 : 0)
+    Pop,         ///< drop the top of the value stack
+
+    // ---- control flow ----
+    Jmp,         ///< pc := b
+    BrFalse,     ///< pop v; if !truthy(*loc, v) pc := b
+    BrTrue,      ///< pop v; if truthy(*loc, v) pc := b
+    Step,        ///< charge n steps only (loop-iteration accounting)
+    Halt,        ///< return from the chunk
+
+    // ---- calls ----
+    CallPrep,    ///< resolve a named callee (tree-exact shadow rules)
+    CallResolve, ///< pop callee value; resolveIndirectCallee
+    CallIndirect,///< pop a args + pending callee; push callFunction
+    BuiltinPre,  ///< builtinPrologue (Intrinsic event BEFORE args)
+    BuiltinCall, ///< pop a args; push builtinCall
+
+    // ---- statements ----
+    PushScope,   ///< open a block scope
+    PopScope,    ///< close it (kills objects; loc from *p)
+    Alloc,       ///< allocate a local; bind name + slot a
+    AllocStatic, ///< static local: allocate/init once, rebind
+    InitTree,    ///< storeInitializer via the tree walker (lists)
+    StoreInit,   ///< pop v; initializing store into slot a's object
+    StoreRet,    ///< pop v into the frame's return value
+    TreeStmt,    ///< execStmt fallback; b routes the resulting Flow
+    TreeExpr,    ///< push evalExpr(e) (safety net)
+    TreeLValue,  ///< push evalLValue(e) (safety net)
+};
+
+/** Number of distinct opcodes (dispatch-table size). */
+constexpr size_t kNumOps = static_cast<size_t>(Op::TreeLValue) + 1;
+
+/** Jump/route target sentinel: "no target" (an internal error if
+ *  ever taken — e.g. a Flow::Break escaping with no enclosing loop,
+ *  which the tree walker cannot produce either). */
+constexpr uint32_t kNoTarget = 0xffffffffu;
+
+struct Instr
+{
+    Op op = Op::Halt;
+    /** Steps the tree walker charges on reaching this instruction. */
+    uint8_t n = 0;
+    uint16_t a = 0;
+    uint32_t b = 0;
+    /** Originating AST node (Expr / Stmt / frontend::VarDecl). */
+    const void *p = nullptr;
+    /** Handler-specific location (truthy() site for BrFalse/BrTrue). */
+    const SourceLoc *loc = nullptr;
+};
+
+/** Per-call-site argument type list (built once at compile time; the
+ *  tree walker rebuilds it per call). */
+struct CallInfo
+{
+    std::vector<ctype::TypeRef> argTypes;
+};
+
+/** Where a tree-walked statement's non-Normal Flow resumes: compiled
+ *  pop-scope stubs ending at the enclosing loop (brk/cont) or the
+ *  function's return path (ret). */
+struct FlowRoute
+{
+    uint32_t brk = kNoTarget;
+    uint32_t cont = kNoTarget;
+    uint32_t ret = kNoTarget;
+};
+
+/** One compiled function body. */
+struct Chunk
+{
+    std::vector<Instr> code;
+    /** Side table: store/inc-dec target types (withConst stripped). */
+    std::vector<ctype::TypeRef> types;
+    /** Side table: call-site signatures. */
+    std::vector<CallInfo> calls;
+    /** Side table: TreeStmt flow routes. */
+    std::vector<FlowRoute> routes;
+    /** Cold side table, keyed by pc: the source location of each of
+     *  the instruction's `n` step charges, in tree-walk order.  Only
+     *  consulted when the step limit crosses inside a batch, so the
+     *  raise carries the exact location the tree walker would charge
+     *  (the location is part of the compared outcome). */
+    std::map<uint32_t, std::vector<const SourceLoc *>> stepLocs;
+    /** Frame slots (params first, then every local declarator). */
+    uint16_t numSlots = 0;
+
+    bool empty() const { return code.empty(); }
+};
+
+/** The compiled program: one chunk per function index (empty for
+ *  bodyless declarations).  Immutable after compileProgram. */
+struct BytecodeModule
+{
+    std::vector<Chunk> chunks;
+};
+
+/** Compile every function body of @p prog.  Pure: depends only on
+ *  the (sema-annotated, optimizer-rewritten) AST, so one module can
+ *  serve any number of runs and engines. */
+BytecodeModule compileProgram(const sema::Program &prog);
+
+/** Human-readable listing of every chunk (cherisem_run
+ *  --dump-bytecode).  Deterministic: no addresses, only pc-relative
+ *  structure plus source line/column anchors. */
+std::string disassemble(const BytecodeModule &m,
+                        const sema::Program &prog);
+
+} // namespace cherisem::corelang
+
+#endif // CHERISEM_CORELANG_BYTECODE_H

@@ -1,1804 +1,35 @@
+/**
+ * @file
+ * Public evaluation entry point.  The semantics proper lives in
+ * machine.{h,cc} (the shared tree-walking core) and vm.{h,cc} (the
+ * bytecode engine); this file only selects an engine and runs it.
+ */
 #include "corelang/eval.h"
 
-#include <array>
-#include <cassert>
-#include <chrono>
-#include <cinttypes>
-#include <map>
-#include <vector>
-
-#include "intrinsics/intrinsics.h"
-#include "support/format.h"
+#include "corelang/machine.h"
+#include "corelang/vm.h"
 
 namespace cherisem::corelang {
 
-using frontend::BinOp;
-using frontend::DerivSource;
-using frontend::Expr;
-using frontend::Stmt;
-using frontend::UnOp;
-using ctype::IntKind;
-using ctype::intType;
-using ctype::Type;
-using ctype::TypeRef;
-using mem::Failure;
-using mem::IntegerValue;
-using mem::MemValue;
-using mem::PointerValue;
-using mem::Provenance;
-using mem::Ub;
-using cap::Capability;
-using intrinsics::Builtin;
-
-namespace {
-
-// Exceptions used for non-local control flow inside the evaluator.
-struct EvalFailure
+bool
+parseEngine(const std::string &name, Engine *out)
 {
-    Failure failure;
-};
-struct ExitException
-{
-    int code;
-};
-struct AssertFailure
-{
-    std::string message;
-};
-
-[[noreturn]] void
-raise(Failure f)
-{
-    throw EvalFailure{std::move(f)};
+    if (name == "tree") {
+        *out = Engine::Tree;
+        return true;
+    }
+    if (name == "bytecode") {
+        *out = Engine::Bytecode;
+        return true;
+    }
+    return false;
 }
 
-[[noreturn]] void
-raiseUb(Ub ub, SourceLoc loc, std::string msg = "")
+const char *
+engineName(Engine e)
 {
-    throw EvalFailure{Failure::undefined(ub, std::move(loc),
-                                         std::move(msg))};
+    return e == Engine::Tree ? "tree" : "bytecode";
 }
-
-template <typename T>
-T
-unwrap(mem::MemResult<T> r)
-{
-    if (!r)
-        raise(std::move(r).error());
-    return std::move(r).value();
-}
-
-/** Statement execution result. */
-enum class Flow { Normal, Break, Continue, Return };
-
-class Evaluator
-{
-  public:
-    Evaluator(const sema::Program &prog, const EvalOptions &opts)
-        : prog_(prog), opts_(opts), mm_(opts.memConfig)
-    {
-        mm_.setTagTable(&prog_.unit.tags);
-    }
-
-    Outcome
-    run()
-    {
-        Outcome out;
-        try {
-            initGlobals();
-            auto it = prog_.functionIndex.find("main");
-            if (it == prog_.functionIndex.end() ||
-                !prog_.unit.functions[it->second].body) {
-                out.kind = Outcome::Kind::Error;
-                out.message = "no main function";
-            } else {
-                MemValue r = callFunction(it->second, {}, {});
-                out.kind = Outcome::Kind::Exit;
-                out.exitCode = r.isInteger()
-                                   ? static_cast<int>(
-                                         r.asInteger().value())
-                                   : 0;
-            }
-        } catch (const EvalFailure &f) {
-            out.kind = f.failure.isUb() ? Outcome::Kind::Undefined
-                                        : Outcome::Kind::Error;
-            out.failure = f.failure;
-            out.message = f.failure.str();
-            // Witness the UB verdict with its source location; this
-            // is the stream's terminal event for undefined runs.
-            if (f.failure.isUb() && mm_.tracer().enabled()) {
-                mm_.tracer().emit(
-                    {.kind = obs::EventKind::UbRaise,
-                     .a = static_cast<uint64_t>(f.failure.ub),
-                     .line = f.failure.loc.line,
-                     .label = mem::ubName(f.failure.ub)});
-            }
-        } catch (const ExitException &e) {
-            out.kind = Outcome::Kind::Exit;
-            out.exitCode = e.code;
-        } catch (const AssertFailure &a) {
-            out.kind = Outcome::Kind::AssertFail;
-            out.message = a.message;
-        }
-        out.output = output_;
-        out.memStats = mm_.stats();
-        out.steps = steps_;
-        for (size_t i = 0; i < kNumBuiltins; ++i) {
-            const char *name =
-                intrinsics::builtinName(static_cast<Builtin>(i));
-            if (intrinsicCount_[i] > 0)
-                out.intrinsicCalls[name] = intrinsicCount_[i];
-            if (intrinsicNs_[i] > 0)
-                out.intrinsicNanos[name] = intrinsicNs_[i];
-        }
-        return out;
-    }
-
-  private:
-    // ---- environment ----
-
-    struct Binding
-    {
-        PointerValue place;
-        TypeRef type;
-    };
-    struct Scope
-    {
-        std::map<std::string, Binding> vars;
-        std::vector<PointerValue> toKill;
-    };
-
-    void
-    step(const SourceLoc &loc)
-    {
-        if (++steps_ > opts_.maxSteps) {
-            raise(Failure::constraint("step limit exceeded "
-                                      "(non-terminating program?)",
-                                      loc));
-        }
-    }
-
-    const Binding *
-    lookup(const std::string &name) const
-    {
-        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-            auto f = it->vars.find(name);
-            if (f != it->vars.end())
-                return &f->second;
-        }
-        auto g = globals_.find(name);
-        if (g != globals_.end())
-            return &g->second;
-        return nullptr;
-    }
-
-    void
-    pushScope()
-    {
-        scopes_.emplace_back();
-    }
-
-    void
-    popScope(const SourceLoc &loc)
-    {
-        for (auto it = scopes_.back().toKill.rbegin();
-             it != scopes_.back().toKill.rend(); ++it) {
-            unwrap(mm_.kill(loc, false, *it));
-        }
-        scopes_.pop_back();
-    }
-
-    // ---- globals ----
-
-    void
-    initGlobals()
-    {
-        for (const frontend::VarDecl &g : prog_.unit.globals) {
-            if (g.isExtern && !g.hasInit)
-                continue;
-            PointerValue place = unwrap(mm_.allocateObject(
-                g.name, g.type, g.type->isConst, /*is_static=*/true));
-            globals_[g.name] = Binding{place, g.type};
-        }
-        // Two passes so address-of-global initializers see every
-        // global.  Static storage is zero-initialized first.
-        for (const frontend::VarDecl &g : prog_.unit.globals) {
-            auto it = globals_.find(g.name);
-            if (it == globals_.end())
-                continue;
-            storeZero(g.loc, it->second.place, g.type);
-        }
-        for (const frontend::VarDecl &g : prog_.unit.globals) {
-            auto it = globals_.find(g.name);
-            if (it == globals_.end() || !g.hasInit)
-                continue;
-            storeInitializer(g.loc, it->second.place, g.type, g.init);
-        }
-    }
-
-    void
-    storeZero(const SourceLoc &loc, const PointerValue &place,
-              const TypeRef &ty)
-    {
-        // Static zero-initialization: write zero bytes for the whole
-        // footprint (null caps for pointer members fall out of the
-        // all-zero representation plus absent tags).
-        uint64_t n = mm_.layout().sizeOf(ty);
-        unwrap(mm_.memsetOp(loc, writablePlace(place), 0, n,
-                        /*initializing=*/true));
-    }
-
-    /** Const allocations still need their initializing stores; give
-     *  the initializer a store-capable view of the place. */
-    PointerValue
-    writablePlace(const PointerValue &p) const
-    {
-        if (!p.cap || p.cap->canStore())
-            return p;
-        PointerValue q = p;
-        q.cap = p.cap->withPerms(cap::PermSet::all())
-                    .withTag(p.cap->tag());
-        // withPerms intersects; rebuild from a fresh data-perm cap.
-        Capability c = Capability::make(
-            mm_.arch(), static_cast<uint64_t>(p.cap->base()),
-            p.cap->top(), cap::PermSet::data());
-        q.cap = c.withAddress(p.cap->address());
-        return q;
-    }
-
-    void
-    storeInitializer(const SourceLoc &loc, const PointerValue &place,
-                     const TypeRef &ty, const frontend::Initializer &init)
-    {
-        PointerValue wplace = writablePlace(place);
-        if (!init.isList) {
-            // char a[N] = "literal";
-            if (ty->isArray() && init.expr->kind == Expr::Kind::Cast &&
-                init.expr->lhs->kind == Expr::Kind::StringLit) {
-                storeStringInto(loc, wplace, ty,
-                                init.expr->lhs->text);
-                return;
-            }
-            if (ty->isArray() &&
-                init.expr->kind == Expr::Kind::StringLit) {
-                storeStringInto(loc, wplace, ty, init.expr->text);
-                return;
-            }
-            MemValue v = evalExpr(*init.expr);
-            unwrap(mm_.store(loc, ty, wplace, v,
-                             /*initializing=*/true));
-            return;
-        }
-        if (ty->isArray()) {
-            uint64_t esize = mm_.layout().sizeOf(ty->element);
-            for (uint64_t i = 0; i < ty->arraySize; ++i) {
-                PointerValue ep = wplace;
-                ep.cap = wplace.cap->withAddress(wplace.address() +
-                                                 i * esize);
-                if (i < init.list.size()) {
-                    storeInitializer(loc, ep, ty->element,
-                                     init.list[i]);
-                } else {
-                    storeZero(loc, ep, ty->element);
-                }
-            }
-            return;
-        }
-        if (ty->isStructOrUnion()) {
-            const ctype::TagDef &def = prog_.unit.tags.get(ty->tag);
-            size_t limit = def.isUnion
-                               ? std::min<size_t>(1, init.list.size())
-                               : def.members.size();
-            for (size_t i = 0; i < limit; ++i) {
-                ctype::FieldLoc fl = mm_.layout().fieldOf(
-                    ty->tag, def.members[i].name);
-                PointerValue mp = wplace;
-                mp.cap = wplace.cap->withAddress(wplace.address() +
-                                                 fl.offset);
-                if (i < init.list.size()) {
-                    storeInitializer(loc, mp, fl.type, init.list[i]);
-                } else {
-                    storeZero(loc, mp, fl.type);
-                }
-            }
-            return;
-        }
-        // Scalar with braces.
-        if (!init.list.empty())
-            storeInitializer(loc, wplace, ty, init.list[0]);
-    }
-
-    void
-    storeStringInto(const SourceLoc &loc, const PointerValue &place,
-                    const TypeRef &ty, const std::string &s)
-    {
-        uint64_t n = ty->arraySize;
-        for (uint64_t i = 0; i < n; ++i) {
-            uint8_t byte = i < s.size() ? s[i] : 0;
-            PointerValue bp = place;
-            bp.cap = place.cap->withAddress(place.address() + i);
-            unwrap(mm_.store(loc, intType(IntKind::Char), bp,
-                             MemValue(IntegerValue::ofNum(
-                                 IntKind::Char, byte)),
-                             /*initializing=*/true));
-        }
-    }
-
-    /** Lazily created read-only allocations for string literals. */
-    PointerValue
-    stringLiteralPlace(const Expr &e)
-    {
-        auto it = stringLits_.find(&e);
-        if (it != stringLits_.end())
-            return it->second;
-        TypeRef ty = e.type;
-        PointerValue place = unwrap(mm_.allocateObject(
-            "\"" + e.text.substr(0, 8) + "\"", ty, /*read_only=*/true,
-            /*is_static=*/true));
-        storeStringInto(e.loc, writablePlace(place), ty, e.text);
-        stringLits_[&e] = place;
-        return place;
-    }
-
-    // ---- integer helpers ----
-
-    bool
-    isSignedKind(IntKind k) const
-    {
-        return ctype::isSignedIntKind(k);
-    }
-
-    /** Wrap/check @p v into kind @p k; signed overflow is UB. */
-    __int128
-    fitInt(const SourceLoc &loc, IntKind k, __int128 v,
-           bool check_overflow)
-    {
-        unsigned bits = mm_.layout().intValueBytes(k) * 8;
-        if (k == IntKind::Bool)
-            return v != 0 ? 1 : 0;
-        if (isSignedKind(k)) {
-            __int128 lo = mm_.layout().intMin(k);
-            __int128 hi = mm_.layout().intMax(k);
-            if (v < lo || v > hi) {
-                if (check_overflow)
-                    raiseUb(Ub::SignedOverflow, loc);
-                // Implementation-defined conversion: wrap.
-                cherisem::uint128 m =
-                    static_cast<cherisem::uint128>(v) &
-                    ((cherisem::uint128(1) << bits) - 1);
-                __int128 r = static_cast<__int128>(m);
-                if ((m >> (bits - 1)) & 1)
-                    r -= static_cast<__int128>(cherisem::uint128(1)
-                                               << bits);
-                return r;
-            }
-            return v;
-        }
-        cherisem::uint128 m = static_cast<cherisem::uint128>(v);
-        if (bits < 128)
-            m &= (cherisem::uint128(1) << bits) - 1;
-        return static_cast<__int128>(m);
-    }
-
-    /** Build an integer value of kind @p k from a raw number,
-     *  attaching a null-derived capability for (u)intptr_t. */
-    IntegerValue
-    makeInt(const SourceLoc &loc, IntKind k, __int128 v,
-            bool check_overflow = false)
-    {
-        v = fitInt(loc, k, v, check_overflow);
-        if (k == IntKind::Intptr || k == IntKind::Uintptr) {
-            Capability c = Capability::null(mm_.arch())
-                               .withAddress(static_cast<uint64_t>(v));
-            return IntegerValue::ofCap(k, c, Provenance::empty());
-        }
-        return IntegerValue::ofNum(k, v);
-    }
-
-    bool
-    truthy(const SourceLoc &loc, const MemValue &v)
-    {
-        if (v.isInteger())
-            return v.asInteger().value() != 0;
-        if (v.isPointer())
-            return !v.asPointer().isNull() &&
-                v.asPointer().address() != 0;
-        if (v.isFloating())
-            return v.asFloating().value != 0;
-        if (v.isUnspec())
-            raiseUb(Ub::UseOfIndeterminateValue, loc);
-        raise(Failure::constraint("non-scalar condition", loc));
-    }
-
-    // ---- lvalues ----
-
-    PointerValue
-    evalLValue(const Expr &e)
-    {
-        step(e.loc);
-        switch (e.kind) {
-          case Expr::Kind::Ident: {
-            const Binding *b = lookup(e.text);
-            if (b)
-                return b->place;
-            raise(Failure::internal("unbound identifier " + e.text,
-                                    e.loc));
-          }
-          case Expr::Kind::StringLit:
-            return stringLiteralPlace(e);
-          case Expr::Kind::Unary:
-            if (e.unop == UnOp::Deref) {
-                MemValue p = evalExpr(*e.lhs);
-                return pointerOf(e.loc, p);
-            }
-            break;
-          case Expr::Kind::Index: {
-            const Expr &pe =
-                e.lhs->type->isPointer() ? *e.lhs : *e.rhs;
-            const Expr &ie =
-                e.lhs->type->isPointer() ? *e.rhs : *e.lhs;
-            MemValue pv = evalExpr(pe);
-            MemValue iv = evalExpr(ie);
-            PointerValue p = pointerOf(e.loc, pv);
-            __int128 idx = iv.asInteger().value();
-            return unwrap(mm_.arrayShift(e.loc, p, e.type, idx));
-          }
-          case Expr::Kind::Member: {
-            PointerValue base =
-                e.isArrow ? pointerOf(e.loc, evalExpr(*e.lhs))
-                          : evalLValue(*e.lhs);
-            ctype::TagId tag = e.isArrow
-                                   ? e.lhs->type->pointee->tag
-                                   : e.lhs->type->tag;
-            return unwrap(mm_.memberShift(e.loc, base, tag, e.text));
-          }
-          default:
-            break;
-        }
-        raise(Failure::internal("expression is not an lvalue", e.loc));
-    }
-
-    PointerValue
-    pointerOf(const SourceLoc &loc, const MemValue &v)
-    {
-        if (v.isPointer())
-            return v.asPointer();
-        if (v.isUnspec())
-            raiseUb(Ub::UseOfIndeterminateValue, loc);
-        raise(Failure::internal("pointer value expected", loc));
-    }
-
-    // ---- expressions ----
-
-    MemValue
-    evalExpr(const Expr &e)
-    {
-        step(e.loc);
-        switch (e.kind) {
-          case Expr::Kind::IntLit:
-            return MemValue(makeInt(e.loc, e.type->intKind,
-                                    static_cast<__int128>(e.intValue)));
-          case Expr::Kind::FloatLit: {
-            mem::FloatingValue fv;
-            fv.kind = e.type->floatKind;
-            fv.value = e.floatValue;
-            return MemValue(fv);
-          }
-          case Expr::Kind::StringLit:
-            // Only reachable for whole-array loads; normally wrapped
-            // in a decay cast.
-            return unwrap(mm_.load(e.loc, e.type,
-                                   stringLiteralPlace(e)));
-          case Expr::Kind::Ident: {
-            if (e.isEnumConst) {
-                return MemValue(
-                    makeInt(e.loc, IntKind::Int, e.enumValue));
-            }
-            if (const Binding *b = lookup(e.text))
-                return unwrap(mm_.load(e.loc, b->type, b->place));
-            auto fi = prog_.functionIndex.find(e.text);
-            if (fi != prog_.functionIndex.end())
-                return MemValue(functionPointer(fi->second));
-            raise(Failure::internal("unbound identifier " + e.text,
-                                    e.loc));
-          }
-          case Expr::Kind::Unary:
-            return evalUnary(e);
-          case Expr::Kind::Binary:
-            return evalBinary(e);
-          case Expr::Kind::Assign:
-            return evalAssign(e);
-          case Expr::Kind::Cond: {
-            bool c = truthy(e.cond->loc, evalExpr(*e.cond));
-            return evalExpr(c ? *e.lhs : *e.rhs);
-          }
-          case Expr::Kind::Cast:
-            return evalCast(e);
-          case Expr::Kind::Call:
-            return evalCall(e);
-          case Expr::Kind::Index:
-          case Expr::Kind::Member: {
-            PointerValue place = evalLValue(e);
-            return unwrap(mm_.load(e.loc, e.type, place));
-          }
-          case Expr::Kind::SizeofExpr:
-            return MemValue(makeInt(
-                e.loc, IntKind::ULong,
-                static_cast<__int128>(
-                    mm_.layout().sizeOf(e.lhs->type))));
-          case Expr::Kind::SizeofType:
-            return MemValue(makeInt(
-                e.loc, IntKind::ULong,
-                static_cast<__int128>(
-                    mm_.layout().sizeOf(e.typeOperand))));
-          case Expr::Kind::AlignofType:
-            return MemValue(makeInt(
-                e.loc, IntKind::ULong,
-                static_cast<__int128>(
-                    mm_.layout().alignOf(e.typeOperand))));
-          case Expr::Kind::OffsetOf: {
-            ctype::FieldLoc fl =
-                mm_.layout().fieldOf(e.typeOperand->tag, e.text);
-            return MemValue(makeInt(
-                e.loc, IntKind::ULong,
-                static_cast<__int128>(fl.offset)));
-          }
-        }
-        raise(Failure::internal("unhandled expression", e.loc));
-    }
-
-    PointerValue
-    functionPointer(uint32_t idx)
-    {
-        auto it = funcPtrs_.find(idx);
-        if (it != funcPtrs_.end())
-            return it->second;
-        PointerValue p = mm_.makeFunctionPointer(
-            idx, prog_.unit.functions[idx].name);
-        funcPtrs_[idx] = p;
-        return p;
-    }
-
-    MemValue
-    evalUnary(const Expr &e)
-    {
-        switch (e.unop) {
-          case UnOp::Deref: {
-            MemValue p = evalExpr(*e.lhs);
-            if (e.type->isFunction())
-                return p; // *fp is the function designator.
-            return unwrap(mm_.load(e.loc, e.type,
-                                   pointerOf(e.loc, p)));
-          }
-          case UnOp::AddrOf: {
-            if (e.lhs->type->isFunction()) {
-                if (e.lhs->kind == Expr::Kind::Ident) {
-                    auto fi = prog_.functionIndex.find(e.lhs->text);
-                    if (fi != prog_.functionIndex.end())
-                        return MemValue(functionPointer(fi->second));
-                }
-                return evalExpr(*e.lhs);
-            }
-            PointerValue place = evalLValue(*e.lhs);
-            return MemValue(place);
-          }
-          case UnOp::Plus:
-            return evalExpr(*e.lhs);
-          case UnOp::Minus: {
-            MemValue v = evalExpr(*e.lhs);
-            if (v.isFloating()) {
-                mem::FloatingValue fv = v.asFloating();
-                fv.value = -fv.value;
-                return MemValue(fv);
-            }
-            return MemValue(intArith(e.loc, BinOp::Sub, e.type,
-                                     makeInt(e.loc, e.type->intKind, 0),
-                                     v.asInteger(),
-                                     DerivSource::Right));
-          }
-          case UnOp::BitNot: {
-            IntegerValue iv = evalExpr(*e.lhs).asInteger();
-            __int128 r = ~iv.value();
-            return MemValue(capPreservingInt(e.loc, e.type->intKind,
-                                             r, iv));
-          }
-          case UnOp::LogNot: {
-            bool t = truthy(e.loc, evalExpr(*e.lhs));
-            return MemValue(makeInt(e.loc, IntKind::Int, t ? 0 : 1));
-          }
-          case UnOp::PreInc:
-          case UnOp::PreDec:
-          case UnOp::PostInc:
-          case UnOp::PostDec: {
-            bool inc = e.unop == UnOp::PreInc ||
-                e.unop == UnOp::PostInc;
-            bool pre = e.unop == UnOp::PreInc ||
-                e.unop == UnOp::PreDec;
-            PointerValue place = evalLValue(*e.lhs);
-            TypeRef ty = ctype::withConst(e.lhs->type, false);
-            MemValue old = unwrap(mm_.load(e.loc, ty, place));
-            MemValue next;
-            if (ty->isPointer()) {
-                PointerValue p = pointerOf(e.loc, old);
-                next = MemValue(unwrap(mm_.arrayShift(
-                    e.loc, p, ty->pointee, inc ? 1 : -1)));
-            } else if (ty->isFloating()) {
-                mem::FloatingValue fv = old.asFloating();
-                fv.value += inc ? 1 : -1;
-                next = MemValue(fv);
-            } else {
-                next = MemValue(intArith(
-                    e.loc, inc ? BinOp::Add : BinOp::Sub, ty,
-                    old.asInteger(),
-                    makeInt(e.loc, ty->intKind, 1),
-                    DerivSource::Left));
-            }
-            unwrap(mm_.store(e.loc, ty, place, next));
-            return pre ? next : old;
-          }
-        }
-        raise(Failure::internal("unhandled unary op", e.loc));
-    }
-
-    /** Capability address update for (u)intptr_t arithmetic: the
-     *  ghost-state rule (section 3.3) in the abstract semantics,
-     *  plain hardware address setting in the concrete profiles. */
-    Capability
-    addressArith(const Capability &c, uint64_t a) const
-    {
-        return mm_.config().ghostState ? c.withAddressGhost(a)
-                                       : c.withAddress(a);
-    }
-
-    /** Keep the capability of @p src when the result kind carries
-     *  one; otherwise a plain number. */
-    IntegerValue
-    capPreservingInt(const SourceLoc &loc, IntKind k, __int128 v,
-                     const IntegerValue &src)
-    {
-        v = fitInt(loc, k, v, /*check_overflow=*/false);
-        if ((k == IntKind::Intptr || k == IntKind::Uintptr) &&
-            src.isCap()) {
-            Capability c = addressArith(*src.cap,
-                                        static_cast<uint64_t>(v));
-            return IntegerValue::ofCap(k, c, src.prov);
-        }
-        return makeInt(loc, k, v);
-    }
-
-    /**
-     * Integer arithmetic at type @p ty, with CHERI capability
-     * derivation (section 3.7): when the result type carries a
-     * capability, derive it from the designated operand and update
-     * its address via the ghost-state-aware rule (section 3.3).
-     */
-    IntegerValue
-    intArith(const SourceLoc &loc, BinOp op, const TypeRef &ty,
-             const IntegerValue &a, const IntegerValue &b,
-             DerivSource deriv)
-    {
-        IntKind k = ty->intKind;
-        bool is_signed = isSignedKind(k);
-        __int128 x = a.value();
-        __int128 y = b.value();
-        __int128 r = 0;
-        switch (op) {
-          case BinOp::Add: r = x + y; break;
-          case BinOp::Sub: r = x - y; break;
-          case BinOp::Mul: r = x * y; break;
-          case BinOp::Div:
-            if (y == 0)
-                raiseUb(Ub::DivisionByZero, loc);
-            r = x / y;
-            break;
-          case BinOp::Rem:
-            if (y == 0)
-                raiseUb(Ub::DivisionByZero, loc);
-            r = x % y;
-            break;
-          case BinOp::BitAnd: r = x & y; break;
-          case BinOp::BitOr: r = x | y; break;
-          case BinOp::BitXor: r = x ^ y; break;
-          case BinOp::Shl:
-          case BinOp::Shr: {
-            unsigned bits = mm_.layout().intValueBytes(k) * 8;
-            if (y < 0 || y >= bits)
-                raiseUb(Ub::ShiftOutOfRange, loc);
-            if (op == BinOp::Shl) {
-                r = static_cast<__int128>(
-                    static_cast<cherisem::uint128>(x)
-                    << static_cast<unsigned>(y));
-            } else {
-                r = is_signed
-                        ? (x >> static_cast<unsigned>(y))
-                        : static_cast<__int128>(
-                              (static_cast<cherisem::uint128>(x) &
-                               ((cherisem::uint128(1) << bits) - 1)) >>
-                              static_cast<unsigned>(y));
-            }
-            break;
-          }
-          default:
-            raise(Failure::internal("bad arithmetic op", loc));
-        }
-        r = fitInt(loc, k, r, /*check_overflow=*/is_signed);
-
-        if (k == IntKind::Intptr || k == IntKind::Uintptr) {
-            const IntegerValue &src =
-                deriv == DerivSource::Right ? b : a;
-            if (src.isCap()) {
-                Capability c = addressArith(*src.cap,
-                                            static_cast<uint64_t>(r));
-                // Once the value is non-representable, its abstract
-                // provenance is gone too (Appendix A: "@empty").
-                Provenance prov = c.ghost().boundsUnspec
-                                      ? Provenance::empty()
-                                      : src.prov;
-                return IntegerValue::ofCap(k, c, prov);
-            }
-        }
-        return makeInt(loc, k, r);
-    }
-
-    MemValue
-    evalBinary(const Expr &e)
-    {
-        switch (e.binop) {
-          case BinOp::LogAnd: {
-            if (!truthy(e.loc, evalExpr(*e.lhs)))
-                return MemValue(makeInt(e.loc, IntKind::Int, 0));
-            bool r = truthy(e.loc, evalExpr(*e.rhs));
-            return MemValue(makeInt(e.loc, IntKind::Int, r ? 1 : 0));
-          }
-          case BinOp::LogOr: {
-            if (truthy(e.loc, evalExpr(*e.lhs)))
-                return MemValue(makeInt(e.loc, IntKind::Int, 1));
-            bool r = truthy(e.loc, evalExpr(*e.rhs));
-            return MemValue(makeInt(e.loc, IntKind::Int, r ? 1 : 0));
-          }
-          case BinOp::Comma:
-            evalExpr(*e.lhs);
-            return evalExpr(*e.rhs);
-          default:
-            break;
-        }
-
-        TypeRef lt = e.lhs->type;
-        TypeRef rt = e.rhs->type;
-
-        // Pointer arithmetic / comparison.
-        if (lt->isPointer() || rt->isPointer()) {
-            MemValue lv = evalExpr(*e.lhs);
-            MemValue rv = evalExpr(*e.rhs);
-            switch (e.binop) {
-              case BinOp::Add: {
-                const MemValue &pv = lt->isPointer() ? lv : rv;
-                const MemValue &iv = lt->isPointer() ? rv : lv;
-                PointerValue p = pointerOf(e.loc, pv);
-                return MemValue(unwrap(mm_.arrayShift(
-                    e.loc, p, e.type->pointee,
-                    iv.asInteger().value())));
-              }
-              case BinOp::Sub: {
-                if (rt->isPointer() && lt->isPointer()) {
-                    return MemValue(unwrap(mm_.ptrDiff(
-                        e.loc, lt->pointee,
-                        pointerOf(e.loc, lv),
-                        pointerOf(e.loc, rv))));
-                }
-                PointerValue p = pointerOf(e.loc, lv);
-                return MemValue(unwrap(mm_.arrayShift(
-                    e.loc, p, e.type->pointee,
-                    -rv.asInteger().value())));
-              }
-              case BinOp::Eq:
-              case BinOp::Ne: {
-                bool eq = unwrap(mm_.ptrEq(pointerOf(e.loc, lv),
-                                           pointerOf(e.loc, rv)));
-                bool r = e.binop == BinOp::Eq ? eq : !eq;
-                return MemValue(
-                    makeInt(e.loc, IntKind::Int, r ? 1 : 0));
-              }
-              case BinOp::Lt:
-              case BinOp::Gt:
-              case BinOp::Le:
-              case BinOp::Ge: {
-                mem::RelOp op = e.binop == BinOp::Lt ? mem::RelOp::Lt
-                    : e.binop == BinOp::Gt           ? mem::RelOp::Gt
-                    : e.binop == BinOp::Le           ? mem::RelOp::Le
-                                                     : mem::RelOp::Ge;
-                bool r = unwrap(mm_.ptrRelational(
-                    e.loc, op, pointerOf(e.loc, lv),
-                    pointerOf(e.loc, rv)));
-                return MemValue(
-                    makeInt(e.loc, IntKind::Int, r ? 1 : 0));
-              }
-              default:
-                raise(Failure::internal("bad pointer op", e.loc));
-            }
-        }
-
-        MemValue lv = evalExpr(*e.lhs);
-        MemValue rv = evalExpr(*e.rhs);
-
-        if (lv.isFloating() || rv.isFloating()) {
-            double x = lv.asFloating().value;
-            double y = rv.asFloating().value;
-            switch (e.binop) {
-              case BinOp::Add: return floatVal(x + y);
-              case BinOp::Sub: return floatVal(x - y);
-              case BinOp::Mul: return floatVal(x * y);
-              case BinOp::Div: return floatVal(x / y);
-              case BinOp::Lt: return boolVal(e.loc, x < y);
-              case BinOp::Gt: return boolVal(e.loc, x > y);
-              case BinOp::Le: return boolVal(e.loc, x <= y);
-              case BinOp::Ge: return boolVal(e.loc, x >= y);
-              case BinOp::Eq: return boolVal(e.loc, x == y);
-              case BinOp::Ne: return boolVal(e.loc, x != y);
-              default:
-                raise(Failure::internal("bad float op", e.loc));
-            }
-        }
-
-        if (lv.isUnspec() || rv.isUnspec())
-            raiseUb(Ub::UseOfIndeterminateValue, e.loc);
-
-        const IntegerValue &a = lv.asInteger();
-        const IntegerValue &b = rv.asInteger();
-        switch (e.binop) {
-          case BinOp::Lt: return boolVal(e.loc, cmp(a, b) < 0);
-          case BinOp::Gt: return boolVal(e.loc, cmp(a, b) > 0);
-          case BinOp::Le: return boolVal(e.loc, cmp(a, b) <= 0);
-          case BinOp::Ge: return boolVal(e.loc, cmp(a, b) >= 0);
-          // Section 3.6: == on capability-carrying values compares
-          // address fields only, which cmp() implements via value().
-          case BinOp::Eq: return boolVal(e.loc, cmp(a, b) == 0);
-          case BinOp::Ne: return boolVal(e.loc, cmp(a, b) != 0);
-          default:
-            return MemValue(
-                intArith(e.loc, e.binop, e.type, a, b, e.deriv));
-        }
-    }
-
-    static int
-    cmp(const IntegerValue &a, const IntegerValue &b)
-    {
-        __int128 x = a.value();
-        __int128 y = b.value();
-        return x < y ? -1 : (x > y ? 1 : 0);
-    }
-
-    MemValue
-    floatVal(double d)
-    {
-        mem::FloatingValue fv;
-        fv.value = d;
-        return MemValue(fv);
-    }
-
-    MemValue
-    boolVal(const SourceLoc &loc, bool b)
-    {
-        return MemValue(makeInt(loc, IntKind::Int, b ? 1 : 0));
-    }
-
-    MemValue
-    evalAssign(const Expr &e)
-    {
-        PointerValue place = evalLValue(*e.lhs);
-        TypeRef ty = ctype::withConst(e.lhs->type, false);
-        if (e.binop == BinOp::Comma) {
-            MemValue v = evalExpr(*e.rhs);
-            unwrap(mm_.store(e.loc, ty, place, v));
-            return v;
-        }
-        // Compound assignment: load, op, store.
-        MemValue old = unwrap(mm_.load(e.loc, ty, place));
-        MemValue rv = evalExpr(*e.rhs);
-        MemValue next;
-        if (ty->isPointer()) {
-            __int128 delta = rv.asInteger().value();
-            if (e.binop == BinOp::Sub)
-                delta = -delta;
-            next = MemValue(unwrap(mm_.arrayShift(
-                e.loc, pointerOf(e.loc, old), ty->pointee, delta)));
-        } else if (ty->isFloating() || rv.isFloating()) {
-            double x = old.asFloating().value;
-            double y = rv.isFloating()
-                           ? rv.asFloating().value
-                           : static_cast<double>(
-                                 rv.asInteger().value());
-            double r = 0;
-            switch (e.binop) {
-              case BinOp::Add: r = x + y; break;
-              case BinOp::Sub: r = x - y; break;
-              case BinOp::Mul: r = x * y; break;
-              case BinOp::Div: r = x / y; break;
-              default:
-                raise(Failure::internal("bad float compound op",
-                                        e.loc));
-            }
-            mem::FloatingValue fv = old.asFloating();
-            fv.value = r;
-            next = MemValue(fv);
-        } else {
-            // As-if: (T)((UAC)lhs op rhs); the capability derives
-            // from the left (the lhs is never a converted operand).
-            IntegerValue a = old.asInteger();
-            IntegerValue b = rv.asInteger();
-            // Compute at the wider of the two kinds.
-            TypeRef common =
-                ctype::intRank(a.kind) >= ctype::intRank(b.kind)
-                    ? intType(a.kind)
-                    : intType(b.kind);
-            IntegerValue r = intArith(e.loc, e.binop, common,
-                                      a, b, DerivSource::Left);
-            next = MemValue(capPreservingInt(e.loc, ty->intKind,
-                                             r.value(), r));
-        }
-        unwrap(mm_.store(e.loc, ty, place, next));
-        return next;
-    }
-
-    MemValue
-    evalCast(const Expr &e)
-    {
-        TypeRef to = e.typeOperand;
-        TypeRef from = e.lhs->type;
-
-        // Array-to-pointer decay: the operand is an lvalue.
-        if (from->isArray()) {
-            PointerValue place = evalLValue(*e.lhs);
-            PointerValue p = place;
-            p.kind = PointerValue::Kind::Object;
-            return MemValue(p);
-        }
-        if (from->isFunction())
-            return evalExpr(*e.lhs);
-
-        MemValue v = evalExpr(*e.lhs);
-        if (to->isVoid())
-            return MemValue(mem::UnspecValue{to});
-        if (v.isUnspec())
-            return MemValue(mem::UnspecValue{to});
-
-        if (to->isPointer()) {
-            if (from->isPointer()) {
-                // Pointer-to-pointer casts (including const casts,
-                // section 3.9, and unsigned char* views) are
-                // capability no-ops.
-                return v;
-            }
-            // Integer to pointer (PNVI-ae-udi attach; (u)intptr_t is
-            // a capability no-op, section 3.3).
-            return MemValue(
-                unwrap(mm_.ptrFromInt(e.loc, v.asInteger())));
-        }
-        if (to->isInteger()) {
-            if (from->isPointer()) {
-                return MemValue(unwrap(mm_.intFromPtr(
-                    e.loc, to->intKind, pointerOf(e.loc, v))));
-            }
-            if (from->isFloating()) {
-                return MemValue(makeInt(
-                    e.loc, to->intKind,
-                    static_cast<__int128>(v.asFloating().value)));
-            }
-            const IntegerValue &iv = v.asInteger();
-            if (to->isCapInteger()) {
-                if (iv.isCap()) {
-                    // (u)intptr_t <-> (u)intptr_t: keep the cap.
-                    IntegerValue out = iv;
-                    out.kind = to->intKind;
-                    return MemValue(out);
-                }
-                return MemValue(
-                    makeInt(e.loc, to->intKind, iv.value()));
-            }
-            // Narrowing from a capability integer takes the address
-            // value (implementation-defined, sections 3.3/3.5).
-            return MemValue(makeInt(e.loc, to->intKind, iv.value()));
-        }
-        if (to->isFloating()) {
-            double d = v.isFloating()
-                           ? v.asFloating().value
-                           : static_cast<double>(
-                                 v.asInteger().value());
-            mem::FloatingValue fv;
-            fv.kind = to->floatKind;
-            fv.value = to->floatKind == ctype::FloatKind::Float
-                           ? static_cast<float>(d)
-                           : d;
-            return MemValue(fv);
-        }
-        raise(Failure::internal("unsupported cast", e.loc));
-    }
-
-    // ---- calls ----
-
-    MemValue
-    evalCall(const Expr &e)
-    {
-        if (e.builtinId >= 0)
-            return evalBuiltin(e);
-
-        // Resolve the callee.
-        uint32_t idx;
-        if (e.lhs->kind == Expr::Kind::Ident &&
-            prog_.functionIndex.count(e.lhs->text) &&
-            !lookup(e.lhs->text)) {
-            idx = prog_.functionIndex.at(e.lhs->text);
-        } else {
-            MemValue fv = evalExpr(*e.lhs);
-            PointerValue fp = pointerOf(e.loc, fv);
-            if (fp.isFunc()) {
-                idx = fp.funcId;
-            } else {
-                // Indirect call through a capability: resolve the
-                // address back to a function.
-                if (!fp.cap || !fp.cap->tag()) {
-                    raiseUb(Ub::CheriInvalidCap, e.loc,
-                            "call via untagged capability");
-                }
-                auto f = mm_.functionAt(fp.cap->address());
-                if (!f) {
-                    raiseUb(Ub::CallTypeMismatch, e.loc,
-                            "no function at target address");
-                }
-                idx = *f;
-            }
-        }
-        const frontend::FunctionDef &fn = prog_.unit.functions[idx];
-        if (!fn.body) {
-            raise(Failure::constraint(
-                "call to undefined function " + fn.name, e.loc));
-        }
-        // Dynamic call-type check (UB_call_type_mismatch).
-        if (!ctype::sameType(fn.type->returnType,
-                             e.lhs->type->isPointer()
-                                 ? e.lhs->type->pointee->returnType
-                                 : e.type)) {
-            // Tolerated: sema already checked direct calls; function
-            // pointer casts can still mismatch, which real CHERI C
-            // leaves undetected until the call.
-        }
-        std::vector<MemValue> args;
-        args.reserve(e.args.size());
-        for (const auto &a : e.args)
-            args.push_back(evalExpr(*a));
-        std::vector<TypeRef> arg_types;
-        for (const auto &a : e.args)
-            arg_types.push_back(a->type);
-        return callFunction(idx, std::move(args), arg_types);
-    }
-
-    MemValue
-    callFunction(uint32_t idx, std::vector<MemValue> args,
-                 const std::vector<TypeRef> &arg_types)
-    {
-        const frontend::FunctionDef &fn = prog_.unit.functions[idx];
-        if (++callDepth_ > 1000) {
-            --callDepth_;
-            raise(Failure::constraint("call depth limit (stack "
-                                      "overflow)",
-                                      fn.loc));
-        }
-        if (mm_.tracer().enabled()) {
-            mm_.tracer().emit({.kind = obs::EventKind::FuncEnter,
-                               .a = idx,
-                               .b = static_cast<uint64_t>(callDepth_),
-                               .label = fn.name});
-        }
-        uint64_t sp = mm_.stackSave();
-        pushScope();
-        for (size_t i = 0; i < fn.type->params.size() &&
-             i < args.size();
-             ++i) {
-            std::string name = i < fn.paramNames.size()
-                                   ? fn.paramNames[i]
-                                   : "";
-            TypeRef pty = fn.type->params[i];
-            PointerValue place = unwrap(mm_.allocateObject(
-                name.empty() ? "param" : name, pty, false, false));
-            unwrap(mm_.store(fn.loc, pty, writablePlace(place),
-                             args[i], /*initializing=*/true));
-            if (!name.empty())
-                scopes_.back().vars[name] = Binding{place, pty};
-            scopes_.back().toKill.push_back(place);
-        }
-        // Variadic extras are accessible via the builtin va-list
-        // emulation (not exposed to the corpus beyond printf).
-        (void)arg_types;
-
-        MemValue result = MemValue(mem::UnspecValue{
-            fn.type->returnType});
-        Flow flow = Flow::Normal;
-        auto trace_exit = [&] {
-            if (mm_.tracer().enabled()) {
-                mm_.tracer().emit(
-                    {.kind = obs::EventKind::FuncExit,
-                     .a = idx,
-                     .b = static_cast<uint64_t>(callDepth_),
-                     .label = fn.name});
-            }
-        };
-        try {
-            flow = execStmt(*fn.body, &result);
-        } catch (...) {
-            popScope(fn.loc);
-            mm_.stackRestore(sp);
-            // Balance FuncEnter even on non-local exit so duration
-            // slices in the Chrome exporter stay well-nested.
-            trace_exit();
-            --callDepth_;
-            throw;
-        }
-        (void)flow;
-        popScope(fn.loc);
-        mm_.stackRestore(sp);
-        trace_exit();
-        --callDepth_;
-        if (fn.name == "main" && result.isUnspec())
-            return MemValue(makeInt(fn.loc, IntKind::Int, 0));
-        return result;
-    }
-
-    // ---- statements ----
-
-    Flow
-    execStmt(const Stmt &s, MemValue *ret)
-    {
-        step(s.loc);
-        switch (s.kind) {
-          case Stmt::Kind::Empty:
-            return Flow::Normal;
-          case Stmt::Kind::Expr:
-            evalExpr(*s.expr);
-            return Flow::Normal;
-          case Stmt::Kind::Decl:
-            for (const frontend::VarDecl &d : s.decls) {
-                if (d.isStatic) {
-                    // Static locals: one allocation, initialized on
-                    // first execution only, surviving across calls.
-                    auto it = staticLocals_.find(&d);
-                    if (it == staticLocals_.end()) {
-                        PointerValue place =
-                            unwrap(mm_.allocateObject(
-                                d.name, d.type, d.type->isConst,
-                                /*is_static=*/true));
-                        storeZero(d.loc, place, d.type);
-                        if (d.hasInit)
-                            storeInitializer(d.loc, place, d.type,
-                                             d.init);
-                        it = staticLocals_
-                                 .emplace(&d,
-                                          Binding{place, d.type})
-                                 .first;
-                    }
-                    scopes_.back().vars[d.name] = it->second;
-                    continue;
-                }
-                PointerValue place = unwrap(mm_.allocateObject(
-                    d.name, d.type, d.type->isConst,
-                    /*is_static=*/false));
-                scopes_.back().vars[d.name] =
-                    Binding{place, d.type};
-                scopes_.back().toKill.push_back(place);
-                if (d.hasInit)
-                    storeInitializer(d.loc, place, d.type, d.init);
-            }
-            return Flow::Normal;
-          case Stmt::Kind::Block: {
-            pushScope();
-            Flow f = Flow::Normal;
-            for (const auto &sub : s.body) {
-                f = execStmt(*sub, ret);
-                if (f != Flow::Normal)
-                    break;
-            }
-            popScope(s.loc);
-            return f;
-          }
-          case Stmt::Kind::If: {
-            bool c = truthy(s.expr->loc, evalExpr(*s.expr));
-            if (c)
-                return execStmt(*s.thenStmt, ret);
-            if (s.elseStmt)
-                return execStmt(*s.elseStmt, ret);
-            return Flow::Normal;
-          }
-          case Stmt::Kind::While:
-            for (;;) {
-                step(s.loc);
-                if (!truthy(s.expr->loc, evalExpr(*s.expr)))
-                    return Flow::Normal;
-                Flow f = execStmt(*s.thenStmt, ret);
-                if (f == Flow::Break)
-                    return Flow::Normal;
-                if (f == Flow::Return)
-                    return f;
-            }
-          case Stmt::Kind::DoWhile:
-            for (;;) {
-                step(s.loc);
-                Flow f = execStmt(*s.thenStmt, ret);
-                if (f == Flow::Break)
-                    return Flow::Normal;
-                if (f == Flow::Return)
-                    return f;
-                if (!truthy(s.expr->loc, evalExpr(*s.expr)))
-                    return Flow::Normal;
-            }
-          case Stmt::Kind::For: {
-            pushScope();
-            Flow result = Flow::Normal;
-            if (s.forInit)
-                execStmt(*s.forInit, ret);
-            for (;;) {
-                step(s.loc);
-                if (s.forCond &&
-                    !truthy(s.forCond->loc, evalExpr(*s.forCond))) {
-                    break;
-                }
-                Flow f = execStmt(*s.thenStmt, ret);
-                if (f == Flow::Break)
-                    break;
-                if (f == Flow::Return) {
-                    result = f;
-                    break;
-                }
-                if (s.forStep)
-                    evalExpr(*s.forStep);
-            }
-            popScope(s.loc);
-            return result;
-          }
-          case Stmt::Kind::Switch: {
-            __int128 control =
-                evalExpr(*s.expr).asInteger().value();
-            // The body is (almost always) a block whose top-level
-            // statements carry case labels; find the entry point and
-            // fall through from there.
-            if (s.thenStmt->kind != Stmt::Kind::Block) {
-                raise(Failure::constraint(
-                    "switch body must be a block", s.loc));
-            }
-            const auto &stmts = s.thenStmt->body;
-            size_t entry = stmts.size();
-            size_t dflt = stmts.size();
-            for (size_t i = 0; i < stmts.size(); ++i) {
-                for (const auto &label : stmts[i]->caseExprs) {
-                    if (evalExpr(*label).asInteger().value() ==
-                        control) {
-                        entry = i;
-                        break;
-                    }
-                }
-                if (entry != stmts.size())
-                    break;
-                if (stmts[i]->isDefault && dflt == stmts.size())
-                    dflt = i;
-            }
-            if (entry == stmts.size()) {
-                // Labels after the matching one were not scanned for
-                // default above; complete the scan.
-                for (size_t i = dflt; i < stmts.size(); ++i) {
-                    if (stmts[i]->isDefault) {
-                        dflt = i;
-                        break;
-                    }
-                }
-                entry = dflt;
-            }
-            pushScope();
-            Flow result = Flow::Normal;
-            for (size_t i = entry; i < stmts.size(); ++i) {
-                Flow f = execStmt(*stmts[i], ret);
-                if (f == Flow::Break)
-                    break;
-                if (f != Flow::Normal) {
-                    result = f;
-                    break;
-                }
-            }
-            popScope(s.loc);
-            return result;
-          }
-          case Stmt::Kind::Return:
-            if (s.expr && ret)
-                *ret = evalExpr(*s.expr);
-            return Flow::Return;
-          case Stmt::Kind::Break:
-            return Flow::Break;
-          case Stmt::Kind::Continue:
-            return Flow::Continue;
-        }
-        return Flow::Normal;
-    }
-
-    // ---- builtins (defined below) ----
-
-    MemValue evalBuiltin(const Expr &e);
-    MemValue evalBuiltinImpl(const Expr &e);
-    std::string readCString(const SourceLoc &loc,
-                            const PointerValue &p);
-    std::string formatPrintf(const SourceLoc &loc,
-                             const std::string &fmt,
-                             const std::vector<MemValue> &args,
-                             size_t first_arg);
-    std::string formatCapValue(const MemValue &v);
-    MemValue capArgRebuild(const SourceLoc &loc, const MemValue &orig,
-                           const Capability &c);
-    static const Capability *capOf(const MemValue &v);
-    static Provenance provOf(const MemValue &v);
-
-    const sema::Program &prog_;
-    EvalOptions opts_;
-    mem::MemoryModel mm_;
-
-    std::vector<Scope> scopes_;
-    std::map<std::string, Binding> globals_;
-    std::map<const Expr *, PointerValue> stringLits_;
-    std::map<const frontend::VarDecl *, Binding> staticLocals_;
-    std::map<uint32_t, PointerValue> funcPtrs_;
-    std::string output_;
-    uint64_t steps_ = 0;
-    int callDepth_ = 0;
-
-    // Per-intrinsic counters (always on: one array increment per
-    // call) and scoped-timer accumulators (tracing runs only).
-    static constexpr size_t kNumBuiltins =
-        static_cast<size_t>(Builtin::CheriDdcGet) + 1;
-    std::array<uint64_t, kNumBuiltins> intrinsicCount_{};
-    std::array<uint64_t, kNumBuiltins> intrinsicNs_{};
-};
-
-// ---------------------------------------------------------------------
-// Builtins and intrinsics.
-// ---------------------------------------------------------------------
-
-const Capability *
-Evaluator::capOf(const MemValue &v)
-{
-    if (v.isPointer() && v.asPointer().cap)
-        return &*v.asPointer().cap;
-    if (v.isInteger() && v.asInteger().isCap())
-        return &*v.asInteger().cap;
-    return nullptr;
-}
-
-Provenance
-Evaluator::provOf(const MemValue &v)
-{
-    if (v.isPointer())
-        return v.asPointer().prov;
-    if (v.isInteger())
-        return v.asInteger().prov;
-    return Provenance::empty();
-}
-
-/** Rebuild a value of the original capability-carrying type around a
- *  transformed capability (the intrinsics' "C -> C" shape). */
-MemValue
-Evaluator::capArgRebuild(const SourceLoc &loc, const MemValue &orig,
-                         const Capability &c)
-{
-    (void)loc;
-    if (orig.isPointer()) {
-        PointerValue p = orig.asPointer();
-        p.cap = c;
-        if (p.isNull() && c.address() != 0)
-            p.kind = PointerValue::Kind::Object;
-        return MemValue(p);
-    }
-    IntegerValue iv = orig.asInteger();
-    iv.cap = c;
-    return MemValue(iv);
-}
-
-std::string
-Evaluator::readCString(const SourceLoc &loc, const PointerValue &p)
-{
-    std::string out;
-    PointerValue cur = p;
-    for (uint64_t i = 0; i < 1u << 20; ++i) {
-        MemValue b = unwrap(
-            mm_.load(loc, intType(IntKind::UChar), cur));
-        uint8_t c = static_cast<uint8_t>(b.asInteger().value());
-        if (c == 0)
-            return out;
-        out += static_cast<char>(c);
-        cur.cap = cur.cap->withAddress(cur.address() + 1);
-    }
-    raise(Failure::constraint("unterminated string", loc));
-}
-
-std::string
-Evaluator::formatCapValue(const MemValue &v)
-{
-    const Capability *c = capOf(v);
-    if (!c) {
-        if (v.isInteger())
-            return decStr(static_cast<cherisem::int128>(
-                v.asInteger().value()));
-        return "<?>";
-    }
-    std::string body = cap::formatCap(*c, opts_.capFormat);
-    if (opts_.printProvenance)
-        return "(" + provOf(v).str() + ", " + body + ")";
-    return body;
-}
-
-std::string
-Evaluator::formatPrintf(const SourceLoc &loc, const std::string &fmt,
-                        const std::vector<MemValue> &args,
-                        size_t first_arg)
-{
-    std::string out;
-    size_t ai = first_arg;
-    auto next_arg = [&]() -> const MemValue & {
-        if (ai >= args.size()) {
-            raise(Failure::constraint("printf: not enough arguments",
-                                      loc));
-        }
-        return args[ai++];
-    };
-    for (size_t i = 0; i < fmt.size(); ++i) {
-        char c = fmt[i];
-        if (c != '%') {
-            out += c;
-            continue;
-        }
-        ++i;
-        if (i >= fmt.size())
-            break;
-        // Skip flags/width and parse length modifiers.
-        while (i < fmt.size() &&
-               (fmt[i] == '-' || fmt[i] == '+' || fmt[i] == ' ' ||
-                fmt[i] == '#' || fmt[i] == '0' ||
-                (fmt[i] >= '1' && fmt[i] <= '9') || fmt[i] == '.')) {
-            ++i;
-        }
-        int longs = 0;
-        bool size_mod = false;
-        while (i < fmt.size() &&
-               (fmt[i] == 'l' || fmt[i] == 'z' || fmt[i] == 'j' ||
-                fmt[i] == 't' || fmt[i] == 'h')) {
-            if (fmt[i] == 'l')
-                ++longs;
-            if (fmt[i] == 'z' || fmt[i] == 'j' || fmt[i] == 't')
-                size_mod = true;
-            ++i;
-        }
-        (void)longs;
-        (void)size_mod;
-        if (i >= fmt.size())
-            break;
-        switch (fmt[i]) {
-          case '%':
-            out += '%';
-            break;
-          case 'd':
-          case 'i':
-            out += decStr(static_cast<cherisem::int128>(
-                next_arg().asInteger().value()));
-            break;
-          case 'u':
-            out += decStr(static_cast<cherisem::uint128>(
-                next_arg().asInteger().value()));
-            break;
-          case 'x':
-          case 'X':
-          case 'a': {
-            std::string h = hexStr(static_cast<cherisem::uint128>(
-                next_arg().asInteger().value()));
-            out += h.substr(2); // printf %x has no 0x prefix
-            break;
-          }
-          case 'c':
-            out += static_cast<char>(next_arg().asInteger().value());
-            break;
-          case 's':
-            out += readCString(
-                loc, next_arg().asPointer());
-            break;
-          case 'p':
-            out += formatCapValue(next_arg());
-            break;
-          case 'f':
-          case 'g':
-          case 'e': {
-            const MemValue &v = next_arg();
-            double d = v.isFloating()
-                           ? v.asFloating().value
-                           : static_cast<double>(
-                                 v.asInteger().value());
-            out += strPrintf("%g", d);
-            break;
-          }
-          default:
-            out += fmt[i];
-            break;
-        }
-    }
-    return out;
-}
-
-MemValue
-Evaluator::evalBuiltin(const Expr &e)
-{
-    Builtin b = static_cast<Builtin>(e.builtinId);
-    size_t idx = static_cast<size_t>(b);
-    assert(idx < kNumBuiltins);
-    ++intrinsicCount_[idx];
-
-    const obs::Tracer &tr = mm_.tracer();
-    if (!tr.enabled())
-        return evalBuiltinImpl(e);
-
-    tr.emit({.kind = obs::EventKind::Intrinsic,
-             .a = static_cast<uint64_t>(idx),
-             .line = e.loc.line,
-             .label = intrinsics::builtinName(b)});
-    // Scoped timer: accumulate even when the intrinsic raises (UB
-    // unwinds through here as an EvalFailure exception).
-    struct Scoped
-    {
-        uint64_t *slot;
-        std::chrono::steady_clock::time_point t0 =
-            std::chrono::steady_clock::now();
-        ~Scoped()
-        {
-            *slot += static_cast<uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count());
-        }
-    } scoped{&intrinsicNs_[idx]};
-    return evalBuiltinImpl(e);
-}
-
-MemValue
-Evaluator::evalBuiltinImpl(const Expr &e)
-{
-    Builtin b = static_cast<Builtin>(e.builtinId);
-    std::vector<MemValue> args;
-    args.reserve(e.args.size());
-    for (const auto &a : e.args)
-        args.push_back(evalExpr(*a));
-    const SourceLoc &loc = e.loc;
-    auto void_result = [&]() {
-        return MemValue(mem::UnspecValue{ctype::voidType()});
-    };
-    auto uintval = [&](size_t i) -> uint64_t {
-        return static_cast<uint64_t>(args[i].asInteger().value());
-    };
-
-    switch (b) {
-      case Builtin::Malloc:
-        return MemValue(unwrap(mm_.allocateRegion(
-            "malloc", uintval(0), mm_.arch().capSize())));
-      case Builtin::Calloc: {
-        uint64_t n = uintval(0) * uintval(1);
-        PointerValue p = unwrap(mm_.allocateRegion(
-            "calloc", n, mm_.arch().capSize()));
-        unwrap(mm_.memsetOp(loc, p, 0, n));
-        return MemValue(p);
-      }
-      case Builtin::Free:
-        unwrap(mm_.kill(loc, true, args[0].asPointer()));
-        return void_result();
-      case Builtin::Realloc:
-        return MemValue(unwrap(mm_.reallocRegion(
-            loc, args[0].asPointer(), uintval(1))));
-      case Builtin::Memcpy:
-      case Builtin::Memmove: {
-        PointerValue dst = args[0].asPointer();
-        PointerValue src = args[1].asPointer();
-        uint64_t n = uintval(2);
-        if (b == Builtin::Memmove && n > 0) {
-            // memmove permits overlap: the memory model stages the
-            // copy (bytes and capability metadata) internally.
-            unwrap(mm_.memmoveOp(loc, dst, src, n));
-        } else if (n > 0) {
-            unwrap(mm_.memcpyOp(loc, dst, src, n));
-        }
-        return args[0];
-      }
-      case Builtin::Memset:
-        unwrap(mm_.memsetOp(loc, args[0].asPointer(),
-                            static_cast<uint8_t>(uintval(1)),
-                            uintval(2)));
-        return args[0];
-      case Builtin::Memcmp:
-        return MemValue(unwrap(mm_.memcmpOp(
-            loc, args[0].asPointer(), args[1].asPointer(),
-            uintval(2))));
-      case Builtin::Strlen: {
-        std::string s = readCString(loc, args[0].asPointer());
-        return MemValue(makeInt(loc, IntKind::ULong,
-                                static_cast<__int128>(s.size())));
-      }
-      case Builtin::Printf: {
-        std::string fmt = readCString(loc, args[0].asPointer());
-        std::string s = formatPrintf(loc, fmt, args, 1);
-        output_ += s;
-        return MemValue(makeInt(loc, IntKind::Int,
-                                static_cast<__int128>(s.size())));
-      }
-      case Builtin::Fprintf: {
-        std::string fmt = readCString(loc, args[1].asPointer());
-        std::string s = formatPrintf(loc, fmt, args, 2);
-        output_ += s;
-        return MemValue(makeInt(loc, IntKind::Int,
-                                static_cast<__int128>(s.size())));
-      }
-      case Builtin::Assert:
-        if (!truthy(loc, args[0]))
-            throw AssertFailure{"assertion failed at " + loc.str()};
-        return void_result();
-      case Builtin::Abort:
-        throw AssertFailure{"abort() called at " + loc.str()};
-      case Builtin::Exit:
-        throw ExitException{
-            static_cast<int>(args[0].asInteger().value())};
-      case Builtin::CheriDdcGet: {
-        // The DDC root capability: whole address space, every
-        // permission.  PNVI provenance is empty — accesses through it
-        // model legacy (non-capability-aware) code and are outside
-        // the provenance discipline.
-        Capability ddc = Capability::make(
-            mm_.arch(), 0, mm_.arch().addrSpaceTop(),
-            mm_.arch().allPerms());
-        return MemValue(PointerValue::object(Provenance::empty(),
-                                             ddc));
-      }
-      case Builtin::PrintCap: {
-        std::string label = readCString(loc, args[0].asPointer());
-        output_ += label + " " + formatCapValue(args[1]) + "\n";
-        return void_result();
-      }
-      default:
-        break;
-    }
-
-    // CHERI intrinsics: all take a capability-carrying first (or
-    // only) argument.
-    const Capability *c0 = capOf(args[0]);
-    if (!c0) {
-        // Fixed-type intrinsics (representable_length & mask).
-        if (b == Builtin::CheriRepresentableLength) {
-            return MemValue(makeInt(
-                loc, IntKind::ULong,
-                static_cast<__int128>(
-                    mm_.arch().representableLength(uintval(0)))));
-        }
-        if (b == Builtin::CheriRepresentableAlignmentMask) {
-            return MemValue(makeInt(
-                loc, IntKind::ULong,
-                static_cast<__int128>(
-                    mm_.arch().representableAlignmentMask(
-                        uintval(0)))));
-        }
-        raise(Failure::internal("intrinsic needs capability argument",
-                                loc));
-    }
-
-    switch (b) {
-      case Builtin::CheriAddressGet:
-        return MemValue(makeInt(loc, IntKind::Ptraddr,
-                                static_cast<__int128>(c0->address())));
-      case Builtin::CheriAddressSet: {
-        uint64_t a = uintval(1);
-        Capability nc = mm_.config().ghostState
-                            ? c0->withAddressGhost(a)
-                            : c0->withAddress(a);
-        return capArgRebuild(loc, args[0], nc);
-      }
-      case Builtin::CheriBaseGet:
-        return MemValue(makeInt(
-            loc, IntKind::Ptraddr,
-            static_cast<__int128>(
-                static_cast<uint64_t>(c0->base()))));
-      case Builtin::CheriLengthGet:
-        return MemValue(makeInt(
-            loc, IntKind::ULong,
-            static_cast<__int128>(static_cast<cherisem::uint128>(
-                c0->length()))));
-      case Builtin::CheriOffsetGet:
-        return MemValue(makeInt(
-            loc, IntKind::ULong,
-            static_cast<__int128>(
-                c0->address() -
-                static_cast<uint64_t>(c0->base()))));
-      case Builtin::CheriOffsetSet: {
-        uint64_t a = static_cast<uint64_t>(c0->base()) + uintval(1);
-        Capability nc = mm_.config().ghostState
-                            ? c0->withAddressGhost(a)
-                            : c0->withAddress(a);
-        return capArgRebuild(loc, args[0], nc);
-      }
-      case Builtin::CheriPermsGet:
-        return MemValue(makeInt(
-            loc, IntKind::ULong,
-            static_cast<__int128>(c0->perms().bits())));
-      case Builtin::CheriPermsAnd:
-        return capArgRebuild(
-            loc, args[0],
-            c0->withPerms(cap::PermSet(
-                static_cast<uint32_t>(uintval(1)))));
-      case Builtin::CheriTagGet:
-      case Builtin::CheriIsValid:
-        // Section 3.5: if the ghost state marks the tag unspecified,
-        // the result is an unspecified boolean; we return the stored
-        // bit (a legitimate refinement) — cheri_ghost_state_get lets
-        // tests observe the difference.
-        return MemValue(makeInt(loc, IntKind::Bool,
-                                c0->tag() ? 1 : 0));
-      case Builtin::CheriTagClear:
-        return capArgRebuild(loc, args[0], c0->withTagCleared());
-      case Builtin::CheriBoundsSet:
-      case Builtin::CheriBoundsSetExact: {
-        uint64_t len = uintval(1);
-        Capability nc = c0->withBounds(
-            c0->address(), cherisem::uint128(c0->address()) + len);
-        if (b == Builtin::CheriBoundsSetExact &&
-            nc.length() != len) {
-            raiseUb(Ub::CheriBoundsViolation, loc,
-                    "cheri_bounds_set_exact: length not exactly "
-                    "representable");
-        }
-        return capArgRebuild(loc, args[0], nc);
-      }
-      case Builtin::CheriIsEqualExact: {
-        const Capability *c1 = capOf(args[1]);
-        bool eq = c1 && c0->equalExact(*c1);
-        return MemValue(makeInt(loc, IntKind::Bool, eq ? 1 : 0));
-      }
-      case Builtin::CheriTypeGet:
-        return MemValue(makeInt(
-            loc, IntKind::Long,
-            c0->isSealed() ? static_cast<__int128>(c0->otype())
-                           : -1));
-      case Builtin::CheriIsSealed:
-        return MemValue(makeInt(loc, IntKind::Bool,
-                                c0->isSealed() ? 1 : 0));
-      case Builtin::CheriSeal: {
-        const Capability *auth = capOf(args[1]);
-        if (!auth || !auth->tag() ||
-            !auth->perms().has(cap::Perm::Seal)) {
-            return capArgRebuild(loc, args[0],
-                                 c0->withTagCleared());
-        }
-        return capArgRebuild(loc, args[0],
-                             c0->sealed(auth->address()));
-      }
-      case Builtin::CheriUnseal: {
-        const Capability *auth = capOf(args[1]);
-        if (!auth || !auth->tag() ||
-            !auth->perms().has(cap::Perm::Unseal) ||
-            !c0->isSealed() || c0->otype() != auth->address()) {
-            return capArgRebuild(loc, args[0],
-                                 c0->withTagCleared());
-        }
-        return capArgRebuild(loc, args[0], c0->unsealed());
-      }
-      case Builtin::CheriSentryCreate:
-        return capArgRebuild(loc, args[0],
-                             c0->sealed(cap::OTYPE_SENTRY));
-      case Builtin::CheriGhostStateGet: {
-        int bits = (c0->ghost().tagUnspec ? 1 : 0) |
-            (c0->ghost().boundsUnspec ? 2 : 0);
-        return MemValue(makeInt(loc, IntKind::Int, bits));
-      }
-      case Builtin::CheriRepresentableLength:
-      case Builtin::CheriRepresentableAlignmentMask:
-      default:
-        raise(Failure::internal("unhandled builtin", loc));
-    }
-}
-
-} // namespace
 
 std::string
 Outcome::summary() const
@@ -1819,8 +50,12 @@ Outcome::summary() const
 Outcome
 evaluate(const sema::Program &prog, const EvalOptions &opts)
 {
-    Evaluator ev(prog, opts);
-    return ev.run();
+    if (opts.engine == Engine::Bytecode) {
+        Vm vm(prog, opts);
+        return vm.run();
+    }
+    Machine machine(prog, opts);
+    return machine.run();
 }
 
 } // namespace cherisem::corelang

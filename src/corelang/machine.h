@@ -1,0 +1,310 @@
+/**
+ * @file
+ * The shared semantic core of the two execution engines.
+ *
+ * Machine is the complete tree-walking abstract machine of the paper
+ * (section 4): expression evaluation, the statement machine, frames
+ * with object lifetimes, the builtin/intrinsic implementations, and
+ * undefined-behaviour propagation.  Used directly it *is* the
+ * reference tree-walking engine; the bytecode VM (vm.h) subclasses it,
+ * overriding only function-body execution (callFunction) while
+ * inheriting every value-level transformation, the global/static
+ * initialization paths, the scope/lifetime discipline, and the
+ * builtins.  That inheritance — not testing alone — is what makes the
+ * two engines agree bit-for-bit: there is exactly one implementation
+ * of each semantic rule.
+ *
+ * The value-level helpers the bytecode instructions call directly
+ * (binaryOp, castValueOp, incDecNext, builtinCall, ...) are the
+ * tree evaluator's own post-operand-evaluation bodies, factored so an
+ * instruction that has already materialised its operands on the VM
+ * stack runs the identical code the tree walker runs under an Expr
+ * node.
+ */
+#ifndef CHERISEM_CORELANG_MACHINE_H
+#define CHERISEM_CORELANG_MACHINE_H
+
+#include <array>
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corelang/eval.h"
+#include "intrinsics/intrinsics.h"
+
+namespace cherisem::corelang {
+
+/// @name Non-local control flow inside the engines.
+/// UB and semantic errors unwind as EvalFailure; exit()/abort()/assert
+/// have their own carriers.  Both engines throw and catch these with
+/// the same frame discipline, so object-lifetime (kill) event order on
+/// unwind is identical by construction.
+/// @{
+struct EvalFailure
+{
+    mem::Failure failure;
+};
+struct ExitException
+{
+    int code;
+};
+struct AssertFailure
+{
+    std::string message;
+};
+
+[[noreturn]] inline void
+raise(mem::Failure f)
+{
+    throw EvalFailure{std::move(f)};
+}
+
+[[noreturn]] inline void
+raiseUb(mem::Ub ub, SourceLoc loc, std::string msg = "")
+{
+    throw EvalFailure{
+        mem::Failure::undefined(ub, std::move(loc), std::move(msg))};
+}
+
+template <typename T>
+T
+unwrap(mem::MemResult<T> r)
+{
+    if (!r)
+        raise(std::move(r).error());
+    return std::move(r).value();
+}
+/// @}
+
+/** Statement execution result. */
+enum class Flow { Normal, Break, Continue, Return };
+
+class Machine
+{
+  public:
+    Machine(const sema::Program &prog, const EvalOptions &opts);
+    virtual ~Machine() = default;
+
+    /** Execute the program from main(). */
+    Outcome run();
+
+  protected:
+    // ---- environment ----
+
+    struct Binding
+    {
+        mem::PointerValue place;
+        ctype::TypeRef type;
+    };
+    struct Scope
+    {
+        std::map<std::string, Binding> vars;
+        std::vector<mem::PointerValue> toKill;
+    };
+
+    void
+    step(const SourceLoc &loc)
+    {
+        if (++steps_ > opts_.maxSteps) {
+            raise(mem::Failure::constraint("step limit exceeded "
+                                           "(non-terminating program?)",
+                                           loc));
+        }
+    }
+
+    const Binding *
+    lookup(const std::string &name) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto f = it->vars.find(name);
+            if (f != it->vars.end())
+                return &f->second;
+        }
+        auto g = globals_.find(name);
+        if (g != globals_.end())
+            return &g->second;
+        return nullptr;
+    }
+
+    void
+    pushScope()
+    {
+        scopes_.emplace_back();
+    }
+
+    void
+    popScope(const SourceLoc &loc)
+    {
+        for (auto it = scopes_.back().toKill.rbegin();
+             it != scopes_.back().toKill.rend(); ++it) {
+            unwrap(mm_.kill(loc, false, *it));
+        }
+        scopes_.pop_back();
+    }
+
+    // ---- globals and initializers ----
+
+    void initGlobals();
+    void storeZero(const SourceLoc &loc, const mem::PointerValue &place,
+                   const ctype::TypeRef &ty);
+    mem::PointerValue writablePlace(const mem::PointerValue &p) const;
+    void storeInitializer(const SourceLoc &loc,
+                          const mem::PointerValue &place,
+                          const ctype::TypeRef &ty,
+                          const frontend::Initializer &init);
+    void storeStringInto(const SourceLoc &loc,
+                         const mem::PointerValue &place,
+                         const ctype::TypeRef &ty, const std::string &s);
+    mem::PointerValue stringLiteralPlace(const frontend::Expr &e);
+
+    // ---- integer helpers ----
+
+    bool
+    isSignedKind(ctype::IntKind k) const
+    {
+        return ctype::isSignedIntKind(k);
+    }
+
+    __int128 fitInt(const SourceLoc &loc, ctype::IntKind k, __int128 v,
+                    bool check_overflow);
+    mem::IntegerValue makeInt(const SourceLoc &loc, ctype::IntKind k,
+                              __int128 v, bool check_overflow = false);
+    bool truthy(const SourceLoc &loc, const mem::MemValue &v);
+
+    // ---- lvalues / expressions (tree walk) ----
+
+    mem::PointerValue evalLValue(const frontend::Expr &e);
+    mem::PointerValue pointerOf(const SourceLoc &loc,
+                                const mem::MemValue &v);
+    mem::MemValue evalExpr(const frontend::Expr &e);
+    mem::PointerValue functionPointer(uint32_t idx);
+    mem::MemValue evalUnary(const frontend::Expr &e);
+    mem::MemValue evalBinary(const frontend::Expr &e);
+    mem::MemValue evalAssign(const frontend::Expr &e);
+    mem::MemValue evalCast(const frontend::Expr &e);
+    mem::MemValue evalCall(const frontend::Expr &e);
+
+    /// @name Post-operand value transformations.
+    /// The bodies the tree walker runs once an Expr node's operands
+    /// are evaluated; bytecode instructions call these directly with
+    /// operands popped off the VM stack.
+    /// @{
+    cap::Capability addressArith(const cap::Capability &c,
+                                 uint64_t a) const;
+    mem::IntegerValue capPreservingInt(const SourceLoc &loc,
+                                       ctype::IntKind k, __int128 v,
+                                       const mem::IntegerValue &src);
+    mem::IntegerValue intArith(const SourceLoc &loc, frontend::BinOp op,
+                               const ctype::TypeRef &ty,
+                               const mem::IntegerValue &a,
+                               const mem::IntegerValue &b,
+                               frontend::DerivSource deriv);
+    /** Non-short-circuit binary operators on evaluated operands. */
+    mem::MemValue binaryOp(const frontend::Expr &e, const mem::MemValue &lv,
+                           const mem::MemValue &rv);
+    /** Pure-value unary operators (Plus/Minus/BitNot/LogNot). */
+    mem::MemValue unaryValueOp(const frontend::Expr &e,
+                               const mem::MemValue &v);
+    /** The ++/-- "next" value from the loaded old value. */
+    mem::MemValue incDecNext(const frontend::Expr &e,
+                             const ctype::TypeRef &ty,
+                             const mem::MemValue &old);
+    /** Compound-assignment "next" value from old and evaluated rhs. */
+    mem::MemValue compoundNext(const frontend::Expr &e,
+                               const ctype::TypeRef &ty,
+                               const mem::MemValue &old,
+                               const mem::MemValue &rv);
+    /** Scalar cast on an evaluated operand (not array decay /
+     *  function designators — the engines handle those shapes). */
+    mem::MemValue castValueOp(const frontend::Expr &e, mem::MemValue v);
+    /** Resolve an indirect callee value to a function index (UB on
+     *  untagged capability / non-function target). */
+    uint32_t resolveIndirectCallee(const frontend::Expr &e,
+                                   const mem::MemValue &fv);
+    /** Raise the constraint failure for calling an undefined body. */
+    void checkCallable(uint32_t idx, const SourceLoc &loc);
+    /// @}
+
+    static int cmp(const mem::IntegerValue &a, const mem::IntegerValue &b);
+    mem::MemValue floatVal(double d);
+    mem::MemValue boolVal(const SourceLoc &loc, bool b);
+
+    // ---- calls ----
+
+    /** Execute function @p idx with evaluated arguments.  Virtual:
+     *  the bytecode engine overrides this (only this) to run the
+     *  compiled chunk instead of walking the body AST. */
+    virtual mem::MemValue callFunction(
+        uint32_t idx, std::vector<mem::MemValue> args,
+        const std::vector<ctype::TypeRef> &arg_types);
+
+    // ---- statements (tree walk) ----
+
+    Flow execStmt(const frontend::Stmt &s, mem::MemValue *ret);
+
+    // ---- builtins ----
+
+    /** Counter + trace + timer wrapper; tree-evaluates arguments. */
+    mem::MemValue evalBuiltin(const frontend::Expr &e);
+    /** Bump the per-intrinsic counter and emit the Intrinsic witness
+     *  event — the prefix both engines run *before* argument
+     *  evaluation (the event order is part of the trace contract). */
+    void builtinPrologue(const frontend::Expr &e);
+    /** Dispatch builtin @p e on already-evaluated arguments. */
+    mem::MemValue builtinCall(const frontend::Expr &e,
+                              std::vector<mem::MemValue> &args);
+    std::string readCString(const SourceLoc &loc,
+                            const mem::PointerValue &p);
+    std::string formatPrintf(const SourceLoc &loc, const std::string &fmt,
+                             const std::vector<mem::MemValue> &args,
+                             size_t first_arg);
+    std::string formatCapValue(const mem::MemValue &v);
+    mem::MemValue capArgRebuild(const SourceLoc &loc,
+                                const mem::MemValue &orig,
+                                const cap::Capability &c);
+    static const cap::Capability *capOf(const mem::MemValue &v);
+    static mem::Provenance provOf(const mem::MemValue &v);
+
+    /** RAII accumulator for the per-intrinsic nanosecond counters
+     *  (constructed only on traced runs). */
+    struct ScopedIntrinsicTimer
+    {
+        uint64_t *slot;
+        std::chrono::steady_clock::time_point t0 =
+            std::chrono::steady_clock::now();
+        ~ScopedIntrinsicTimer()
+        {
+            *slot += static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+        }
+    };
+
+    // ---- state ----
+
+    const sema::Program &prog_;
+    EvalOptions opts_;
+    mem::MemoryModel mm_;
+
+    std::vector<Scope> scopes_;
+    std::map<std::string, Binding> globals_;
+    std::map<const frontend::Expr *, mem::PointerValue> stringLits_;
+    std::map<const frontend::VarDecl *, Binding> staticLocals_;
+    std::map<uint32_t, mem::PointerValue> funcPtrs_;
+    std::string output_;
+    uint64_t steps_ = 0;
+    int callDepth_ = 0;
+
+    // Per-intrinsic counters (always on: one array increment per
+    // call) and scoped-timer accumulators (tracing runs only).
+    static constexpr size_t kNumBuiltins =
+        static_cast<size_t>(intrinsics::Builtin::CheriDdcGet) + 1;
+    std::array<uint64_t, kNumBuiltins> intrinsicCount_{};
+    std::array<uint64_t, kNumBuiltins> intrinsicNs_{};
+};
+
+} // namespace cherisem::corelang
+
+#endif // CHERISEM_CORELANG_MACHINE_H

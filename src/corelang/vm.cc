@@ -1,0 +1,712 @@
+/**
+ * @file
+ * The bytecode dispatch loop.
+ *
+ * Every handler body is the corresponding fragment of the tree
+ * walker with operand fetches replaced by stack pops: the semantic
+ * work is done by the inherited Machine helpers (makeInt, binaryOp,
+ * castValueOp, storeInitializer, builtinCall, ...), so the two
+ * engines cannot drift.  Step accounting happens once per dispatch
+ * (`steps_ += in->n`); the rare limit crossing recovers the exact
+ * per-charge source location from the chunk's cold side table.
+ *
+ * Dispatch is computed-goto on GCC/Clang (labels-as-values), a plain
+ * switch elsewhere; the handler bodies are shared between the two
+ * via the VM_OP/VM_NEXT/VM_JUMP macros.
+ */
+#include "corelang/vm.h"
+
+#include <cassert>
+
+namespace cherisem::corelang {
+
+using frontend::Expr;
+using frontend::Stmt;
+using ctype::IntKind;
+using ctype::TypeRef;
+using mem::Failure;
+using mem::MemValue;
+using mem::PointerValue;
+
+Vm::Vm(const sema::Program &prog, const EvalOptions &opts)
+    : Machine(prog, opts), owned_(compileProgram(prog)),
+      module_(&owned_)
+{
+    stack_.reserve(256);
+    slots_.reserve(256);
+    callees_.reserve(16);
+}
+
+Vm::Vm(const sema::Program &prog, const EvalOptions &opts,
+       const BytecodeModule *module)
+    : Machine(prog, opts), module_(module)
+{
+    stack_.reserve(256);
+    slots_.reserve(256);
+    callees_.reserve(16);
+}
+
+void
+Vm::stepLimit(const Chunk &ch, uint32_t pc, uint8_t n)
+{
+    // The previous dispatch left steps_ <= maxSteps, so the crossing
+    // charge is within this instruction's batch; its recorded
+    // location is what the tree walker's step() would raise with.
+    uint64_t before = steps_ - n;
+    const auto &locs = ch.stepLocs.at(pc);
+    const SourceLoc *loc =
+        locs.at(static_cast<size_t>(opts_.maxSteps - before));
+    steps_ = opts_.maxSteps + 1;
+    raise(Failure::constraint("step limit exceeded "
+                              "(non-terminating program?)",
+                              *loc));
+}
+
+MemValue
+Vm::loadIdent(const Expr &e)
+{
+    if (const Binding *b = lookup(e.text))
+        return unwrap(mm_.load(e.loc, b->type, b->place));
+    auto fi = prog_.functionIndex.find(e.text);
+    if (fi != prog_.functionIndex.end())
+        return MemValue(functionPointer(fi->second));
+    raise(Failure::internal("unbound identifier " + e.text, e.loc));
+}
+
+PointerValue
+Vm::placeIdent(const Expr &e)
+{
+    if (const Binding *b = lookup(e.text))
+        return b->place;
+    raise(Failure::internal("unbound identifier " + e.text, e.loc));
+}
+
+MemValue
+Vm::callFunction(uint32_t idx, std::vector<MemValue> args,
+                 const std::vector<TypeRef> &arg_types)
+{
+    const frontend::FunctionDef &fn = prog_.unit.functions[idx];
+    const Chunk &ch = module_->chunks[idx];
+    assert(!ch.empty() && "callable function has a chunk");
+    if (++callDepth_ > 1000) {
+        --callDepth_;
+        raise(Failure::constraint("call depth limit (stack "
+                                  "overflow)",
+                                  fn.loc));
+    }
+    if (mm_.tracer().enabled()) {
+        mm_.tracer().emit({.kind = obs::EventKind::FuncEnter,
+                           .a = idx,
+                           .b = static_cast<uint64_t>(callDepth_),
+                           .label = fn.name});
+    }
+    uint64_t sp = mm_.stackSave();
+    size_t stack_base = stack_.size();
+    size_t callees_base = callees_.size();
+    size_t timers_base = timers_.size();
+    size_t slot_base = slots_.size();
+    slots_.resize(slot_base + ch.numSlots);
+    pushScope();
+    for (size_t i = 0; i < fn.type->params.size() &&
+         i < args.size();
+         ++i) {
+        std::string name = i < fn.paramNames.size()
+                               ? fn.paramNames[i]
+                               : "";
+        TypeRef pty = fn.type->params[i];
+        PointerValue place = unwrap(mm_.allocateObject(
+            name.empty() ? "param" : name, pty, false, false));
+        unwrap(mm_.store(fn.loc, pty, writablePlace(place),
+                         args[i], /*initializing=*/true));
+        if (!name.empty())
+            scopes_.back().vars[name] = Binding{place, pty};
+        scopes_.back().toKill.push_back(place);
+        // The compiler assigned parameter i frame slot i.
+        slots_[slot_base + i] = Binding{place, pty};
+    }
+    (void)arg_types;
+
+    MemValue result = MemValue(mem::UnspecValue{
+        fn.type->returnType});
+    auto trace_exit = [&] {
+        if (mm_.tracer().enabled()) {
+            mm_.tracer().emit(
+                {.kind = obs::EventKind::FuncExit,
+                 .a = idx,
+                 .b = static_cast<uint64_t>(callDepth_),
+                 .label = fn.name});
+        }
+    };
+    try {
+        execChunk(ch, slot_base, result);
+    } catch (...) {
+        // Mirror the tree walker's RAII intrinsic timers: pending
+        // timed regions accumulate even on a raising path.
+        while (timers_.size() > timers_base) {
+            auto &[bi, t0] = timers_.back();
+            intrinsicNs_[bi] += static_cast<uint64_t>(
+                std::chrono::duration_cast<
+                    std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            timers_.pop_back();
+        }
+        stack_.resize(stack_base);
+        callees_.resize(callees_base);
+        slots_.resize(slot_base);
+        popScope(fn.loc);
+        mm_.stackRestore(sp);
+        trace_exit();
+        --callDepth_;
+        throw;
+    }
+    assert(stack_.size() == stack_base && "unbalanced chunk");
+    slots_.resize(slot_base);
+    popScope(fn.loc);
+    mm_.stackRestore(sp);
+    trace_exit();
+    --callDepth_;
+    if (fn.name == "main" && result.isUnspec())
+        return MemValue(makeInt(fn.loc, IntKind::Int, 0));
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// The dispatch loop.
+// ---------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CHERISEM_VM_COMPUTED_GOTO 1
+#else
+#define CHERISEM_VM_COMPUTED_GOTO 0
+#endif
+
+#define VM_CHARGE()                                                   \
+    do {                                                              \
+        if (in->n) {                                                  \
+            steps_ += in->n;                                          \
+            if (steps_ > opts_.maxSteps)                              \
+                stepLimit(ch,                                         \
+                          static_cast<uint32_t>(in - code),           \
+                          in->n);                                     \
+        }                                                             \
+    } while (0)
+
+#if CHERISEM_VM_COMPUTED_GOTO
+#define VM_OP(name) L_##name:
+#define VM_DISPATCH()                                                 \
+    do {                                                              \
+        VM_CHARGE();                                                  \
+        goto *kL[static_cast<size_t>(in->op)];                        \
+    } while (0)
+#else
+#define VM_OP(name) case Op::name:
+#define VM_DISPATCH() goto dispatch
+#endif
+
+#define VM_NEXT()                                                     \
+    do {                                                              \
+        ++in;                                                         \
+        VM_DISPATCH();                                                \
+    } while (0)
+#define VM_JUMP(target)                                               \
+    do {                                                              \
+        in = code + (target);                                         \
+        VM_DISPATCH();                                                \
+    } while (0)
+
+void
+Vm::execChunk(const Chunk &ch, size_t slot_base, MemValue &ret)
+{
+    const Instr *code = ch.code.data();
+    const Instr *in = code;
+
+    auto push = [this](MemValue v) {
+        stack_.push_back(std::move(v));
+    };
+    auto pop = [this]() -> MemValue {
+        MemValue v = std::move(stack_.back());
+        stack_.pop_back();
+        return v;
+    };
+    auto popPlace = [this]() -> PointerValue {
+        PointerValue p = std::move(stack_.back().asPointer());
+        stack_.pop_back();
+        return p;
+    };
+    auto ex = [&in]() -> const Expr & {
+        return *static_cast<const Expr *>(in->p);
+    };
+    auto st = [&in]() -> const Stmt & {
+        return *static_cast<const Stmt *>(in->p);
+    };
+    auto dc = [&in]() -> const frontend::VarDecl & {
+        return *static_cast<const frontend::VarDecl *>(in->p);
+    };
+    auto slotAt = [this, slot_base](uint16_t i) -> Binding & {
+        return slots_[slot_base + i];
+    };
+
+#if CHERISEM_VM_COMPUTED_GOTO
+    // Must match the Op enumerator order exactly.
+    static const void *kL[kNumOps] = {
+        &&L_PushInt,     &&L_PushFloat,  &&L_PushEnum,
+        &&L_PushIntK,    &&L_PushMeta,   &&L_PushFunc,
+        &&L_LoadSlot,    &&L_LoadNamed,  &&L_LoadAt,
+        &&L_LoadDeref,   &&L_PlaceSlot,  &&L_PlaceNamed,
+        &&L_PlaceString, &&L_PointerOf,  &&L_Decay,
+        &&L_IndexShift,  &&L_MemberDot,  &&L_MemberArrow,
+        &&L_UnaryOp,     &&L_IncDec,     &&L_BinaryOp,
+        &&L_StorePlain,  &&L_CompLoad,   &&L_CompStore,
+        &&L_CastOp,      &&L_Truthy01,   &&L_Pop,
+        &&L_Jmp,         &&L_BrFalse,    &&L_BrTrue,
+        &&L_Step,        &&L_Halt,       &&L_CallPrep,
+        &&L_CallResolve, &&L_CallIndirect, &&L_BuiltinPre,
+        &&L_BuiltinCall, &&L_PushScope,  &&L_PopScope,
+        &&L_Alloc,       &&L_AllocStatic, &&L_InitTree,
+        &&L_StoreInit,   &&L_StoreRet,   &&L_TreeStmt,
+        &&L_TreeExpr,    &&L_TreeLValue,
+    };
+    VM_DISPATCH();
+#else
+dispatch:
+    VM_CHARGE();
+    switch (in->op) {
+#endif
+
+    VM_OP(PushInt)
+    {
+        const Expr &e = ex();
+        push(MemValue(makeInt(e.loc, e.type->intKind,
+                              static_cast<__int128>(e.intValue))));
+        VM_NEXT();
+    }
+    VM_OP(PushFloat)
+    {
+        const Expr &e = ex();
+        mem::FloatingValue fv;
+        fv.kind = e.type->floatKind;
+        fv.value = e.floatValue;
+        push(MemValue(fv));
+        VM_NEXT();
+    }
+    VM_OP(PushEnum)
+    {
+        const Expr &e = ex();
+        push(MemValue(makeInt(e.loc, IntKind::Int, e.enumValue)));
+        VM_NEXT();
+    }
+    VM_OP(PushIntK)
+    {
+        const Expr &e = ex();
+        push(MemValue(makeInt(e.loc, IntKind::Int, in->a)));
+        VM_NEXT();
+    }
+    VM_OP(PushMeta)
+    {
+        const Expr &e = ex();
+        __int128 v = 0;
+        switch (e.kind) {
+          case Expr::Kind::SizeofExpr:
+            v = static_cast<__int128>(
+                mm_.layout().sizeOf(e.lhs->type));
+            break;
+          case Expr::Kind::SizeofType:
+            v = static_cast<__int128>(
+                mm_.layout().sizeOf(e.typeOperand));
+            break;
+          case Expr::Kind::AlignofType:
+            v = static_cast<__int128>(
+                mm_.layout().alignOf(e.typeOperand));
+            break;
+          default: { // OffsetOf
+            ctype::FieldLoc fl =
+                mm_.layout().fieldOf(e.typeOperand->tag, e.text);
+            v = static_cast<__int128>(fl.offset);
+            break;
+          }
+        }
+        push(MemValue(makeInt(e.loc, IntKind::ULong, v)));
+        VM_NEXT();
+    }
+    VM_OP(PushFunc)
+    {
+        push(MemValue(functionPointer(in->b)));
+        VM_NEXT();
+    }
+    VM_OP(LoadSlot)
+    {
+        const Expr &e = ex();
+        const Binding &b = slotAt(in->a);
+        if (b.type)
+            push(unwrap(mm_.load(e.loc, b.type, b.place)));
+        else
+            push(loadIdent(e)); // declaration never executed
+        VM_NEXT();
+    }
+    VM_OP(LoadNamed)
+    {
+        push(loadIdent(ex()));
+        VM_NEXT();
+    }
+    VM_OP(LoadAt)
+    {
+        const Expr &e = ex();
+        PointerValue place = popPlace();
+        push(unwrap(mm_.load(e.loc, e.type, place)));
+        VM_NEXT();
+    }
+    VM_OP(LoadDeref)
+    {
+        const Expr &e = ex();
+        MemValue p = pop();
+        push(unwrap(
+            mm_.load(e.loc, e.type, pointerOf(e.loc, p))));
+        VM_NEXT();
+    }
+    VM_OP(PlaceSlot)
+    {
+        const Binding &b = slotAt(in->a);
+        if (b.type)
+            push(MemValue(b.place));
+        else
+            push(MemValue(placeIdent(ex())));
+        VM_NEXT();
+    }
+    VM_OP(PlaceNamed)
+    {
+        push(MemValue(placeIdent(ex())));
+        VM_NEXT();
+    }
+    VM_OP(PlaceString)
+    {
+        push(MemValue(stringLiteralPlace(ex())));
+        VM_NEXT();
+    }
+    VM_OP(PointerOf)
+    {
+        const Expr &e = ex();
+        MemValue p = pop();
+        push(MemValue(pointerOf(e.loc, p)));
+        VM_NEXT();
+    }
+    VM_OP(Decay)
+    {
+        PointerValue p = popPlace();
+        p.kind = PointerValue::Kind::Object;
+        push(MemValue(p));
+        VM_NEXT();
+    }
+    VM_OP(IndexShift)
+    {
+        const Expr &e = ex();
+        MemValue iv = pop();
+        MemValue pv = pop();
+        PointerValue p = pointerOf(e.loc, pv);
+        __int128 idx = iv.asInteger().value();
+        push(MemValue(
+            unwrap(mm_.arrayShift(e.loc, p, e.type, idx))));
+        VM_NEXT();
+    }
+    VM_OP(MemberDot)
+    {
+        const Expr &e = ex();
+        PointerValue base = popPlace();
+        push(MemValue(unwrap(mm_.memberShift(
+            e.loc, base, e.lhs->type->tag, e.text))));
+        VM_NEXT();
+    }
+    VM_OP(MemberArrow)
+    {
+        const Expr &e = ex();
+        MemValue pv = pop();
+        PointerValue base = pointerOf(e.loc, pv);
+        push(MemValue(unwrap(mm_.memberShift(
+            e.loc, base, e.lhs->type->pointee->tag, e.text))));
+        VM_NEXT();
+    }
+    VM_OP(UnaryOp)
+    {
+        const Expr &e = ex();
+        MemValue v = pop();
+        push(unaryValueOp(e, v));
+        VM_NEXT();
+    }
+    VM_OP(IncDec)
+    {
+        const Expr &e = ex();
+        PointerValue place = popPlace();
+        const TypeRef &ty = ch.types[in->b];
+        MemValue old = unwrap(mm_.load(e.loc, ty, place));
+        MemValue next = incDecNext(e, ty, old);
+        unwrap(mm_.store(e.loc, ty, place, next));
+        push(in->a ? std::move(next) : std::move(old));
+        VM_NEXT();
+    }
+    VM_OP(BinaryOp)
+    {
+        // In place: read both operands off the stack, overwrite the
+        // lhs slot with the result, drop the rhs slot — one MemValue
+        // move saved per arithmetic node.
+        const Expr &e = ex();
+        size_t n = stack_.size();
+        MemValue v = binaryOp(e, stack_[n - 2], stack_[n - 1]);
+        stack_[n - 2] = std::move(v);
+        stack_.pop_back();
+        VM_NEXT();
+    }
+    VM_OP(StorePlain)
+    {
+        const Expr &e = ex();
+        MemValue v = pop();
+        PointerValue place = popPlace();
+        unwrap(mm_.store(e.loc, ch.types[in->b], place, v));
+        push(std::move(v));
+        VM_NEXT();
+    }
+    VM_OP(CompLoad)
+    {
+        const Expr &e = ex();
+        MemValue old = unwrap(mm_.load(
+            e.loc, ch.types[in->b], stack_.back().asPointer()));
+        push(std::move(old));
+        VM_NEXT();
+    }
+    VM_OP(CompStore)
+    {
+        const Expr &e = ex();
+        const TypeRef &ty = ch.types[in->b];
+        MemValue rv = pop();
+        MemValue old = pop();
+        PointerValue place = popPlace();
+        MemValue next = compoundNext(e, ty, old, rv);
+        unwrap(mm_.store(e.loc, ty, place, next));
+        push(std::move(next));
+        VM_NEXT();
+    }
+    VM_OP(CastOp)
+    {
+        const Expr &e = ex();
+        MemValue v = pop();
+        push(castValueOp(e, std::move(v)));
+        VM_NEXT();
+    }
+    VM_OP(Truthy01)
+    {
+        const Expr &e = ex();
+        MemValue v = pop();
+        push(MemValue(makeInt(e.loc, IntKind::Int,
+                              truthy(e.loc, v) ? 1 : 0)));
+        VM_NEXT();
+    }
+    VM_OP(Pop)
+    {
+        stack_.pop_back();
+        VM_NEXT();
+    }
+    VM_OP(Jmp)
+    {
+        VM_JUMP(in->b);
+    }
+    VM_OP(BrFalse)
+    {
+        MemValue v = pop();
+        if (!truthy(*in->loc, v))
+            VM_JUMP(in->b);
+        VM_NEXT();
+    }
+    VM_OP(BrTrue)
+    {
+        MemValue v = pop();
+        if (truthy(*in->loc, v))
+            VM_JUMP(in->b);
+        VM_NEXT();
+    }
+    VM_OP(Step)
+    {
+        VM_NEXT(); // the dispatch prologue already charged
+    }
+    VM_OP(Halt)
+    {
+        return;
+    }
+    VM_OP(CallPrep)
+    {
+        const Expr &e = ex();
+        uint32_t idx;
+        if (!lookup(e.lhs->text)) {
+            idx = prog_.functionIndex.at(e.lhs->text);
+        } else {
+            // A local shadows the function name: the tree walker's
+            // indirect path, including its evalExpr step charge.
+            MemValue fv = evalExpr(*e.lhs);
+            idx = resolveIndirectCallee(e, fv);
+        }
+        checkCallable(idx, e.loc);
+        callees_.push_back(idx);
+        VM_NEXT();
+    }
+    VM_OP(CallResolve)
+    {
+        const Expr &e = ex();
+        MemValue fv = pop();
+        uint32_t idx = resolveIndirectCallee(e, fv);
+        checkCallable(idx, e.loc);
+        callees_.push_back(idx);
+        VM_NEXT();
+    }
+    VM_OP(CallIndirect)
+    {
+        const CallInfo &ci = ch.calls[in->b];
+        size_t argc = in->a;
+        std::vector<MemValue> args;
+        args.reserve(argc);
+        for (size_t i = stack_.size() - argc; i < stack_.size();
+             ++i)
+            args.push_back(std::move(stack_[i]));
+        stack_.resize(stack_.size() - argc);
+        uint32_t idx = callees_.back();
+        callees_.pop_back();
+        push(callFunction(idx, std::move(args), ci.argTypes));
+        VM_NEXT();
+    }
+    VM_OP(BuiltinPre)
+    {
+        const Expr &e = ex();
+        builtinPrologue(e);
+        if (mm_.tracer().enabled()) {
+            timers_.push_back(
+                {static_cast<size_t>(e.builtinId),
+                 std::chrono::steady_clock::now()});
+        }
+        VM_NEXT();
+    }
+    VM_OP(BuiltinCall)
+    {
+        const Expr &e = ex();
+        size_t argc = in->a;
+        std::vector<MemValue> args;
+        args.reserve(argc);
+        for (size_t i = stack_.size() - argc; i < stack_.size();
+             ++i)
+            args.push_back(std::move(stack_[i]));
+        stack_.resize(stack_.size() - argc);
+        if (!mm_.tracer().enabled()) {
+            push(builtinCall(e, args));
+        } else {
+            // Timed region opened by BuiltinPre; accumulates on
+            // scope exit even when the intrinsic raises, exactly
+            // like the tree walker's RAII timer.
+            ScopedIntrinsicTimer scoped{
+                &intrinsicNs_[static_cast<size_t>(e.builtinId)],
+                timers_.back().second};
+            timers_.pop_back();
+            push(builtinCall(e, args));
+        }
+        VM_NEXT();
+    }
+    VM_OP(PushScope)
+    {
+        pushScope();
+        VM_NEXT();
+    }
+    VM_OP(PopScope)
+    {
+        popScope(st().loc);
+        VM_NEXT();
+    }
+    VM_OP(Alloc)
+    {
+        const frontend::VarDecl &d = dc();
+        PointerValue place = unwrap(mm_.allocateObject(
+            d.name, d.type, d.type->isConst,
+            /*is_static=*/false));
+        Binding b{place, d.type};
+        scopes_.back().vars[d.name] = b;
+        scopes_.back().toKill.push_back(place);
+        slotAt(in->a) = std::move(b);
+        VM_NEXT();
+    }
+    VM_OP(AllocStatic)
+    {
+        const frontend::VarDecl &d = dc();
+        auto it = staticLocals_.find(&d);
+        if (it == staticLocals_.end()) {
+            PointerValue place = unwrap(mm_.allocateObject(
+                d.name, d.type, d.type->isConst,
+                /*is_static=*/true));
+            storeZero(d.loc, place, d.type);
+            if (d.hasInit)
+                storeInitializer(d.loc, place, d.type, d.init);
+            it = staticLocals_
+                     .emplace(&d, Binding{place, d.type})
+                     .first;
+        }
+        scopes_.back().vars[d.name] = it->second;
+        slotAt(in->a) = it->second;
+        VM_NEXT();
+    }
+    VM_OP(InitTree)
+    {
+        const frontend::VarDecl &d = dc();
+        const Binding &b = slotAt(in->a);
+        storeInitializer(d.loc, b.place, d.type, d.init);
+        VM_NEXT();
+    }
+    VM_OP(StoreInit)
+    {
+        const frontend::VarDecl &d = dc();
+        MemValue v = pop();
+        const Binding &b = slotAt(in->a);
+        unwrap(mm_.store(d.loc, d.type, writablePlace(b.place), v,
+                         /*initializing=*/true));
+        VM_NEXT();
+    }
+    VM_OP(StoreRet)
+    {
+        ret = pop();
+        VM_NEXT();
+    }
+    VM_OP(TreeStmt)
+    {
+        const Stmt &s = st();
+        Flow f = execStmt(s, &ret);
+        if (f != Flow::Normal) {
+            const FlowRoute &r = ch.routes[in->b];
+            uint32_t target = f == Flow::Break
+                                  ? r.brk
+                                  : (f == Flow::Continue ? r.cont
+                                                         : r.ret);
+            if (target == kNoTarget) {
+                raise(Failure::internal(
+                    "unroutable control flow from statement",
+                    s.loc));
+            }
+            VM_JUMP(target);
+        }
+        VM_NEXT();
+    }
+    VM_OP(TreeExpr)
+    {
+        push(evalExpr(ex()));
+        VM_NEXT();
+    }
+    VM_OP(TreeLValue)
+    {
+        push(MemValue(evalLValue(ex())));
+        VM_NEXT();
+    }
+
+#if !CHERISEM_VM_COMPUTED_GOTO
+    }
+    raise(Failure::internal("bad opcode"));
+#endif
+}
+
+#undef VM_JUMP
+#undef VM_NEXT
+#undef VM_DISPATCH
+#undef VM_OP
+#undef VM_CHARGE
+
+} // namespace cherisem::corelang

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The bytecode VM: the fast execution engine.
+ *
+ * Vm subclasses Machine and overrides exactly one method —
+ * callFunction — to run a function's compiled chunk instead of
+ * walking its body AST.  Everything else (global initialization, the
+ * memory model, scope/lifetime discipline, builtins, UB propagation,
+ * the outcome assembly in run()) is inherited unchanged, and every
+ * instruction handler calls the Machine's own semantic helpers on
+ * operands popped from the VM stack.  Tree-walked fragments (switch
+ * statements, braced initializers) that call functions re-enter the
+ * VM through this same virtual seam, so a run never mixes semantics:
+ * there is one implementation of every rule, dispatched two ways.
+ *
+ * The dispatch loop uses computed goto on GCC/Clang (one indirect
+ * branch per instruction, letting the predictor specialise per
+ * opcode) with a portable switch fallback.
+ */
+#ifndef CHERISEM_CORELANG_VM_H
+#define CHERISEM_CORELANG_VM_H
+
+#include <chrono>
+#include <utility>
+
+#include "corelang/bytecode.h"
+#include "corelang/machine.h"
+
+namespace cherisem::corelang {
+
+class Vm : public Machine
+{
+  public:
+    /** Compile-and-own: the evaluate() entry point. */
+    Vm(const sema::Program &prog, const EvalOptions &opts);
+    /** Shared immutable module: compile once, run many (benchmarks
+     *  and the differential harnesses re-running one program). */
+    Vm(const sema::Program &prog, const EvalOptions &opts,
+       const BytecodeModule *module);
+
+  protected:
+    mem::MemValue callFunction(
+        uint32_t idx, std::vector<mem::MemValue> args,
+        const std::vector<ctype::TypeRef> &arg_types) override;
+
+  private:
+    /** Run one compiled chunk; returns on Halt.  @p slot_base is
+     *  this frame's offset into slots_, @p ret the frame's return
+     *  value storage (shared with tree-walked Return statements). */
+    void execChunk(const Chunk &ch, size_t slot_base,
+                   mem::MemValue &ret);
+
+    /** Cold step-limit raise with the exact per-charge location. */
+    [[noreturn]] void stepLimit(const Chunk &ch, uint32_t pc,
+                                uint8_t n);
+
+    /** The tree walker's full Ident rvalue path (dynamic lookup,
+     *  function designators, unbound-identifier error) — the
+     *  LoadNamed handler, and LoadSlot's fallback when the slot's
+     *  declaration never executed (unpassed parameter). */
+    mem::MemValue loadIdent(const frontend::Expr &e);
+    /** Likewise for the Ident lvalue path. */
+    mem::PointerValue placeIdent(const frontend::Expr &e);
+
+    BytecodeModule owned_;
+    const BytecodeModule *module_;
+    /** Frame-local slot bindings (all frames, stack discipline). */
+    std::vector<Binding> slots_;
+    /** Operand stack (all frames; each chunk is balanced). */
+    std::vector<mem::MemValue> stack_;
+    /** Callees resolved by CallPrep/CallResolve, consumed by
+     *  CallIndirect (stack: calls nest in argument lists). */
+    std::vector<uint32_t> callees_;
+    /** Traced runs: intrinsic timer starts pushed by BuiltinPre
+     *  (builtin index, start time), popped by BuiltinCall. */
+    std::vector<std::pair<size_t,
+                          std::chrono::steady_clock::time_point>>
+        timers_;
+};
+
+} // namespace cherisem::corelang
+
+#endif // CHERISEM_CORELANG_VM_H

@@ -41,6 +41,8 @@ struct Profile
     corelang::OptimizeOptions optims;
     cap::FormatStyle capFormat = cap::FormatStyle::Abstract;
     bool printProvenance = true;
+    /** Execution engine (observationally identical either way). */
+    corelang::Engine engine = corelang::Engine::Tree;
 
     corelang::EvalOptions
     evalOptions() const
@@ -49,6 +51,7 @@ struct Profile
         o.memConfig = memConfig;
         o.capFormat = capFormat;
         o.printProvenance = printProvenance;
+        o.engine = engine;
         return o;
     }
 };

@@ -124,7 +124,7 @@ MemoryModel::copyBytesAndMeta(uint64_t d, uint64_t s, uint64_t n)
 // ---------------------------------------------------------------------
 
 MemResult<Unit>
-MemoryModel::reprValue(SourceLoc loc, uint64_t addr, const TypeRef &ty,
+MemoryModel::reprValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty,
                        const MemValue &v)
 {
     uint64_t n = layout_.sizeOf(ty);
@@ -283,7 +283,7 @@ MemoryModel::reprValue(SourceLoc loc, uint64_t addr, const TypeRef &ty,
 // ---------------------------------------------------------------------
 
 MemResult<MemValue>
-MemoryModel::abstValue(SourceLoc loc, uint64_t addr, const TypeRef &ty)
+MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
 {
     uint64_t n = layout_.sizeOf(ty);
 
@@ -523,10 +523,9 @@ MemoryModel::packedCapMeta(uint64_t addr, uint64_t n) const
 }
 
 MemResult<MemValue>
-MemoryModel::load(SourceLoc loc, const TypeRef &ty, const PointerValue &p)
+MemoryModel::slowLoad(const SourceLoc &loc, const TypeRef &ty,
+                      const PointerValue &p, uint64_t n, unsigned align)
 {
-    uint64_t n = layout_.sizeOf(ty);
-    unsigned align = ty->isScalar() ? layout_.alignOf(ty) : 1;
     CHERISEM_TRY(info,
                  accessCheck(loc, p, n, align, /*want_store=*/false));
     ++stats_.loads;
@@ -541,12 +540,10 @@ MemoryModel::load(SourceLoc loc, const TypeRef &ty, const PointerValue &p)
 }
 
 MemResult<Unit>
-MemoryModel::store(SourceLoc loc, const TypeRef &ty,
-                   const PointerValue &p, const MemValue &v,
-                   bool initializing)
+MemoryModel::slowStore(const SourceLoc &loc, const TypeRef &ty,
+                       const PointerValue &p, const MemValue &v,
+                       bool initializing, uint64_t n, unsigned align)
 {
-    uint64_t n = layout_.sizeOf(ty);
-    unsigned align = ty->isScalar() ? layout_.alignOf(ty) : 1;
     CHERISEM_TRY(info,
                  accessCheck(loc, p, n, align, /*want_store=*/true,
                              initializing));
@@ -569,7 +566,7 @@ MemoryModel::store(SourceLoc loc, const TypeRef &ty,
 // ---------------------------------------------------------------------
 
 MemResult<Unit>
-MemoryModel::memcpyOp(SourceLoc loc, const PointerValue &dst,
+MemoryModel::memcpyOp(const SourceLoc &loc, const PointerValue &dst,
                       const PointerValue &src, uint64_t n)
 {
     if (n == 0)
@@ -588,7 +585,7 @@ MemoryModel::memcpyOp(SourceLoc loc, const PointerValue &dst,
 }
 
 MemResult<Unit>
-MemoryModel::memmoveOp(SourceLoc loc, const PointerValue &dst,
+MemoryModel::memmoveOp(const SourceLoc &loc, const PointerValue &dst,
                        const PointerValue &src, uint64_t n)
 {
     if (n == 0)
@@ -606,7 +603,7 @@ MemoryModel::memmoveOp(SourceLoc loc, const PointerValue &dst,
 }
 
 MemResult<IntegerValue>
-MemoryModel::memcmpOp(SourceLoc loc, const PointerValue &a,
+MemoryModel::memcmpOp(const SourceLoc &loc, const PointerValue &a,
                       const PointerValue &b, uint64_t n)
 {
     CHERISEM_TRYV(accessCheck(loc, a, n, 1, false));
@@ -636,7 +633,7 @@ MemoryModel::memcmpOp(SourceLoc loc, const PointerValue &a,
 }
 
 MemResult<Unit>
-MemoryModel::memsetOp(SourceLoc loc, const PointerValue &dst,
+MemoryModel::memsetOp(const SourceLoc &loc, const PointerValue &dst,
                       uint8_t byte, uint64_t n, bool initializing)
 {
     if (n == 0)

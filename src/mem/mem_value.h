@@ -206,6 +206,12 @@ struct MemValue
         v;
 
     MemValue() : v(UnspecValue{}) {}
+    /** In-place alternative construction (hot paths: skips the
+     *  intermediate alternative object and its variant move). */
+    template <typename T, typename... Args>
+    explicit MemValue(std::in_place_type_t<T> t, Args &&...args)
+        : v(t, std::forward<Args>(args)...)
+    {}
     MemValue(IntegerValue iv) : v(std::move(iv)) {}
     MemValue(FloatingValue fv) : v(std::move(fv)) {}
     MemValue(PointerValue pv) : v(std::move(pv)) {}

@@ -24,6 +24,8 @@ MemoryModel::MemoryModel(Config config)
       stackPtr_(config_.stackBase),
       codePtr_(config_.codeBase)
 {
+    if (config_.storeBackend == StoreBackend::Paged)
+        pagedStore_ = static_cast<PagedStore *>(store_.get());
     if (config_.revoke.enabled()) {
         // Swept footprints come back through the release callback so
         // the quarantine, not kill(), decides when an address range
@@ -170,7 +172,7 @@ MemoryModel::allocateRegion(const std::string &prefix, uint64_t size,
 }
 
 MemResult<Unit>
-MemoryModel::kill(SourceLoc loc, bool dyn, const PointerValue &p)
+MemoryModel::kill(const SourceLoc &loc, bool dyn, const PointerValue &p)
 {
     if (p.isNull()) {
         if (dyn)
@@ -232,7 +234,7 @@ MemoryModel::kill(SourceLoc loc, bool dyn, const PointerValue &p)
 }
 
 MemResult<PointerValue>
-MemoryModel::reallocRegion(SourceLoc loc, const PointerValue &p,
+MemoryModel::reallocRegion(const SourceLoc &loc, const PointerValue &p,
                            uint64_t new_size)
 {
     // realloc(NULL, n) is malloc(n); witness it as a Realloc (old
@@ -385,7 +387,7 @@ MemoryModel::peekProvenance(const Provenance &p) const
 }
 
 MemResult<MemoryModel::AccessInfo>
-MemoryModel::resolveForAccess(SourceLoc loc, const Provenance &prov,
+MemoryModel::resolveForAccess(const SourceLoc &loc, const Provenance &prov,
                               uint64_t addr, uint64_t n)
 {
     AccessInfo info;
@@ -463,7 +465,7 @@ MemoryModel::resolveForAccess(SourceLoc loc, const Provenance &prov,
 }
 
 MemResult<MemoryModel::AccessInfo>
-MemoryModel::accessCheck(SourceLoc loc, const PointerValue &p,
+MemoryModel::accessCheck(const SourceLoc &loc, const PointerValue &p,
                          uint64_t n, unsigned align_req, bool want_store,
                          bool initializing)
 {
@@ -521,7 +523,7 @@ MemoryModel::accessCheck(SourceLoc loc, const PointerValue &p,
 // ---------------------------------------------------------------------
 
 MemResult<PointerValue>
-MemoryModel::arrayShift(SourceLoc loc, const PointerValue &p,
+MemoryModel::arrayShift(const SourceLoc &loc, const PointerValue &p,
                         const TypeRef &elem, __int128 idx)
 {
     if (p.isFunc())
@@ -567,7 +569,7 @@ MemoryModel::arrayShift(SourceLoc loc, const PointerValue &p,
 }
 
 MemResult<PointerValue>
-MemoryModel::memberShift(SourceLoc loc, const PointerValue &p,
+MemoryModel::memberShift(const SourceLoc &loc, const PointerValue &p,
                          ctype::TagId tag, const std::string &member)
 {
     ctype::FieldLoc fl = layout_.fieldOf(tag, member);
@@ -605,7 +607,7 @@ MemoryModel::ptrEq(const PointerValue &a, const PointerValue &b)
 }
 
 MemResult<bool>
-MemoryModel::ptrRelational(SourceLoc loc, RelOp op,
+MemoryModel::ptrRelational(const SourceLoc &loc, RelOp op,
                            const PointerValue &a, const PointerValue &b)
 {
     if (config_.checkProvenance) {
@@ -628,7 +630,7 @@ MemoryModel::ptrRelational(SourceLoc loc, RelOp op,
 }
 
 MemResult<IntegerValue>
-MemoryModel::ptrDiff(SourceLoc loc, const TypeRef &elem,
+MemoryModel::ptrDiff(const SourceLoc &loc, const TypeRef &elem,
                      const PointerValue &a, const PointerValue &b)
 {
     if (config_.checkProvenance) {
@@ -659,7 +661,7 @@ MemoryModel::validForDeref(const PointerValue &p, uint64_t size) const
 // ---------------------------------------------------------------------
 
 MemResult<IntegerValue>
-MemoryModel::intFromPtr(SourceLoc loc, ctype::IntKind dst,
+MemoryModel::intFromPtr(const SourceLoc &loc, ctype::IntKind dst,
                         const PointerValue &p)
 {
     (void)loc;
@@ -697,7 +699,7 @@ MemoryModel::intFromPtr(SourceLoc loc, ctype::IntKind dst,
 }
 
 MemResult<PointerValue>
-MemoryModel::ptrFromInt(SourceLoc loc, const IntegerValue &iv)
+MemoryModel::ptrFromInt(const SourceLoc &loc, const IntegerValue &iv)
 {
     (void)loc;
     const cap::CapArch &a = arch();

@@ -199,20 +199,20 @@ class MemoryModel
                                            unsigned align);
     /** End an allocation's lifetime. @p dyn distinguishes free() from
      *  scope exit, with the corresponding extra checks. */
-    MemResult<Unit> kill(SourceLoc loc, bool dyn,
+    MemResult<Unit> kill(const SourceLoc &loc, bool dyn,
                          const PointerValue &p);
-    MemResult<PointerValue> reallocRegion(SourceLoc loc,
+    MemResult<PointerValue> reallocRegion(const SourceLoc &loc,
                                           const PointerValue &p,
                                           uint64_t new_size);
     /// @}
 
     /// @name Typed access.
     /// @{
-    MemResult<MemValue> load(SourceLoc loc, const ctype::TypeRef &ty,
+    MemResult<MemValue> load(const SourceLoc &loc, const ctype::TypeRef &ty,
                              const PointerValue &p);
     /** @p initializing bypasses the read-only-object check (the
      *  defining store of a const object / string literal). */
-    MemResult<Unit> store(SourceLoc loc, const ctype::TypeRef &ty,
+    MemResult<Unit> store(const SourceLoc &loc, const ctype::TypeRef &ty,
                           const PointerValue &p, const MemValue &v,
                           bool initializing = false);
     /// @}
@@ -221,23 +221,23 @@ class MemoryModel
     /// @{
     /** p + idx*sizeof(elem), with the strict ISO footprint check
      *  (section 3.2) and hardware representability behaviour. */
-    MemResult<PointerValue> arrayShift(SourceLoc loc,
+    MemResult<PointerValue> arrayShift(const SourceLoc &loc,
                                        const PointerValue &p,
                                        const ctype::TypeRef &elem,
                                        __int128 idx);
     /** &(p->member): offset within a struct/union. */
-    MemResult<PointerValue> memberShift(SourceLoc loc,
+    MemResult<PointerValue> memberShift(const SourceLoc &loc,
                                         const PointerValue &p,
                                         ctype::TagId tag,
                                         const std::string &member);
     /** Pointer equality: addresses only (section 3.6). */
     MemResult<bool> ptrEq(const PointerValue &a, const PointerValue &b);
     /** Relational comparison; requires same provenance. */
-    MemResult<bool> ptrRelational(SourceLoc loc, RelOp op,
+    MemResult<bool> ptrRelational(const SourceLoc &loc, RelOp op,
                                   const PointerValue &a,
                                   const PointerValue &b);
     /** Pointer subtraction; requires same provenance. */
-    MemResult<IntegerValue> ptrDiff(SourceLoc loc,
+    MemResult<IntegerValue> ptrDiff(const SourceLoc &loc,
                                     const ctype::TypeRef &elem,
                                     const PointerValue &a,
                                     const PointerValue &b);
@@ -249,29 +249,29 @@ class MemoryModel
     /// @{
     /** Cast pointer to integer: exposes the allocation (PNVI-ae); to
      *  (u)intptr_t the whole capability is preserved. */
-    MemResult<IntegerValue> intFromPtr(SourceLoc loc,
+    MemResult<IntegerValue> intFromPtr(const SourceLoc &loc,
                                        ctype::IntKind dst,
                                        const PointerValue &p);
     /** Cast integer to pointer: (u)intptr_t is a capability no-op;
      *  pure integers attach provenance per PNVI-ae-udi and produce an
      *  untagged (null-derived) capability. */
-    MemResult<PointerValue> ptrFromInt(SourceLoc loc,
+    MemResult<PointerValue> ptrFromInt(const SourceLoc &loc,
                                        const IntegerValue &iv);
     /// @}
 
     /// @name Bulk operations (capability-preserving, section 3.5).
     /// @{
-    MemResult<Unit> memcpyOp(SourceLoc loc, const PointerValue &dst,
+    MemResult<Unit> memcpyOp(const SourceLoc &loc, const PointerValue &dst,
                              const PointerValue &src, uint64_t n);
     /** memmove: like memcpyOp but overlap is permitted (both the
      *  abstract bytes and the capability metadata are staged through
      *  temporaries). */
-    MemResult<Unit> memmoveOp(SourceLoc loc, const PointerValue &dst,
+    MemResult<Unit> memmoveOp(const SourceLoc &loc, const PointerValue &dst,
                               const PointerValue &src, uint64_t n);
-    MemResult<IntegerValue> memcmpOp(SourceLoc loc,
+    MemResult<IntegerValue> memcmpOp(const SourceLoc &loc,
                                      const PointerValue &a,
                                      const PointerValue &b, uint64_t n);
-    MemResult<Unit> memsetOp(SourceLoc loc, const PointerValue &dst,
+    MemResult<Unit> memsetOp(const SourceLoc &loc, const PointerValue &dst,
                              uint8_t byte, uint64_t n,
                              bool initializing = false);
     /// @}
@@ -313,17 +313,49 @@ class MemoryModel
         bool haveAlloc = false;
     };
 
+    /** @name Fast-path scalar pipeline (src/mem/fast_path.cc)
+     *  load()/store() live in fast_path.cc: they run fastGuard() and,
+     *  for clean scalar accesses, serve the access inline against the
+     *  store's readScalarClean/writeScalarClean range primitives;
+     *  anything else falls back to slowLoad()/slowStore() — the full
+     *  UB/provenance rules in load_store.cc.  The guard is strictly
+     *  stronger than accessCheck(), so taking the shortcut can never
+     *  change an outcome — it only skips re-deriving what the guard
+     *  already proved.
+     *  @{ */
+    /** The full load rule (load_store.cc); @p n / @p align are the
+     *  footprint the dispatcher already computed. */
+    MemResult<MemValue> slowLoad(const SourceLoc &loc, const ctype::TypeRef &ty,
+                                 const PointerValue &p, uint64_t n,
+                                 unsigned align);
+    /** The full store rule (load_store.cc). */
+    MemResult<Unit> slowStore(const SourceLoc &loc, const ctype::TypeRef &ty,
+                              const PointerValue &p, const MemValue &v,
+                              bool initializing, uint64_t n,
+                              unsigned align);
+    /** Run the fast-path guard for an @p n byte access at @p p;
+     *  returns the resolved live allocation, or null (take the slow
+     *  path). */
+    const Allocation *fastGuard(const PointerValue &p, uint64_t n,
+                                unsigned align, bool want_store);
+
+    /** One-entry allocation cache.  Safe because allocations_ entries
+     *  are never erased (kill() only flips `alive`), so node pointers
+     *  are stable for the lifetime of the model. */
+    const Allocation *cachedAlloc(AllocId id) const;
+    /// @}
+
     /** The paper's bounds_check + PNVI checks for an @p n byte access
      *  at @p p; @p want_store selects the permission/readonly checks;
      *  @p initializing skips the read-only-object check. */
-    MemResult<AccessInfo> accessCheck(SourceLoc loc,
+    MemResult<AccessInfo> accessCheck(const SourceLoc &loc,
                                       const PointerValue &p, uint64_t n,
                                       unsigned align_req,
                                       bool want_store,
                                       bool initializing = false);
 
     /** Collapse/resolve provenance for an access footprint. */
-    MemResult<AccessInfo> resolveForAccess(SourceLoc loc,
+    MemResult<AccessInfo> resolveForAccess(const SourceLoc &loc,
                                            const Provenance &prov,
                                            uint64_t addr, uint64_t n);
 
@@ -352,11 +384,11 @@ class MemoryModel
 
     /** repr(): serialize @p v (of type @p ty) into bytes/metadata at
      *  @p addr. */
-    MemResult<Unit> reprValue(SourceLoc loc, uint64_t addr,
+    MemResult<Unit> reprValue(const SourceLoc &loc, uint64_t addr,
                               const ctype::TypeRef &ty,
                               const MemValue &v);
     /** abst(): reconstruct a value of @p ty from bytes at @p addr. */
-    MemResult<MemValue> abstValue(SourceLoc loc, uint64_t addr,
+    MemResult<MemValue> abstValue(const SourceLoc &loc, uint64_t addr,
                                   const ctype::TypeRef &ty);
 
     MemResult<PointerValue> allocate(const std::string &prefix,
@@ -392,6 +424,14 @@ class MemoryModel
 
     /** Mutable so stats() can mirror the store counters on read. */
     mutable MemStats stats_;
+
+    /** One-entry cache for cachedAlloc(). */
+    mutable AllocId fastAllocId_ = 0;
+    mutable const Allocation *fastAlloc_ = nullptr;
+    /** store_ downcast when it is the (final) PagedStore, else null:
+     *  lets the fast path call the inline scalar primitives directly
+     *  instead of through the vtable. */
+    PagedStore *pagedStore_ = nullptr;
 };
 
 } // namespace cherisem::mem

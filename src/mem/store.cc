@@ -6,7 +6,9 @@
 #include "mem/store.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstring>
 
 namespace cherisem::mem {
 
@@ -32,11 +34,121 @@ applyInvalidation(CapMeta &m, bool ghost)
     return true;
 }
 
+/** Bits [lo, hi) of one 64-bit word, 0 <= lo < hi <= 64. */
+uint64_t
+wordMask(unsigned lo, unsigned hi)
+{
+    uint64_t m = ~uint64_t(0) << lo;
+    if (hi < 64)
+        m &= (uint64_t(1) << hi) - 1;
+    return m;
+}
+
+bool
+bitTest(const uint64_t *ws, unsigned i)
+{
+    return (ws[i / 64] >> (i % 64)) & 1;
+}
+
+void
+bitSet(uint64_t *ws, unsigned i)
+{
+    ws[i / 64] |= uint64_t(1) << (i % 64);
+}
+
+void
+bitClear(uint64_t *ws, unsigned i)
+{
+    ws[i / 64] &= ~(uint64_t(1) << (i % 64));
+}
+
+void
+maskSet(uint64_t *ws, unsigned lo, unsigned hi)
+{
+    while (lo < hi) {
+        unsigned b = lo % 64;
+        unsigned take = std::min(hi - lo, 64 - b);
+        ws[lo / 64] |= wordMask(b, b + take);
+        lo += take;
+    }
+}
+
+void
+maskClear(uint64_t *ws, unsigned lo, unsigned hi)
+{
+    while (lo < hi) {
+        unsigned b = lo % 64;
+        unsigned take = std::min(hi - lo, 64 - b);
+        ws[lo / 64] &= ~wordMask(b, b + take);
+        lo += take;
+    }
+}
+
+/** All bits of [lo, hi) set? */
+bool
+maskAll(const uint64_t *ws, unsigned lo, unsigned hi)
+{
+    while (lo < hi) {
+        unsigned b = lo % 64;
+        unsigned take = std::min(hi - lo, 64 - b);
+        uint64_t m = wordMask(b, b + take);
+        if ((ws[lo / 64] & m) != m)
+            return false;
+        lo += take;
+    }
+    return true;
+}
+
+/** No bit of [lo, hi) set? */
+bool
+maskNone(const uint64_t *ws, unsigned lo, unsigned hi)
+{
+    while (lo < hi) {
+        unsigned b = lo % 64;
+        unsigned take = std::min(hi - lo, 64 - b);
+        if (ws[lo / 64] & wordMask(b, b + take))
+            return false;
+        lo += take;
+    }
+    return true;
+}
+
+/** Drop every heavy byte of page offsets [lo, hi).  Template so the
+ *  private Page type stays private (deduced, never named). */
+template <typename PageT>
+void
+clearHeavy(PageT &p, unsigned lo, unsigned hi)
+{
+    if (maskNone(p.heavy, lo, hi))
+        return;
+    auto it = p.heavyBytes.lower_bound(static_cast<uint16_t>(lo));
+    while (it != p.heavyBytes.end() && it->first < hi)
+        it = p.heavyBytes.erase(it);
+    maskClear(p.heavy, lo, hi);
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
 // MapStore.
 // ---------------------------------------------------------------------
+
+bool
+MapStore::readScalarClean(uint64_t addr, unsigned n, uint8_t *out) const
+{
+    auto it = bytes_.lower_bound(addr);
+    for (unsigned i = 0; i < n; ++i, ++it) {
+        if (it == bytes_.end() || it->first != addr + i)
+            return false;
+        const AbsByte &b = it->second;
+        if (!b.value || !b.prov.isEmpty() || b.index)
+            return false;
+        out[i] = *b.value;
+    }
+    ++stats_.rangeReads;
+    stats_.bytesRead += n;
+    return true;
+}
 
 void
 MapStore::readBytes(uint64_t addr, uint64_t n, AbsByte *out) const
@@ -153,11 +265,26 @@ MapStore::forEachCapInRange(
 
 PagedStore::PagedStore(unsigned cap_size)
     : AbstractStore(cap_size),
-      slotsPerPage_(static_cast<unsigned>(kPageBytes) / cap_size)
+      slotsPerPage_(static_cast<unsigned>(kPageBytes) / cap_size),
+      capShift_(static_cast<unsigned>(std::countr_zero(cap_size)))
 {
-    // The tag granule must tile a page exactly so a slot never
-    // straddles two pages.
+    // The tag granule must be a power of two tiling a page exactly so
+    // a slot never straddles two pages (and slot arithmetic can be
+    // mask-and-shift, not division).
+    assert(std::has_single_bit(cap_size));
     assert(kPageBytes % cap_size == 0);
+}
+
+void
+PagedStore::clearHeavySpan(Page &p, unsigned lo, unsigned hi)
+{
+    clearHeavy(p, lo, hi);
+}
+
+bool
+PagedStore::invalidateSlotMeta(CapMeta &m, bool ghost)
+{
+    return applyInvalidation(m, ghost);
 }
 
 PagedStore::Page *
@@ -188,6 +315,49 @@ PagedStore::touchPage(uint64_t index)
 }
 
 void
+PagedStore::assembleBytes(const Page *p, unsigned off, unsigned n,
+                          AbsByte *out)
+{
+    for (unsigned j = 0; j < n; ++j) {
+        unsigned o = off + j;
+        AbsByte b;
+        if (bitTest(p->present, o))
+            b.value = p->value[o];
+        if (bitTest(p->heavy, o)) {
+            auto it = p->heavyBytes.find(static_cast<uint16_t>(o));
+            assert(it != p->heavyBytes.end());
+            b.prov = it->second.prov;
+            b.index = it->second.index;
+        }
+        out[j] = b;
+    }
+}
+
+void
+PagedStore::depositBytes(Page &p, unsigned off, unsigned n,
+                         const AbsByte *src)
+{
+    for (unsigned j = 0; j < n; ++j) {
+        unsigned o = off + j;
+        const AbsByte &b = src[j];
+        if (b.value) {
+            bitSet(p.present, o);
+            p.value[o] = *b.value;
+        } else {
+            bitClear(p.present, o);
+        }
+        if (!b.prov.isEmpty() || b.index) {
+            bitSet(p.heavy, o);
+            p.heavyBytes[static_cast<uint16_t>(o)] =
+                HeavyInfo{b.prov, b.index};
+        } else if (bitTest(p.heavy, o)) {
+            bitClear(p.heavy, o);
+            p.heavyBytes.erase(static_cast<uint16_t>(o));
+        }
+    }
+}
+
+void
 PagedStore::readBytes(uint64_t addr, uint64_t n, AbsByte *out) const
 {
     ++stats_.rangeReads;
@@ -198,9 +368,8 @@ PagedStore::readBytes(uint64_t addr, uint64_t n, AbsByte *out) const
         uint64_t off = a % kPageBytes;
         uint64_t chunk = std::min(n - i, kPageBytes - off);
         if (const Page *p = findPage(a / kPageBytes)) {
-            std::copy_n(p->bytes.begin() +
-                            static_cast<ptrdiff_t>(off),
-                        chunk, out + i);
+            assembleBytes(p, static_cast<unsigned>(off),
+                          static_cast<unsigned>(chunk), out + i);
         } else {
             std::fill_n(out + i, chunk, AbsByte{});
         }
@@ -219,8 +388,8 @@ PagedStore::writeBytes(uint64_t addr, const AbsByte *src, uint64_t n)
         uint64_t off = a % kPageBytes;
         uint64_t chunk = std::min(n - i, kPageBytes - off);
         Page &p = touchPage(a / kPageBytes);
-        std::copy_n(src + i, chunk,
-                    p.bytes.begin() + static_cast<ptrdiff_t>(off));
+        depositBytes(p, static_cast<unsigned>(off),
+                     static_cast<unsigned>(chunk), src + i);
         i += chunk;
     }
 }
@@ -230,14 +399,29 @@ PagedStore::fillRange(uint64_t addr, uint64_t n, const AbsByte &b)
 {
     ++stats_.rangeFills;
     stats_.bytesWritten += n;
+    bool heavy = !b.prov.isEmpty() || b.index.has_value();
     uint64_t i = 0;
     while (i < n) {
         uint64_t a = addr + i;
         uint64_t off = a % kPageBytes;
         uint64_t chunk = std::min(n - i, kPageBytes - off);
+        unsigned lo = static_cast<unsigned>(off);
+        unsigned hi = static_cast<unsigned>(off + chunk);
         Page &p = touchPage(a / kPageBytes);
-        std::fill_n(p.bytes.begin() + static_cast<ptrdiff_t>(off),
-                    chunk, b);
+        if (b.value) {
+            maskSet(p.present, lo, hi);
+            std::memset(p.value + lo, *b.value, chunk);
+        } else {
+            maskClear(p.present, lo, hi);
+        }
+        if (heavy) {
+            maskSet(p.heavy, lo, hi);
+            for (unsigned o = lo; o < hi; ++o)
+                p.heavyBytes[static_cast<uint16_t>(o)] =
+                    HeavyInfo{b.prov, b.index};
+        } else {
+            clearHeavy(p, lo, hi);
+        }
         i += chunk;
     }
 }
@@ -253,9 +437,10 @@ PagedStore::clearRange(uint64_t addr, uint64_t n)
         // Absent pages are already uninitialised: skip without
         // materialising them.
         if (Page *p = findPage(a / kPageBytes)) {
-            std::fill_n(p->bytes.begin() +
-                            static_cast<ptrdiff_t>(off),
-                        chunk, AbsByte{});
+            unsigned lo = static_cast<unsigned>(off);
+            unsigned hi = static_cast<unsigned>(off + chunk);
+            maskClear(p->present, lo, hi);
+            clearHeavy(*p, lo, hi);
         }
         i += chunk;
     }
@@ -277,12 +462,10 @@ PagedStore::copyRange(uint64_t dst, uint64_t src, uint64_t n)
             uint64_t a = src + i;
             uint64_t off = a % kPageBytes;
             uint64_t chunk = std::min(n - i, kPageBytes - off);
-            if (const Page *p = findPage(a / kPageBytes)) {
-                std::copy_n(p->bytes.begin() +
-                                static_cast<ptrdiff_t>(off),
-                            chunk, tmp.begin() +
-                                static_cast<ptrdiff_t>(i));
-            }
+            if (const Page *p = findPage(a / kPageBytes))
+                assembleBytes(p, static_cast<unsigned>(off),
+                              static_cast<unsigned>(chunk),
+                              tmp.data() + i);
             i += chunk;
         }
         i = 0;
@@ -291,9 +474,8 @@ PagedStore::copyRange(uint64_t dst, uint64_t src, uint64_t n)
             uint64_t off = a % kPageBytes;
             uint64_t chunk = std::min(n - i, kPageBytes - off);
             Page &p = touchPage(a / kPageBytes);
-            std::copy_n(tmp.begin() + static_cast<ptrdiff_t>(i),
-                        chunk,
-                        p.bytes.begin() + static_cast<ptrdiff_t>(off));
+            depositBytes(p, static_cast<unsigned>(off),
+                         static_cast<unsigned>(chunk), tmp.data() + i);
             i += chunk;
         }
         return;
@@ -309,18 +491,40 @@ PagedStore::copyRange(uint64_t dst, uint64_t src, uint64_t n)
         uint64_t doff = da % kPageBytes;
         uint64_t chunk = std::min({n - i, kPageBytes - soff,
                                    kPageBytes - doff});
+        unsigned slo = static_cast<unsigned>(soff);
+        unsigned shi = static_cast<unsigned>(soff + chunk);
+        unsigned dlo = static_cast<unsigned>(doff);
+        unsigned dhi = static_cast<unsigned>(doff + chunk);
         const Page *sp = findPage(sa / kPageBytes);
         Page &dp = touchPage(da / kPageBytes);
-        if (sp) {
-            std::copy_n(sp->bytes.begin() +
-                            static_cast<ptrdiff_t>(soff),
-                        chunk,
-                        dp.bytes.begin() +
-                            static_cast<ptrdiff_t>(doff));
+        if (!sp) {
+            // Source page absent: every byte reads as AbsByte{}.
+            maskClear(dp.present, dlo, dhi);
+            clearHeavy(dp, dlo, dhi);
+        } else if (maskNone(sp->heavy, slo, shi)) {
+            // No heavy bytes in the source chunk: bulk-copy the
+            // value plane and mirror the presence bits.
+            std::memcpy(dp.value + dlo, sp->value + slo, chunk);
+            if (maskAll(sp->present, slo, shi)) {
+                maskSet(dp.present, dlo, dhi);
+            } else if (maskNone(sp->present, slo, shi)) {
+                maskClear(dp.present, dlo, dhi);
+            } else {
+                for (unsigned j = 0; j < chunk; ++j) {
+                    if (bitTest(sp->present, slo + j))
+                        bitSet(dp.present, dlo + j);
+                    else
+                        bitClear(dp.present, dlo + j);
+                }
+            }
+            clearHeavy(dp, dlo, dhi);
         } else {
-            std::fill_n(dp.bytes.begin() +
-                            static_cast<ptrdiff_t>(doff),
-                        chunk, AbsByte{});
+            // Heavy bytes present: assemble/deposit byte by byte.
+            for (unsigned j = 0; j < chunk; ++j) {
+                AbsByte b;
+                assembleBytes(sp, slo + j, 1, &b);
+                depositBytes(dp, dlo + j, 1, &b);
+            }
         }
         i += chunk;
     }
@@ -412,6 +616,8 @@ PagedStore::forEachCapInRange(
         }
     }
 }
+
+
 
 // ---------------------------------------------------------------------
 // Factory.

@@ -39,6 +39,7 @@
 #define CHERISEM_MEM_STORE_H
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
@@ -136,6 +137,46 @@ class AbstractStore
                           &visit) = 0;
     /// @}
 
+    /// @name Scalar fast-path primitives.
+    /// The one-virtual-call-per-access interface the memory model's
+    /// fast path uses (mem/fast_path.cc).  A byte is *clean* when its
+    /// value is present, its provenance is empty, and it carries no
+    /// pointer index — i.e. it is exactly AbsByte{empty, v, nullopt},
+    /// the representation every plain integer/float store produces.
+    /// @{
+    /**
+     * If every byte of [addr, addr+n) is clean, copy the raw values
+     * into @p out and return true; otherwise return false having
+     * read nothing.  @p n is at most 16 (one scalar).  Counters are
+     * bumped only on success (a false return is always followed by a
+     * slow-path read that does its own counting).
+     */
+    virtual bool readScalarClean(uint64_t addr, unsigned n,
+                                 uint8_t *out) const
+    {
+        (void)addr;
+        (void)n;
+        (void)out;
+        return false;
+    }
+    /**
+     * Write @p n clean bytes from @p src (equivalent to writeBytes of
+     * AbsByte{empty, src[i], nullopt}) and apply the representation-
+     * write transition to every recorded capability slot overlapping
+     * the range (as invalidateCapRange would).  Returns the number of
+     * slots transitioned.  Always succeeds.
+     */
+    virtual uint64_t writeScalarClean(uint64_t addr, const uint8_t *src,
+                                      unsigned n, bool ghost)
+    {
+        AbsByte bs[16];
+        for (unsigned i = 0; i < n; ++i)
+            bs[i] = AbsByte{Provenance::empty(), src[i], std::nullopt};
+        writeBytes(addr, bs, n);
+        return invalidateCapRange(addr, n, ghost);
+    }
+    /// @}
+
     /** Convenience: single-byte write. */
     void writeByte(uint64_t addr, const AbsByte &b)
     {
@@ -176,6 +217,9 @@ class MapStore final : public AbstractStore
 
     const char *name() const override { return "map"; }
 
+    bool readScalarClean(uint64_t addr, unsigned n,
+                         uint8_t *out) const override;
+
     void readBytes(uint64_t addr, uint64_t n,
                    AbsByte *out) const override;
     void writeBytes(uint64_t addr, const AbsByte *src,
@@ -199,19 +243,114 @@ class MapStore final : public AbstractStore
 };
 
 /**
- * Paged backend: sparse 4 KiB pages of flat AbsByte arrays plus
- * per-page CapMeta slot arrays with presence bits, keyed by page
- * index, fronted by a one-entry last-page cache.
+ * Paged backend: sparse 4 KiB pages keyed by page index, fronted by a
+ * one-entry last-page cache.
+ *
+ * Pages store the abstract bytes struct-of-arrays: a raw value plane,
+ * a presence bitmask (value recorded), and a *heavy* bitmask marking
+ * the rare bytes that carry provenance or a pointer index, whose
+ * out-of-band parts live in a sparse per-page map.  A clean byte
+ * (present and not heavy) is exactly the AbsByte{empty, v, nullopt}
+ * every plain integer/float store produces, so the scalar fast path
+ * is a word-mask test plus a memcpy against the value plane, and bulk
+ * fill/copy of plain data moves raw bytes, not 32-byte structs.
  */
 class PagedStore final : public AbstractStore
 {
   public:
     static constexpr uint64_t kPageBytes = 4096;
+    static constexpr unsigned kMaskWords =
+        static_cast<unsigned>(kPageBytes / 64);
 
     explicit PagedStore(unsigned cap_size);
     using AbstractStore::readBytes;
 
     const char *name() const override { return "paged"; }
+
+    // The scalar fast-path primitives are defined inline: the memory
+    // model calls them through a concrete PagedStore* (the class is
+    // final, so the calls devirtualise) and per-access call overhead
+    // is exactly what they exist to eliminate.  n <= 16 by contract,
+    // so a span covers at most two mask words.
+    bool
+    readScalarClean(uint64_t addr, unsigned n,
+                    uint8_t *out) const override
+    {
+        unsigned off = static_cast<unsigned>(addr % kPageBytes);
+        if (off + n > kPageBytes)
+            return false; // Page straddle: take the general path.
+        uint64_t index = addr / kPageBytes;
+        const Page *p =
+            index == cachedIndex_ ? cachedPage_ : findPage(index);
+        if (!p)
+            return false;
+        unsigned w = off / 64, b = off % 64;
+        if (b + n <= 64) {
+            uint64_t m = spanMask(b, n);
+            if ((p->present[w] & m) != m || (p->heavy[w] & m))
+                return false;
+        } else {
+            uint64_t m0 = ~uint64_t(0) << b;
+            uint64_t m1 = spanMask(0, b + n - 64);
+            if ((p->present[w] & m0) != m0 || (p->heavy[w] & m0) ||
+                (p->present[w + 1] & m1) != m1 ||
+                (p->heavy[w + 1] & m1)) {
+                return false;
+            }
+        }
+        std::memcpy(out, p->value + off, n);
+        ++stats_.rangeReads;
+        stats_.bytesRead += n;
+        return true;
+    }
+
+    uint64_t
+    writeScalarClean(uint64_t addr, const uint8_t *src, unsigned n,
+                     bool ghost) override
+    {
+        unsigned off = static_cast<unsigned>(addr % kPageBytes);
+        if (off + n > kPageBytes) {
+            // Page straddle: the generic deposit handles chunking and
+            // produces the same counters (one range write + one
+            // cap-range invalidation).
+            return AbstractStore::writeScalarClean(addr, src, n, ghost);
+        }
+        uint64_t index = addr / kPageBytes;
+        Page &p = index == cachedIndex_ ? *cachedPage_
+                                        : touchPage(index);
+        unsigned w = off / 64, b = off % 64;
+        if (b + n <= 64) {
+            uint64_t m = spanMask(b, n);
+            p.present[w] |= m;
+            if (p.heavy[w] & m)
+                clearHeavySpan(p, off, off + n);
+        } else {
+            uint64_t m0 = ~uint64_t(0) << b;
+            uint64_t m1 = spanMask(0, b + n - 64);
+            p.present[w] |= m0;
+            p.present[w + 1] |= m1;
+            if ((p.heavy[w] & m0) || (p.heavy[w + 1] & m1))
+                clearHeavySpan(p, off, off + n);
+        }
+        std::memcpy(p.value + off, src, n);
+        ++stats_.rangeWrites;
+        stats_.bytesWritten += n;
+        // Inline the cap-slot invalidation: every granule overlapping
+        // the footprint lives on this page (pages are granule-aligned)
+        // and almost never carries recorded metadata.
+        uint64_t first = addr & ~uint64_t(capSize_ - 1);
+        uint64_t end = addr + n;
+        uint64_t count = 0;
+        for (uint64_t slot = first; slot < end; slot += capSize_) {
+            unsigned s = static_cast<unsigned>(
+                (slot % kPageBytes) >> capShift_);
+            if (p.metaPresent[s] &&
+                invalidateSlotMeta(p.meta[s], ghost)) {
+                ++count;
+            }
+        }
+        return count;
+    }
 
     void readBytes(uint64_t addr, uint64_t n,
                    AbsByte *out) const override;
@@ -231,23 +370,52 @@ class PagedStore final : public AbstractStore
         const std::function<void(uint64_t, CapMeta &)> &visit) override;
 
   private:
+    /** Out-of-band part of a heavy byte (provenance / pointer index). */
+    struct HeavyInfo
+    {
+        Provenance prov;
+        std::optional<uint32_t> index;
+    };
+
     struct Page
     {
         explicit Page(unsigned slots)
-            : bytes(kPageBytes), meta(slots), metaPresent(slots, 0)
+            : meta(slots), metaPresent(slots, 0)
         {
         }
-        std::vector<AbsByte> bytes;      // kPageBytes entries
-        std::vector<CapMeta> meta;       // one per cap slot
+        uint8_t value[kPageBytes];        // raw byte plane (masked)
+        uint64_t present[kMaskWords] = {}; // bit per byte: value recorded
+        uint64_t heavy[kMaskWords] = {};   // bit per byte: prov or index
+        std::map<uint16_t, HeavyInfo> heavyBytes; // keyed by page offset
+        std::vector<CapMeta> meta;        // one per cap slot
         std::vector<uint8_t> metaPresent;
     };
+
+    /** Mask of @p n bits starting at bit @p b (b + n <= 64, n >= 1). */
+    static uint64_t
+    spanMask(unsigned b, unsigned n)
+    {
+        return (~uint64_t(0) >> (64 - n)) << b;
+    }
 
     /** Existing page or nullptr; never allocates. */
     Page *findPage(uint64_t index) const;
     /** Existing page, materialising (and counting) a fresh one. */
     Page &touchPage(uint64_t index);
+    /** Drop the heavy out-of-band entries of [lo, hi) (rare). */
+    void clearHeavySpan(Page &p, unsigned lo, unsigned hi);
+    /** The section 3.5 representation-write transition on one
+     *  recorded slot; true when the slot actually changed. */
+    static bool invalidateSlotMeta(CapMeta &m, bool ghost);
+
+    /** Assemble / decompose one in-page range (no counters). */
+    static void assembleBytes(const Page *p, unsigned off, unsigned n,
+                              AbsByte *out);
+    static void depositBytes(Page &p, unsigned off, unsigned n,
+                             const AbsByte *src);
 
     unsigned slotsPerPage_;
+    unsigned capShift_; // log2(capSize_); granule sizes are powers of 2
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
     // One-entry last-page cache.  Page storage is behind unique_ptr
     // and pages are never erased, so the cached pointer stays valid

@@ -36,6 +36,14 @@ class Result
     // readable: `return someT;` / `return someE;`.
     Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
     Result(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+    /** In-place value construction: builds T directly in the result
+     *  slot, skipping the intermediate T and variant moves the
+     *  implicit constructor performs (hot paths care: a MemValue move
+     *  is a runtime-dispatched 200+-byte variant move). */
+    template <typename... Args>
+    explicit Result(std::in_place_t, Args &&...args)
+        : data_(std::in_place_index<0>, std::forward<Args>(args)...)
+    {}
 
     bool ok() const { return data_.index() == 0; }
     explicit operator bool() const { return ok(); }

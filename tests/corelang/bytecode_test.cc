@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bytecode compiler unit tests: golden disassembly plus structural
+ * invariants of compiled chunks.
+ *
+ * The golden file pins the compiled shape of every control-flow
+ * construct (for/while/if, short-circuit &&, compound assignment,
+ * calls, address-of) so that compiler changes show up as a reviewed
+ * diff rather than as silent codegen drift.  Regenerate it with:
+ *
+ *     cherisem_run tests/corelang/golden/disasm_control_flow.c \
+ *         --dump-bytecode > tests/corelang/golden/disasm_control_flow.txt
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "corelang/bytecode.h"
+#include "frontend/parser.h"
+#include "sema/sema.h"
+
+#ifndef CHERISEM_SOURCE_DIR
+#define CHERISEM_SOURCE_DIR "."
+#endif
+
+namespace cherisem::corelang {
+namespace {
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(CHERISEM_SOURCE_DIR) +
+           "/tests/corelang/golden/" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+sema::Program
+analyze(const std::string &src)
+{
+    frontend::TranslationUnit unit = frontend::parse(src, "<test>");
+    ctype::MachineLayout machine{16, 8}; // Morello layout
+    return sema::analyze(std::move(unit), machine);
+}
+
+TEST(Bytecode, GoldenDisassembly)
+{
+    std::string src = readFile(goldenPath("disasm_control_flow.c"));
+    std::string golden =
+        readFile(goldenPath("disasm_control_flow.txt"));
+    sema::Program prog = analyze(src);
+    BytecodeModule m = compileProgram(prog);
+    EXPECT_EQ(disassemble(m, prog), golden)
+        << "codegen drift: regenerate the golden file if the change "
+           "is intentional (see file header)";
+}
+
+TEST(Bytecode, EveryFunctionCompiles)
+{
+    // Compiling must produce one chunk per defined function, each
+    // ending in Halt with in-range jump targets.
+    std::string src = readFile(goldenPath("disasm_control_flow.c"));
+    sema::Program prog = analyze(src);
+    BytecodeModule m = compileProgram(prog);
+    ASSERT_EQ(m.chunks.size(), prog.unit.functions.size());
+    for (const Chunk &ch : m.chunks) {
+        ASSERT_FALSE(ch.empty());
+        EXPECT_EQ(ch.code.back().op, Op::Halt);
+        for (const Instr &in : ch.code) {
+            if (in.op == Op::Jmp || in.op == Op::BrFalse ||
+                in.op == Op::BrTrue) {
+                EXPECT_LT(in.b, ch.code.size());
+            }
+        }
+    }
+}
+
+TEST(Bytecode, StepLocTablesMatchBatchSizes)
+{
+    // Every pc with a batched charge count > 1 must carry an exact
+    // per-charge location table of the same length (the step-limit
+    // raise reports the precise node the tree walker would have).
+    std::string src = readFile(goldenPath("disasm_control_flow.c"));
+    sema::Program prog = analyze(src);
+    BytecodeModule m = compileProgram(prog);
+    for (const Chunk &ch : m.chunks) {
+        for (const auto &[pc, locs] : ch.stepLocs) {
+            ASSERT_LT(pc, ch.code.size());
+            EXPECT_EQ(locs.size(), ch.code[pc].n);
+            for (const SourceLoc *loc : locs)
+                EXPECT_NE(loc, nullptr);
+        }
+    }
+}
+
+} // namespace
+} // namespace cherisem::corelang

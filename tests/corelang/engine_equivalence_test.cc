@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tree-walker vs bytecode VM equivalence over the annotated corpus.
+ *
+ * The bytecode engine is an implementation detail *below* the
+ * semantics (the compiler and VM reuse every semantic rule of the
+ * tree walker), so for every suite program, under both store
+ * backends, the two engines must agree bit-for-bit:
+ *
+ *  - the same Outcome (summary string, program output, exit path);
+ *  - the same step count and memory-model counters;
+ *  - the *identical* witness event stream, addresses included
+ *    (obs::diffEngines compares un-normalised events).
+ *
+ * This is the deterministic counterpart of the fuzz harness's engine
+ * axis (fuzz::RunnerOptions::engineAxis).
+ */
+#include <gtest/gtest.h>
+
+#include "driver/suite.h"
+#include "obs/differential.h"
+
+namespace cherisem::driver {
+namespace {
+
+const std::vector<SuiteTest> &
+suite()
+{
+    static std::vector<SuiteTest> tests = loadSuite(defaultSuiteDir());
+    return tests;
+}
+
+/** Assert the engine pair agreed on everything observable. */
+void
+expectEnginesAgree(const SuiteTest &t, const Profile &profile)
+{
+    obs::DifferentialResult r = obs::diffEngines(t.source, profile);
+    const corelang::Outcome &tree = r.left.outcome;
+    const corelang::Outcome &vm = r.right.outcome;
+
+    EXPECT_FALSE(r.truncated) << t.path << ": ring overflow";
+    EXPECT_EQ(r.left.summary(), r.right.summary()) << t.path;
+    EXPECT_EQ(tree.output, vm.output) << t.path;
+    EXPECT_EQ(tree.steps, vm.steps) << t.path;
+    EXPECT_EQ(tree.memStats.loads, vm.memStats.loads) << t.path;
+    EXPECT_EQ(tree.memStats.stores, vm.memStats.stores) << t.path;
+    EXPECT_EQ(tree.memStats.allocations, vm.memStats.allocations)
+        << t.path;
+    EXPECT_EQ(tree.memStats.kills, vm.memStats.kills) << t.path;
+    EXPECT_EQ(tree.memStats.ghostTagInvalidations,
+              vm.memStats.ghostTagInvalidations)
+        << t.path;
+    EXPECT_EQ(tree.memStats.hardTagInvalidations,
+              vm.memStats.hardTagInvalidations)
+        << t.path;
+    EXPECT_EQ(tree.intrinsicCalls, vm.intrinsicCalls) << t.path;
+    EXPECT_TRUE(r.diff.equivalent)
+        << t.path << ": " << r.diff.summary();
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(EngineEquivalence, MapStore)
+{
+    Profile p = referenceProfile();
+    p.memConfig.storeBackend = mem::StoreBackend::Map;
+    expectEnginesAgree(suite()[GetParam()], p);
+}
+
+TEST_P(EngineEquivalence, PagedStore)
+{
+    Profile p = referenceProfile();
+    p.memConfig.storeBackend = mem::StoreBackend::Paged;
+    expectEnginesAgree(suite()[GetParam()], p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, EngineEquivalence,
+    ::testing::Range<size_t>(0, suite().size()),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        std::string n = suite()[info.param].name;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+/** The hardware profiles stress different machine configurations
+ *  (no ghost state, different allocators, CHERIoT format); spot
+ *  check the engine pair under each of them too. */
+TEST(EngineEquivalence, AllProfilesSpotCheck)
+{
+    const std::vector<SuiteTest> &tests = suite();
+    ASSERT_FALSE(tests.empty());
+    for (const Profile &p : allProfiles()) {
+        // A cheap but meaningful slice: every 16th test.
+        for (size_t i = 0; i < tests.size(); i += 16)
+            expectEnginesAgree(tests[i], p);
+    }
+}
+
+} // namespace
+} // namespace cherisem::driver

@@ -1,0 +1,16 @@
+int g;
+
+int add(int a, int b) { return a + b; }
+
+int main(void) {
+    int n = 5;
+    int sum = 0;
+    int *p = &n;
+    for (int i = 0; i < n; i = i + 1)
+        sum += i;
+    while (sum > 9)
+        sum = sum - *p;
+    if (sum != 0 && n == 5)
+        g = add(sum, n);
+    return g;
+}
