@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Serving-layer benchmarks: batch throughput across worker counts,
+ * cold-vs-cached request latency, and the front-cache hit rate under
+ * a realistic request mix.
+ *
+ * Like the other micro_* harnesses, a fixed grid runs first and
+ * writes BENCH_serve.json (a "throughput" array of per-thread-count
+ * entries plus a "latency" summary — the schema CI validates), then
+ * the google-benchmark suite runs.  Pass --no-json to skip the
+ * file.  Throughput numbers scale with core count; on a single-core
+ * runner the multi-worker rows mostly measure scheduling overhead,
+ * which is exactly what they are for.
+ */
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace {
+
+namespace serve = cherisem::serve;
+
+/** The request mix: small programs exercising arithmetic, pointers,
+ *  the allocator, and UB detection — each appears many times per
+ *  campaign, so the front cache matters like it does for fuzzing and
+ *  suite traffic. */
+const char *kMix[] = {
+    "int main(void) {\n"
+    "    int acc = 0;\n"
+    "    for (int i = 0; i < 200; i++) acc += i;\n"
+    "    return acc & 0xff;\n"
+    "}\n",
+
+    "int main(void) {\n"
+    "    int a[32];\n"
+    "    for (int i = 0; i < 32; i++) a[i] = i * i;\n"
+    "    int sum = 0;\n"
+    "    for (int i = 0; i < 32; i++) sum += a[i];\n"
+    "    return sum & 0xff;\n"
+    "}\n",
+
+    "#include <stdlib.h>\n"
+    "int main(void) {\n"
+    "    int total = 0;\n"
+    "    for (int r = 0; r < 10; r++) {\n"
+    "        int *p = malloc(16 * sizeof(int));\n"
+    "        for (int i = 0; i < 16; i++) p[i] = r + i;\n"
+    "        total += p[7];\n"
+    "        free(p);\n"
+    "    }\n"
+    "    return total & 0xff;\n"
+    "}\n",
+
+    "int main(void) {\n"
+    "    int *p = 0;\n"
+    "    return *p;\n" // ub verdict path
+    "}\n",
+};
+constexpr size_t kMixSize = sizeof kMix / sizeof kMix[0];
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct ThroughputRow
+{
+    unsigned threads;
+    uint64_t programs;
+    double wallMs;
+    double programsPerSec;
+    double cacheHitRate;
+};
+
+/** Run @p programs requests drawn round-robin from the mix on a
+ *  fresh @p threads-worker server; report wall clock and hit rate. */
+ThroughputRow
+throughputRun(unsigned threads, uint64_t programs)
+{
+    serve::ServerOptions opts;
+    opts.threads = threads;
+    serve::Server server(opts);
+
+    double t0 = nowMs();
+    for (uint64_t i = 0; i < programs; ++i) {
+        serve::Request req;
+        req.id = std::to_string(i);
+        req.source = kMix[i % kMixSize];
+        req.wantOutput = false;
+        server.submit(std::move(req), nullptr);
+    }
+    server.drain();
+    double wallMs = nowMs() - t0;
+
+    serve::Metrics::Snapshot s = server.stats();
+    ThroughputRow row;
+    row.threads = threads;
+    row.programs = programs;
+    row.wallMs = wallMs;
+    row.programsPerSec =
+        wallMs > 0 ? static_cast<double>(programs) * 1000.0 / wallMs
+                   : 0;
+    row.cacheHitRate = s.cacheHitRate;
+    return row;
+}
+
+/** Mean ns of runNow over @p iters requests produced by @p source. */
+template <typename SourceFn>
+double
+latencyNs(serve::Server &server, SourceFn &&source, int iters)
+{
+    using clock = std::chrono::steady_clock;
+    double total = 0;
+    for (int i = 0; i < iters; ++i) {
+        serve::Request req;
+        req.source = source(i);
+        req.wantOutput = false;
+        auto t0 = clock::now();
+        serve::Response r = server.runNow(req);
+        auto t1 = clock::now();
+        benchmark::DoNotOptimize(r.steps);
+        total += static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                 t0)
+                .count());
+    }
+    return total / iters;
+}
+
+void
+writeBenchJson(const char *path)
+{
+    const unsigned threadCounts[] = {1, 2, 4, 8};
+    constexpr uint64_t kPrograms = 400;
+
+    std::vector<ThroughputRow> rows;
+    for (unsigned t : threadCounts)
+        rows.push_back(throughputRun(t, kPrograms));
+
+    // Latency: cold misses (every request a distinct program) vs a
+    // fully warmed cache (one program repeated).
+    serve::ServerOptions opts;
+    opts.threads = 1;
+    serve::Server server(opts);
+    double coldNs = latencyNs(
+        server,
+        [](int i) {
+            return "int main(void){return " + std::to_string(i % 251) +
+                ";}";
+        },
+        200);
+    // Same shape of program, now a guaranteed hit every time.
+    (void)latencyNs(
+        server, [](int) { return std::string("int main(void){return 9;}"); },
+        1); // populate
+    double warmNs = latencyNs(
+        server, [](int) { return std::string("int main(void){return 9;}"); },
+        200);
+
+    double best = 0;
+    for (const ThroughputRow &r : rows)
+        best = r.programsPerSec > best ? r.programsPerSec : best;
+
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"throughput\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const ThroughputRow &r = rows[i];
+        std::fprintf(f,
+                     "    {\"threads\": %u, \"programs\": %llu, "
+                     "\"wall_ms\": %.1f, \"programs_per_sec\": %.1f, "
+                     "\"cache_hit_rate\": %.4f}%s\n",
+                     r.threads, (unsigned long long)r.programs,
+                     r.wallMs, r.programsPerSec, r.cacheHitRate,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"latency\": {\"cold_ns\": %.1f, "
+                 "\"cached_ns\": %.1f, \"cached_speedup\": %.2f},\n"
+                 "  \"programs_per_sec_best\": %.1f\n}\n",
+                 coldNs, warmNs, warmNs > 0 ? coldNs / warmNs : 0,
+                 best);
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "BENCH_serve.json written: best %.0f programs/s, "
+                 "cached latency %.2fx faster than cold\n",
+                 best, warmNs > 0 ? coldNs / warmNs : 0);
+}
+
+// ---------------------------------------------------------------------
+// google-benchmark suite.
+// ---------------------------------------------------------------------
+
+void
+BM_Serve_RunNow_Cold(benchmark::State &state)
+{
+    serve::ServerOptions opts;
+    opts.threads = 1;
+    opts.cacheCapacity = 0; // every request compiles
+    serve::Server server(opts);
+    serve::Request req;
+    req.source = kMix[0];
+    req.wantOutput = false;
+    for (auto _ : state) {
+        serve::Response r = server.runNow(req);
+        benchmark::DoNotOptimize(r.steps);
+    }
+}
+BENCHMARK(BM_Serve_RunNow_Cold);
+
+void
+BM_Serve_RunNow_Cached(benchmark::State &state)
+{
+    serve::ServerOptions opts;
+    opts.threads = 1;
+    serve::Server server(opts);
+    serve::Request req;
+    req.source = kMix[0];
+    req.wantOutput = false;
+    server.runNow(req); // populate
+    for (auto _ : state) {
+        serve::Response r = server.runNow(req);
+        benchmark::DoNotOptimize(r.steps);
+    }
+}
+BENCHMARK(BM_Serve_RunNow_Cached);
+
+void
+BM_Serve_Pool_Mix(benchmark::State &state)
+{
+    serve::ServerOptions opts;
+    opts.threads = static_cast<unsigned>(state.range(0));
+    serve::Server server(opts);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        for (int k = 0; k < 16; ++k) {
+            serve::Request req;
+            req.id = std::to_string(i++);
+            req.source = kMix[i % kMixSize];
+            req.wantOutput = false;
+            server.submit(std::move(req), nullptr);
+        }
+        server.drain();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_Serve_Pool_Mix)->Arg(1)->Arg(4);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool write_json = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--no-json") {
+            write_json = false;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    if (write_json)
+        writeBenchJson("BENCH_serve.json");
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,7 +7,7 @@
  *   cherisem_fuzz [--seeds A..B] [--allow-ub] [--stmts N]
  *                 [--profiles a,b,c] [--no-cross] [--no-engines]
  *                 [--shrink] [--report PATH] [--print-seed N]
- *                 [--quiet]
+ *                 [--jobs N] [--quiet]
  *
  *   --seeds A..B    inclusive seed range (default 0..100)
  *   --allow-ub      generate the UB-allowed corpus instead of the
@@ -20,11 +20,15 @@
  *   --shrink        delta-debug every hard failure before reporting
  *   --report PATH   append one JSON line per divergence to PATH
  *   --print-seed N  print the generated program for seed N and exit
+ *   --jobs N        run seeds on N serve::WorkerPool workers; the
+ *                   report and summary are emitted in seed order, so
+ *                   output is byte-identical to --jobs 1
  *
  * Exit status: 0 when no hard failure (backend divergence, crash, or
  * unexpected profile divergence) was found, 1 otherwise, 2 on usage
  * errors.
  */
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +38,7 @@
 #include "fuzz/diff_runner.h"
 #include "fuzz/generator.h"
 #include "fuzz/reduce.h"
+#include "serve/pool.h"
 
 namespace fuzz = cherisem::fuzz;
 
@@ -48,7 +53,8 @@ usage()
             "                     [--profiles a,b,c] [--no-cross] "
             "[--no-engines]\n"
             "                     [--shrink] [--report PATH] "
-            "[--print-seed N] [--quiet]\n");
+            "[--print-seed N]\n"
+            "                     [--jobs N] [--quiet]\n");
     return 2;
 }
 
@@ -83,6 +89,20 @@ splitCommas(const std::string &s)
     return out;
 }
 
+/** Everything one seed produces; held until the in-order emit
+ *  phase so --jobs N output matches --jobs 1 byte for byte. */
+struct SeedOutcome
+{
+    std::string source;
+    std::vector<fuzz::Divergence> findings;
+    /** Parallel to findings: the (possibly shrunk) source for hard
+     *  failures, empty for expected divergences. */
+    std::vector<std::string> reduced;
+    /** Parallel to findings: shrink stats (attempts, removed), only
+     *  meaningful when --shrink was given and the finding is hard. */
+    std::vector<std::pair<unsigned, unsigned>> shrinkStats;
+};
+
 } // namespace
 
 int
@@ -95,6 +115,7 @@ main(int argc, char **argv)
     fuzz::RunnerOptions runner;
     bool shrink = false;
     bool quiet = false;
+    unsigned jobs = 1;
     std::string reportPath;
 
     for (int i = 1; i < argc; ++i) {
@@ -126,6 +147,10 @@ main(int argc, char **argv)
         } else if (a == "--print-seed") {
             haveSingle = true;
             singleSeed = std::stoull(next("--print-seed"));
+        } else if (a == "--jobs") {
+            jobs = (unsigned)atoi(next("--jobs"));
+            if (jobs == 0)
+                jobs = 1;
         } else if (a == "--quiet") {
             quiet = true;
         } else {
@@ -148,16 +173,69 @@ main(int argc, char **argv)
         }
     }
 
+    runner.requireExit = !gen.allowUb;
+    const uint64_t total = seedHi - seedLo + 1;
+    std::vector<SeedOutcome> outcomes(total);
+    std::atomic<uint64_t> done{0};
+
+    // Per-seed work: generate, run the differential grid, shrink
+    // hard failures.  Safe to run concurrently — each task copies
+    // its options, and everything below runSource is per-instance
+    // (see DESIGN.md "Serving layer", thread-safety audit).
+    auto runSeed = [&](uint64_t seed, SeedOutcome &out) {
+        fuzz::GenOptions g = gen;
+        g.seed = seed;
+        out.source = fuzz::generateProgram(g);
+        out.findings = fuzz::runCase(seed, out.source, runner);
+        out.reduced.resize(out.findings.size());
+        out.shrinkStats.resize(out.findings.size(), {0, 0});
+        for (size_t i = 0; i < out.findings.size(); ++i) {
+            const fuzz::Divergence &d = out.findings[i];
+            if (!fuzz::isHardFailure(d))
+                continue;
+            out.reduced[i] = out.source;
+            if (!shrink)
+                continue;
+            fuzz::ReduceStats rs;
+            out.reduced[i] = fuzz::reduceProgram(
+                out.source,
+                [&](const std::string &cand) {
+                    for (const fuzz::Divergence &c :
+                         fuzz::runCase(seed, cand, runner))
+                        if (fuzz::isHardFailure(c) &&
+                            c.kind == d.kind && c.where == d.where)
+                            return true;
+                    return false;
+                },
+                &rs);
+            out.shrinkStats[i] = {rs.attempts, rs.removed};
+        }
+        uint64_t n = done.fetch_add(1) + 1;
+        if (!quiet && n % 50 == 0)
+            fprintf(stderr, "... %llu/%llu cases run\n",
+                    (unsigned long long)n, (unsigned long long)total);
+    };
+
+    if (jobs > 1) {
+        cherisem::serve::WorkerPool pool(jobs);
+        for (uint64_t seed = seedLo; seed <= seedHi; ++seed)
+            pool.submit([&runSeed, &outcomes, seed, seedLo] {
+                runSeed(seed, outcomes[seed - seedLo]);
+            });
+        pool.drain();
+    } else {
+        for (uint64_t seed = seedLo; seed <= seedHi; ++seed)
+            runSeed(seed, outcomes[seed - seedLo]);
+    }
+
+    // Emit phase: sequential and in seed order, so the report and
+    // diagnostics are byte-identical however many jobs ran.
     uint64_t cases = 0, hard = 0, expected = 0;
     for (uint64_t seed = seedLo; seed <= seedHi; ++seed) {
-        gen.seed = seed;
-        runner.requireExit = !gen.allowUb;
-        std::string source = fuzz::generateProgram(gen);
-        std::vector<fuzz::Divergence> findings =
-            fuzz::runCase(seed, source, runner);
+        SeedOutcome &out = outcomes[seed - seedLo];
         ++cases;
-
-        for (fuzz::Divergence &d : findings) {
+        for (size_t i = 0; i < out.findings.size(); ++i) {
+            fuzz::Divergence &d = out.findings[i];
             if (!fuzz::isHardFailure(d)) {
                 ++expected;
                 if (report)
@@ -165,46 +243,23 @@ main(int argc, char **argv)
                 continue;
             }
             ++hard;
-            std::string reduced = source;
-            if (shrink) {
-                fuzz::Divergence::Kind kind = d.kind;
-                std::string where = d.where;
-                fuzz::ReduceStats rs;
-                reduced = fuzz::reduceProgram(
-                    source,
-                    [&](const std::string &cand) {
-                        for (const fuzz::Divergence &c :
-                             fuzz::runCase(seed, cand, runner))
-                            if (fuzz::isHardFailure(c) &&
-                                c.kind == kind && c.where == where)
-                                return true;
-                        return false;
-                    },
-                    &rs);
-                if (!quiet)
-                    fprintf(stderr,
-                            "  shrink: %u attempts, %u statements "
-                            "removed\n",
-                            rs.attempts, rs.removed);
-            }
+            if (shrink && !quiet)
+                fprintf(stderr,
+                        "  shrink: %u attempts, %u statements "
+                        "removed\n",
+                        out.shrinkStats[i].first,
+                        out.shrinkStats[i].second);
             if (report)
-                report << d.jsonl(reduced) << "\n";
+                report << d.jsonl(out.reduced[i]) << "\n";
             if (!quiet) {
                 fprintf(stderr, "seed %llu [%s] %s\n",
                         (unsigned long long)seed, d.where.c_str(),
                         d.detail.c_str());
                 if (shrink)
                     fprintf(stderr, "--- reduced ---\n%s---\n",
-                            reduced.c_str());
+                            out.reduced[i].c_str());
             }
         }
-        if (!quiet && cases % 50 == 0)
-            fprintf(stderr,
-                    "... %llu cases, %llu hard failures, %llu "
-                    "expected profile divergences\n",
-                    (unsigned long long)cases,
-                    (unsigned long long)hard,
-                    (unsigned long long)expected);
     }
 
     printf("cherisem_fuzz: %llu cases (%s), %llu hard failures, "

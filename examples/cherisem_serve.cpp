@@ -1,0 +1,150 @@
+/**
+ * @file
+ * cherisem_serve: the multi-tenant batch execution daemon.
+ *
+ *   cherisem_serve --batch FILE.jsonl [--out FILE]     one-shot mode
+ *   cherisem_serve --listen unix:/tmp/cherisem.sock    daemon mode
+ *   cherisem_serve --listen tcp:9178                   (loopback)
+ *
+ * Common options:
+ *   --threads N        worker threads (default: hardware cores)
+ *   --queue N          queue capacity (default 256)
+ *   --cache N          front-cache entries, 0 disables (default 512)
+ *   --max-steps N      per-run step ceiling (default 20000000)
+ *   --deadline-ms N    per-run wall-clock ceiling, 0 = none
+ *                      (default 10000)
+ *   --stats            dump the metrics snapshot to stderr on exit
+ *
+ * Batch mode reads newline-delimited JSON requests ("-" = stdin),
+ * executes them on the worker pool, and writes responses in input
+ * order — the mode tests and CI drive, no networking involved.
+ * Protocol reference: src/serve/protocol.h and DESIGN.md "Serving
+ * layer".
+ *
+ * Exit status (batch): 0 when every line parsed, 1 when any line
+ * was malformed, 2 on usage errors.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/net.h"
+#include "serve/server.h"
+
+namespace serve = cherisem::serve;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cherisem_serve (--batch FILE|- | --listen SPEC)\n"
+        "                      [--out FILE] [--threads N] "
+        "[--queue N]\n"
+        "                      [--cache N] [--max-steps N] "
+        "[--deadline-ms N] [--stats]\n"
+        "  SPEC: unix:<path> | tcp:<port>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string batchPath, outPath, listenSpec;
+    serve::ServerOptions opts;
+    bool dumpStats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs an argument\n", flag);
+                exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--batch") {
+            batchPath = next("--batch");
+        } else if (a == "--listen") {
+            listenSpec = next("--listen");
+        } else if (a == "--out") {
+            outPath = next("--out");
+        } else if (a == "--threads") {
+            opts.threads =
+                static_cast<unsigned>(atoi(next("--threads")));
+        } else if (a == "--queue") {
+            opts.queueCapacity =
+                static_cast<size_t>(atoll(next("--queue")));
+        } else if (a == "--cache") {
+            opts.cacheCapacity =
+                static_cast<size_t>(atoll(next("--cache")));
+        } else if (a == "--max-steps") {
+            opts.maxSteps = strtoull(next("--max-steps"), nullptr, 10);
+        } else if (a == "--deadline-ms") {
+            opts.deadlineMs =
+                strtoull(next("--deadline-ms"), nullptr, 10);
+        } else if (a == "--stats") {
+            dumpStats = true;
+        } else {
+            return usage();
+        }
+    }
+    if (batchPath.empty() == listenSpec.empty())
+        return usage(); // exactly one mode
+
+    serve::Server server(opts);
+    int rc = 0;
+
+    if (!batchPath.empty()) {
+        std::ifstream file;
+        std::istream *in = &std::cin;
+        if (batchPath != "-") {
+            file.open(batchPath);
+            if (!file) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             batchPath.c_str());
+                return 2;
+            }
+            in = &file;
+        }
+        std::ofstream outFile;
+        std::ostream *out = &std::cout;
+        if (!outPath.empty()) {
+            outFile.open(outPath);
+            if (!outFile) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             outPath.c_str());
+                return 2;
+            }
+            out = &outFile;
+        }
+        int malformed = server.runBatch(*in, *out);
+        rc = malformed > 0 ? 1 : 0;
+    } else {
+        serve::ListenSpec spec;
+        std::string err;
+        if (!serve::ListenSpec::parse(listenSpec, &spec, &err)) {
+            std::fprintf(stderr, "--listen: %s\n", err.c_str());
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "cherisem_serve: %u workers, cache %zu, "
+                     "listening on %s\n",
+                     server.threads(), opts.cacheCapacity,
+                     listenSpec.c_str());
+        rc = serve::serveForever(server, spec, &err);
+        if (rc != 0)
+            std::fprintf(stderr, "cherisem_serve: %s\n", err.c_str());
+    }
+
+    if (dumpStats)
+        std::fprintf(stderr, "%s\n",
+                     server.stats().renderJson().c_str());
+    return rc;
+}

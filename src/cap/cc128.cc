@@ -68,7 +68,9 @@ MorelloArch::fromBytes(const uint8_t *bytes, bool tag) const
 const CapArch &
 morello()
 {
-    static MorelloArch arch;
+    // Stateless (virtual dispatch over pure functions); const so the
+    // singleton is immutable and shareable across worker threads.
+    static const MorelloArch arch;
     return arch;
 }
 

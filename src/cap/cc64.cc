@@ -95,7 +95,8 @@ CheriotArch::fromBytes(const uint8_t *bytes, bool tag) const
 const CapArch &
 cheriot()
 {
-    static CheriotArch arch;
+    // Stateless; const for the same reason as morello()'s singleton.
+    static const CheriotArch arch;
     return arch;
 }
 

@@ -43,6 +43,8 @@ Outcome::summary() const
         return "assert-fail " + message;
       case Kind::Error:
         return "error " + message;
+      case Kind::ResourceExhausted:
+        return "resource-exhausted " + failure.message;
     }
     return "?";
 }

@@ -12,6 +12,8 @@
 #ifndef CHERISEM_CORELANG_EVAL_H
 #define CHERISEM_CORELANG_EVAL_H
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -52,6 +54,23 @@ struct EvalOptions
     uint64_t maxSteps = 20'000'000;
     /** Execution engine (identical observable semantics). */
     Engine engine = Engine::Tree;
+    /** Cooperative cancellation: when non-null, polled every few
+     *  thousand steps; a true load ends the run cleanly with
+     *  Outcome::Kind::ResourceExhausted (the serving layer's
+     *  shutdown/client-gone path).  The pointee must outlive the
+     *  run. */
+    const std::atomic<bool> *cancel = nullptr;
+    /** Wall-clock deadline (steady clock), polled with @c cancel; the
+     *  default-constructed time_point means "no deadline".  Crossing
+     *  it ends the run with Outcome::Kind::ResourceExhausted. */
+    std::chrono::steady_clock::time_point deadline{};
+
+    bool
+    hasWatchdog() const
+    {
+        return cancel != nullptr ||
+            deadline.time_since_epoch().count() != 0;
+    }
 };
 
 /** The observable result of a run. */
@@ -63,6 +82,11 @@ struct Outcome
         Undefined,   ///< undefined behaviour detected
         AssertFail,  ///< assert() fired (or abort())
         Error,       ///< semantic/internal error (not UB)
+        /** A budget ran out (step limit, deadline, cancellation).
+         *  The machine unwound cleanly — stats and output up to the
+         *  cut are valid — but the verdict is "still running", not a
+         *  property of the program. */
+        ResourceExhausted,
     };
 
     Kind kind = Kind::Exit;

@@ -10,7 +10,9 @@
  */
 #include "corelang/machine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cinttypes>
 
 #include "support/format.h"
@@ -39,6 +41,44 @@ Machine::Machine(const sema::Program &prog, const EvalOptions &opts)
     : prog_(prog), opts_(opts), mm_(opts.memConfig)
 {
     mm_.setTagTable(&prog_.unit.tags);
+    checkAt_ = nextCheckAt();
+}
+
+uint64_t
+Machine::nextCheckAt() const
+{
+    // Saturate: maxSteps == UINT64_MAX means "unlimited".
+    uint64_t limit = opts_.maxSteps == UINT64_MAX
+                         ? UINT64_MAX
+                         : opts_.maxSteps + 1;
+    if (!opts_.hasWatchdog())
+        return limit;
+    return std::min(limit, steps_ + kWatchdogPollSteps);
+}
+
+void
+Machine::pollWatchdog(const SourceLoc &loc)
+{
+    if (opts_.cancel &&
+        opts_.cancel->load(std::memory_order_relaxed)) {
+        raise(mem::Failure::resourceExhausted("cancelled", loc));
+    }
+    if (opts_.deadline.time_since_epoch().count() != 0 &&
+        std::chrono::steady_clock::now() >= opts_.deadline) {
+        raise(mem::Failure::resourceExhausted(
+            "wall-clock deadline exceeded", loc));
+    }
+}
+
+void
+Machine::stepSlow(const SourceLoc &loc)
+{
+    if (steps_ > opts_.maxSteps) {
+        raise(mem::Failure::resourceExhausted(
+            "step limit exceeded (non-terminating program?)", loc));
+    }
+    pollWatchdog(loc);
+    checkAt_ = nextCheckAt();
 }
 
 Outcome
@@ -62,7 +102,9 @@ Machine::run()
         }
     } catch (const EvalFailure &f) {
         out.kind = f.failure.isUb() ? Outcome::Kind::Undefined
-                                    : Outcome::Kind::Error;
+            : f.failure.kind == mem::Failure::Kind::ResourceExhausted
+            ? Outcome::Kind::ResourceExhausted
+            : Outcome::Kind::Error;
         out.failure = f.failure;
         out.message = f.failure.str();
         // Witness the UB verdict with its source location; this

@@ -103,15 +103,28 @@ class Machine
         std::vector<mem::PointerValue> toKill;
     };
 
+    /** Steps between cancellation/deadline polls.  Polling is
+     *  side-effect free, so the interval only bounds reaction
+     *  latency; it never changes a run's observable behaviour. */
+    static constexpr uint64_t kWatchdogPollSteps = 8192;
+
     void
     step(const SourceLoc &loc)
     {
-        if (++steps_ > opts_.maxSteps) {
-            raise(mem::Failure::constraint("step limit exceeded "
-                                           "(non-terminating program?)",
-                                           loc));
-        }
+        // Single predictable compare on the hot path; checkAt_ is
+        // maxSteps+1 when no watchdog is armed (the historical step
+        // budget check), else the next poll boundary.
+        if (++steps_ >= checkAt_)
+            stepSlow(loc);
     }
+
+    /** Out-of-line step-budget raise / watchdog poll. */
+    void stepSlow(const SourceLoc &loc);
+    /** Raise ResourceExhausted when cancelled or past the deadline. */
+    void pollWatchdog(const SourceLoc &loc);
+    /** The next steps_ value at which step() must leave the fast
+     *  path. */
+    uint64_t nextCheckAt() const;
 
     const Binding *
     lookup(const std::string &name) const
@@ -295,6 +308,10 @@ class Machine
     std::map<uint32_t, mem::PointerValue> funcPtrs_;
     std::string output_;
     uint64_t steps_ = 0;
+    /** steps_ threshold at which step()/VM_CHARGE take the slow
+     *  path: maxSteps+1 (saturated) without a watchdog, else the
+     *  next poll boundary.  Maintained by stepSlow(). */
+    uint64_t checkAt_ = 0;
     int callDepth_ = 0;
 
     // Per-intrinsic counters (always on: one array increment per

@@ -57,9 +57,21 @@ Vm::stepLimit(const Chunk &ch, uint32_t pc, uint8_t n)
     const SourceLoc *loc =
         locs.at(static_cast<size_t>(opts_.maxSteps - before));
     steps_ = opts_.maxSteps + 1;
-    raise(Failure::constraint("step limit exceeded "
-                              "(non-terminating program?)",
-                              *loc));
+    raise(Failure::resourceExhausted("step limit exceeded "
+                                     "(non-terminating program?)",
+                                     *loc));
+}
+
+void
+Vm::chargeSlow(const Chunk &ch, uint32_t pc, uint8_t n)
+{
+    if (steps_ > opts_.maxSteps)
+        stepLimit(ch, pc, n);
+    // Only a watchdog poll boundary was crossed; the raise location
+    // (if the poll fires) is the last step charged by this
+    // instruction.
+    pollWatchdog(*ch.stepLocs.at(pc).back());
+    checkAt_ = nextCheckAt();
 }
 
 MemValue
@@ -185,10 +197,10 @@ Vm::callFunction(uint32_t idx, std::vector<MemValue> args,
     do {                                                              \
         if (in->n) {                                                  \
             steps_ += in->n;                                          \
-            if (steps_ > opts_.maxSteps)                              \
-                stepLimit(ch,                                         \
-                          static_cast<uint32_t>(in - code),           \
-                          in->n);                                     \
+            if (steps_ >= checkAt_)                                   \
+                chargeSlow(ch,                                        \
+                           static_cast<uint32_t>(in - code),          \
+                           in->n);                                    \
         }                                                             \
     } while (0)
 

@@ -54,6 +54,10 @@ class Vm : public Machine
     [[noreturn]] void stepLimit(const Chunk &ch, uint32_t pc,
                                 uint8_t n);
 
+    /** Slow side of VM_CHARGE: step-limit raise, or watchdog poll +
+     *  checkAt_ rearm when only a poll boundary was crossed. */
+    void chargeSlow(const Chunk &ch, uint32_t pc, uint8_t n);
+
     /** The tree walker's full Ident rvalue path (dynamic lookup,
      *  function designators, unbound-identifier error) — the
      *  LoadNamed handler, and LoadSlot's fallback when the slot's

@@ -153,7 +153,10 @@ makeAll()
 const std::vector<Profile> &
 allProfiles()
 {
-    static std::vector<Profile> profiles = makeAll();
+    // const + magic-static init: immutable and data-race-free under
+    // concurrent first use (the serving layer's workers all call
+    // findProfile()).
+    static const std::vector<Profile> profiles = makeAll();
     return profiles;
 }
 

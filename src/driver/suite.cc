@@ -129,6 +129,8 @@ outcomeMatches(const corelang::Outcome &outcome,
         return outcome.kind == Kind::AssertFail;
     if (head == "error")
         return outcome.kind == Kind::Error;
+    if (head == "resource-exhausted")
+        return outcome.kind == Kind::ResourceExhausted;
     return false;
 }
 

@@ -16,7 +16,12 @@ using corelang::Outcome;
 bool
 isCrash(const driver::RunResult &r)
 {
-    return r.frontendError || r.outcome.kind == Outcome::Kind::Error;
+    // ResourceExhausted counts: generated programs terminate well
+    // inside the default step budget, so exhausting it means the
+    // generator or the pipeline looped.
+    return r.frontendError ||
+        r.outcome.kind == Outcome::Kind::Error ||
+        r.outcome.kind == Outcome::Kind::ResourceExhausted;
 }
 
 bool

@@ -119,6 +119,9 @@ Failure::str() const
       case Kind::Internal:
         out = "internal error";
         break;
+      case Kind::ResourceExhausted:
+        out = "resource exhausted";
+        break;
     }
     if (!message.empty())
         out += ": " + message;

@@ -80,7 +80,7 @@ const char *ubDescription(Ub ub);
  */
 struct Failure
 {
-    enum class Kind { Undefined, Constraint, Internal };
+    enum class Kind { Undefined, Constraint, Internal, ResourceExhausted };
 
     Kind kind = Kind::Undefined;
     Ub ub = Ub::CheriInvalidCap;
@@ -103,6 +103,16 @@ struct Failure
     internal(std::string msg, SourceLoc loc = {})
     {
         return Failure{Kind::Internal, Ub::CheriInvalidCap,
+                       std::move(msg), std::move(loc)};
+    }
+    /** A resource budget ran out (step limit, wall-clock deadline,
+     *  cooperative cancellation).  Not UB and not a semantic error:
+     *  the run was cut short, so the verdict says nothing about the
+     *  program beyond "it was still going". */
+    static Failure
+    resourceExhausted(std::string msg, SourceLoc loc = {})
+    {
+        return Failure{Kind::ResourceExhausted, Ub::CheriInvalidCap,
                        std::move(msg), std::move(loc)};
     }
 

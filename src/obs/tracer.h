@@ -19,6 +19,7 @@
 #ifndef CHERISEM_OBS_TRACER_H
 #define CHERISEM_OBS_TRACER_H
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 
@@ -40,12 +41,16 @@ class TraceSink
     void
     emit(TraceEvent e)
     {
-        e.seq = nextSeq_++;
+        e.seq = nextSeq_.fetch_add(1, std::memory_order_relaxed);
         write(e);
     }
 
     /** Total events emitted into this sink. */
-    uint64_t emitted() const { return nextSeq_; }
+    uint64_t
+    emitted() const
+    {
+        return nextSeq_.load(std::memory_order_relaxed);
+    }
 
     /** Finish any buffered output (file footers etc.). */
     virtual void flush() {}
@@ -54,7 +59,12 @@ class TraceSink
     virtual void write(const TraceEvent &e) = 0;
 
   private:
-    uint64_t nextSeq_ = 0;
+    /** Atomic so concurrent runs that (incorrectly but harmlessly)
+     *  share a sink never race on the numbering itself; write()
+     *  synchronisation remains the subclass's contract.  The serving
+     *  layer gives every request its own sink — see
+     *  DESIGN.md "Serving layer". */
+    std::atomic<uint64_t> nextSeq_{0};
 };
 
 /**

@@ -1,0 +1,169 @@
+#include "serve/exec.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "corelang/machine.h"
+#include "corelang/vm.h"
+#include "frontend/parser.h"
+#include "obs/sinks.h"
+
+namespace cherisem::serve {
+
+namespace {
+
+/** Same capacity as the fuzz differential harness: comfortably
+ *  holds every suite program's full stream. */
+constexpr size_t kDigestRingCapacity = 1 << 17;
+
+uint64_t
+digestEvents(const obs::RingBufferSink &ring)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const obs::TraceEvent &e : ring.snapshot()) {
+        std::string line = obs::renderEventJson(e);
+        h = fnv1a(line.data(), line.size(), h);
+        h = fnv1a("\n", 1, h);
+    }
+    // A wrapped ring digests only the retained suffix; fold the
+    // drop count so a truncated stream can never collide with a
+    // complete one.
+    uint64_t dropped = ring.dropped();
+    h = fnv1a(&dropped, sizeof dropped, h);
+    return h;
+}
+
+} // namespace
+
+std::string
+ExecResult::summary() const
+{
+    if (frontendError)
+        return "frontend-error " + frontendMessage;
+    return outcome.summary();
+}
+
+CompiledPtr
+compileFront(const std::string &source,
+             const driver::Profile &profile, FrontCache *cache,
+             ExecResult *result, const std::string &filename)
+{
+    uint64_t key = FrontCache::key(source, profile.name);
+    if (cache) {
+        if (CompiledPtr hit = cache->lookup(key)) {
+            result->cacheHit = true;
+            return hit;
+        }
+    }
+    obs::Tracer noTrace; // front-half phases are timed, not traced
+    auto compiled = std::make_shared<CompiledProgram>();
+    try {
+        std::optional<frontend::TranslationUnit> unit;
+        {
+            obs::ScopedPhaseTimer t(&compiled->frontPhases.parseNs,
+                                    noTrace, "parse");
+            unit = frontend::parse(source, filename);
+        }
+        ctype::MachineLayout machine{
+            profile.memConfig.arch->capSize(),
+            profile.memConfig.arch->addrBits() / 8};
+        {
+            obs::ScopedPhaseTimer t(&compiled->frontPhases.semaNs,
+                                    noTrace, "sema");
+            compiled->prog =
+                sema::analyze(std::move(*unit), machine);
+        }
+        {
+            obs::ScopedPhaseTimer t(
+                &compiled->frontPhases.optimizeNs, noTrace,
+                "optimize");
+            compiled->optStats =
+                corelang::optimize(compiled->prog, profile.optims);
+        }
+        {
+            obs::ScopedPhaseTimer t(
+                &compiled->frontPhases.compileNs, noTrace,
+                "compile");
+            compiled->module =
+                corelang::compileProgram(compiled->prog);
+        }
+    } catch (const frontend::FrontendError &e) {
+        result->frontendError = true;
+        result->frontendMessage = e.str();
+        return nullptr;
+    } catch (const sema::SemaError &e) {
+        result->frontendError = true;
+        result->frontendMessage = e.str();
+        return nullptr;
+    }
+    result->phases.parseNs = compiled->frontPhases.parseNs;
+    result->phases.semaNs = compiled->frontPhases.semaNs;
+    result->phases.optimizeNs = compiled->frontPhases.optimizeNs;
+    result->phases.compileNs = compiled->frontPhases.compileNs;
+    CompiledPtr out = compiled;
+    if (cache)
+        cache->insert(key, out);
+    return out;
+}
+
+void
+runCompiled(const CompiledPtr &compiled,
+            const driver::Profile &profile, const RunSpec &spec,
+            const ExecLimits &limits, ExecResult *result)
+{
+    corelang::EvalOptions opts = profile.evalOptions();
+    if (spec.engineOverride >= 0)
+        opts.engine =
+            static_cast<corelang::Engine>(spec.engineOverride);
+    uint64_t maxSteps =
+        spec.maxSteps ? spec.maxSteps : limits.maxSteps;
+    // A request may tighten the server's budget, never exceed it.
+    opts.maxSteps = std::min(maxSteps, limits.maxSteps);
+    uint64_t deadlineMs =
+        spec.deadlineMs ? spec.deadlineMs : limits.deadlineMs;
+    if (limits.deadlineMs)
+        deadlineMs = std::min(deadlineMs, limits.deadlineMs);
+    if (deadlineMs)
+        opts.deadline = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(deadlineMs);
+    opts.cancel = limits.cancel;
+
+    obs::RingBufferSink ring(kDigestRingCapacity);
+    if (spec.traceDigest)
+        opts.memConfig.traceSink = &ring;
+
+    {
+        obs::Tracer noTrace;
+        obs::ScopedPhaseTimer t(&result->phases.evalNs, noTrace,
+                                "evaluate");
+        if (opts.engine == corelang::Engine::Bytecode) {
+            corelang::Vm vm(compiled->prog, opts,
+                            &compiled->module);
+            result->outcome = vm.run();
+        } else {
+            corelang::Machine machine(compiled->prog, opts);
+            result->outcome = machine.run();
+        }
+    }
+    if (spec.traceDigest) {
+        result->digest = digestEvents(ring);
+        result->hasDigest = true;
+    }
+}
+
+ExecResult
+runRequest(const std::string &source, const driver::Profile &profile,
+           const RunSpec &spec, const ExecLimits &limits,
+           FrontCache *cache)
+{
+    ExecResult result;
+    CompiledPtr compiled =
+        compileFront(source, profile, cache, &result);
+    if (!compiled)
+        return result;
+    runCompiled(compiled, profile, spec, limits, &result);
+    return result;
+}
+
+} // namespace cherisem::serve

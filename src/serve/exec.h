@@ -1,0 +1,89 @@
+/**
+ * @file
+ * One request's execution: the cache-aware replacement for
+ * driver::runSource().
+ *
+ * The front half (parse -> sema -> optimize -> bytecode-compile) is
+ * looked up in / inserted into the FrontCache; evaluation always
+ * runs fresh with its own MemoryModel, optional per-request step
+ * budget, wall-clock deadline and cooperative cancel flag, and an
+ * optional private RingBufferSink whose event stream is folded into
+ * a FNV-1a witness digest.  Identical requests therefore produce
+ * byte-identical ExecResults whether they hit or miss the cache,
+ * run single-threaded or on a pool — the determinism contract the
+ * serve tests enforce.
+ */
+#ifndef CHERISEM_SERVE_EXEC_H
+#define CHERISEM_SERVE_EXEC_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "driver/profiles.h"
+#include "serve/cache.h"
+
+namespace cherisem::serve {
+
+/** Per-run resource limits (the server's defaults; a request may
+ *  tighten but not exceed them). */
+struct ExecLimits
+{
+    uint64_t maxSteps = 20'000'000;
+    /** 0 = no wall-clock deadline. */
+    uint64_t deadlineMs = 0;
+    /** Server-wide cancellation (shutdown); may be null. */
+    const std::atomic<bool> *cancel = nullptr;
+};
+
+struct ExecResult
+{
+    bool frontendError = false;
+    std::string frontendMessage;
+    corelang::Outcome outcome;
+    obs::PhaseTimings phases;
+    bool cacheHit = false;
+    /** Witness digest over the run's trace events (valid when
+     *  hasDigest). */
+    uint64_t digest = 0;
+    bool hasDigest = false;
+
+    /** "exit 0" / "ub UB_..." / "frontend-error ..." — mirrors
+     *  driver::RunResult::summary(). */
+    std::string summary() const;
+};
+
+/** Compile @p source's front half under @p profile, through
+ *  @p cache when non-null (a null cache always compiles fresh).
+ *  Returns nullptr and fills @p result's frontend error fields on
+ *  lex/parse/sema failure. */
+CompiledPtr compileFront(const std::string &source,
+                         const driver::Profile &profile,
+                         FrontCache *cache, ExecResult *result,
+                         const std::string &filename = "<input>");
+
+/** Options for one evaluation of a compiled program. */
+struct RunSpec
+{
+    /** Engine override; negative = profile default. */
+    int engineOverride = -1; // corelang::Engine when >= 0
+    uint64_t maxSteps = 0;   // 0 = limits.maxSteps
+    uint64_t deadlineMs = 0; // 0 = limits.deadlineMs
+    bool traceDigest = false;
+};
+
+/** Evaluate @p compiled under @p profile (own MemoryModel, own
+ *  trace sink when digesting). */
+void runCompiled(const CompiledPtr &compiled,
+                 const driver::Profile &profile, const RunSpec &spec,
+                 const ExecLimits &limits, ExecResult *result);
+
+/** compileFront + runCompiled in one call. */
+ExecResult runRequest(const std::string &source,
+                      const driver::Profile &profile,
+                      const RunSpec &spec, const ExecLimits &limits,
+                      FrontCache *cache);
+
+} // namespace cherisem::serve
+
+#endif // CHERISEM_SERVE_EXEC_H

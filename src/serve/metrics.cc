@@ -1,0 +1,100 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace cherisem::serve {
+
+void
+Metrics::onCompleted(const std::string &verdict, uint64_t latencyNs)
+{
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (verdict == "exit")
+        exits_.fetch_add(1, std::memory_order_relaxed);
+    else if (verdict == "ub")
+        ubs_.fetch_add(1, std::memory_order_relaxed);
+    else if (verdict == "frontend-error")
+        frontendErrors_.fetch_add(1, std::memory_order_relaxed);
+    else if (verdict == "resource-exhausted")
+        exhausted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(sampleMu_);
+    if (latencyNs_.size() >= kMaxSamples) {
+        // Deterministic decimation: keep every second sample.  The
+        // distribution stays representative and memory stays flat.
+        size_t w = 0;
+        for (size_t r = 0; r < latencyNs_.size(); r += 2)
+            latencyNs_[w++] = latencyNs_[r];
+        latencyNs_.resize(w);
+    }
+    latencyNs_.push_back(latencyNs);
+}
+
+Metrics::Snapshot
+Metrics::snapshot(const FrontCache::Stats &cache,
+                  size_t queueDepth) const
+{
+    Snapshot s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.exitVerdicts = exits_.load(std::memory_order_relaxed);
+    s.ubVerdicts = ubs_.load(std::memory_order_relaxed);
+    s.frontendErrors =
+        frontendErrors_.load(std::memory_order_relaxed);
+    s.resourceExhausted = exhausted_.load(std::memory_order_relaxed);
+    s.badRequests = badRequests_.load(std::memory_order_relaxed);
+    s.cacheHits = cache.hits;
+    s.cacheMisses = cache.misses;
+    s.cacheEvictions = cache.evictions;
+    s.cacheHitRate = cache.hitRate();
+    s.queueDepth = queueDepth;
+
+    {
+        std::lock_guard<std::mutex> lock(sampleMu_);
+        if (!latencyNs_.empty()) {
+            std::vector<uint64_t> sorted = latencyNs_;
+            std::sort(sorted.begin(), sorted.end());
+            auto pick = [&](double q) {
+                size_t i = static_cast<size_t>(
+                    q * static_cast<double>(sorted.size() - 1));
+                return sorted[i] / 1000;
+            };
+            s.p50LatencyUs = pick(0.50);
+            s.p95LatencyUs = pick(0.95);
+        }
+    }
+
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    s.uptimeMs = ns / 1'000'000;
+    if (ns > 0)
+        s.programsPerSec = static_cast<double>(s.completed) * 1e9 /
+            static_cast<double>(ns);
+    return s;
+}
+
+std::string
+Metrics::Snapshot::renderJson() const
+{
+    char buf[768];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"requests\":%" PRIu64 ",\"completed\":%" PRIu64
+        ",\"exit\":%" PRIu64 ",\"ub\":%" PRIu64
+        ",\"frontend_errors\":%" PRIu64
+        ",\"resource_exhausted\":%" PRIu64
+        ",\"bad_requests\":%" PRIu64 ",\"cache_hits\":%" PRIu64
+        ",\"cache_misses\":%" PRIu64 ",\"cache_evictions\":%" PRIu64
+        ",\"cache_hit_rate\":%.4f,\"queue_depth\":%zu"
+        ",\"p50_latency_us\":%" PRIu64 ",\"p95_latency_us\":%" PRIu64
+        ",\"programs_per_sec\":%.2f,\"uptime_ms\":%" PRIu64 "}",
+        requests, completed, exitVerdicts, ubVerdicts,
+        frontendErrors, resourceExhausted, badRequests, cacheHits,
+        cacheMisses, cacheEvictions, cacheHitRate, queueDepth,
+        p50LatencyUs, p95LatencyUs, programsPerSec, uptimeMs);
+    return buf;
+}
+
+} // namespace cherisem::serve

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Service-level metrics for cherisem_serve: request/verdict
+ * counters, cache hit rate (mirrored from FrontCache), queue depth,
+ * end-to-end latency quantiles and throughput.
+ *
+ * Counters are relaxed atomics (hot path: two increments per
+ * request); the latency reservoir is a mutex-guarded fixed-size
+ * buffer that halves deterministically when full, so p50/p95 stay
+ * meaningful over arbitrarily long runs without unbounded memory.
+ * snapshot() is cheap enough to serve from a worker ("stats"
+ * request) and is dumped on shutdown.
+ */
+#ifndef CHERISEM_SERVE_METRICS_H
+#define CHERISEM_SERVE_METRICS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/cache.h"
+
+namespace cherisem::serve {
+
+class Metrics
+{
+  public:
+    Metrics() : start_(std::chrono::steady_clock::now()) {}
+
+    struct Snapshot
+    {
+        uint64_t requests = 0;
+        uint64_t completed = 0;
+        uint64_t exitVerdicts = 0;
+        uint64_t ubVerdicts = 0;
+        uint64_t frontendErrors = 0;
+        uint64_t resourceExhausted = 0;
+        uint64_t badRequests = 0;
+        uint64_t cacheHits = 0;
+        uint64_t cacheMisses = 0;
+        uint64_t cacheEvictions = 0;
+        double cacheHitRate = 0;
+        size_t queueDepth = 0;
+        uint64_t p50LatencyUs = 0;
+        uint64_t p95LatencyUs = 0;
+        double programsPerSec = 0;
+        uint64_t uptimeMs = 0;
+
+        /** One JSON object (the "stats" response payload and the
+         *  shutdown dump). */
+        std::string renderJson() const;
+    };
+
+    void
+    onAccepted()
+    {
+        requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    onBadRequest()
+    {
+        badRequests_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Record one finished run.  @p verdict is the protocol verdict
+     *  string ("exit", "ub", ...). */
+    void onCompleted(const std::string &verdict, uint64_t latencyNs);
+
+    Snapshot snapshot(const FrontCache::Stats &cache,
+                      size_t queueDepth) const;
+
+  private:
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> exits_{0};
+    std::atomic<uint64_t> ubs_{0};
+    std::atomic<uint64_t> frontendErrors_{0};
+    std::atomic<uint64_t> exhausted_{0};
+    std::atomic<uint64_t> badRequests_{0};
+
+    /** Reservoir cap: big enough for stable p95 on any realistic
+     *  window, small enough to scan under the lock. */
+    static constexpr size_t kMaxSamples = 65536;
+    mutable std::mutex sampleMu_;
+    std::vector<uint64_t> latencyNs_;
+
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace cherisem::serve
+
+#endif // CHERISEM_SERVE_METRICS_H

@@ -1,0 +1,242 @@
+#include "serve/net.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cherisem::serve {
+
+bool
+ListenSpec::parse(const std::string &spec, ListenSpec *out,
+                  std::string *err)
+{
+    if (spec.rfind("unix:", 0) == 0) {
+        out->kind = Kind::Unix;
+        out->path = spec.substr(5);
+        if (out->path.empty() ||
+            out->path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+            if (err)
+                *err = "bad unix socket path";
+            return false;
+        }
+        return true;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        out->kind = Kind::Tcp;
+        int port = std::atoi(spec.c_str() + 4);
+        if (port <= 0 || port > 65535) {
+            if (err)
+                *err = "bad tcp port";
+            return false;
+        }
+        out->port = static_cast<uint16_t>(port);
+        return true;
+    }
+    if (err)
+        *err = "listen spec must be unix:<path> or tcp:<port>";
+    return false;
+}
+
+namespace {
+
+/** Shared by the reader thread and every in-flight response
+ *  callback; the fd closes when the last holder lets go. */
+struct Connection
+{
+    int fd;
+    std::mutex writeMu;
+
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection() { ::close(fd); }
+
+    void
+    writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(writeMu);
+        std::string framed = line + "\n";
+        size_t off = 0;
+        while (off < framed.size()) {
+            ssize_t n = ::send(fd, framed.data() + off,
+                               framed.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                return; // client gone; drop the rest
+            off += static_cast<size_t>(n);
+        }
+    }
+};
+
+/** Accept-loop state shared with every reader thread. */
+struct ServeState
+{
+    std::atomic<bool> stop{false};
+    int listenFd = -1;
+    std::mutex connMu;
+    std::vector<std::weak_ptr<Connection>> conns;
+
+    /** Request shutdown: unblocks accept() and every blocked
+     *  reader. */
+    void
+    requestStop()
+    {
+        stop.store(true);
+        ::shutdown(listenFd, SHUT_RDWR);
+        std::lock_guard<std::mutex> lock(connMu);
+        for (auto &w : conns)
+            if (auto c = w.lock())
+                ::shutdown(c->fd, SHUT_RD);
+    }
+};
+
+void
+connectionLoop(Server &server, std::shared_ptr<Connection> conn,
+               ServeState *state)
+{
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            return;
+        buf.append(chunk, static_cast<size_t>(n));
+        size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (line.empty() || line[0] == '#')
+                continue;
+            Request req;
+            std::string err;
+            if (!parseRequest(line, &req, &err)) {
+                Response bad;
+                bad.verdict = "bad-request";
+                bad.message = err;
+                conn->writeLine(bad.render());
+                continue;
+            }
+            if (req.op == Request::Op::Shutdown) {
+                Response bye;
+                bye.id = req.id;
+                bye.verdict = "shutdown";
+                conn->writeLine(bye.render());
+                state->requestStop();
+                return;
+            }
+            server.submit(std::move(req), [conn](Response resp) {
+                conn->writeLine(resp.render());
+            });
+        }
+    }
+}
+
+int
+bindAndListen(const ListenSpec &spec, std::string *err)
+{
+    int fd = -1;
+    if (spec.kind == ListenSpec::Kind::Unix) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            if (err)
+                *err = std::strerror(errno);
+            return -1;
+        }
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, spec.path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(spec.path.c_str());
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof addr) != 0) {
+            if (err)
+                *err = "bind " + spec.path + ": " +
+                    std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+    } else {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            if (err)
+                *err = std::strerror(errno);
+            return -1;
+        }
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(spec.port);
+        // Loopback only: this daemon has no authentication.
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof addr) != 0) {
+            if (err)
+                *err = "bind 127.0.0.1:" + std::to_string(spec.port) +
+                    ": " + std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+    }
+    if (::listen(fd, 64) != 0) {
+        if (err)
+            *err = std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+int
+serveForever(Server &server, const ListenSpec &spec,
+             std::string *err)
+{
+    ServeState state;
+    state.listenFd = bindAndListen(spec, err);
+    if (state.listenFd < 0)
+        return 1;
+
+    std::vector<std::thread> readers;
+    while (!state.stop.load()) {
+        int fd = ::accept(state.listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (state.stop.load())
+                break;
+            if (errno == EINTR)
+                continue;
+            break; // listener broke; shut down cleanly
+        }
+        if (state.stop.load()) {
+            ::close(fd);
+            break;
+        }
+        auto conn = std::make_shared<Connection>(fd);
+        {
+            std::lock_guard<std::mutex> lock(state.connMu);
+            state.conns.push_back(conn);
+        }
+        readers.emplace_back([&server, conn, &state] {
+            connectionLoop(server, conn, &state);
+        });
+    }
+    ::close(state.listenFd);
+    server.drain();
+    for (std::thread &t : readers)
+        if (t.joinable())
+            t.join();
+    if (spec.kind == ListenSpec::Kind::Unix)
+        ::unlink(spec.path.c_str());
+    return 0;
+}
+
+} // namespace cherisem::serve

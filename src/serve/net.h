@@ -1,0 +1,50 @@
+/**
+ * @file
+ * POSIX socket frontend for the Server: newline-delimited JSON over
+ * a unix-domain or TCP socket.
+ *
+ * One accept loop; one reader thread per connection.  Responses are
+ * written back as they complete — possibly out of request order,
+ * which the protocol allows ("id" matches them up) — under a
+ * per-connection write lock, and a connection that disappears
+ * mid-flight just drops its remaining responses (writes are
+ * MSG_NOSIGNAL, the callbacks keep the connection state alive).
+ * A "shutdown" request stops the accept loop and returns from
+ * serveForever().
+ *
+ * This is deliberately example-grade networking (the daemon in
+ * examples/cherisem_serve.cpp); the library contract — and
+ * everything CI exercises — is Server::runBatch, which needs no
+ * sockets at all.
+ */
+#ifndef CHERISEM_SERVE_NET_H
+#define CHERISEM_SERVE_NET_H
+
+#include <string>
+
+#include "serve/server.h"
+
+namespace cherisem::serve {
+
+/** A parsed --listen spec: "unix:/path/sock" or "tcp:PORT"
+ *  (loopback only). */
+struct ListenSpec
+{
+    enum class Kind { Unix, Tcp } kind = Kind::Unix;
+    std::string path; ///< unix socket path
+    uint16_t port = 0;
+
+    /** Parse a spec; returns false and sets @p err on bad syntax. */
+    static bool parse(const std::string &spec, ListenSpec *out,
+                      std::string *err);
+};
+
+/** Bind, listen and serve until a shutdown request (or a fatal
+ *  socket error).  Returns 0 on clean shutdown, nonzero + @p err on
+ *  setup failure. */
+int serveForever(Server &server, const ListenSpec &spec,
+                 std::string *err);
+
+} // namespace cherisem::serve
+
+#endif // CHERISEM_SERVE_NET_H

@@ -1,0 +1,95 @@
+#include "serve/pool.h"
+
+#include <algorithm>
+
+namespace cherisem::serve {
+
+WorkerPool::WorkerPool(unsigned threads, size_t queueCapacity)
+    : capacity_(std::max<size_t>(1, queueCapacity))
+{
+    unsigned n = std::max(1u, threads);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    shutdown();
+}
+
+bool
+WorkerPool::submit(std::function<void()> task)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    notFull_.wait(lock, [this] {
+        return stopping_ || queue_.size() < capacity_;
+    });
+    if (stopping_)
+        return false;
+    queue_.push_back(std::move(task));
+    notEmpty_.notify_one();
+    return true;
+}
+
+void
+WorkerPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+WorkerPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+}
+
+size_t
+WorkerPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notEmpty_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                // stopping_ && empty: accepted work is done.
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+            notFull_.notify_one();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --running_;
+            if (queue_.empty() && running_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace cherisem::serve

@@ -338,7 +338,7 @@ TEST(Language, InfiniteLoopHitsStepLimit)
 {
     const Profile &ref = referenceProfile();
     RunResult r = runSource("int main(void) { for(;;){} }", ref);
-    EXPECT_EQ(r.outcome.kind, Outcome::Kind::Error);
+    EXPECT_EQ(r.outcome.kind, Outcome::Kind::ResourceExhausted);
 }
 
 TEST(Language, DeepRecursionHitsDepthLimit)

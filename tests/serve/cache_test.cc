@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the content-hash front cache (src/serve/cache.*): the
+ * hit ≡ miss determinism contract, LRU eviction, the disabled-cache
+ * degenerate case, and profile-key isolation.
+ */
+#include <gtest/gtest.h>
+
+#include "driver/interpreter.h"
+#include "serve/cache.h"
+#include "serve/exec.h"
+
+namespace cherisem::serve {
+namespace {
+
+const char *kProgram = "int main(void) {\n"
+                       "    int xs[4] = {1, 2, 3, 4};\n"
+                       "    int sum = 0;\n"
+                       "    for (int i = 0; i < 4; i = i + 1)\n"
+                       "        sum = sum + xs[i];\n"
+                       "    printf(\"%d\\n\", sum);\n"
+                       "    return sum;\n"
+                       "}\n";
+
+ExecResult
+runOnce(const std::string &source, const driver::Profile &profile,
+        FrontCache *cache)
+{
+    RunSpec spec;
+    spec.traceDigest = true;
+    ExecLimits limits;
+    return runRequest(source, profile, spec, limits, cache);
+}
+
+void
+expectSameRun(const ExecResult &a, const ExecResult &b)
+{
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_EQ(a.outcome.exitCode, b.outcome.exitCode);
+    EXPECT_EQ(a.outcome.steps, b.outcome.steps);
+    EXPECT_EQ(a.outcome.memStats.loads, b.outcome.memStats.loads);
+    EXPECT_EQ(a.outcome.memStats.stores, b.outcome.memStats.stores);
+    EXPECT_EQ(a.outcome.output, b.outcome.output);
+    ASSERT_TRUE(a.hasDigest);
+    ASSERT_TRUE(b.hasDigest);
+    EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(FrontCacheKey, SeparatesSourceAndProfile)
+{
+    uint64_t k = FrontCache::key("int main(void){}", "cerberus");
+    EXPECT_EQ(k, FrontCache::key("int main(void){}", "cerberus"));
+    EXPECT_NE(k, FrontCache::key("int main(void){ }", "cerberus"));
+    EXPECT_NE(k, FrontCache::key("int main(void){}", "cheriot"));
+    // The separator keeps (source+x, p) and (source, x+p) apart.
+    EXPECT_NE(FrontCache::key("ab", "c"), FrontCache::key("a", "bc"));
+}
+
+TEST(FrontCache, HitIsByteIdenticalToMiss)
+{
+    FrontCache cache(16);
+    const driver::Profile &prof = driver::referenceProfile();
+
+    ExecResult cold = runOnce(kProgram, prof, &cache);
+    EXPECT_FALSE(cold.cacheHit);
+    ExecResult warm = runOnce(kProgram, prof, &cache);
+    EXPECT_TRUE(warm.cacheHit);
+    expectSameRun(cold, warm);
+
+    // And both match a run that never saw a cache.
+    ExecResult uncached = runOnce(kProgram, prof, nullptr);
+    EXPECT_FALSE(uncached.cacheHit);
+    expectSameRun(cold, uncached);
+
+    FrontCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.size, 1u);
+}
+
+TEST(FrontCache, EvictsLeastRecentlyUsed)
+{
+    FrontCache cache(2);
+    const driver::Profile &prof = driver::referenceProfile();
+    std::string a = "int main(void){return 1;}";
+    std::string b = "int main(void){return 2;}";
+    std::string c = "int main(void){return 3;}";
+
+    ExecResult r;
+    compileFront(a, prof, &cache, &r);
+    compileFront(b, prof, &cache, &r);
+    // Touch a so b is the LRU entry when c arrives.
+    EXPECT_NE(cache.lookup(FrontCache::key(a, prof.name)), nullptr);
+    compileFront(c, prof, &cache, &r);
+
+    FrontCache::Stats s = cache.stats();
+    EXPECT_EQ(s.size, 2u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_NE(cache.lookup(FrontCache::key(a, prof.name)), nullptr);
+    EXPECT_EQ(cache.lookup(FrontCache::key(b, prof.name)), nullptr);
+    EXPECT_NE(cache.lookup(FrontCache::key(c, prof.name)), nullptr);
+}
+
+TEST(FrontCache, ZeroCapacityDisablesCaching)
+{
+    FrontCache cache(0);
+    const driver::Profile &prof = driver::referenceProfile();
+    ExecResult first = runOnce(kProgram, prof, &cache);
+    ExecResult second = runOnce(kProgram, prof, &cache);
+    EXPECT_FALSE(first.cacheHit);
+    EXPECT_FALSE(second.cacheHit);
+    expectSameRun(first, second);
+    EXPECT_EQ(cache.stats().size, 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(FrontCache, ProfileKeysAreIsolated)
+{
+    // The same source compiles differently per profile (optimisation
+    // passes, machine layout); one profile's entry must never serve
+    // another's request.
+    FrontCache cache(16);
+    const driver::Profile &ref = driver::referenceProfile();
+    const driver::Profile *o2 = driver::findProfile("gcc-morello-O2");
+    ASSERT_NE(o2, nullptr);
+
+    ExecResult refCold = runOnce(kProgram, ref, &cache);
+    ExecResult o2Cold = runOnce(kProgram, *o2, &cache);
+    EXPECT_FALSE(refCold.cacheHit);
+    EXPECT_FALSE(o2Cold.cacheHit);
+    EXPECT_EQ(cache.stats().size, 2u);
+
+    // Warm runs hit their own profile's entry and reproduce their
+    // own profile's run exactly.
+    ExecResult refWarm = runOnce(kProgram, ref, &cache);
+    ExecResult o2Warm = runOnce(kProgram, *o2, &cache);
+    EXPECT_TRUE(refWarm.cacheHit);
+    EXPECT_TRUE(o2Warm.cacheHit);
+    expectSameRun(refCold, refWarm);
+    expectSameRun(o2Cold, o2Warm);
+    expectSameRun(refCold, runOnce(kProgram, ref, nullptr));
+    expectSameRun(o2Cold, runOnce(kProgram, *o2, nullptr));
+}
+
+TEST(FrontCache, ClearEmptiesAndKeepsWorking)
+{
+    FrontCache cache(8);
+    const driver::Profile &prof = driver::referenceProfile();
+    ExecResult r;
+    compileFront(kProgram, prof, &cache, &r);
+    EXPECT_EQ(cache.stats().size, 1u);
+    cache.clear();
+    EXPECT_EQ(cache.stats().size, 0u);
+    EXPECT_EQ(cache.lookup(FrontCache::key(kProgram, prof.name)),
+              nullptr);
+    compileFront(kProgram, prof, &cache, &r);
+    EXPECT_EQ(cache.stats().size, 1u);
+}
+
+} // namespace
+} // namespace cherisem::serve

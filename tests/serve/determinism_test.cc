@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The satellite-3 determinism stress test: the whole tests/suite
+ * corpus runs through an 8-worker pool (cold, then fully cached) and
+ * every verdict, exit code, step/load/store count, program output and
+ * witness digest must be byte-identical to the single-threaded
+ * oracle — driver::runSource for the verdict/stat surface, plus a
+ * single-threaded serve::runRequest for the digest (runSource does
+ * not produce one).  Phase timings are the one field deliberately
+ * excluded: they are wall-clock measurements, and a cache hit
+ * legitimately reports a zero-cost front half.
+ */
+#include <cinttypes>
+#include <cstdio>
+#include <future>
+#include <gtest/gtest.h>
+#include <map>
+#include <vector>
+
+#include "driver/interpreter.h"
+#include "driver/suite.h"
+#include "serve/exec.h"
+#include "serve/server.h"
+
+namespace cherisem::serve {
+namespace {
+
+std::string
+digestString(uint64_t digest)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "fnv1a:%016" PRIx64, digest);
+    return buf;
+}
+
+/** The comparable surface of one run (everything but timings). */
+struct RunFingerprint
+{
+    std::string summary;
+    int exitCode = 0;
+    uint64_t steps = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    std::string output;
+    std::string digest;
+
+    bool
+    operator==(const RunFingerprint &o) const
+    {
+        return summary == o.summary && exitCode == o.exitCode &&
+            steps == o.steps && loads == o.loads &&
+            stores == o.stores && output == o.output &&
+            digest == o.digest;
+    }
+};
+
+RunFingerprint
+oracleFingerprint(const std::string &source,
+                  const driver::Profile &profile)
+{
+    RunFingerprint fp;
+    // runSource is the repo's reference entry point; the serve exec
+    // path must agree with it exactly.
+    driver::RunResult rr = driver::runSource(source, profile);
+    RunSpec spec;
+    spec.traceDigest = true;
+    ExecLimits limits;
+    ExecResult er = runRequest(source, profile, spec, limits, nullptr);
+    EXPECT_EQ(er.summary(), rr.summary());
+
+    fp.summary = rr.summary();
+    if (!rr.frontendError) {
+        EXPECT_EQ(er.outcome.steps, rr.outcome.steps);
+        EXPECT_EQ(er.outcome.memStats.loads, rr.outcome.memStats.loads);
+        EXPECT_EQ(er.outcome.memStats.stores,
+                  rr.outcome.memStats.stores);
+        EXPECT_EQ(er.outcome.output, rr.outcome.output);
+        fp.exitCode = rr.outcome.exitCode;
+        fp.steps = rr.outcome.steps;
+        fp.loads = rr.outcome.memStats.loads;
+        fp.stores = rr.outcome.memStats.stores;
+        fp.output = rr.outcome.output;
+        fp.digest = digestString(er.digest);
+    }
+    return fp;
+}
+
+RunFingerprint
+responseFingerprint(const Response &r)
+{
+    RunFingerprint fp;
+    if (r.verdict == "exit")
+        fp.summary = "exit " + std::to_string(r.exitCode);
+    else if (r.verdict == "ub")
+        fp.summary = "ub " + r.ubName;
+    else if (r.verdict == "frontend-error")
+        fp.summary = "frontend-error " + r.message;
+    else
+        fp.summary = r.verdict +
+            (r.message.empty() ? "" : " " + r.message);
+    if (r.verdict != "frontend-error") {
+        fp.exitCode = r.exitCode;
+        fp.steps = r.steps;
+        fp.loads = r.loads;
+        fp.stores = r.stores;
+        fp.output = r.output;
+        fp.digest = r.traceDigest;
+    }
+    return fp;
+}
+
+/** Normalise the oracle summary the same way the wire verdict
+ *  renders it (assert-fail/error carry a message after the kind). */
+std::string
+describe(const RunFingerprint &fp)
+{
+    return fp.summary + " steps=" + std::to_string(fp.steps) +
+        " digest=" + fp.digest;
+}
+
+class SuiteDeterminism : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        corpus_ = new std::vector<driver::SuiteTest>(
+            driver::loadSuite(driver::defaultSuiteDir()));
+        ASSERT_GT(corpus_->size(), 100u)
+            << "suite corpus missing at " << driver::defaultSuiteDir();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete corpus_;
+        corpus_ = nullptr;
+    }
+
+    static std::vector<driver::SuiteTest> *corpus_;
+};
+
+std::vector<driver::SuiteTest> *SuiteDeterminism::corpus_ = nullptr;
+
+TEST_F(SuiteDeterminism, PoolMatchesSingleThreadedOracle)
+{
+    const driver::Profile &prof = driver::referenceProfile();
+
+    // Oracle pass: single-threaded, no cache, no pool.
+    std::vector<RunFingerprint> oracle;
+    oracle.reserve(corpus_->size());
+    for (const driver::SuiteTest &t : *corpus_)
+        oracle.push_back(oracleFingerprint(t.source, prof));
+
+    ServerOptions opts;
+    opts.threads = 8;
+    opts.cacheCapacity = 512;
+    Server server(opts);
+
+    auto runRound = [&](bool expectCached) {
+        std::vector<std::future<Response>> futures;
+        futures.reserve(corpus_->size());
+        for (const driver::SuiteTest &t : *corpus_) {
+            Request req;
+            req.id = t.name;
+            req.source = t.source;
+            req.traceDigest = true;
+            auto done = std::make_shared<std::promise<Response>>();
+            futures.push_back(done->get_future());
+            ASSERT_TRUE(server.submit(req, [done](Response r) {
+                done->set_value(std::move(r));
+            }));
+        }
+        server.drain();
+        for (size_t i = 0; i < futures.size(); ++i) {
+            Response r = futures[i].get();
+            EXPECT_EQ(r.id, (*corpus_)[i].name);
+            RunFingerprint got = responseFingerprint(r);
+            EXPECT_TRUE(got == oracle[i])
+                << (*corpus_)[i].name << "\n  oracle: "
+                << describe(oracle[i]) << "\n  pool:   "
+                << describe(got);
+            if (expectCached && r.verdict != "frontend-error") {
+                EXPECT_TRUE(r.cached) << (*corpus_)[i].name;
+            }
+        }
+    };
+
+    // Round 1 populates the cache (no cached-flag expectation:
+    // concurrent identical sources may race the first insert).
+    runRound(false);
+    // Round 2 must be all hits and still byte-identical.
+    runRound(true);
+}
+
+TEST_F(SuiteDeterminism, SecondProfileStaysIsolatedUnderConcurrency)
+{
+    // A smaller sweep under a concrete O2 profile interleaved on the
+    // same server exercises cross-profile cache isolation under load.
+    const driver::Profile *o2 = driver::findProfile("gcc-morello-O2");
+    ASSERT_NE(o2, nullptr);
+    const size_t kSubset = std::min<size_t>(corpus_->size(), 48);
+
+    std::vector<RunFingerprint> oracle;
+    for (size_t i = 0; i < kSubset; ++i)
+        oracle.push_back(
+            oracleFingerprint((*corpus_)[i].source, *o2));
+
+    ServerOptions opts;
+    opts.threads = 8;
+    Server server(opts);
+    std::vector<std::future<Response>> futures;
+    for (int round = 0; round < 2; ++round) {
+        for (size_t i = 0; i < kSubset; ++i) {
+            Request req;
+            req.id = (*corpus_)[i].name;
+            req.source = (*corpus_)[i].source;
+            req.profile = o2->name;
+            req.traceDigest = true;
+            auto done = std::make_shared<std::promise<Response>>();
+            futures.push_back(done->get_future());
+            ASSERT_TRUE(server.submit(req, [done](Response r) {
+                done->set_value(std::move(r));
+            }));
+        }
+    }
+    server.drain();
+    for (size_t i = 0; i < futures.size(); ++i) {
+        Response r = futures[i].get();
+        RunFingerprint got = responseFingerprint(r);
+        EXPECT_TRUE(got == oracle[i % kSubset])
+            << (*corpus_)[i % kSubset].name << "\n  oracle: "
+            << describe(oracle[i % kSubset]) << "\n  pool:   "
+            << describe(got);
+    }
+}
+
+} // namespace
+} // namespace cherisem::serve

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the worker pool and the server's resource-limit paths
+ * (src/serve/pool.*, server.*): bounded-queue backpressure, drain
+ * and shutdown semantics, and the satellite-2 contract — a step
+ * budget, wall-clock deadline, or cancellation ends a run as a clean
+ * resource-exhausted verdict with valid stats and a deterministic
+ * (truncated) witness digest, never a torn result.
+ */
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <gtest/gtest.h>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "serve/pool.h"
+#include "serve/server.h"
+
+namespace cherisem::serve {
+namespace {
+
+const char *kSpin = "int main(void) {\n"
+                    "    int i = 0;\n"
+                    "    while (1) { i = i + 1; }\n"
+                    "    return i;\n"
+                    "}\n";
+
+TEST(WorkerPool, RunsEveryAcceptedTask)
+{
+    WorkerPool pool(4, 8);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(pool.submit([&ran] { ++ran; }));
+    pool.drain();
+    EXPECT_EQ(ran.load(), 100);
+    EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+TEST(WorkerPool, SubmitAfterShutdownIsRejected)
+{
+    WorkerPool pool(1, 4);
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(pool.submit([&ran] { ++ran; }));
+    pool.shutdown();
+    EXPECT_FALSE(pool.submit([&ran] { ++ran; }));
+    EXPECT_EQ(ran.load(), 1); // accepted work still finished
+}
+
+TEST(WorkerPool, QueueDepthStaysBounded)
+{
+    constexpr size_t kCapacity = 2;
+    WorkerPool pool(1, kCapacity);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+
+    // Jam the single worker so submissions pile up in the queue.
+    pool.submit([&] {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+    });
+
+    std::atomic<int> ran{0};
+    std::thread producer([&] {
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&ran] { ++ran; }); // blocks when full
+    });
+
+    // Give the producer time to hit the backpressure path, then
+    // check the invariant the bounded queue promises.
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_LE(pool.queueDepth(), kCapacity);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    producer.join();
+    pool.drain();
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ServerLimits, StepBudgetEndsCleanly)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    opts.deadlineMs = 0; // isolate the step-budget path
+    Server server(opts);
+
+    Request req;
+    req.id = "spin";
+    req.source = kSpin;
+    req.maxSteps = 20'000;
+    req.traceDigest = true;
+
+    Response r = server.runNow(req);
+    EXPECT_EQ(r.verdict, "resource-exhausted");
+    EXPECT_NE(r.message.find("step limit"), std::string::npos);
+    // Clean unwind: stats up to the cut are valid and the truncated
+    // witness stream digests deterministically.
+    EXPECT_GT(r.steps, 0u);
+    EXPECT_LE(r.steps, req.maxSteps + 2);
+    EXPECT_NE(r.traceDigest, "");
+    Response again = server.runNow(req);
+    EXPECT_EQ(again.verdict, "resource-exhausted");
+    EXPECT_EQ(again.steps, r.steps);
+    EXPECT_EQ(again.traceDigest, r.traceDigest);
+}
+
+TEST(ServerLimits, RequestCannotExceedServerCeiling)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    opts.maxSteps = 10'000;
+    opts.deadlineMs = 0;
+    Server server(opts);
+
+    Request req;
+    req.source = kSpin;
+    req.maxSteps = 1'000'000'000; // asks for more than the ceiling
+    Response r = server.runNow(req);
+    EXPECT_EQ(r.verdict, "resource-exhausted");
+    EXPECT_LE(r.steps, opts.maxSteps + 2);
+}
+
+TEST(ServerLimits, WallClockDeadlineEndsCleanly)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    opts.maxSteps = UINT64_MAX; // only the clock can stop it
+    opts.deadlineMs = 0;
+    Server server(opts);
+
+    Request req;
+    req.id = "spin";
+    req.source = kSpin;
+    req.deadlineMs = 50;
+    Response r = server.runNow(req);
+    EXPECT_EQ(r.verdict, "resource-exhausted");
+    EXPECT_NE(r.message.find("deadline"), std::string::npos);
+    EXPECT_GT(r.steps, 0u);
+}
+
+TEST(ServerLimits, CancellationUnblocksInFlightRun)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    opts.maxSteps = UINT64_MAX;
+    opts.deadlineMs = 0; // only cancellation can stop it
+    Server server(opts);
+
+    Request req;
+    req.id = "spin";
+    req.source = kSpin;
+    std::promise<Response> done;
+    auto fut = done.get_future();
+    ASSERT_TRUE(server.submit(
+        req, [&done](Response r) { done.set_value(std::move(r)); }));
+
+    // Let the run actually start spinning, then pull the plug.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.cancelAll();
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    Response r = fut.get();
+    EXPECT_EQ(r.verdict, "resource-exhausted");
+    EXPECT_NE(r.message.find("cancel"), std::string::npos);
+}
+
+TEST(Server, UnknownProfileIsBadRequest)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    Server server(opts);
+    Request req;
+    req.id = "x";
+    req.source = "int main(void){return 0;}";
+    req.profile = "no-such-profile";
+    Response r = server.runNow(req);
+    EXPECT_EQ(r.verdict, "bad-request");
+    EXPECT_NE(r.message.find("no-such-profile"), std::string::npos);
+}
+
+TEST(Server, BatchKeepsInputOrder)
+{
+    ServerOptions opts;
+    opts.threads = 4;
+    Server server(opts);
+
+    std::istringstream in(
+        "{\"op\":\"run\",\"id\":\"b1\","
+        "\"source\":\"int main(void){return 1;}\"}\n"
+        "# a comment line\n"
+        "\n"
+        "{\"op\":\"run\",\"id\":\"b2\","
+        "\"source\":\"int main(void){return 2;}\"}\n"
+        "this line is not json\n"
+        "{\"op\":\"run\",\"id\":\"b3\","
+        "\"source\":\"int main(void){return 3;}\"}\n");
+    std::ostringstream out;
+    int malformed = server.runBatch(in, out);
+    EXPECT_EQ(malformed, 1);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<Response> resps;
+    while (std::getline(lines, line)) {
+        Response r;
+        std::string err;
+        ASSERT_TRUE(parseResponse(line, &r, &err)) << line;
+        resps.push_back(r);
+    }
+    ASSERT_EQ(resps.size(), 4u);
+    EXPECT_EQ(resps[0].id, "b1");
+    EXPECT_EQ(resps[0].exitCode, 1);
+    EXPECT_EQ(resps[1].id, "b2");
+    EXPECT_EQ(resps[1].exitCode, 2);
+    EXPECT_EQ(resps[2].verdict, "bad-request");
+    EXPECT_EQ(resps[3].id, "b3");
+    EXPECT_EQ(resps[3].exitCode, 3);
+}
+
+TEST(Server, StatsCountVerdicts)
+{
+    ServerOptions opts;
+    opts.threads = 2;
+    opts.deadlineMs = 0;
+    Server server(opts);
+
+    Request ok;
+    ok.source = "int main(void){return 0;}";
+    server.runNow(ok);
+    server.runNow(ok); // cache hit
+    Request ub;
+    ub.source = "int main(void){int *p = 0; return *p;}";
+    server.runNow(ub);
+    Request broken;
+    broken.source = "int main(void){";
+    server.runNow(broken);
+
+    Metrics::Snapshot s = server.stats();
+    EXPECT_EQ(s.requests, 4u);
+    EXPECT_EQ(s.completed, 4u);
+    EXPECT_EQ(s.exitVerdicts, 2u);
+    EXPECT_EQ(s.ubVerdicts, 1u);
+    EXPECT_EQ(s.frontendErrors, 1u);
+    EXPECT_EQ(s.cacheHits, 1u);
+    EXPECT_GE(s.cacheMisses, 2u);
+    EXPECT_GT(s.programsPerSec, 0.0);
+}
+
+} // namespace
+} // namespace cherisem::serve
