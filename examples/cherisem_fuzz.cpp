@@ -6,8 +6,8 @@
  *
  *   cherisem_fuzz [--seeds A..B] [--allow-ub] [--stmts N]
  *                 [--profiles a,b,c] [--no-cross] [--no-engines]
- *                 [--shrink] [--report PATH] [--print-seed N]
- *                 [--jobs N] [--quiet]
+ *                 [--fork N] [--shrink] [--report PATH]
+ *                 [--print-seed N] [--jobs N] [--quiet]
  *
  *   --seeds A..B    inclusive seed range (default 0..100)
  *   --allow-ub      generate the UB-allowed corpus instead of the
@@ -17,6 +17,12 @@
  *   --no-cross      skip the cross-profile comparisons (backend
  *                   Map-vs-Paged grid only)
  *   --no-engines    skip the tree-vs-bytecode engine comparisons
+ *   --fork N        fork-fuzzing campaign: generate fork-shaped
+ *                   programs (__prelude prefix + __variant-keyed
+ *                   main), compile each once, snapshot after the
+ *                   prelude, and fork N variants from it; every
+ *                   variant is re-run cold and must match outcome,
+ *                   counters, and witness stream bit-for-bit
  *   --shrink        delta-debug every hard failure before reporting
  *   --report PATH   append one JSON line per divergence to PATH
  *   --print-seed N  print the generated program for seed N and exit
@@ -36,6 +42,7 @@
 #include <vector>
 
 #include "fuzz/diff_runner.h"
+#include "fuzz/fork_runner.h"
 #include "fuzz/generator.h"
 #include "fuzz/reduce.h"
 #include "serve/pool.h"
@@ -52,8 +59,8 @@ usage()
             "[--stmts N]\n"
             "                     [--profiles a,b,c] [--no-cross] "
             "[--no-engines]\n"
-            "                     [--shrink] [--report PATH] "
-            "[--print-seed N]\n"
+            "                     [--fork N] [--shrink] "
+            "[--report PATH] [--print-seed N]\n"
             "                     [--jobs N] [--quiet]\n");
     return 2;
 }
@@ -101,6 +108,8 @@ struct SeedOutcome
     /** Parallel to findings: shrink stats (attempts, removed), only
      *  meaningful when --shrink was given and the finding is hard. */
     std::vector<std::pair<unsigned, unsigned>> shrinkStats;
+    /** --fork campaigns: per-seed fork-vs-cold timing. */
+    fuzz::ForkStats fork;
 };
 
 } // namespace
@@ -116,6 +125,7 @@ main(int argc, char **argv)
     bool shrink = false;
     bool quiet = false;
     unsigned jobs = 1;
+    unsigned forkVariants = 0;
     std::string reportPath;
 
     for (int i = 1; i < argc; ++i) {
@@ -140,6 +150,10 @@ main(int argc, char **argv)
             runner.crossProfiles = false;
         } else if (a == "--no-engines") {
             runner.engineAxis = false;
+        } else if (a == "--fork") {
+            forkVariants = (unsigned)atoi(next("--fork"));
+            if (forkVariants == 0)
+                forkVariants = 8;
         } else if (a == "--shrink") {
             shrink = true;
         } else if (a == "--report") {
@@ -157,6 +171,9 @@ main(int argc, char **argv)
             return usage();
         }
     }
+
+    if (forkVariants > 0)
+        gen.forkPrefix = true;
 
     if (haveSingle) {
         gen.seed = singleSeed;
@@ -186,7 +203,17 @@ main(int argc, char **argv)
         fuzz::GenOptions g = gen;
         g.seed = seed;
         out.source = fuzz::generateProgram(g);
-        out.findings = fuzz::runCase(seed, out.source, runner);
+        if (forkVariants > 0) {
+            fuzz::ForkOptions fopts;
+            fopts.variants = forkVariants;
+            if (runner.profiles.size() == 1)
+                fopts.profile = runner.profiles[0];
+            fopts.ringCapacity = runner.ringCapacity;
+            out.findings =
+                fuzz::runForkCase(seed, out.source, fopts, &out.fork);
+        } else {
+            out.findings = fuzz::runCase(seed, out.source, runner);
+        }
         out.reduced.resize(out.findings.size());
         out.shrinkStats.resize(out.findings.size(), {0, 0});
         for (size_t i = 0; i < out.findings.size(); ++i) {
@@ -200,8 +227,19 @@ main(int argc, char **argv)
             out.reduced[i] = fuzz::reduceProgram(
                 out.source,
                 [&](const std::string &cand) {
-                    for (const fuzz::Divergence &c :
-                         fuzz::runCase(seed, cand, runner))
+                    std::vector<fuzz::Divergence> cs;
+                    if (forkVariants > 0) {
+                        fuzz::ForkOptions fopts;
+                        fopts.variants = forkVariants;
+                        if (runner.profiles.size() == 1)
+                            fopts.profile = runner.profiles[0];
+                        fopts.ringCapacity = runner.ringCapacity;
+                        cs = fuzz::runForkCase(seed, cand, fopts,
+                                               nullptr);
+                    } else {
+                        cs = fuzz::runCase(seed, cand, runner);
+                    }
+                    for (const fuzz::Divergence &c : cs)
                         if (fuzz::isHardFailure(c) &&
                             c.kind == d.kind && c.where == d.where)
                             return true;
@@ -267,5 +305,21 @@ main(int argc, char **argv)
            (unsigned long long)cases,
            gen.allowUb ? "ub-allowed" : "ub-free",
            (unsigned long long)hard, (unsigned long long)expected);
+    if (forkVariants > 0) {
+        fuzz::ForkStats total;
+        for (const SeedOutcome &out : outcomes) {
+            total.variants += out.fork.variants;
+            total.forkNs += out.fork.forkNs;
+            total.coldNs += out.fork.coldNs;
+        }
+        double speedup = total.forkNs
+            ? (double)total.coldNs / (double)total.forkNs
+            : 0.0;
+        printf("cherisem_fuzz: fork campaign: %llu variants, "
+               "forked eval %.1f ms vs cold %.1f ms (%.2fx)\n",
+               (unsigned long long)total.variants,
+               (double)total.forkNs / 1e6,
+               (double)total.coldNs / 1e6, speedup);
+    }
     return hard == 0 ? 0 : 1;
 }

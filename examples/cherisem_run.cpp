@@ -7,6 +7,7 @@
  *   cherisem_run file.c [--profile NAME] [--all] [--stats]
  *                       [--engine tree|bytecode] [--bench-repeat N]
  *                       [--dump-bytecode] [--trace=<sink>[:<arg>]]
+ *                       [--replay-to SEQ]
  *
  * Trace sinks (the execution-witness subsystem, src/obs/):
  *
@@ -15,6 +16,15 @@
  *   --trace=jsonl:PATH    stream events to PATH, one JSON per line
  *   --trace=chrome:PATH   write a Chrome trace_event file; open it
  *                         in chrome://tracing or ui.perfetto.dev
+ *
+ * Time-travel replay (--replay-to SEQ, src/obs/replay.h): run the
+ * program once recording its witness stream and capturing a COW
+ * snapshot at the post-prelude quiescent point, then travel back to
+ * trace sequence number SEQ by restoring the nearest snapshot at or
+ * before it and re-executing only the remaining tail.  The re-derived
+ * prefix is checked bit-for-bit against the recording, and the events
+ * around SEQ are printed.  With a __prelude()-shaped program and a
+ * target past the prelude this touches only the pages main() dirties.
  *
  * Engine selection (--engine) picks the tree-walking oracle or the
  * bytecode VM; both produce bit-identical outcomes and witness
@@ -37,7 +47,9 @@
 #include "corelang/vm.h"
 #include "driver/interpreter.h"
 #include "frontend/parser.h"
+#include "obs/replay.h"
 #include "obs/sinks.h"
+#include "obs/trace_diff.h"
 #include "sema/sema.h"
 
 using namespace cherisem::driver;
@@ -128,6 +140,137 @@ benchRepeat(const std::string &src, Profile p,
                : 1;
 }
 
+/** --replay-to SEQ: record a traced run (capturing the post-prelude
+ *  snapshot keyed by the sink sequence number), then time-travel to
+ *  SEQ by restoring the nearest snapshot and re-executing the tail.
+ *  The replayed prefix must match the recording bit-for-bit. */
+int
+replayRun(const std::string &src, Profile p, const std::string &file,
+          uint64_t target, obs::TraceSink *userSink)
+{
+    // Big enough that any program this driver realistically traces
+    // fits without wrapping; prefix replay needs the whole stream.
+    constexpr size_t kReplayRingCapacity = 1 << 20;
+
+    std::optional<cherisem::sema::Program> prog;
+    if (!compileFrontend(src, p, file, &prog))
+        return 2;
+    corelang::EvalOptions opts = p.evalOptions();
+    corelang::BytecodeModule module;
+    if (opts.engine == corelang::Engine::Bytecode)
+        module = corelang::compileProgram(*prog);
+    auto makeEngine = [&](const corelang::EvalOptions &o)
+        -> std::unique_ptr<corelang::Machine> {
+        if (o.engine == corelang::Engine::Bytecode)
+            return std::make_unique<corelang::Vm>(*prog, o, &module);
+        return std::make_unique<corelang::Machine>(*prog, o);
+    };
+
+    // Record pass: one full traced run; capture() at the quiescent
+    // post-prelude point, keyed by the events emitted so far.
+    obs::RingBufferSink record(kReplayRingCapacity);
+    obs::SnapshotIndex<corelang::Machine::SnapshotPtr> index;
+    corelang::Outcome outcome;
+    {
+        corelang::EvalOptions ropts = opts;
+        ropts.memConfig.traceSink = &record;
+        std::unique_ptr<corelang::Machine> m = makeEngine(ropts);
+        std::optional<corelang::Outcome> pre = m->runPrelude();
+        if (!pre)
+            index.add(record.emitted(), m->capture());
+        outcome = pre ? *pre : m->runMain();
+    }
+    printf("[%s] %s\n", p.name.c_str(), outcome.summary().c_str());
+    uint64_t total = record.emitted();
+    if (total == 0) {
+        fprintf(stderr, "replay: the recording is empty (no witness "
+                        "events) — nothing to travel to\n");
+        return 1;
+    }
+    if (record.dropped() > 0) {
+        fprintf(stderr,
+                "replay: recording wrapped (%llu events > ring "
+                "capacity %zu); prefix replay needs the full "
+                "stream\n",
+                (unsigned long long)total, kReplayRingCapacity);
+        return 1;
+    }
+    uint64_t stopAt = target;
+    if (stopAt >= total) {
+        stopAt = total - 1;
+        printf("replay: seq %llu is past the end of the recording; "
+               "clamped to last seq %llu\n",
+               (unsigned long long)target,
+               (unsigned long long)stopAt);
+    }
+    std::vector<obs::TraceEvent> recorded = record.snapshot();
+
+    // Replay pass: nearest snapshot at-or-before the target, replay
+    // the recorded prefix (re-stamped 0..P-1 by the fresh sink),
+    // re-execute only the tail.  A target inside the prelude has no
+    // snapshot at or before it: cold re-execution from seq 0.
+    const auto *entry = index.nearest(stopAt);
+    obs::StopAtSeqSink stop(stopAt, userSink);
+    corelang::EvalOptions sopts = opts;
+    sopts.memConfig.traceSink = &stop;
+    try {
+        std::unique_ptr<corelang::Machine> m = makeEngine(sopts);
+        if (entry) {
+            m->restoreSnapshot(entry->snap);
+            for (uint64_t i = 0; i < entry->seq; ++i)
+                stop.emit(recorded[i]);
+            (void)m->runMain();
+        } else {
+            std::optional<corelang::Outcome> pre = m->runPrelude();
+            if (!pre)
+                (void)m->runMain();
+        }
+    } catch (const obs::ReplayStop &) {
+        // The target event has been re-derived; the half-finished
+        // machine is dropped on the floor — only its stream matters.
+    }
+    if (!stop.stopped()) {
+        fprintf(stderr,
+                "replay: re-execution ended after %zu events without "
+                "reaching seq %llu — replay is not deterministic\n",
+                stop.events().size(), (unsigned long long)stopAt);
+        return 1;
+    }
+
+    // The whole point: the re-derived prefix must be bit-identical
+    // to the recording (payloads and sequence numbers).
+    std::vector<obs::TraceEvent> want(
+        recorded.begin(),
+        recorded.begin() + static_cast<ptrdiff_t>(stopAt) + 1);
+    obs::DiffResult d =
+        obs::diffEventStreams(stop.events(), want, obs::DiffOptions{});
+    if (!d.equivalent) {
+        fprintf(stderr, "replay: re-derived stream diverges from the "
+                        "recording: %s\n",
+                d.summary().c_str());
+        return 1;
+    }
+
+    if (entry)
+        printf("replay: restored snapshot at seq %llu, re-executed "
+               "%llu of %llu events (prefix replayed), stream "
+               "matches the recording\n",
+               (unsigned long long)entry->seq,
+               (unsigned long long)(stopAt + 1 - entry->seq),
+               (unsigned long long)(stopAt + 1));
+    else
+        printf("replay: no snapshot at or before seq %llu (target "
+               "inside the prelude), re-executed %llu events cold, "
+               "stream matches the recording\n",
+               (unsigned long long)stopAt,
+               (unsigned long long)(stopAt + 1));
+    size_t from = stop.events().size() > 8 ? stop.events().size() - 8
+                                           : 0;
+    for (size_t i = from; i < stop.events().size(); ++i)
+        printf("  %s\n", obs::renderEvent(stop.events()[i]).c_str());
+    return 0;
+}
+
 int
 runOne(const std::string &src, Profile p, const std::string &file,
        bool verbose, obs::TraceSink *sink)
@@ -201,6 +344,8 @@ main(int argc, char **argv)
     bool verbose = false;
     bool dump = false;
     int benchReps = 0;
+    bool haveReplay = false;
+    uint64_t replayTo = 0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--profile") && i + 1 < argc) {
             profile = argv[++i];
@@ -216,6 +361,13 @@ main(int argc, char **argv)
             benchReps = std::atoi(argv[++i]);
         } else if (!std::strcmp(argv[i], "--dump-bytecode")) {
             dump = true;
+        } else if (!std::strcmp(argv[i], "--replay-to") &&
+                   i + 1 < argc) {
+            haveReplay = true;
+            replayTo = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strncmp(argv[i], "--replay-to=", 12)) {
+            haveReplay = true;
+            replayTo = std::strtoull(argv[i] + 12, nullptr, 10);
         } else if (!std::strcmp(argv[i], "--trace") ||
                    !std::strcmp(argv[i], "--stats")) {
             // Bare --trace is kept as the old stats-only spelling.
@@ -235,8 +387,14 @@ main(int argc, char **argv)
         fprintf(stderr,
                 "usage: cherisem_run file.c [--profile NAME] [--all] "
                 "[--engine tree|bytecode] [--bench-repeat N] "
-                "[--dump-bytecode] [--stats] "
+                "[--dump-bytecode] [--replay-to SEQ] [--stats] "
                 "[--trace=<sink>[:<arg>]] [--list]\n");
+        return 2;
+    }
+    if (haveReplay && all) {
+        fprintf(stderr,
+                "--replay-to replays one profile's recording; drop "
+                "--all or pick a --profile\n");
         return 2;
     }
     corelang::Engine engine = corelang::Engine::Tree;
@@ -287,6 +445,8 @@ main(int argc, char **argv)
             rc = dumpBytecode(ss.str(), p, file);
         else if (benchReps > 0)
             rc = benchRepeat(ss.str(), p, file, benchReps);
+        else if (haveReplay)
+            rc = replayRun(ss.str(), p, file, replayTo, sink.get());
         else
             rc = runOne(ss.str(), p, file, verbose, sink.get());
     }

@@ -13,6 +13,11 @@
  *   --max-steps N      per-run step ceiling (default 20000000)
  *   --deadline-ms N    per-run wall-clock ceiling, 0 = none
  *                      (default 10000)
+ *   --warm FILE        prepend FILE's source (defining __prelude())
+ *                      to every request; the post-prelude machine
+ *                      state is snapshotted per program and repeats
+ *                      restore it instead of re-running the prelude
+ *   --warm-cache N     warm snapshots retained (default 64)
  *   --stats            dump the metrics snapshot to stderr on exit
  *
  * Batch mode reads newline-delimited JSON requests ("-" = stdin),
@@ -28,6 +33,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "serve/net.h"
@@ -46,7 +52,9 @@ usage()
         "                      [--out FILE] [--threads N] "
         "[--queue N]\n"
         "                      [--cache N] [--max-steps N] "
-        "[--deadline-ms N] [--stats]\n"
+        "[--deadline-ms N]\n"
+        "                      [--warm FILE] [--warm-cache N] "
+        "[--stats]\n"
         "  SPEC: unix:<path> | tcp:<port>\n");
     return 2;
 }
@@ -89,6 +97,19 @@ main(int argc, char **argv)
         } else if (a == "--deadline-ms") {
             opts.deadlineMs =
                 strtoull(next("--deadline-ms"), nullptr, 10);
+        } else if (a == "--warm") {
+            const char *path = next("--warm");
+            std::ifstream warmFile(path);
+            if (!warmFile) {
+                std::fprintf(stderr, "cannot open %s\n", path);
+                return 2;
+            }
+            std::ostringstream ss;
+            ss << warmFile.rdbuf();
+            opts.warmPrelude = ss.str();
+        } else if (a == "--warm-cache") {
+            opts.warmCapacity =
+                static_cast<size_t>(atoll(next("--warm-cache")));
         } else if (a == "--stats") {
             dumpStats = true;
         } else {

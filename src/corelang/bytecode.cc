@@ -16,16 +16,21 @@
  * Name resolution: locals resolve to frame slots at compile time
  * (the innermost lexical declarator — identical to what the runtime
  * scope walk would find, since the current frame's scopes sit on top
- * of the dynamic chain).  Anything else stays a named instruction
- * that performs the tree walker's own dynamic lookup() at runtime,
- * preserving its exact behaviour — including the cross-frame
- * shadowing quirk for globals and the direct-call `!lookup(name)`
- * guard.
+ * of the dynamic chain).  A file-scope object whose name is never
+ * declared by any parameter or local anywhere in the program resolves
+ * to a global slot (LoadGlobal/PlaceGlobal): no scope binding with
+ * that name can ever exist, so the runtime lookup() walk degenerates
+ * to the globals_ map probe the VM memoizes per slot.  Anything else
+ * stays a named instruction that performs the tree walker's own
+ * dynamic lookup() at runtime, preserving its exact behaviour —
+ * including the cross-frame shadowing quirk for globals and the
+ * direct-call `!lookup(name)` guard.
  */
 #include "corelang/bytecode.h"
 
 #include <cassert>
 #include <map>
+#include <set>
 
 #include "support/format.h"
 
@@ -65,7 +70,11 @@ struct CLoop
 class FnCompiler
 {
   public:
-    FnCompiler(const sema::Program &prog) : prog_(prog) {}
+    FnCompiler(const sema::Program &prog,
+               const std::map<std::string, uint32_t> &global_index)
+        : prog_(prog), globalIndex_(global_index)
+    {
+    }
 
     Chunk
     compile(const frontend::FunctionDef &fn)
@@ -86,6 +95,8 @@ class FnCompiler
 
   private:
     const sema::Program &prog_;
+    /** Unshadowable file-scope objects: name -> LoadGlobal index. */
+    const std::map<std::string, uint32_t> &globalIndex_;
     Chunk ch_;
     std::vector<CScope> scopes_;
     std::vector<CLoop> loops_;
@@ -276,6 +287,11 @@ class FnCompiler
             if (int slot = findSlot(e.text); slot >= 0) {
                 emit(Op::LoadSlot, &e, &e.loc,
                      static_cast<uint16_t>(slot));
+                return;
+            }
+            if (auto g = globalIndex_.find(e.text);
+                g != globalIndex_.end()) {
+                emit(Op::LoadGlobal, &e, &e.loc, 0, g->second);
                 return;
             }
             emit(Op::LoadNamed, &e, &e.loc);
@@ -490,6 +506,11 @@ class FnCompiler
             if (int slot = findSlot(e.text); slot >= 0) {
                 emit(Op::PlaceSlot, &e, &e.loc,
                      static_cast<uint16_t>(slot));
+                return;
+            }
+            if (auto g = globalIndex_.find(e.text);
+                g != globalIndex_.end()) {
+                emit(Op::PlaceGlobal, &e, &e.loc, 0, g->second);
                 return;
             }
             emit(Op::PlaceNamed, &e, &e.loc);
@@ -746,16 +767,62 @@ class FnCompiler
 
 } // namespace
 
+namespace {
+
+/** Every declarator name in @p s and below (the names Alloc /
+ *  AllocStatic / parameter binding can ever introduce into a runtime
+ *  scope).  The walk is structural — it visits every child statement
+ *  regardless of kind, so switch bodies and loop inits are covered. */
+void
+collectDeclNames(const Stmt &s, std::set<std::string> &out)
+{
+    for (const auto &d : s.decls)
+        out.insert(d.name);
+    for (const auto &c : s.body)
+        collectDeclNames(*c, out);
+    if (s.thenStmt)
+        collectDeclNames(*s.thenStmt, out);
+    if (s.elseStmt)
+        collectDeclNames(*s.elseStmt, out);
+    if (s.forInit)
+        collectDeclNames(*s.forInit, out);
+}
+
+} // namespace
+
 BytecodeModule
 compileProgram(const sema::Program &prog)
 {
     BytecodeModule m;
+
+    // Names any runtime scope binding can ever carry: parameters and
+    // local declarators, across the whole program (lookup() walks the
+    // *dynamic* scope chain, so a caller's local can shadow a global
+    // inside a callee — a global is only slot-addressable when no
+    // function anywhere declares its name).
+    std::set<std::string> shadowable;
+    for (const auto &fn : prog.unit.functions) {
+        for (const auto &p : fn.paramNames)
+            if (!p.empty())
+                shadowable.insert(p);
+        if (fn.body)
+            collectDeclNames(*fn.body, shadowable);
+    }
+    std::map<std::string, uint32_t> global_index;
+    for (const auto &g : prog.unit.globals) {
+        if (shadowable.count(g.name) || global_index.count(g.name))
+            continue;
+        global_index.emplace(
+            g.name, static_cast<uint32_t>(m.globalNames.size()));
+        m.globalNames.push_back(g.name);
+    }
+
     m.chunks.resize(prog.unit.functions.size());
     for (size_t i = 0; i < prog.unit.functions.size(); ++i) {
         const frontend::FunctionDef &fn = prog.unit.functions[i];
         if (!fn.body)
             continue;
-        m.chunks[i] = FnCompiler(prog).compile(fn);
+        m.chunks[i] = FnCompiler(prog, global_index).compile(fn);
     }
     return m;
 }
@@ -817,6 +884,8 @@ opName(Op op)
       case Op::TreeStmt: return "tree.stmt";
       case Op::TreeExpr: return "tree.expr";
       case Op::TreeLValue: return "tree.lvalue";
+      case Op::LoadGlobal: return "load.global";
+      case Op::PlaceGlobal: return "place.global";
     }
     return "?";
 }
@@ -842,8 +911,10 @@ note(const Instr &in)
       }
       case Op::LoadSlot:
       case Op::LoadNamed:
+      case Op::LoadGlobal:
       case Op::PlaceSlot:
-      case Op::PlaceNamed: {
+      case Op::PlaceNamed:
+      case Op::PlaceGlobal: {
         const Expr &e = *static_cast<const Expr *>(in.p);
         return e.text;
       }

@@ -104,10 +104,14 @@ enum class Op : uint8_t
     TreeStmt,    ///< execStmt fallback; b routes the resulting Flow
     TreeExpr,    ///< push evalExpr(e) (safety net)
     TreeLValue,  ///< push evalLValue(e) (safety net)
+
+    // ---- globals ----
+    LoadGlobal,  ///< rvalue of an unshadowable global; b = global index
+    PlaceGlobal, ///< lvalue of an unshadowable global; b = global index
 };
 
 /** Number of distinct opcodes (dispatch-table size). */
-constexpr size_t kNumOps = static_cast<size_t>(Op::TreeLValue) + 1;
+constexpr size_t kNumOps = static_cast<size_t>(Op::PlaceGlobal) + 1;
 
 /** Jump/route target sentinel: "no target" (an internal error if
  *  ever taken — e.g. a Flow::Break escaping with no enclosing loop,
@@ -171,6 +175,15 @@ struct Chunk
 struct BytecodeModule
 {
     std::vector<Chunk> chunks;
+    /** Global slot table: file-scope objects whose names are never
+     *  declared by any parameter or local anywhere in the program,
+     *  so the runtime scope walk can never shadow them and
+     *  lookup(name) always resolves to the same globals_ entry.
+     *  LoadGlobal/PlaceGlobal carry an index into this table; the VM
+     *  memoizes the map node per index (stable across inserts) and
+     *  falls back to the dynamic path while the binding does not
+     *  exist yet (global-initializer evaluation order). */
+    std::vector<std::string> globalNames;
 };
 
 /** Compile every function body of @p prog.  Pure: depends only on

@@ -81,12 +81,80 @@ Machine::stepSlow(const SourceLoc &loc)
     checkAt_ = nextCheckAt();
 }
 
+void
+Machine::failureOutcome(Outcome &out, const EvalFailure &f)
+{
+    out.kind = f.failure.isUb() ? Outcome::Kind::Undefined
+        : f.failure.kind == mem::Failure::Kind::ResourceExhausted
+        ? Outcome::Kind::ResourceExhausted
+        : Outcome::Kind::Error;
+    out.failure = f.failure;
+    out.message = f.failure.str();
+    // Witness the UB verdict with its source location; this
+    // is the stream's terminal event for undefined runs.
+    if (f.failure.isUb() && mm_.tracer().enabled()) {
+        mm_.tracer().emit(
+            {.kind = obs::EventKind::UbRaise,
+             .a = static_cast<uint64_t>(f.failure.ub),
+             .line = f.failure.loc.line,
+             .label = mem::ubName(f.failure.ub)});
+    }
+}
+
+void
+Machine::finalizeOutcome(Outcome &out)
+{
+    out.output = output_;
+    out.memStats = mm_.stats();
+    out.steps = steps_;
+    for (size_t i = 0; i < kNumBuiltins; ++i) {
+        const char *name =
+            intrinsics::builtinName(static_cast<Builtin>(i));
+        if (intrinsicCount_[i] > 0)
+            out.intrinsicCalls[name] = intrinsicCount_[i];
+        if (intrinsicNs_[i] > 0)
+            out.intrinsicNanos[name] = intrinsicNs_[i];
+    }
+}
+
 Outcome
 Machine::run()
+{
+    if (std::optional<Outcome> out = runPrelude())
+        return *out;
+    return runMain();
+}
+
+std::optional<Outcome>
+Machine::runPrelude()
 {
     Outcome out;
     try {
         initGlobals();
+        auto it = prog_.functionIndex.find(kPreludeFunction);
+        if (it != prog_.functionIndex.end() &&
+            prog_.unit.functions[it->second].body) {
+            callFunction(it->second, {}, {});
+        }
+        return std::nullopt;
+    } catch (const EvalFailure &f) {
+        failureOutcome(out, f);
+    } catch (const ExitException &e) {
+        out.kind = Outcome::Kind::Exit;
+        out.exitCode = e.code;
+    } catch (const AssertFailure &a) {
+        out.kind = Outcome::Kind::AssertFail;
+        out.message = a.message;
+    }
+    finalizeOutcome(out);
+    return out;
+}
+
+Outcome
+Machine::runMain()
+{
+    Outcome out;
+    try {
         auto it = prog_.functionIndex.find("main");
         if (it == prog_.functionIndex.end() ||
             !prog_.unit.functions[it->second].body) {
@@ -101,21 +169,7 @@ Machine::run()
                                : 0;
         }
     } catch (const EvalFailure &f) {
-        out.kind = f.failure.isUb() ? Outcome::Kind::Undefined
-            : f.failure.kind == mem::Failure::Kind::ResourceExhausted
-            ? Outcome::Kind::ResourceExhausted
-            : Outcome::Kind::Error;
-        out.failure = f.failure;
-        out.message = f.failure.str();
-        // Witness the UB verdict with its source location; this
-        // is the stream's terminal event for undefined runs.
-        if (f.failure.isUb() && mm_.tracer().enabled()) {
-            mm_.tracer().emit(
-                {.kind = obs::EventKind::UbRaise,
-                 .a = static_cast<uint64_t>(f.failure.ub),
-                 .line = f.failure.loc.line,
-                 .label = mem::ubName(f.failure.ub)});
-        }
+        failureOutcome(out, f);
     } catch (const ExitException &e) {
         out.kind = Outcome::Kind::Exit;
         out.exitCode = e.code;
@@ -123,18 +177,68 @@ Machine::run()
         out.kind = Outcome::Kind::AssertFail;
         out.message = a.message;
     }
-    out.output = output_;
-    out.memStats = mm_.stats();
-    out.steps = steps_;
-    for (size_t i = 0; i < kNumBuiltins; ++i) {
-        const char *name =
-            intrinsics::builtinName(static_cast<Builtin>(i));
-        if (intrinsicCount_[i] > 0)
-            out.intrinsicCalls[name] = intrinsicCount_[i];
-        if (intrinsicNs_[i] > 0)
-            out.intrinsicNanos[name] = intrinsicNs_[i];
-    }
+    finalizeOutcome(out);
     return out;
+}
+
+// ---- snapshot / restore ----
+
+Machine::SnapshotPtr
+Machine::capture() const
+{
+    // Quiescent point only: no live frames means every piece of
+    // engine state that matters is in the members captured below
+    // (the VM's operand stack and slot frames are empty too).
+    assert(scopes_.empty() && callDepth_ == 0 &&
+           "capture() outside a quiescent point");
+    auto snap = std::make_shared<Snapshot>();
+    snap->mem = mm_.snapshot();
+    snap->globals = globals_;
+    snap->stringLits = stringLits_;
+    snap->staticLocals = staticLocals_;
+    snap->funcPtrs = funcPtrs_;
+    snap->output = output_;
+    snap->steps = steps_;
+    snap->intrinsicCount = intrinsicCount_;
+    snap->intrinsicNs = intrinsicNs_;
+    return snap;
+}
+
+void
+Machine::restoreSnapshot(const SnapshotPtr &snap)
+{
+    assert(snap);
+    mm_.restore(snap->mem);
+    globals_ = snap->globals;
+    stringLits_ = snap->stringLits;
+    staticLocals_ = snap->staticLocals;
+    funcPtrs_ = snap->funcPtrs;
+    output_ = snap->output;
+    steps_ = snap->steps;
+    intrinsicCount_ = snap->intrinsicCount;
+    intrinsicNs_ = snap->intrinsicNs;
+    scopes_.clear();
+    callDepth_ = 0;
+    // steps_ moved: recompute the step/watchdog poll boundary.
+    checkAt_ = nextCheckAt();
+}
+
+bool
+Machine::pokeGlobalInt(const std::string &name, int64_t value)
+{
+    auto it = globals_.find(name);
+    if (it == globals_.end() || !it->second.type->isInteger())
+        return false;
+    const Binding &b = it->second;
+    try {
+        SourceLoc loc{};
+        unwrap(mm_.store(
+            loc, b.type, writablePlace(b.place),
+            MemValue(makeInt(loc, b.type->intKind, value))));
+    } catch (const EvalFailure &) {
+        return false;
+    }
+    return true;
 }
 
 // ---- globals ----

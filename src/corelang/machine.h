@@ -27,6 +27,8 @@
 #include <array>
 #include <chrono>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -86,8 +88,54 @@ class Machine
     Machine(const sema::Program &prog, const EvalOptions &opts);
     virtual ~Machine() = default;
 
-    /** Execute the program from main(). */
+    /** Reserved function name: when a program defines `__prelude()`,
+     *  run() executes it between global initialization and main().
+     *  The machine is *quiescent* right after it returns (no scopes,
+     *  no native recursion), which is the one point capture() may
+     *  fork the state. */
+    static constexpr const char *kPreludeFunction = "__prelude";
+
+    /** Execute the program: globals, the optional __prelude(), then
+     *  main().  Equivalent to runPrelude() + runMain(). */
     Outcome run();
+
+    /** Initialise globals and execute the reserved __prelude()
+     *  function if the program defines one.  Returns an Outcome iff
+     *  the run already terminated (UB, exit(), assert failure,
+     *  resource exhaustion — runMain() must not be called then);
+     *  nullopt means the machine is quiescent and ready for
+     *  capture() / runMain(). */
+    std::optional<Outcome> runPrelude();
+    /** Execute main() from the current state: either straight after
+     *  runPrelude() or after restoreSnapshot(). */
+    Outcome runMain();
+
+    /**
+     * A fork of the whole machine state at a quiescent point: the
+     * memory model's (A, S, (B, C)) snapshot plus the engine-level
+     * environment (global bindings, interned string literals, static
+     * locals, function-pointer cache, accumulated output, step and
+     * intrinsic counters).  Bindings reference AST nodes of *this*
+     * program, so a snapshot is only meaningful for machines built
+     * over the same sema::Program (the serve layer keys warm state
+     * per compiled program for exactly this reason).
+     */
+    struct Snapshot;
+    using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+    /** Fork the current state.  Only valid at a quiescent point
+     *  (after runPrelude() returned nullopt; scopes empty, no native
+     *  recursion) — asserted. */
+    SnapshotPtr capture() const;
+    /** Rewind to @p snap.  Virtual so the bytecode VM can also clear
+     *  its (stack-disciplined, normally empty) frame state after a
+     *  terminal unwind. */
+    virtual void restoreSnapshot(const SnapshotPtr &snap);
+
+    /** Overwrite an integer-typed global with @p value (the fuzz
+     *  fork driver's variant injection).  Returns false when no such
+     *  global exists or the store faults. */
+    bool pokeGlobalInt(const std::string &name, int64_t value);
 
   protected:
     // ---- environment ----
@@ -155,6 +203,14 @@ class Machine
         }
         scopes_.pop_back();
     }
+
+    /** Translate a caught EvalFailure into @p out (UB / resource /
+     *  error verdict) and witness UbRaise as the stream's terminal
+     *  event — the shared tail of every catch site. */
+    void failureOutcome(Outcome &out, const EvalFailure &f);
+    /** Fill the outcome's output / stats / steps / intrinsic maps
+     *  from the machine state. */
+    void finalizeOutcome(Outcome &out);
 
     // ---- globals and initializers ----
 
@@ -320,6 +376,19 @@ class Machine
         static_cast<size_t>(intrinsics::Builtin::CheriDdcGet) + 1;
     std::array<uint64_t, kNumBuiltins> intrinsicCount_{};
     std::array<uint64_t, kNumBuiltins> intrinsicNs_{};
+};
+
+struct Machine::Snapshot
+{
+    mem::MemorySnapshotPtr mem;
+    std::map<std::string, Binding> globals;
+    std::map<const frontend::Expr *, mem::PointerValue> stringLits;
+    std::map<const frontend::VarDecl *, Binding> staticLocals;
+    std::map<uint32_t, mem::PointerValue> funcPtrs;
+    std::string output;
+    uint64_t steps = 0;
+    std::array<uint64_t, kNumBuiltins> intrinsicCount{};
+    std::array<uint64_t, kNumBuiltins> intrinsicNs{};
 };
 
 } // namespace cherisem::corelang

@@ -16,6 +16,7 @@
  */
 #include "corelang/vm.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace cherisem::corelang {
@@ -35,6 +36,7 @@ Vm::Vm(const sema::Program &prog, const EvalOptions &opts)
     stack_.reserve(256);
     slots_.reserve(256);
     callees_.reserve(16);
+    globalCache_.assign(module_->globalNames.size(), nullptr);
 }
 
 Vm::Vm(const sema::Program &prog, const EvalOptions &opts,
@@ -44,6 +46,23 @@ Vm::Vm(const sema::Program &prog, const EvalOptions &opts,
     stack_.reserve(256);
     slots_.reserve(256);
     callees_.reserve(16);
+    globalCache_.assign(module_->globalNames.size(), nullptr);
+}
+
+void
+Vm::restoreSnapshot(const SnapshotPtr &snap)
+{
+    Machine::restoreSnapshot(snap);
+    // All four are empty at any quiescent point by stack discipline;
+    // clear them anyway so a restore after a terminal unwind (UB in
+    // the middle of a call tree) starts from a clean frame state.
+    slots_.clear();
+    stack_.clear();
+    callees_.clear();
+    timers_.clear();
+    // The restore replaced globals_ wholesale; every memoized map
+    // node is dangling.
+    std::fill(globalCache_.begin(), globalCache_.end(), nullptr);
 }
 
 void
@@ -91,6 +110,17 @@ Vm::placeIdent(const Expr &e)
     if (const Binding *b = lookup(e.text))
         return b->place;
     raise(Failure::internal("unbound identifier " + e.text, e.loc));
+}
+
+const Machine::Binding *
+Vm::globalBinding(uint32_t i)
+{
+    if (const Binding *b = globalCache_[i])
+        return b;
+    auto g = globals_.find(module_->globalNames[i]);
+    if (g == globals_.end())
+        return nullptr; // don't memoize misses: initGlobals inserts
+    return globalCache_[i] = &g->second;
 }
 
 MemValue
@@ -277,7 +307,8 @@ Vm::execChunk(const Chunk &ch, size_t slot_base, MemValue &ret)
         &&L_BuiltinCall, &&L_PushScope,  &&L_PopScope,
         &&L_Alloc,       &&L_AllocStatic, &&L_InitTree,
         &&L_StoreInit,   &&L_StoreRet,   &&L_TreeStmt,
-        &&L_TreeExpr,    &&L_TreeLValue,
+        &&L_TreeExpr,    &&L_TreeLValue, &&L_LoadGlobal,
+        &&L_PlaceGlobal,
     };
     VM_DISPATCH();
 #else
@@ -361,6 +392,15 @@ dispatch:
         push(loadIdent(ex()));
         VM_NEXT();
     }
+    VM_OP(LoadGlobal)
+    {
+        const Expr &e = ex();
+        if (const Binding *b = globalBinding(in->b))
+            push(unwrap(mm_.load(e.loc, b->type, b->place)));
+        else
+            push(loadIdent(e)); // pre-init (initializer order)
+        VM_NEXT();
+    }
     VM_OP(LoadAt)
     {
         const Expr &e = ex();
@@ -388,6 +428,14 @@ dispatch:
     VM_OP(PlaceNamed)
     {
         push(MemValue(placeIdent(ex())));
+        VM_NEXT();
+    }
+    VM_OP(PlaceGlobal)
+    {
+        if (const Binding *b = globalBinding(in->b))
+            push(MemValue(b->place));
+        else
+            push(MemValue(placeIdent(ex())));
         VM_NEXT();
     }
     VM_OP(PlaceString)

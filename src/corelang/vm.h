@@ -38,6 +38,12 @@ class Vm : public Machine
     Vm(const sema::Program &prog, const EvalOptions &opts,
        const BytecodeModule *module);
 
+    /** Machine::restoreSnapshot plus clearing the VM's frame state
+     *  (operand stack, slot frames, callee/timer stacks).  These are
+     *  stack-disciplined and empty at every quiescent point, but a
+     *  terminal unwind (UB mid-call) can leave residue behind. */
+    void restoreSnapshot(const SnapshotPtr &snap) override;
+
   protected:
     mem::MemValue callFunction(
         uint32_t idx, std::vector<mem::MemValue> args,
@@ -65,6 +71,11 @@ class Vm : public Machine
     mem::MemValue loadIdent(const frontend::Expr &e);
     /** Likewise for the Ident lvalue path. */
     mem::PointerValue placeIdent(const frontend::Expr &e);
+    /** Resolve global slot @p i to its binding, or null while the
+     *  global is not bound yet (global-initializer evaluation
+     *  order).  Memoizes the globals_ map node — stable across
+     *  inserts; invalidated wholesale by restoreSnapshot. */
+    const Binding *globalBinding(uint32_t i);
 
     BytecodeModule owned_;
     const BytecodeModule *module_;
@@ -80,6 +91,9 @@ class Vm : public Machine
     std::vector<std::pair<size_t,
                           std::chrono::steady_clock::time_point>>
         timers_;
+    /** Per-global-slot memo of the globals_ map node (see
+     *  globalBinding); null = not resolved yet. */
+    std::vector<const Binding *> globalCache_;
 };
 
 } // namespace cherisem::corelang

@@ -99,6 +99,7 @@ Divergence::jsonl(const std::string &source) const
       case Kind::Engine: k = "engine"; break;
       case Kind::Crash: k = "crash"; break;
       case Kind::UbFree: k = "ub-free-violation"; break;
+      case Kind::Fork: k = "fork"; break;
       case Kind::Profile: break;
     }
     std::string s = "{\"seed\": " + std::to_string(seed) +

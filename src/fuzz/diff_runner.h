@@ -51,6 +51,8 @@ struct Divergence
         Crash,    ///< internal error / frontend error on a run
         Profile,  ///< cross-profile semantic divergence
         UbFree,   ///< UB-free-by-construction program didn't Exit
+        Fork,     ///< snapshot-forked run diverged from a cold run
+                  ///< of the same variant (always a bug)
     };
 
     Kind kind = Kind::Backend;

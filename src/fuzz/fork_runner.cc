@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Fork-based fuzzing executor (see fork_runner.h for the oracle).
+ */
+#include "fuzz/fork_runner.h"
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "corelang/machine.h"
+#include "corelang/optimize.h"
+#include "corelang/vm.h"
+#include "frontend/parser.h"
+#include "obs/sinks.h"
+#include "obs/trace_diff.h"
+#include "sema/sema.h"
+
+namespace cherisem::fuzz {
+
+namespace {
+
+using corelang::Outcome;
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::unique_ptr<corelang::Machine>
+makeEngine(const sema::Program &prog,
+           const corelang::BytecodeModule *module,
+           const corelang::EvalOptions &opts)
+{
+    if (opts.engine == corelang::Engine::Bytecode)
+        return std::make_unique<corelang::Vm>(prog, opts, module);
+    return std::make_unique<corelang::Machine>(prog, opts);
+}
+
+} // namespace
+
+std::vector<Divergence>
+runForkCase(uint64_t seed, const std::string &source,
+            const ForkOptions &opts, ForkStats *stats)
+{
+    std::vector<Divergence> out;
+
+    const driver::Profile *profile = opts.profile.empty()
+        ? &driver::referenceProfile()
+        : driver::findProfile(opts.profile);
+    if (!profile) {
+        out.push_back({Divergence::Kind::Crash, seed, opts.profile,
+                       "unknown profile", false});
+        return out;
+    }
+
+    // Compile once — the whole point of forking.
+    sema::Program prog;
+    corelang::BytecodeModule module;
+    try {
+        frontend::TranslationUnit unit =
+            frontend::parse(source, "<fork>");
+        ctype::MachineLayout machine{
+            profile->memConfig.arch->capSize(),
+            profile->memConfig.arch->addrBits() / 8};
+        prog = sema::analyze(std::move(unit), machine);
+        corelang::optimize(prog, profile->optims);
+        module = corelang::compileProgram(prog);
+    } catch (const frontend::FrontendError &e) {
+        out.push_back({Divergence::Kind::Crash, seed, profile->name,
+                       "frontend-error " + e.str(), false});
+        return out;
+    } catch (const sema::SemaError &e) {
+        out.push_back({Divergence::Kind::Crash, seed, profile->name,
+                       "sema-error " + e.str(), false});
+        return out;
+    }
+
+    corelang::EvalOptions eopts = profile->evalOptions();
+
+    // Build: globals + __prelude() once, captured at the quiescent
+    // point.  The recorded events are the cold stream's prefix.
+    obs::RingBufferSink preludeRing(opts.ringCapacity);
+    corelang::EvalOptions bopts = eopts;
+    bopts.memConfig.traceSink = &preludeRing;
+    std::unique_ptr<corelang::Machine> builder =
+        makeEngine(prog, &module, bopts);
+    std::optional<Outcome> preTerminal = builder->runPrelude();
+    corelang::Machine::SnapshotPtr snap;
+    if (!preTerminal)
+        snap = builder->capture();
+    std::vector<obs::TraceEvent> preludeEvents =
+        preludeRing.snapshot();
+    if (stats && snap)
+        stats->preludeSteps = snap->steps;
+
+    obs::DiffOptions dopts; // same profile both sides: full strength
+
+    for (unsigned k = 0; k < opts.variants; ++k) {
+        // Forked run: restore, replay the prefix, poke, run main.
+        obs::RingBufferSink forkRing(opts.ringCapacity);
+        corelang::EvalOptions fopts = eopts;
+        fopts.memConfig.traceSink = &forkRing;
+        Outcome forkOut;
+        uint64_t t0 = nowNs();
+        if (preTerminal) {
+            forkOut = *preTerminal;
+            for (const obs::TraceEvent &e : preludeEvents)
+                forkRing.emit(e);
+        } else {
+            std::unique_ptr<corelang::Machine> m =
+                makeEngine(prog, &module, fopts);
+            m->restoreSnapshot(snap);
+            for (const obs::TraceEvent &e : preludeEvents)
+                forkRing.emit(e);
+            m->pokeGlobalInt("__variant",
+                             static_cast<int64_t>(k));
+            forkOut = m->runMain();
+        }
+        if (stats)
+            stats->forkNs += nowNs() - t0;
+
+        // Cold oracle: fresh machine, full prelude, identical poke
+        // at the identical quiescent point.
+        obs::RingBufferSink coldRing(opts.ringCapacity);
+        corelang::EvalOptions copts = eopts;
+        copts.memConfig.traceSink = &coldRing;
+        Outcome coldOut;
+        t0 = nowNs();
+        {
+            std::unique_ptr<corelang::Machine> m =
+                makeEngine(prog, &module, copts);
+            std::optional<Outcome> pre = m->runPrelude();
+            if (pre) {
+                coldOut = *pre;
+            } else {
+                m->pokeGlobalInt("__variant",
+                                 static_cast<int64_t>(k));
+                coldOut = m->runMain();
+            }
+        }
+        if (stats) {
+            stats->coldNs += nowNs() - t0;
+            ++stats->variants;
+        }
+
+        std::string why;
+        if (forkOut.summary() != coldOut.summary() ||
+            forkOut.output != coldOut.output) {
+            why = "outcome: fork " + forkOut.summary() + " | cold " +
+                coldOut.summary();
+        } else if (forkOut.steps != coldOut.steps) {
+            why = "steps: fork " + std::to_string(forkOut.steps) +
+                " | cold " + std::to_string(coldOut.steps);
+        } else if (forkOut.memStats.loads != coldOut.memStats.loads ||
+                   forkOut.memStats.stores !=
+                       coldOut.memStats.stores) {
+            why = "mem counters diverged";
+        } else {
+            obs::DiffResult d = obs::diffEventStreams(
+                forkRing.snapshot(), coldRing.snapshot(), dopts);
+            if (!d.equivalent)
+                why = d.summary();
+        }
+        if (!why.empty())
+            out.push_back({Divergence::Kind::Fork, seed,
+                           profile->name + ":variant" +
+                               std::to_string(k),
+                           why, false});
+    }
+    return out;
+}
+
+} // namespace cherisem::fuzz

@@ -87,6 +87,17 @@ class Gen
             if (emitStmt(pickStmt()))
                 ++emitted;
         }
+        if (opts_.forkPrefix) {
+            // Everything past this point lands in main(), executing
+            // after the fork driver restored the post-prelude
+            // snapshot and poked __variant.
+            inSuffix_ = true;
+            unsigned sfx = 0;
+            while (sfx < opts_.suffixStmts) {
+                if (emitStmt(pickStmt()))
+                    ++sfx;
+            }
+        }
         // Free what's still live (UB-free mode leaks nothing; the
         // trace-differential then also covers the frees).
         std::string tail;
@@ -99,12 +110,34 @@ class Gen
         std::string out;
         out += "// cherisem_fuzz seed=" + std::to_string(opts_.seed) +
             (opts_.allowUb ? " mode=ub-allowed" : " mode=ub-free") +
-            "\n";
+            (opts_.forkPrefix ? " fork" : "") + "\n";
         out += "#include <stdint.h>\n";
         out += "#include <stdlib.h>\n";
         out += "#include <string.h>\n";
         out += "struct S { long a; int b[4]; int *p; };\n";
         out += "union U { unsigned long l; unsigned int w[2]; };\n";
+        if (opts_.forkPrefix) {
+            // Fork shape: state lives at file scope so it survives
+            // __prelude()'s frame and is captured by the snapshot;
+            // main() folds the poked variant into the sink first so
+            // every variant's observable behaviour differs.
+            out += "unsigned long sink;\n";
+            out += "long __variant;\n";
+            out += globals_;
+            out += "void __prelude(void) {\n";
+            out += body_;
+            out += "}\n";
+            out += "int main(void) {\n";
+            out += "  sink += (unsigned long)(__variant * 17 + 3);\n";
+            out += "  if ((__variant & 1) == 1) {\n";
+            out += "    sink ^= 29u;\n";
+            out += "  }\n";
+            out += suffix_;
+            out += tail;
+            out += "  return (int)(sink % 256u);\n";
+            out += "}\n";
+            return out;
+        }
         out += "int main(void) {\n";
         out += "  unsigned long sink = 0;\n";
         out += body_;
@@ -118,6 +151,11 @@ class Gen
     GenOptions opts_;
     Rng rng_;
     std::string body_;
+    /** Fork shape only: file-scope declarations and the main()
+     *  statements after the variant mix. */
+    std::string globals_;
+    std::string suffix_;
+    bool inSuffix_ = false;
     unsigned id_ = 0;
     std::vector<HeapPtr> ptrs_;
     std::vector<StackArr> arrs_;
@@ -137,8 +175,16 @@ class Gen
     {
         if (s.empty())
             return false;
-        body_ += s;
+        (inSuffix_ ? suffix_ : body_) += s;
         return true;
+    }
+
+    /** Fork shape: declarations are hoisted to file scope (so the
+     *  snapshot carries them) and the statement only assigns. */
+    void
+    hoist(const std::string &decl)
+    {
+        globals_ += decl;
     }
 
     /** A live heap pointer, or null. */
@@ -173,7 +219,12 @@ class Gen
     {
         std::string n = fresh("x");
         ints_.push_back(n);
-        return "  long " + n + " = " + num(0, 99) + ";\n";
+        std::string v = num(0, 99);
+        if (opts_.forkPrefix) {
+            hoist("long " + n + ";\n");
+            return "  " + n + " = " + v + ";\n";
+        }
+        return "  long " + n + " = " + v + ";\n";
     }
 
     std::string
@@ -181,12 +232,23 @@ class Gen
     {
         std::string n = fresh("a");
         unsigned k = static_cast<unsigned>(rng_.range(2, 8));
-        std::string init;
+        std::vector<std::string> init;
         for (unsigned i = 0; i < k; ++i)
-            init += (i ? ", " : "") + num(0, 50);
+            init.push_back(num(0, 50));
         arrs_.push_back({n, k});
+        if (opts_.forkPrefix) {
+            hoist("int " + n + "[" + std::to_string(k) + "];\n");
+            std::string s;
+            for (unsigned i = 0; i < k; ++i)
+                s += "  " + n + "[" + std::to_string(i) + "] = " +
+                    init[i] + ";\n";
+            return s;
+        }
+        std::string list;
+        for (unsigned i = 0; i < k; ++i)
+            list += (i ? ", " : "") + init[i];
         return "  int " + n + "[" + std::to_string(k) + "] = {" +
-            init + "};\n";
+            list + "};\n";
     }
 
     std::string
@@ -194,8 +256,15 @@ class Gen
     {
         std::string n = fresh("p");
         unsigned k = static_cast<unsigned>(rng_.range(2, 8));
-        std::string s = "  int *" + n + " = malloc(" +
-            std::to_string(k) + " * sizeof(int));\n";
+        std::string s;
+        if (opts_.forkPrefix) {
+            hoist("int *" + n + ";\n");
+            s = "  " + n + " = malloc(" + std::to_string(k) +
+                " * sizeof(int));\n";
+        } else {
+            s = "  int *" + n + " = malloc(" + std::to_string(k) +
+                " * sizeof(int));\n";
+        }
         s += "  for (int i = 0; i < " + std::to_string(k) + "; i++) " +
             n + "[i] = " + num(1, 40) + " + i;\n";
         ptrs_.push_back({n, k, true, true});

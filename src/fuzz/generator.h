@@ -45,6 +45,15 @@ struct GenOptions
     bool allowUb = false;
     /** Approximate number of statements in main(). */
     unsigned numStmts = 24;
+    /** Fork-prefix shape: the numStmts-statement body becomes a
+     *  `__prelude()` function mutating file-scope state, and main()
+     *  mixes the fork driver's poked `__variant` global into the
+     *  sink before running suffixStmts further statements (and the
+     *  tail frees).  One compiled program then serves N variants
+     *  from one post-prelude snapshot — the fork-fuzzing corpus. */
+    bool forkPrefix = false;
+    /** Statements in main() after the variant mix (forkPrefix). */
+    unsigned suffixStmts = 8;
 };
 
 /** Generate one deterministic MiniC program. */

@@ -24,6 +24,13 @@ using ctype::IntKind;
 using ctype::Type;
 using ctype::TypeRef;
 
+/** Upper bound on a scalar representation: the widest integer
+ *  (uintcap) and the pointer representation are both one capability,
+ *  at most 16 bytes on any supported format.  Scalar abst()/repr()
+ *  paths stage bytes in stack buffers of this size instead of
+ *  heap-allocating a std::vector per access. */
+constexpr unsigned kMaxScalarBytes = 16;
+
 // ---------------------------------------------------------------------
 // Capability metadata helpers.
 // ---------------------------------------------------------------------
@@ -33,12 +40,13 @@ MemoryModel::writeCapability(uint64_t addr, const Capability &c,
                              const Provenance &prov)
 {
     unsigned n = arch().capSize();
-    std::vector<uint8_t> repr(n);
-    arch().toBytes(c, repr.data());
-    std::vector<AbsByte> bs(n);
+    assert(n <= kMaxScalarBytes);
+    uint8_t repr[kMaxScalarBytes];
+    arch().toBytes(c, repr);
+    AbsByte bs[kMaxScalarBytes];
     for (unsigned i = 0; i < n; ++i)
         bs[i] = AbsByte{prov, repr[i], i};
-    store_->writeBytes(addr, bs.data(), n);
+    store_->writeBytes(addr, bs, n);
     assert(addr % n == 0);
     store_->setCapMeta(addr, CapMeta{c.tag(), c.ghost()});
 }
@@ -147,14 +155,14 @@ MemoryModel::reprValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty,
             if (addr % arch().capSize() != 0) {
                 // Can only happen with alignment checks off: the
                 // representation is stored, the tag cannot be.
-                std::vector<uint8_t> repr(n);
-                arch().toBytes(*iv.cap, repr.data());
-                std::vector<AbsByte> bs(n);
+                uint8_t repr[kMaxScalarBytes];
+                arch().toBytes(*iv.cap, repr);
+                AbsByte bs[kMaxScalarBytes];
                 for (uint64_t i = 0; i < n; ++i) {
                     bs[i] = AbsByte{iv.prov, repr[i],
                                     static_cast<uint32_t>(i)};
                 }
-                store_->writeBytes(addr, bs.data(), n);
+                store_->writeBytes(addr, bs, n);
                 invalidateCapMeta(addr, n);
                 return Unit{};
             }
@@ -173,13 +181,14 @@ MemoryModel::reprValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty,
             invalidateCapMeta(addr, 1);
             return Unit{};
         }
-        std::vector<AbsByte> bs(n);
+        assert(n <= kMaxScalarBytes);
+        AbsByte bs[kMaxScalarBytes];
         for (uint64_t i = 0; i < n; ++i) {
             bs[i] = AbsByte{Provenance::empty(),
                             static_cast<uint8_t>(raw >> (8 * i)),
                             std::nullopt};
         }
-        store_->writeBytes(addr, bs.data(), n);
+        store_->writeBytes(addr, bs, n);
         invalidateCapMeta(addr, n);
         return Unit{};
       }
@@ -196,10 +205,10 @@ MemoryModel::reprValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty,
         } else {
             std::memcpy(buf, &d, 8);
         }
-        std::vector<AbsByte> bs(m);
+        AbsByte bs[8];
         for (uint64_t i = 0; i < m; ++i)
             bs[i] = AbsByte{Provenance::empty(), buf[i], std::nullopt};
-        store_->writeBytes(addr, bs.data(), m);
+        store_->writeBytes(addr, bs, m);
         invalidateCapMeta(addr, n);
         return Unit{};
       }
@@ -210,14 +219,14 @@ MemoryModel::reprValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty,
         const PointerValue &pv = v.asPointer();
         assert(pv.cap.has_value());
         if (addr % arch().capSize() != 0) {
-            std::vector<uint8_t> repr(n);
-            arch().toBytes(*pv.cap, repr.data());
-            std::vector<AbsByte> bs(n);
+            uint8_t repr[kMaxScalarBytes];
+            arch().toBytes(*pv.cap, repr);
+            AbsByte bs[kMaxScalarBytes];
             for (uint64_t i = 0; i < n; ++i) {
                 bs[i] = AbsByte{pv.prov, repr[i],
                                 static_cast<uint32_t>(i)};
             }
-            store_->writeBytes(addr, bs.data(), n);
+            store_->writeBytes(addr, bs, n);
             invalidateCapMeta(addr, n);
             return Unit{};
         }
@@ -287,22 +296,23 @@ MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
 {
     uint64_t n = layout_.sizeOf(ty);
 
-    auto read_bytes =
-        [&](uint64_t a, uint64_t count,
-            std::vector<AbsByte> &out) -> bool {
-        out.resize(count);
-        store_->readBytes(a, count, out.data());
+    // Scalar cases stage into caller-provided stack buffers (their
+    // footprint is <= kMaxScalarBytes); only the union case below
+    // reads into a vector, its footprint being unbounded.
+    auto read_into = [&](uint64_t a, uint64_t count,
+                         AbsByte *out) -> bool {
+        store_->readBytes(a, count, out);
         bool all_present = true;
-        for (const AbsByte &b : out) {
-            if (!b.value)
+        for (uint64_t i = 0; i < count; ++i) {
+            if (!out[i].value)
                 all_present = false;
         }
         if (!all_present && !config_.readUninitIsUb) {
             // Hardware view: memory always holds *some* byte; model
             // it as zero so concrete profiles read deterministically.
-            for (AbsByte &b : out) {
-                if (!b.value)
-                    b.value = 0;
+            for (uint64_t i = 0; i < count; ++i) {
+                if (!out[i].value)
+                    out[i].value = 0;
             }
             return true;
         }
@@ -311,8 +321,9 @@ MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
 
     switch (ty->kind) {
       case Type::Kind::Integer: {
-        std::vector<AbsByte> bs;
-        bool present = read_bytes(addr, n, bs);
+        assert(n <= kMaxScalarBytes);
+        AbsByte bs[kMaxScalarBytes];
+        bool present = read_into(addr, n, bs);
         if (!present) {
             if (config_.readUninitIsUb) {
                 return Failure::undefined(Ub::ReadUninitialized, loc,
@@ -322,7 +333,7 @@ MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
         }
 
         if (ty->isCapInteger()) {
-            std::vector<uint8_t> raw(n);
+            uint8_t raw[kMaxScalarBytes];
             Provenance prov = bs[0].prov;
             bool prov_ok = true;
             for (uint64_t i = 0; i < n; ++i) {
@@ -346,8 +357,8 @@ MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
                 // one (section 3.5), so the tag is unspecified.
                 ghost.tagUnspec = true;
             }
-            Capability c = arch().fromBytes(
-                raw.data(), aligned && meta.tag);
+            Capability c =
+                arch().fromBytes(raw, aligned && meta.tag);
             c = c.withGhost(ghost);
             return MemValue(IntegerValue::ofCap(
                 ty->intKind, c,
@@ -358,8 +369,8 @@ MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
         // a non-pointer integer type taints/exposes their
         // allocations.
         if (config_.checkProvenance) {
-            for (const AbsByte &b : bs)
-                exposeByteProvenance(b);
+            for (uint64_t i = 0; i < n; ++i)
+                exposeByteProvenance(bs[i]);
         }
 
         uint128 raw = 0;
@@ -384,8 +395,9 @@ MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
       }
 
       case Type::Kind::Floating: {
-        std::vector<AbsByte> bs;
-        if (!read_bytes(addr, n, bs)) {
+        assert(n <= 8);
+        AbsByte bs[8];
+        if (!read_into(addr, n, bs)) {
             if (config_.readUninitIsUb) {
                 return Failure::undefined(Ub::ReadUninitialized, loc,
                                           "at " + hexStr(addr));
@@ -408,15 +420,16 @@ MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
       }
 
       case Type::Kind::Pointer: {
-        std::vector<AbsByte> bs;
-        if (!read_bytes(addr, n, bs)) {
+        assert(n <= kMaxScalarBytes);
+        AbsByte bs[kMaxScalarBytes];
+        if (!read_into(addr, n, bs)) {
             if (config_.readUninitIsUb) {
                 return Failure::undefined(Ub::ReadUninitialized, loc,
                                           "at " + hexStr(addr));
             }
             return MemValue(UnspecValue{ty});
         }
-        std::vector<uint8_t> raw(n);
+        uint8_t raw[kMaxScalarBytes];
         Provenance prov = bs[0].prov;
         bool prov_ok = true;
         for (uint64_t i = 0; i < n; ++i) {
@@ -439,8 +452,7 @@ MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
         }
         if (!prov_ok)
             prov = Provenance::empty();
-        Capability c =
-            arch().fromBytes(raw.data(), aligned && meta.tag);
+        Capability c = arch().fromBytes(raw, aligned && meta.tag);
         c = c.withGhost(ghost);
 
         if (!c.tag() && !c.ghost().any() && c.address() == 0 &&
@@ -472,8 +484,8 @@ MemoryModel::abstValue(const SourceLoc &loc, uint64_t addr, const TypeRef &ty)
         if (def.isUnion) {
             UnionValue uv;
             uv.tag = ty->tag;
-            std::vector<AbsByte> bs;
-            read_bytes(addr, n, bs);
+            std::vector<AbsByte> bs(n);
+            read_into(addr, n, bs.data());
             uv.bytes = std::move(bs);
             unsigned cs = arch().capSize();
             for (uint64_t off = 0; off + cs <= n; off += cs) {

@@ -46,6 +46,53 @@ MemoryModel::setTagTable(const ctype::TagTable *tags)
                                   tags ? tags : &emptyTags_);
 }
 
+// ---------------------------------------------------------------------
+// Snapshot / restore.
+// ---------------------------------------------------------------------
+
+MemorySnapshotPtr
+MemoryModel::snapshot() const
+{
+    auto snap = std::make_shared<MemorySnapshot>();
+    snap->store = store_->snapshot();
+    snap->allocations = allocations_;
+    snap->iotas = iotas_;
+    if (revoker_)
+        snap->revoke = revoker_->capture();
+    snap->nextAlloc = nextAlloc_;
+    snap->globalPtr = globalPtr_;
+    snap->heapPtr = heapPtr_;
+    snap->stackPtr = stackPtr_;
+    snap->codePtr = codePtr_;
+    snap->heapFree = heapFree_;
+    snap->functionsByAddr = functionsByAddr_;
+    snap->stats = stats_;
+    return snap;
+}
+
+void
+MemoryModel::restore(const MemorySnapshotPtr &snap)
+{
+    assert(snap);
+    store_->restore(snap->store);
+    allocations_ = snap->allocations;
+    iotas_ = snap->iotas;
+    if (revoker_ && snap->revoke)
+        revoker_->restoreFrom(*snap->revoke);
+    nextAlloc_ = snap->nextAlloc;
+    globalPtr_ = snap->globalPtr;
+    heapPtr_ = snap->heapPtr;
+    stackPtr_ = snap->stackPtr;
+    codePtr_ = snap->codePtr;
+    heapFree_ = snap->heapFree;
+    functionsByAddr_ = snap->functionsByAddr;
+    stats_ = snap->stats;
+    // The one-entry allocation cache holds a node pointer into the
+    // *previous* allocations_ map; map assignment invalidated it.
+    fastAllocId_ = 0;
+    fastAlloc_ = nullptr;
+}
+
 uint64_t
 MemoryModel::alignUp(uint64_t v, uint64_t a) const
 {
@@ -191,7 +238,15 @@ MemoryModel::kill(const SourceLoc &loc, bool dyn, const PointerValue &p)
                                   "pointer has no provenance");
     }
     auto it = allocations_.find(*id);
-    assert(it != allocations_.end());
+    if (it == allocations_.end()) {
+        // restore() rewinds the allocation table; a handle minted
+        // after the snapshot then names no node at all.  Observably
+        // that allocation no longer exists, so report the same
+        // verdict the dead-allocation branch below would.
+        return Failure::undefined(dyn ? Ub::DoubleFree
+                                      : Ub::AccessDeadAllocation,
+                                  loc, "allocation no longer exists");
+    }
     Allocation &alloc = it->second;
     if (!alloc.alive) {
         return Failure::undefined(dyn ? Ub::DoubleFree
@@ -258,7 +313,11 @@ MemoryModel::reallocRegion(const SourceLoc &loc, const PointerValue &p,
         return Failure::undefined(Ub::FreeInvalidPointer, loc,
                                   "realloc of unprovenanced pointer");
     auto it = allocations_.find(*id);
-    assert(it != allocations_.end());
+    if (it == allocations_.end()) {
+        // See kill(): restore() can erase nodes for post-snapshot
+        // allocations, and a stale handle behaves like a dead one.
+        return Failure::undefined(Ub::DoubleFree, loc, "realloc");
+    }
     // Validate the old pointer fully *before* allocating the new
     // region: kill() would re-check all of this, but only after the
     // new allocation and the copy had already happened — leaking the

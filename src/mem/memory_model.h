@@ -101,6 +101,35 @@ struct MemStats
 };
 
 /**
+ * A fork of the whole (A, S, (B, C)) machine state at one instant:
+ * the allocations map, iota table, store contents (COW page table for
+ * PagedStore), revocation-engine state (quarantine queue + shadow
+ * bitmap), allocator cursors and free list, the function-address map,
+ * and every deterministic counter.  Immutable once taken; restorable
+ * any number of times, into the model that took it or into another
+ * model with the same Config (modulo traceSink).  Cost: O(pages
+ * touched since the snapshot) on the Paged backend.
+ */
+struct MemorySnapshot
+{
+    StoreSnapshotPtr store;
+    std::map<AllocId, Allocation> allocations;
+    IotaTable iotas;
+    /** Engaged iff the source model had a revocation engine. */
+    std::optional<revoke::RevocationEngine::Snapshot> revoke;
+    AllocId nextAlloc = 1;
+    uint64_t globalPtr = 0;
+    uint64_t heapPtr = 0;
+    uint64_t stackPtr = 0;
+    uint64_t codePtr = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> heapFree;
+    std::map<uint64_t, uint32_t> functionsByAddr;
+    MemStats stats;
+};
+
+using MemorySnapshotPtr = std::shared_ptr<const MemorySnapshot>;
+
+/**
  * The memory object model.  One instance per abstract-machine run.
  */
 class MemoryModel
@@ -183,6 +212,19 @@ class MemoryModel
     {
         return revoker_ ? revoker_->flush() : 0;
     }
+
+    /// @name Snapshot / restore (state forking).
+    /// @{
+    /** Fork the whole (A, S, (B, C)) state, including revocation
+     *  state and counters.  O(pages) refcount bumps on the Paged
+     *  backend. */
+    MemorySnapshotPtr snapshot() const;
+    /** Rewind to @p snap.  Afterwards the model is bit-identical —
+     *  contents, capability metadata, quarantine, and every
+     *  deterministic counter — to the moment the snapshot was taken,
+     *  as if the run in between never happened. */
+    void restore(const MemorySnapshotPtr &snap);
+    /// @}
 
     /// @name Allocation (create/kill), Cerberus interface.
     /// @{

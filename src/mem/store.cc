@@ -259,6 +259,34 @@ MapStore::forEachCapInRange(
     }
 }
 
+/** Deep copies of the literal B and C maps: the O(n) oracle the
+ *  equivalence soak diffs the COW backend against. */
+struct MapStore::Snapshot final : StoreSnapshot
+{
+    std::map<uint64_t, AbsByte> bytes;
+    std::map<uint64_t, CapMeta> capMeta;
+};
+
+StoreSnapshotPtr
+MapStore::snapshot() const
+{
+    auto snap = std::make_shared<Snapshot>();
+    snap->bytes = bytes_;
+    snap->capMeta = capMeta_;
+    snap->stats = stats_;
+    return snap;
+}
+
+void
+MapStore::restore(const StoreSnapshotPtr &snap)
+{
+    auto *s = dynamic_cast<const Snapshot *>(snap.get());
+    assert(s && "MapStore snapshot restored into a MapStore");
+    bytes_ = s->bytes;
+    capMeta_ = s->capMeta;
+    stats_ = s->stats;
+}
+
 // ---------------------------------------------------------------------
 // PagedStore.
 // ---------------------------------------------------------------------
@@ -297,21 +325,39 @@ PagedStore::findPage(uint64_t index) const
         return nullptr;
     cachedIndex_ = index;
     cachedPage_ = it->second.get();
+    cachedWritable_ = !maybeShared_ || it->second.use_count() == 1;
     return cachedPage_;
+}
+
+PagedStore::Page &
+PagedStore::ensureUnique(uint64_t index, std::shared_ptr<Page> &entry)
+{
+    if (maybeShared_ && entry.use_count() > 1) {
+        // Copy-before-write: the page is aliased by at least one
+        // snapshot.  The old page stays alive (and immutable) behind
+        // the snapshot's reference.
+        entry = std::make_shared<Page>(*entry);
+        ++cowClones_;
+    }
+    cachedIndex_ = index;
+    cachedPage_ = entry.get();
+    cachedWritable_ = true;
+    return *entry;
 }
 
 PagedStore::Page &
 PagedStore::touchPage(uint64_t index)
 {
-    if (Page *p = findPage(index))
-        return *p;
-    auto page = std::make_unique<Page>(slotsPerPage_);
-    Page *raw = page.get();
-    pages_.emplace(index, std::move(page));
-    ++stats_.pagesAllocated;
-    cachedIndex_ = index;
-    cachedPage_ = raw;
-    return *raw;
+    if (index == cachedIndex_ && cachedWritable_)
+        return *cachedPage_;
+    auto it = pages_.find(index);
+    if (it == pages_.end()) {
+        it = pages_.emplace(index,
+                            std::make_shared<Page>(slotsPerPage_))
+                 .first;
+        ++stats_.pagesAllocated;
+    }
+    return ensureUnique(index, it->second);
 }
 
 void
@@ -435,12 +481,27 @@ PagedStore::clearRange(uint64_t addr, uint64_t n)
         uint64_t off = a % kPageBytes;
         uint64_t chunk = std::min(n - i, kPageBytes - off);
         // Absent pages are already uninitialised: skip without
-        // materialising them.
-        if (Page *p = findPage(a / kPageBytes)) {
+        // materialising them.  Likewise skip (and leave shared) a
+        // page whose range is already clear.
+        auto it = pages_.find(a / kPageBytes);
+        if (it != pages_.end()) {
             unsigned lo = static_cast<unsigned>(off);
             unsigned hi = static_cast<unsigned>(off + chunk);
-            maskClear(p->present, lo, hi);
-            clearHeavy(*p, lo, hi);
+            if (!maybeShared_ || it->second.use_count() == 1) {
+                Page &p = ensureUnique(it->first, it->second);
+                maskClear(p.present, lo, hi);
+                clearHeavy(p, lo, hi);
+            } else {
+                // Shared page: only clone if the range is not
+                // already clear (leave an untouched page shared).
+                const Page *ro = it->second.get();
+                if (!maskNone(ro->present, lo, hi) ||
+                    !maskNone(ro->heavy, lo, hi)) {
+                    Page &p = ensureUnique(it->first, it->second);
+                    maskClear(p.present, lo, hi);
+                    clearHeavy(p, lo, hi);
+                }
+            }
         }
         i += chunk;
     }
@@ -560,11 +621,19 @@ PagedStore::eraseCapMeta(uint64_t slot)
 {
     assert(slot % capSize_ == 0);
     ++stats_.capMetaWrites;
-    if (Page *p = findPage(slot / kPageBytes)) {
+    // Read through the page cache first: the hot caller
+    // (copyBytesAndMeta) sweeps every slot of a range, and the common
+    // slot has no metadata — that case must stay a cached read, not a
+    // hash lookup.  Only clone a shared page when there is metadata
+    // to erase.
+    if (const Page *p = findPage(slot / kPageBytes)) {
         unsigned s =
             static_cast<unsigned>((slot % kPageBytes) / capSize_);
-        p->metaPresent[s] = 0;
-        p->meta[s] = CapMeta{};
+        if (p->metaPresent[s]) {
+            Page &wp = touchPage(slot / kPageBytes);
+            wp.metaPresent[s] = 0;
+            wp.meta[s] = CapMeta{};
+        }
     }
 }
 
@@ -575,22 +644,32 @@ PagedStore::invalidateCapRange(uint64_t addr, uint64_t n, bool ghost)
     uint64_t end = rangeEnd(addr, n);
     uint64_t count = 0;
     for (uint64_t slot = first; slot < end;) {
-        Page *p = findPage(slot / kPageBytes);
-        if (!p) {
+        auto it = pages_.find(slot / kPageBytes);
+        if (it == pages_.end()) {
             // Skip to the next page boundary.
             uint64_t next = (slot / kPageBytes + 1) * kPageBytes;
             slot = next > slot ? next : end;
             continue;
         }
+        Page *p = it->second.get();
+        bool unique = !maybeShared_ || it->second.use_count() == 1;
         uint64_t page_end =
             std::min(end, (slot / kPageBytes + 1) * kPageBytes);
         for (; slot < page_end; slot += capSize_) {
             unsigned s = static_cast<unsigned>((slot % kPageBytes) /
                                                capSize_);
-            if (p->metaPresent[s] &&
-                applyInvalidation(p->meta[s], ghost)) {
-                ++count;
+            if (!p->metaPresent[s])
+                continue;
+            // Clone lazily: only once a slot would actually change
+            // (the common page has no live tags to transition).
+            if (!p->meta[s].tag && !p->meta[s].ghost.tagUnspec)
+                continue;
+            if (!unique) {
+                p = &ensureUnique(it->first, it->second);
+                unique = true;
             }
+            applyInvalidation(p->meta[s], ghost);
+            ++count;
         }
     }
     return count;
@@ -602,22 +681,78 @@ PagedStore::forEachCapInRange(
     const std::function<void(uint64_t, CapMeta &)> &visit)
 {
     uint64_t end = rangeEnd(addr, n);
-    for (auto &[index, page] : pages_) {
+    for (auto &[index, entry] : pages_) {
         uint64_t page_base = index * kPageBytes;
         if (page_base >= end || page_base + kPageBytes <= addr)
             continue;
+        // The visitor gets a mutable CapMeta& (the revocation sweep
+        // clears tags through it), so a shared page must be cloned
+        // before the first slot it visits.  Replacing the mapped
+        // shared_ptr does not invalidate the map iteration.
+        Page *page = entry.get();
+        bool unique = !maybeShared_ || entry.use_count() == 1;
         for (unsigned s = 0; s < slotsPerPage_; ++s) {
             if (!page->metaPresent[s])
                 continue;
             uint64_t slot = page_base + uint64_t(s) * capSize_;
             if (slot + capSize_ <= addr || slot >= end)
                 continue;
+            if (!unique) {
+                page = &ensureUnique(index, entry);
+                unique = true;
+            }
             visit(slot, page->meta[s]);
         }
     }
 }
 
+/** A copy of the page *table*: every page's refcount goes up by one,
+ *  no page contents are copied.  Pages reachable from a snapshot are
+ *  immutable — every mutating primitive clones first. */
+struct PagedStore::Snapshot final : StoreSnapshot
+{
+    std::unordered_map<uint64_t, std::shared_ptr<Page>> pages;
+};
 
+StoreSnapshotPtr
+PagedStore::snapshot() const
+{
+    auto snap = std::make_shared<Snapshot>();
+    snap->pages = pages_;
+    snap->stats = stats_;
+    // Every live page is now shared with the snapshot; the next write
+    // through the cache must go via touchPage() and clone.
+    cachedWritable_ = false;
+    maybeShared_ = true;
+    return snap;
+}
+
+void
+PagedStore::restore(const StoreSnapshotPtr &snap)
+{
+    auto *s = dynamic_cast<const Snapshot *>(snap.get());
+    assert(s && "PagedStore snapshot restored into a PagedStore");
+    pages_ = s->pages;
+    stats_ = s->stats;
+    // Pages the diverged run cloned are dropped here; pages it never
+    // touched come back shared (refcount >= 2: us + the snapshot).
+    cachedIndex_ = ~uint64_t(0);
+    cachedPage_ = nullptr;
+    cachedWritable_ = false;
+    maybeShared_ = true;
+}
+
+uint64_t
+PagedStore::sharedPages() const
+{
+    uint64_t n = 0;
+    for (const auto &[index, entry] : pages_) {
+        (void)index;
+        if (entry.use_count() > 1)
+            ++n;
+    }
+    return n;
+}
 
 // ---------------------------------------------------------------------
 // Factory.

@@ -74,6 +74,26 @@ struct StoreStats
 };
 
 /**
+ * Opaque snapshot of one store's full (B, C) contents.
+ *
+ * Backends subclass this with their own representation (MapStore
+ * copies the maps outright — the O(n) oracle; PagedStore copies the
+ * page *table*, sharing the refcounted pages themselves — O(pages)).
+ * A snapshot is immutable once taken and can be restored any number
+ * of times, into the store that took it or into another store of the
+ * same backend and capSize().
+ */
+struct StoreSnapshot
+{
+    virtual ~StoreSnapshot() = default;
+    /** Counter state at snapshot time; restore() rewinds stats too so
+     *  a restored run is bit-identical to never having diverged. */
+    StoreStats stats;
+};
+
+using StoreSnapshotPtr = std::shared_ptr<const StoreSnapshot>;
+
+/**
  * The store interface: the `M = B x C` component of the memory state
  * behind range-based primitives.
  *
@@ -177,6 +197,17 @@ class AbstractStore
     }
     /// @}
 
+    /// @name Snapshot / restore.
+    /// @{
+    /** Capture the full (B, C) contents plus counters.  PagedStore is
+     *  O(pages) refcount bumps; MapStore is an O(n) deep copy. */
+    virtual StoreSnapshotPtr snapshot() const = 0;
+    /** Rewind to @p snap: contents and counters become bit-identical
+     *  to the snapshot point.  The snapshot must come from the same
+     *  backend with the same capSize(). */
+    virtual void restore(const StoreSnapshotPtr &snap) = 0;
+    /// @}
+
     /** Convenience: single-byte write. */
     void writeByte(uint64_t addr, const AbsByte &b)
     {
@@ -237,7 +268,12 @@ class MapStore final : public AbstractStore
         uint64_t addr, uint64_t n,
         const std::function<void(uint64_t, CapMeta &)> &visit) override;
 
+    StoreSnapshotPtr snapshot() const override;
+    void restore(const StoreSnapshotPtr &snap) override;
+
   private:
+    struct Snapshot; // deep map copies; defined in store.cc
+
     std::map<uint64_t, AbsByte> bytes_;   // B
     std::map<uint64_t, CapMeta> capMeta_; // C
 };
@@ -254,6 +290,15 @@ class MapStore final : public AbstractStore
  * every plain integer/float store produces, so the scalar fast path
  * is a word-mask test plus a memcpy against the value plane, and bulk
  * fill/copy of plain data moves raw bytes, not 32-byte structs.
+ *
+ * Pages are refcounted and immutable-when-shared: snapshot() copies
+ * the page table (refcount bumps only), and every mutating primitive
+ * copies a page before writing iff its refcount is > 1, so forking
+ * and restoring whole states costs O(pages touched since the
+ * snapshot), never O(footprint).  The discipline is concentrated in
+ * touchPage()/ensureUnique(): a `Page &` handed out by either is
+ * uniquely owned and safe to mutate; read paths may alias shared
+ * pages freely.
  */
 class PagedStore final : public AbstractStore
 {
@@ -316,8 +361,11 @@ class PagedStore final : public AbstractStore
             return AbstractStore::writeScalarClean(addr, src, n, ghost);
         }
         uint64_t index = addr / kPageBytes;
-        Page &p = index == cachedIndex_ ? *cachedPage_
-                                        : touchPage(index);
+        // The cache may alias a *shared* page after a snapshot();
+        // only write through it when it is known uniquely owned.
+        Page &p = index == cachedIndex_ && cachedWritable_
+            ? *cachedPage_
+            : touchPage(index);
         unsigned w = off / 64, b = off % 64;
         if (b + n <= 64) {
             uint64_t m = spanMask(b, n);
@@ -369,6 +417,17 @@ class PagedStore final : public AbstractStore
         uint64_t addr, uint64_t n,
         const std::function<void(uint64_t, CapMeta &)> &visit) override;
 
+    StoreSnapshotPtr snapshot() const override;
+    void restore(const StoreSnapshotPtr &snap) override;
+
+    /** Pages copied because they were shared at write time (COW
+     *  clones).  Deliberately *not* part of StoreStats: a restored
+     *  run must be counter-identical to one that never diverged, and
+     *  clones happen only on the diverged side. */
+    uint64_t cowClones() const { return cowClones_; }
+    /** Live pages currently shared with at least one snapshot. */
+    uint64_t sharedPages() const;
+
   private:
     /** Out-of-band part of a heavy byte (provenance / pointer index). */
     struct HeavyInfo
@@ -398,10 +457,18 @@ class PagedStore final : public AbstractStore
         return (~uint64_t(0) >> (64 - n)) << b;
     }
 
-    /** Existing page or nullptr; never allocates. */
+    struct Snapshot; // shared page table copy; defined in store.cc
+
+    /** Existing page or nullptr; never allocates or clones.  The
+     *  returned page may be shared — mutate only through touchPage()
+     *  or ensureUnique(). */
     Page *findPage(uint64_t index) const;
-    /** Existing page, materialising (and counting) a fresh one. */
+    /** Uniquely-owned page at @p index: materialises (and counts) a
+     *  fresh page, or COW-clones a shared one. */
     Page &touchPage(uint64_t index);
+    /** COW-clone @p entry if shared; refreshes the cache.  The
+     *  returned reference is uniquely owned. */
+    Page &ensureUnique(uint64_t index, std::shared_ptr<Page> &entry);
     /** Drop the heavy out-of-band entries of [lo, hi) (rare). */
     void clearHeavySpan(Page &p, unsigned lo, unsigned hi);
     /** The section 3.5 representation-write transition on one
@@ -416,12 +483,24 @@ class PagedStore final : public AbstractStore
 
     unsigned slotsPerPage_;
     unsigned capShift_; // log2(capSize_); granule sizes are powers of 2
-    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
-    // One-entry last-page cache.  Page storage is behind unique_ptr
-    // and pages are never erased, so the cached pointer stays valid
-    // across rehashes.
+    std::unordered_map<uint64_t, std::shared_ptr<Page>> pages_;
+    // One-entry last-page cache.  Page storage is behind shared_ptr
+    // and a map entry is only replaced by a COW clone or restore(),
+    // both of which refresh the cache, so the cached pointer stays
+    // valid across rehashes.  cachedWritable_ records that the cached
+    // page was uniquely owned when cached; snapshot() clears it (every
+    // page becomes shared), so a stale `true` is impossible.
     mutable uint64_t cachedIndex_ = ~uint64_t(0);
     mutable Page *cachedPage_ = nullptr;
+    mutable bool cachedWritable_ = false;
+    // Sticky-true once snapshot() has ever run.  While false, no page
+    // can be aliased, so every COW check (a use_count() load that
+    // touches the shared_ptr control block) short-circuits and the
+    // write path is identical to the pre-COW store.  It never returns
+    // to false: we don't track snapshot lifetimes, and the cost once
+    // snapshots exist is the COW price by design.
+    mutable bool maybeShared_ = false;
+    uint64_t cowClones_ = 0;
 };
 
 /** Factory used by MemoryModel::Config. */

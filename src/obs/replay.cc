@@ -1,0 +1,23 @@
+/**
+ * @file
+ * StopAtSeqSink (see replay.h for the replay architecture).
+ */
+#include "obs/replay.h"
+
+namespace cherisem::obs {
+
+void
+StopAtSeqSink::write(const TraceEvent &e)
+{
+    if (stopped_)
+        return; // unwind-path events after the stop fired
+    events_.push_back(e);
+    if (inner_)
+        inner_->emit(e);
+    if (e.seq >= stopAfter_) {
+        stopped_ = true;
+        throw ReplayStop{e.seq};
+    }
+}
+
+} // namespace cherisem::obs

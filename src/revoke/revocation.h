@@ -185,7 +185,6 @@ class RevocationEngine
     uint64_t pendingBytes() const { return stats_.pendingBytes; }
     const ShadowBitmap &bitmap() const { return bitmap_; }
 
-  private:
     struct Region
     {
         uint64_t base = 0;
@@ -193,6 +192,27 @@ class RevocationEngine
         uint64_t allocId = 0;
     };
 
+    /** The engine's whole mutable state, for MemoryModel snapshots:
+     *  quarantine queue, shadow bitmap, and counters.  Config, the
+     *  store binding, and the release callback are structural and
+     *  stay with the engine. */
+    struct Snapshot
+    {
+        std::vector<Region> regions;
+        ShadowBitmap bitmap;
+        RevokeStats stats;
+    };
+
+    Snapshot capture() const { return {regions_, bitmap_, stats_}; }
+    void
+    restoreFrom(const Snapshot &snap)
+    {
+        regions_ = snap.regions;
+        bitmap_ = snap.bitmap;
+        stats_ = snap.stats;
+    }
+
+  private:
     /** Byte-precise check against the pending regions (the eager
      *  semantics' intersection test). */
     bool intersectsRegion(uint128 capBase, uint128 capTop) const;

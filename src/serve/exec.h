@@ -22,6 +22,7 @@
 
 #include "driver/profiles.h"
 #include "serve/cache.h"
+#include "serve/warm.h"
 
 namespace cherisem::serve {
 
@@ -43,6 +44,12 @@ struct ExecResult
     corelang::Outcome outcome;
     obs::PhaseTimings phases;
     bool cacheHit = false;
+    /** This run restored a warm post-prelude snapshot and executed
+     *  only main(). */
+    bool warmHit = false;
+    /** This run built the warm snapshot (first request for this
+     *  program on a warm server). */
+    bool warmBuild = false;
     /** Witness digest over the run's trace events (valid when
      *  hasDigest). */
     uint64_t digest = 0;
@@ -83,6 +90,29 @@ ExecResult runRequest(const std::string &source,
                       const driver::Profile &profile,
                       const RunSpec &spec, const ExecLimits &limits,
                       FrontCache *cache);
+
+/** Evaluate @p compiled through @p warm (keyed by @p warmKey): the
+ *  first run executes globals + __prelude() once, captures the COW
+ *  snapshot and serves main() from the same machine; later runs
+ *  restore the snapshot into a fresh engine and execute only
+ *  main().  Falls back to runCompiled() when the snapshot cannot
+ *  reproduce a cold run bit-for-bit (step budget tighter than the
+ *  prelude, digest requested but the recorded stream wrapped). */
+void runCompiledWarm(const CompiledPtr &compiled,
+                     const driver::Profile &profile,
+                     const RunSpec &spec, const ExecLimits &limits,
+                     uint64_t warmKey, WarmCache *warm,
+                     ExecResult *result);
+
+/** The warm-serving request path: compile (prelude + "\n" + source)
+ *  through @p cache, then runCompiledWarm.  Responses carry the same
+ *  stable fields a cold run of the combined program produces. */
+ExecResult runRequestWarm(const std::string &preludeSource,
+                          const std::string &source,
+                          const driver::Profile &profile,
+                          const RunSpec &spec,
+                          const ExecLimits &limits, FrontCache *cache,
+                          WarmCache *warm);
 
 } // namespace cherisem::serve
 

@@ -47,6 +47,13 @@ Metrics::snapshot(const FrontCache::Stats &cache,
     s.cacheMisses = cache.misses;
     s.cacheEvictions = cache.evictions;
     s.cacheHitRate = cache.hitRate();
+    s.warmHits = warmHits_.load(std::memory_order_relaxed);
+    s.warmBuilds = warmBuilds_.load(std::memory_order_relaxed);
+    uint64_t warmTotal = s.warmHits + s.warmBuilds;
+    s.warmHitRate = warmTotal
+        ? static_cast<double>(s.warmHits) /
+            static_cast<double>(warmTotal)
+        : 0.0;
     s.queueDepth = queueDepth;
 
     {
@@ -87,12 +94,15 @@ Metrics::Snapshot::renderJson() const
         ",\"resource_exhausted\":%" PRIu64
         ",\"bad_requests\":%" PRIu64 ",\"cache_hits\":%" PRIu64
         ",\"cache_misses\":%" PRIu64 ",\"cache_evictions\":%" PRIu64
-        ",\"cache_hit_rate\":%.4f,\"queue_depth\":%zu"
+        ",\"cache_hit_rate\":%.4f,\"warm_hits\":%" PRIu64
+        ",\"warm_builds\":%" PRIu64 ",\"warm_hit_rate\":%.4f"
+        ",\"queue_depth\":%zu"
         ",\"p50_latency_us\":%" PRIu64 ",\"p95_latency_us\":%" PRIu64
         ",\"programs_per_sec\":%.2f,\"uptime_ms\":%" PRIu64 "}",
         requests, completed, exitVerdicts, ubVerdicts,
         frontendErrors, resourceExhausted, badRequests, cacheHits,
-        cacheMisses, cacheEvictions, cacheHitRate, queueDepth,
+        cacheMisses, cacheEvictions, cacheHitRate, warmHits,
+        warmBuilds, warmHitRate, queueDepth,
         p50LatencyUs, p95LatencyUs, programsPerSec, uptimeMs);
     return buf;
 }

@@ -43,6 +43,13 @@ class Metrics
         uint64_t cacheMisses = 0;
         uint64_t cacheEvictions = 0;
         double cacheHitRate = 0;
+        /** Warm serving (--warm): runs that restored a post-prelude
+         *  snapshot vs runs that built one.  Distinct from front
+         *  cache hits: a cache hit skips compilation, a warm hit
+         *  additionally skips global init + prelude execution. */
+        uint64_t warmHits = 0;
+        uint64_t warmBuilds = 0;
+        double warmHitRate = 0;
         size_t queueDepth = 0;
         uint64_t p50LatencyUs = 0;
         uint64_t p95LatencyUs = 0;
@@ -70,6 +77,19 @@ class Metrics
      *  string ("exit", "ub", ...). */
     void onCompleted(const std::string &verdict, uint64_t latencyNs);
 
+    /** Record a warm-serving outcome for one run. */
+    void
+    onWarmHit()
+    {
+        warmHits_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    onWarmBuild()
+    {
+        warmBuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     Snapshot snapshot(const FrontCache::Stats &cache,
                       size_t queueDepth) const;
 
@@ -81,6 +101,8 @@ class Metrics
     std::atomic<uint64_t> frontendErrors_{0};
     std::atomic<uint64_t> exhausted_{0};
     std::atomic<uint64_t> badRequests_{0};
+    std::atomic<uint64_t> warmHits_{0};
+    std::atomic<uint64_t> warmBuilds_{0};
 
     /** Reservoir cap: big enough for stable p95 on any realistic
      *  window, small enough to scan under the lock. */

@@ -159,6 +159,8 @@ Response::render() const
         verdict == "assert-fail" || verdict == "error" ||
         verdict == "resource-exhausted") {
         appendKvBool(out, "cached", cached, &first);
+        if (warm)
+            appendKvBool(out, "warm", true, &first);
         appendKvU64(out, "steps", steps, &first);
         appendKvU64(out, "loads", loads, &first);
         appendKvU64(out, "stores", stores, &first);
@@ -217,6 +219,8 @@ parseResponse(const std::string &line, Response *out,
     }
     if (const Json *v = j.get("cached"))
         out->cached = v->asBool();
+    if (const Json *v = j.get("warm"))
+        out->warm = v->asBool();
     if (const Json *v = j.get("steps"))
         out->steps = v->asU64();
     if (const Json *v = j.get("loads"))

@@ -85,6 +85,8 @@ struct Response
     std::string output;
     bool hasOutput = false;
     bool cached = false;
+    /** Served from a warm post-prelude snapshot (--warm). */
+    bool warm = false;
     uint64_t steps = 0;
     uint64_t loads = 0;
     uint64_t stores = 0;

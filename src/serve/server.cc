@@ -36,6 +36,7 @@ badRequest(std::string id, const std::string &why)
 
 Server::Server(const ServerOptions &opts)
     : opts_(opts), cache_(opts.cacheCapacity),
+      warm_(opts.warmPrelude.empty() ? 0 : opts.warmCapacity),
       pool_(opts.threads ? opts.threads
                          : std::max(1u,
                                     std::thread::hardware_concurrency()),
@@ -104,10 +105,17 @@ Server::execute(const Request &req, uint64_t queueNs)
     limits.deadlineMs = opts_.deadlineMs;
     limits.cancel = &cancel_;
 
-    ExecResult r =
-        runRequest(req.source, *profile, spec, limits, &cache_);
+    ExecResult r = warmEnabled()
+        ? runRequestWarm(opts_.warmPrelude, req.source, *profile,
+                         spec, limits, &cache_, &warm_)
+        : runRequest(req.source, *profile, spec, limits, &cache_);
 
+    if (r.warmHit)
+        metrics_.onWarmHit();
+    else if (r.warmBuild)
+        metrics_.onWarmBuild();
     resp.cached = r.cacheHit;
+    resp.warm = r.warmHit;
     resp.phases = r.phases;
     if (r.frontendError) {
         resp.verdict = "frontend-error";

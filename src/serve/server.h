@@ -42,6 +42,15 @@ struct ServerOptions
     uint64_t maxSteps = 20'000'000;
     /** Default per-request wall-clock budget; 0 = none. */
     uint64_t deadlineMs = 10'000;
+    /** Warm serving: when non-empty, this source (typically defining
+     *  `__prelude()` and the globals it populates) is prepended to
+     *  every run request, and the post-prelude machine state is
+     *  snapshotted per program — repeats restore the COW snapshot
+     *  and execute only main(). */
+    std::string warmPrelude;
+    /** Warm snapshots retained (LRU); 0 disables snapshotting even
+     *  with a prelude. */
+    size_t warmCapacity = 64;
 };
 
 class Server
@@ -78,6 +87,8 @@ class Server
 
     Metrics::Snapshot stats() const;
     FrontCache &cache() { return cache_; }
+    WarmCache &warmCache() { return warm_; }
+    bool warmEnabled() const { return !opts_.warmPrelude.empty(); }
     unsigned threads() const { return pool_.threads(); }
 
   private:
@@ -85,6 +96,7 @@ class Server
 
     ServerOptions opts_;
     FrontCache cache_;
+    WarmCache warm_;
     Metrics metrics_;
     std::atomic<bool> cancel_{false};
     WorkerPool pool_; ///< last member: workers die before the rest

@@ -1,0 +1,52 @@
+#include "serve/warm.h"
+
+namespace cherisem::serve {
+
+WarmPtr
+WarmCache::lookup(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.warm;
+}
+
+void
+WarmCache::insert(uint64_t key, WarmPtr entry)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.count(key))
+        return;
+    while (map_.size() >= capacity_) {
+        uint64_t victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+        ++evictions_;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(entry), lru_.begin()});
+}
+
+WarmCache::Stats
+WarmCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return Stats{hits_, misses_, evictions_, map_.size(), capacity_};
+}
+
+void
+WarmCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+}
+
+} // namespace cherisem::serve

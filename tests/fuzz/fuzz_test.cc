@@ -11,6 +11,7 @@
 
 #include "driver/interpreter.h"
 #include "fuzz/diff_runner.h"
+#include "fuzz/fork_runner.h"
 #include "fuzz/generator.h"
 #include "fuzz/reduce.h"
 
@@ -122,6 +123,54 @@ TEST(DiffRunner, JsonlEscapesControlCharacters)
     EXPECT_EQ(line.find('\n'), std::string::npos);
     EXPECT_NE(line.find("a\\\"b"), std::string::npos);
     EXPECT_NE(line.find("line1\\nline2\\t\\\\"), std::string::npos);
+}
+
+TEST(ForkRunner, HandwrittenForkCaseAgreesWithColdOracle)
+{
+    // The fork runner's oracle re-runs every forked variant cold and
+    // demands bit-identical behaviour; on a well-formed fork-shaped
+    // program that must produce zero divergences.
+    const char *src = "#include <stdio.h>\n"
+                      "int __variant;\n"
+                      "int acc;\n"
+                      "void __prelude(void)\n"
+                      "{\n"
+                      "  for (int i = 0; i < 8; i++)\n"
+                      "    acc += i;\n"
+                      "}\n"
+                      "int main(void)\n"
+                      "{\n"
+                      "  printf(\"%d\\n\", acc + __variant);\n"
+                      "  return 0;\n"
+                      "}\n";
+    ForkOptions opts;
+    opts.variants = 4;
+    ForkStats stats;
+    std::vector<Divergence> ds = runForkCase(1, src, opts, &stats);
+    for (const Divergence &d : ds)
+        ADD_FAILURE() << d.jsonl();
+    EXPECT_EQ(stats.variants, 4u);
+    EXPECT_GT(stats.preludeSteps, 0u);
+    EXPECT_GT(stats.forkNs, 0u);
+    EXPECT_GT(stats.coldNs, 0u);
+}
+
+TEST(ForkRunner, GeneratedForkProgramsAgree)
+{
+    // Generated fork-shaped programs (prelude prefix + __variant
+    // keyed main) through the same fork-vs-cold oracle.
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        GenOptions o;
+        o.seed = seed;
+        o.forkPrefix = true;
+        std::string src = generateProgram(o);
+        ForkOptions opts;
+        opts.variants = 3;
+        std::vector<Divergence> ds =
+            runForkCase(seed, src, opts, nullptr);
+        for (const Divergence &d : ds)
+            ADD_FAILURE() << "seed " << seed << ": " << d.jsonl();
+    }
 }
 
 TEST(Reduce, ShrinksUbProgramPreservingTheVerdict)

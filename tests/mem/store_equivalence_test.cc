@@ -105,8 +105,15 @@ runEquivalenceSoak(MemoryModel::Config base, uint32_t seed, int steps)
     };
     std::vector<Extra> extras;
 
+    // Snapshot/restore forking (the COW tentpole): snapshots are
+    // taken in lockstep, and a restore rewinds both models to the
+    // identical earlier state — so every later op, the final state
+    // sweep, and the stats comparison still hold bit-for-bit.
+    std::vector<std::pair<MemorySnapshotPtr, MemorySnapshotPtr>>
+        snaps;
+
     for (int step = 0; step < steps; ++step) {
-        switch (rng() % 11) {
+        switch (rng() % 12) {
           case 0: { // aligned capability store
             uint64_t slot = (rng() % (SIZE / 16)) * 16;
             expectSameVerdict(
@@ -258,6 +265,25 @@ runEquivalenceSoak(MemoryModel::Config base, uint32_t seed, int steps)
             } else {
                 extras.erase(extras.begin() +
                              static_cast<ptrdiff_t>(i));
+            }
+            break;
+          }
+          case 11: { // snapshot / restore (COW state forking)
+            if (snaps.size() < 3 && rng() % 2 == 0) {
+                snaps.emplace_back(mm.oracle->snapshot(),
+                                   mm.paged->snapshot());
+            } else if (!snaps.empty()) {
+                size_t i = rng() % snaps.size();
+                mm.oracle->restore(snaps[i].first);
+                mm.paged->restore(snaps[i].second);
+                // Extras allocated after the snapshot are dead in
+                // *both* models now; keep the stale handles — a
+                // later kill/realloc through one must produce the
+                // same (compared) verdict on both sides.
+                if (rng() % 2 == 0) {
+                    snaps.erase(snaps.begin() +
+                                static_cast<ptrdiff_t>(i));
+                }
             }
             break;
           }

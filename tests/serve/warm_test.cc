@@ -1,0 +1,99 @@
+/**
+ * @file
+ * WarmCache unit tests: LRU behaviour, first-insert-wins, stats
+ * accounting, and the capacity-0 kill switch.  End-to-end warm
+ * serving (snapshot forking, prelude replay, bit-identical digests)
+ * is covered by the serve determinism suite and the CI serve-smoke
+ * --warm variant; these tests pin the cache policy itself.
+ */
+#include <gtest/gtest.h>
+
+#include "serve/warm.h"
+
+namespace cherisem::serve {
+namespace {
+
+WarmPtr
+entryWithSteps(uint64_t steps)
+{
+    auto e = std::make_shared<WarmEntry>();
+    e->preludeOutcome.steps = steps;
+    return e;
+}
+
+TEST(WarmCache, LookupMissThenHit)
+{
+    WarmCache cache(4);
+    EXPECT_EQ(cache.lookup(1), nullptr);
+
+    cache.insert(1, entryWithSteps(10));
+    WarmPtr got = cache.lookup(1);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->preludeOutcome.steps, 10u);
+
+    WarmCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(s.size, 1u);
+    EXPECT_EQ(s.capacity, 4u);
+}
+
+TEST(WarmCache, FirstInsertWins)
+{
+    // Two requests for the same program can race to build the warm
+    // entry; determinism makes them identical, and the cache keeps
+    // the first so existing WarmPtrs stay canonical.
+    WarmCache cache(4);
+    cache.insert(7, entryWithSteps(1));
+    cache.insert(7, entryWithSteps(2));
+    ASSERT_NE(cache.lookup(7), nullptr);
+    EXPECT_EQ(cache.lookup(7)->preludeOutcome.steps, 1u);
+    EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(WarmCache, EvictsLeastRecentlyUsed)
+{
+    WarmCache cache(2);
+    cache.insert(1, entryWithSteps(1));
+    cache.insert(2, entryWithSteps(2));
+
+    // Touch 1 so 2 becomes the LRU victim.
+    ASSERT_NE(cache.lookup(1), nullptr);
+    cache.insert(3, entryWithSteps(3));
+
+    EXPECT_NE(cache.lookup(1), nullptr);
+    EXPECT_EQ(cache.lookup(2), nullptr);
+    EXPECT_NE(cache.lookup(3), nullptr);
+
+    WarmCache::Stats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.size, 2u);
+}
+
+TEST(WarmCache, CapacityZeroDisables)
+{
+    WarmCache cache(0);
+    cache.insert(1, entryWithSteps(1));
+    EXPECT_EQ(cache.lookup(1), nullptr);
+    WarmCache::Stats s = cache.stats();
+    EXPECT_EQ(s.size, 0u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 0u);
+}
+
+TEST(WarmCache, ClearEmptiesButKeepsCounters)
+{
+    WarmCache cache(4);
+    cache.insert(1, entryWithSteps(1));
+    ASSERT_NE(cache.lookup(1), nullptr);
+    cache.clear();
+    EXPECT_EQ(cache.lookup(1), nullptr);
+    WarmCache::Stats s = cache.stats();
+    EXPECT_EQ(s.size, 0u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+} // namespace
+} // namespace cherisem::serve
